@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks backing the paper's §8 claim that MP-DASH
+//! "incurs negligible runtime overhead": the per-packet/per-tick costs of
+//! the deadline scheduler, the Holt-Winters predictor, the offline DP
+//! solver, and the packet-level MPTCP step, plus end-to-end session
+//! throughput of the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpdash_core::deadline::{DeadlineScheduler, SchedulerParams};
+use mpdash_core::optimal::{optimal_min_cost, SlotItem};
+use mpdash_core::predict::{HoltWinters, Predictor};
+use mpdash_link::LinkConfig;
+use mpdash_mptcp::{MptcpConfig, MptcpSim};
+use mpdash_sim::{Rate, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_scheduler_decision(c: &mut Criterion) {
+    c.bench_function("algorithm1_on_progress", |b| {
+        let mut sched = DeadlineScheduler::new(SchedulerParams::default());
+        sched.enable(SimTime::ZERO, 5_000_000, SimDuration::from_secs(10));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            // Never complete: keep progress below the size.
+            let d = sched.on_progress(
+                SimTime::from_micros(t % 9_000_000),
+                black_box(t % 4_000_000),
+                Rate::from_mbps_f64(3.8),
+            );
+            black_box(d)
+        });
+    });
+}
+
+fn bench_holt_winters(c: &mut Criterion) {
+    c.bench_function("holt_winters_observe_forecast", |b| {
+        let mut hw = HoltWinters::default();
+        let mut x = 3.0f64;
+        b.iter(|| {
+            x = 3.0 + (x * 7.3) % 1.0;
+            hw.observe(Rate::from_mbps_f64(black_box(x)));
+            black_box(hw.forecast())
+        });
+    });
+}
+
+fn bench_optimal_dp(c: &mut Criterion) {
+    // Table 2's largest instance shape: 20 s of 50 ms slots on two paths.
+    let items: Vec<SlotItem> = (0..800)
+        .map(|i| SlotItem {
+            bytes: 20_000 + (i % 17) * 1_000,
+            cost: if i < 400 { 0.0 } else { 1.0 },
+        })
+        .collect();
+    c.bench_function("optimal_min_cost_dp_800_items", |b| {
+        b.iter(|| black_box(optimal_min_cost(black_box(&items), 10_000_000, 50_000)))
+    });
+}
+
+fn bench_mptcp_transfer(c: &mut Criterion) {
+    c.bench_function("mptcp_5mb_transfer", |b| {
+        b.iter(|| {
+            let wifi = LinkConfig::constant(3.8, SimDuration::from_millis(25));
+            let cell = LinkConfig::constant(3.0, SimDuration::from_micros(27_500));
+            let mut sim = MptcpSim::new(MptcpConfig::two_path(wifi, cell));
+            sim.send_app(5_000_000);
+            while sim.delivered() < 5_000_000 {
+                sim.step().expect("transfer must complete");
+            }
+            black_box(sim.now())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_decision,
+    bench_holt_winters,
+    bench_optimal_dp,
+    bench_mptcp_transfer
+);
+criterion_main!(benches);

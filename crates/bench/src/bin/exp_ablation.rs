@@ -1,0 +1,5 @@
+//! Ablations of MP-DASH's design choices (including the paper's deferred
+//! Φ/Ω parameter study). See `mpdash_bench::experiments::ablation`.
+fn main() {
+    mpdash_bench::experiments::ablation::run();
+}

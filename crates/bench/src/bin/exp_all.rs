@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence — the full evaluation of the paper,
+//! regenerated. Pipe to a file to archive a complete results snapshot.
+use mpdash_bench::experiments as e;
+
+fn main() {
+    e::motivation::run();
+    e::fig1::run();
+    e::fig3::run();
+    e::fig4::run();
+    e::fig5::run();
+    e::tab2::run();
+    e::tab4::run();
+    e::fig7::run();
+    e::fig8::run();
+    e::fig11::run();
+    e::tab6::run();
+    e::mpc::run();
+    e::ablation::run();
+    e::field::run();
+}

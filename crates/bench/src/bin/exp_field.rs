@@ -1,0 +1,4 @@
+//! Regenerates the paper's field experiment. See `mpdash_bench::experiments`.
+fn main() {
+    mpdash_bench::experiments::field::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 experiment. See `mpdash_bench::experiments`.
+fn main() {
+    mpdash_bench::experiments::fig3::run();
+}

@@ -1,0 +1,4 @@
+//! §2.2's motivating measurement study over the corpus.
+fn main() {
+    mpdash_bench::experiments::motivation::run();
+}

@@ -1,0 +1,5 @@
+//! MPC (hybrid) rate adaptation under MP-DASH — the paper's §5.2.3
+//! future-work item, evaluated. See `mpdash_bench::experiments::mpc`.
+fn main() {
+    mpdash_bench::experiments::mpc::run();
+}

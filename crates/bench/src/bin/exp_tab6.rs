@@ -1,0 +1,4 @@
+//! Regenerates the paper's tab6 experiment. See `mpdash_bench::experiments`.
+fn main() {
+    mpdash_bench::experiments::tab6::run();
+}

@@ -1,0 +1,138 @@
+//! Ablations of the design choices DESIGN.md calls out, including the
+//! Φ/Ω parameter study the paper explicitly defers to future work
+//! (§5.2.2: "We plan to evaluate how different values of these
+//! parameters impact other QoE metrics").
+//!
+//! All runs: Big Buck Bunny, FESTIVE, W3.8/L3.0, rate-based deadlines —
+//! the paper's primary controlled setting. Reported per variant: cellular
+//! bytes, radio energy, bitrate, stalls, scheduler toggles and missed
+//! deadlines.
+
+use crate::experiments::banner;
+use crate::{mb, Table};
+use mpdash_core::predict::PredictorKind;
+use mpdash_dash::abr::AbrKind;
+use mpdash_dash::adapter::{AdapterConfig, DeadlineMode};
+use mpdash_energy::DeviceProfile;
+use mpdash_mptcp::CcKind;
+use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_sim::SimDuration;
+use mpdash_trace::table1;
+
+fn base_cfg() -> SessionConfig {
+    SessionConfig::controlled(
+        table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
+        AbrKind::Festive,
+        TransportMode::mpdash_rate_based(),
+    )
+}
+
+fn row(t: &mut Table, name: &str, r: &SessionReport) {
+    let (toggles, missed, _) = r.scheduler_stats;
+    t.row(&[
+        name.into(),
+        mb(r.cell_bytes),
+        format!("{:.1}", r.energy.total_j()),
+        format!("{:.2}", r.qoe.mean_bitrate_mbps),
+        format!("{}", r.qoe.stalls),
+        format!("{toggles}"),
+        format!("{missed}"),
+    ]);
+}
+
+const HDR: [&str; 7] = [
+    "variant", "cell bytes", "energy (J)", "bitrate", "stalls", "toggles", "missed",
+];
+
+/// Run all ablations.
+pub fn run() {
+    banner("Ablation — congestion control (decoupled Reno vs CUBIC)");
+    let mut t = Table::new(&HDR);
+    for (name, cc) in [("Reno (paper)", CcKind::Reno), ("CUBIC", CcKind::Cubic)] {
+        let r = StreamingSession::run(base_cfg().with_cc(cc));
+        row(&mut t, name, &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation — throughput predictor (the §6 choice)");
+    let mut t = Table::new(&HDR);
+    for (name, p) in [
+        ("Holt-Winters (paper)", PredictorKind::control_default()),
+        ("HW aggressive (0.8/0.3)", PredictorKind::HoltWinters { alpha: 0.8, beta: 0.3 }),
+        ("EWMA 0.5", PredictorKind::Ewma { alpha: 0.5 }),
+        ("EWMA 0.2", PredictorKind::Ewma { alpha: 0.2 }),
+    ] {
+        let r = StreamingSession::run(base_cfg().with_predictor(p));
+        row(&mut t, name, &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation — enable-side debounce (progress checks)");
+    let mut t = Table::new(&HDR);
+    for d in [1u32, 2, 4, 8] {
+        let r = StreamingSession::run(base_cfg().with_debounce(d));
+        row(&mut t, &format!("debounce {d} (paper: 1)"), &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation — sampling-slot width");
+    let mut t = Table::new(&HDR);
+    for ms in [50u64, 100, 250, 500] {
+        let r = StreamingSession::run(
+            base_cfg().with_sample_slot(SimDuration::from_millis(ms)),
+        );
+        row(&mut t, &format!("{ms} ms"), &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation — Φ (deadline-extension threshold), paper default 0.8");
+    let mut t = Table::new(&HDR);
+    for phi in [0.6f64, 0.7, 0.8, 0.9, 0.99] {
+        let mut ac = AdapterConfig::new(DeadlineMode::Rate);
+        ac.phi_fraction = phi;
+        let r = StreamingSession::run(base_cfg().with_adapter_config(ac));
+        row(&mut t, &format!("phi = {phi:.2} x capacity"), &r);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation — Ω floor (low-buffer bypass), paper default 0.4");
+    let mut t = Table::new(&HDR);
+    for omega in [0.2f64, 0.4, 0.6, 0.8] {
+        let mut ac = AdapterConfig::new(DeadlineMode::Rate);
+        ac.omega_floor = omega;
+        let r = StreamingSession::run(base_cfg().with_adapter_config(ac));
+        row(&mut t, &format!("omega >= {omega:.2} x capacity"), &r);
+    }
+    println!("{}", t.render());
+
+    banner("Cross-check — device energy profiles (paper: 'both yielding similar results')");
+    let mut t = Table::new(&["device", "baseline E (J)", "MP-DASH E (J)", "energy saving"]);
+    for device in [DeviceProfile::galaxy_note(), DeviceProfile::galaxy_s3()] {
+        let base = StreamingSession::run(
+            SessionConfig::controlled(
+                table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
+                AbrKind::Festive,
+                TransportMode::Vanilla,
+            )
+            .with_device(device),
+        );
+        let mp = StreamingSession::run(base_cfg().with_device(device));
+        t.row(&[
+            device.name.into(),
+            format!("{:.1}", base.energy.total_j()),
+            format!("{:.1}", mp.energy.total_j()),
+            crate::pct(mp.energy_saving_vs(&base)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    banner("Ablation — Ω window T multiple, paper default 2 (1x/3x 'do not qualitatively change')");
+    let mut t = Table::new(&HDR);
+    for tf in [1.0f64, 2.0, 3.0] {
+        let mut ac = AdapterConfig::new(DeadlineMode::Rate);
+        ac.t_factor = tf;
+        let r = StreamingSession::run(base_cfg().with_adapter_config(ac));
+        row(&mut t, &format!("T = {tf:.0} x capacity"), &r);
+    }
+    println!("{}", t.render());
+}

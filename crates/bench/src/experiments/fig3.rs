@@ -1,0 +1,47 @@
+//! Figure 3: bitrate oscillation of the original BBA algorithm when the
+//! MPTCP capacity (~3.4 Mbps) sits between two encoding bitrates
+//! (2.41 and 3.94 Mbps for Big Buck Bunny), and how BBA-C locks the rate.
+
+use crate::experiments::banner;
+use mpdash_dash::abr::AbrKind;
+use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_trace::table1;
+
+fn oscillations(report: &SessionReport) -> (usize, Vec<usize>) {
+    let levels: Vec<usize> = report.chunks.iter().map(|c| c.level).collect();
+    let steady = &levels[levels.len() / 5..];
+    let switches = steady.windows(2).filter(|w| w[0] != w[1]).count();
+    (switches, levels)
+}
+
+/// Run the experiment.
+pub fn run() {
+    banner("Figure 3 — BBA bitrate oscillation at MPTCP capacity ~3.4 Mbps");
+    // WiFi 2.0 + LTE 1.5 gives an aggregate goodput near 3.4 Mbps —
+    // squarely between levels 4 (2.41) and 5 (3.94).
+    let mk = |abr| {
+        SessionConfig::controlled(
+            table1::synthetic_profile_pair(2.0, 1.5, 0.05, 9),
+            abr,
+            TransportMode::Vanilla,
+        )
+    };
+    let bba = StreamingSession::run(mk(AbrKind::Bba));
+    let bbac = StreamingSession::run(mk(AbrKind::BbaC));
+
+    let (bba_sw, bba_levels) = oscillations(&bba);
+    let (bbac_sw, _) = oscillations(&bbac);
+
+    println!("BBA   steady-state switches: {bba_sw} (mean bitrate {:.2} Mbps)", bba.qoe.mean_bitrate_mbps);
+    println!("BBA-C steady-state switches: {bbac_sw} (mean bitrate {:.2} Mbps)", bbac.qoe.mean_bitrate_mbps);
+    println!("\nBBA level per chunk (steady state, 1 char per chunk):");
+    let line: String = bba_levels
+        .iter()
+        .map(|&l| char::from_digit(l as u32, 10).unwrap_or('?'))
+        .collect();
+    println!("{line}");
+    println!(
+        "\nShape check: BBA oscillates (switches ≫ 0) while BBA-C locks the \
+         highest sustainable level — the paper's §5.2.2 motivation."
+    );
+}

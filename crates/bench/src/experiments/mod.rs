@@ -1,0 +1,25 @@
+//! One module per reproduced table/figure. Each exposes `run()`, which
+//! prints the regenerated rows/series to stdout; the `exp_*` binaries are
+//! thin wrappers, and `exp_all` chains every experiment.
+
+pub mod ablation;
+pub mod field;
+pub mod fig1;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod motivation;
+pub mod mpc;
+pub mod tab2;
+pub mod tab4;
+pub mod tab6;
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}

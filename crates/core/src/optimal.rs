@@ -1,0 +1,281 @@
+//! The offline optimum: MP-DASH's scheduling problem solved with perfect
+//! knowledge of future bandwidth.
+//!
+//! §4 of the paper formulates chunk delivery as a 0-1 **min-knapsack**:
+//! items are `(interface i, time slot j)` pairs with weight `b(i,j)·d`
+//! (bytes the slot can carry) and value `c(i,j)·b(i,j)·d` (their cost);
+//! pick items whose total weight is at least the chunk size `S` while
+//! minimizing total value. Two solvers live here:
+//!
+//! * [`optimal_cellular_bytes`] — the two-path, WiFi-free/cellular-costly
+//!   special case used as Table 2's "Cell % (Optimal)" column. Because
+//!   the sender may stop mid-slot once `S` bytes are through, the fluid
+//!   optimum is simply `max(0, S − Σ WiFi capacity)`, provided the
+//!   aggregate capacity suffices.
+//! * [`optimal_min_cost`] — the general binary DP over discretized
+//!   coverage, for arbitrary per-slot costs and N interfaces. Exact for
+//!   the binary formulation; item weights are floored to the chosen unit,
+//!   which can only over-provision (never under-report) coverage cost.
+
+/// One knapsack item: a `(path, slot)` pair's capacity and cost.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotItem {
+    /// Bytes this slot can carry (`b(i,j)·d`).
+    pub bytes: u64,
+    /// Cost of using the slot (`c(i,j)·b(i,j)·d`), any non-negative unit.
+    pub cost: f64,
+}
+
+/// Result of [`optimal_min_cost`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotPlan {
+    /// Minimal total cost.
+    pub total_cost: f64,
+    /// Indices of the chosen items, ascending.
+    pub chosen: Vec<usize>,
+    /// Bytes the chosen items cover (≥ the requested size).
+    pub covered_bytes: u64,
+}
+
+/// Two-path fluid optimum: minimum cellular bytes to deliver `size` bytes
+/// within the window, with perfect knowledge.
+///
+/// `wifi_slots` / `cell_slots` are per-slot byte capacities across the
+/// deadline window. Returns `None` when even both paths together cannot
+/// make the deadline. The optimal strategy keeps WiFi busy for the whole
+/// window and tops up the deficit over cellular, stopping exactly at `S`
+/// (the proof sketch in §4: disabling cellular later or enabling it
+/// earlier than the perfect-knowledge schedule can only add cost).
+pub fn optimal_cellular_bytes(
+    wifi_slots: &[u64],
+    cell_slots: &[u64],
+    size: u64,
+) -> Option<u64> {
+    let wifi_total: u64 = wifi_slots.iter().sum();
+    let cell_total: u64 = cell_slots.iter().sum();
+    let deficit = size.saturating_sub(wifi_total);
+    if deficit > cell_total {
+        return None;
+    }
+    Some(deficit)
+}
+
+/// Exact binary min-knapsack by dynamic programming over coverage units.
+///
+/// `need` bytes must be covered; coverage is discretized to `unit` bytes
+/// (item weights are floored to whole units, so a returned plan always
+/// covers at least `need` real bytes). Returns `None` when the items
+/// cannot cover `need` even all together.
+///
+/// Complexity `O(items · need/unit)` time, same space. Table 2's largest
+/// instance (50 MB, 10 ms-granularity units of 64 KiB) stays well under a
+/// million states.
+pub fn optimal_min_cost(items: &[SlotItem], need: u64, unit: u64) -> Option<SlotPlan> {
+    assert!(unit > 0, "unit must be positive");
+    if need == 0 {
+        return Some(SlotPlan {
+            total_cost: 0.0,
+            chosen: Vec::new(),
+            covered_bytes: 0,
+        });
+    }
+    let k_max = need.div_ceil(unit) as usize;
+    let width = k_max + 1;
+
+    // Row-by-row DP: `f[k]` is the min cost covering at least `k` units
+    // using the items processed so far. Per item we record a packed
+    // decision bit ("the optimum at state k after item i takes item i"),
+    // which makes backtracking exact — single-row parent pointers can
+    // splice chains from different passes and double-count items.
+    let mut f = vec![f64::INFINITY; width];
+    f[0] = 0.0;
+    let words_per_row = width.div_ceil(64);
+    let mut took = vec![0u64; items.len() * words_per_row];
+    // At the saturated top state, the predecessor is not `k_max − w`; we
+    // record it explicitly per item row.
+    let mut pred_at_top = vec![usize::MAX; items.len()];
+
+    let mut prev = f.clone();
+    for (idx, item) in items.iter().enumerate() {
+        let w = (item.bytes / unit) as usize;
+        if w == 0 {
+            continue; // carries less than one unit; cannot help coverage
+        }
+        prev.copy_from_slice(&f);
+        let row = &mut took[idx * words_per_row..(idx + 1) * words_per_row];
+        // Exact states: predecessor k − w.
+        for k2 in w..k_max {
+            let cand = prev[k2 - w] + item.cost;
+            if cand < f[k2] {
+                f[k2] = cand;
+                row[k2 / 64] |= 1 << (k2 % 64);
+            }
+        }
+        // Saturated top state: any predecessor ≥ k_max − w reaches it.
+        let lo = k_max.saturating_sub(w);
+        let mut best_pred = usize::MAX;
+        let mut best = f[k_max];
+        for (p, prev_cost) in prev.iter().enumerate().take(k_max).skip(lo) {
+            let cand = prev_cost + item.cost;
+            if cand < best {
+                best = cand;
+                best_pred = p;
+            }
+        }
+        if best_pred != usize::MAX {
+            f[k_max] = best;
+            row[k_max / 64] |= 1 << (k_max % 64);
+            pred_at_top[idx] = best_pred;
+        }
+    }
+
+    if !f[k_max].is_finite() {
+        return None;
+    }
+    // Backtrack through the decision bits, items in reverse.
+    let mut chosen = Vec::new();
+    let mut k = k_max;
+    for idx in (0..items.len()).rev() {
+        if k == 0 {
+            break;
+        }
+        let row = &took[idx * words_per_row..(idx + 1) * words_per_row];
+        if row[k / 64] & (1 << (k % 64)) == 0 {
+            continue;
+        }
+        let w = (items[idx].bytes / unit) as usize;
+        chosen.push(idx);
+        k = if k == k_max && pred_at_top[idx] != usize::MAX {
+            pred_at_top[idx]
+        } else {
+            k - w
+        };
+    }
+    debug_assert_eq!(k, 0, "backtrack must reach the empty state");
+    chosen.sort_unstable();
+    let covered_bytes = chosen.iter().map(|&i| items[i].bytes).sum();
+    Some(SlotPlan {
+        total_cost: f[k_max],
+        chosen,
+        covered_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluid_optimum_zero_when_wifi_suffices() {
+        let wifi = vec![1_000_000; 10]; // 10 MB capacity
+        let cell = vec![500_000; 10];
+        assert_eq!(optimal_cellular_bytes(&wifi, &cell, 8_000_000), Some(0));
+    }
+
+    #[test]
+    fn fluid_optimum_is_exact_deficit() {
+        let wifi = vec![400_000; 10]; // 4 MB
+        let cell = vec![300_000; 10]; // 3 MB
+        assert_eq!(
+            optimal_cellular_bytes(&wifi, &cell, 5_000_000),
+            Some(1_000_000)
+        );
+    }
+
+    #[test]
+    fn fluid_optimum_infeasible() {
+        let wifi = vec![100_000; 5];
+        let cell = vec![100_000; 5];
+        assert_eq!(optimal_cellular_bytes(&wifi, &cell, 2_000_000), None);
+    }
+
+    #[test]
+    fn dp_picks_cheapest_cover() {
+        // Three items; need 2 units of 100 bytes.
+        let items = [
+            SlotItem { bytes: 100, cost: 5.0 },
+            SlotItem { bytes: 100, cost: 1.0 },
+            SlotItem { bytes: 100, cost: 2.0 },
+        ];
+        let plan = optimal_min_cost(&items, 200, 100).unwrap();
+        assert_eq!(plan.total_cost, 3.0);
+        assert_eq!(plan.chosen, vec![1, 2]);
+        assert_eq!(plan.covered_bytes, 200);
+    }
+
+    #[test]
+    fn dp_prefers_one_big_item_over_many_small() {
+        let items = [
+            SlotItem { bytes: 1000, cost: 3.0 },
+            SlotItem { bytes: 300, cost: 1.5 },
+            SlotItem { bytes: 300, cost: 1.5 },
+            SlotItem { bytes: 300, cost: 1.5 },
+            SlotItem { bytes: 300, cost: 1.5 },
+        ];
+        let plan = optimal_min_cost(&items, 1000, 100).unwrap();
+        assert_eq!(plan.total_cost, 3.0);
+        assert_eq!(plan.chosen, vec![0]);
+    }
+
+    #[test]
+    fn dp_infeasible_returns_none() {
+        let items = [SlotItem { bytes: 100, cost: 1.0 }];
+        assert!(optimal_min_cost(&items, 1000, 10).is_none());
+    }
+
+    #[test]
+    fn dp_zero_need_is_free() {
+        let plan = optimal_min_cost(&[], 0, 100).unwrap();
+        assert_eq!(plan.total_cost, 0.0);
+        assert!(plan.chosen.is_empty());
+    }
+
+    #[test]
+    fn dp_subunit_items_are_ignored() {
+        // Items smaller than a unit can't be counted toward coverage.
+        let items = [
+            SlotItem { bytes: 50, cost: 0.1 },
+            SlotItem { bytes: 200, cost: 2.0 },
+        ];
+        let plan = optimal_min_cost(&items, 200, 100).unwrap();
+        assert_eq!(plan.chosen, vec![1]);
+    }
+
+    #[test]
+    fn dp_matches_fluid_bound_for_uniform_cost() {
+        // With WiFi free and uniform cellular cost per byte, the DP's
+        // cellular byte count approaches the fluid deficit from above
+        // (binary slots cannot split, so ≥).
+        let wifi: Vec<u64> = vec![400_000; 10];
+        let cell: Vec<u64> = vec![300_000; 10];
+        let size = 5_000_000u64;
+        let fluid = optimal_cellular_bytes(&wifi, &cell, size).unwrap();
+
+        // Items: all WiFi slots at cost 0, all cell slots costing their
+        // byte count.
+        let mut items: Vec<SlotItem> = wifi
+            .iter()
+            .map(|&b| SlotItem { bytes: b, cost: 0.0 })
+            .collect();
+        items.extend(cell.iter().map(|&b| SlotItem {
+            bytes: b,
+            cost: b as f64,
+        }));
+        let plan = optimal_min_cost(&items, size, 10_000).unwrap();
+        let dp_cell_bytes = plan.total_cost as u64;
+        assert!(dp_cell_bytes >= fluid);
+        // Binary overshoot bounded by one cell slot.
+        assert!(dp_cell_bytes <= fluid + 300_000);
+    }
+
+    #[test]
+    fn dp_handles_exact_boundary() {
+        let items = [
+            SlotItem { bytes: 500, cost: 1.0 },
+            SlotItem { bytes: 500, cost: 1.0 },
+        ];
+        let plan = optimal_min_cost(&items, 1000, 100).unwrap();
+        assert_eq!(plan.total_cost, 2.0);
+        assert_eq!(plan.covered_bytes, 1000);
+    }
+}

@@ -1,0 +1,369 @@
+//! Minimal HTTP/1.1 over the simulated MPTCP connection.
+//!
+//! DASH is plain HTTP GETs: the player requests one chunk URL at a time
+//! and the server answers with a `Content-Length`-framed body (§5.1 of the
+//! paper notes the chunk size "can almost always" be read from that
+//! header). This crate models exactly that much of HTTP, in byte counts:
+//!
+//! * a GET request is [`REQUEST_BYTES`] of upstream traffic;
+//! * a response is [`RESPONSE_HEADER_BYTES`] of header followed by a
+//!   `Content-Length` body, all on one persistent connection;
+//! * pipelined requests are answered in order (the DASH players in this
+//!   workspace issue one request at a time, but the framing supports
+//!   pipelining and the tests exercise it).
+//!
+//! The layer sits *beside* the transport rather than owning it, so the
+//! session can keep manipulating the MPTCP path mask on the same
+//! [`MptcpSim`] the HTTP layer drives.
+
+use mpdash_mptcp::MptcpSim;
+use std::collections::{HashMap, VecDeque};
+
+/// Upstream bytes of one GET request (request line + typical headers).
+pub const REQUEST_BYTES: u64 = 180;
+/// Downstream bytes of one response header block.
+pub const RESPONSE_HEADER_BYTES: u64 = 220;
+
+/// Identifier of one GET exchange.
+pub type RequestId = u64;
+
+/// Client-visible protocol events produced as response bytes arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpEvent {
+    /// The response header finished arriving; `content_length` is the
+    /// body size (the chunk size the MP-DASH adapter reads, §5.1).
+    HeaderReceived {
+        /// Which exchange.
+        id: RequestId,
+        /// Body size in bytes.
+        content_length: u64,
+    },
+    /// `received` of `total` body bytes have arrived (monotone; emitted on
+    /// every delivery that advances the body).
+    BodyProgress {
+        /// Which exchange.
+        id: RequestId,
+        /// Body bytes received so far.
+        received: u64,
+        /// Body size.
+        total: u64,
+    },
+    /// The body completed. `body_dss` is the connection-level byte range
+    /// `[start, end)` the body occupied — the key the analysis tool uses
+    /// to attribute per-path bytes to chunks.
+    Complete {
+        /// Which exchange.
+        id: RequestId,
+        /// Connection-stream range of the body.
+        body_dss: (u64, u64),
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Response {
+    id: RequestId,
+    header_remaining: u64,
+    body_len: u64,
+    body_received: u64,
+    /// DSS offset where the body starts (known once the header is
+    /// consumed).
+    body_dss_start: u64,
+}
+
+/// One persistent HTTP/1.1 connection: client framing + server behaviour.
+///
+/// The "server" half is the response generator: when the simulator reports
+/// a [`ServerMsg`](mpdash_mptcp::StepOutcome::ServerMsg), call
+/// [`HttpLayer::on_server_msg`] and the registered resource's bytes are
+/// queued on the connection.
+pub struct HttpLayer {
+    next_id: RequestId,
+    /// Sizes of resources requested but not yet answered by the server.
+    requested: HashMap<RequestId, u64>,
+    /// Server-side FIFO of request arrival order (responses are sent in
+    /// this order on the shared connection).
+    server_order: VecDeque<RequestId>,
+    /// Client-side framing state: responses currently expected, in order.
+    inflight: VecDeque<Response>,
+    /// Total connection-stream bytes the client has consumed (framing
+    /// cursor; equals delivered bytes fed through `on_delivered`).
+    cursor: u64,
+}
+
+impl Default for HttpLayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HttpLayer {
+    /// A fresh connection with no requests in flight.
+    pub fn new() -> Self {
+        HttpLayer {
+            next_id: 1,
+            requested: HashMap::new(),
+            server_order: VecDeque::new(),
+            inflight: VecDeque::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Issue a GET for a resource of `size` bytes. Sends the request
+    /// upstream and registers the expected response framing.
+    pub fn get(&mut self, sim: &mut MptcpSim, size: u64) -> RequestId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.requested.insert(id, size);
+        self.inflight.push_back(Response {
+            id,
+            header_remaining: RESPONSE_HEADER_BYTES,
+            body_len: size,
+            body_received: 0,
+            body_dss_start: 0,
+        });
+        sim.send_request(id, REQUEST_BYTES);
+        id
+    }
+
+    /// The server received request `id`: queue its response bytes on the
+    /// connection (in arrival order — HTTP/1.1 pipelining).
+    pub fn on_server_msg(&mut self, sim: &mut MptcpSim, id: RequestId) {
+        let Some(size) = self.requested.remove(&id) else {
+            debug_assert!(false, "server saw unknown request {id}");
+            return;
+        };
+        self.server_order.push_back(id);
+        sim.send_app(RESPONSE_HEADER_BYTES + size);
+    }
+
+    /// The client's connection delivered `newly` more in-order bytes:
+    /// advance framing and emit protocol events.
+    pub fn on_delivered(&mut self, newly: u64) -> Vec<HttpEvent> {
+        let mut events = Vec::new();
+        let mut left = newly;
+        while left > 0 {
+            let Some(resp) = self.inflight.front_mut() else {
+                debug_assert!(false, "bytes delivered with no response expected");
+                self.cursor += left;
+                break;
+            };
+            if resp.header_remaining > 0 {
+                let eat = left.min(resp.header_remaining);
+                resp.header_remaining -= eat;
+                left -= eat;
+                self.cursor += eat;
+                if resp.header_remaining == 0 {
+                    resp.body_dss_start = self.cursor;
+                    let id = resp.id;
+                    let body_len = resp.body_len;
+                    events.push(HttpEvent::HeaderReceived {
+                        id,
+                        content_length: body_len,
+                    });
+                    // An empty body is complete the moment its header is:
+                    // without this, a zero-byte resource whose delivery
+                    // ends exactly at the header boundary never completes.
+                    if body_len == 0 {
+                        events.push(HttpEvent::Complete {
+                            id,
+                            body_dss: (self.cursor, self.cursor),
+                        });
+                        self.inflight.pop_front();
+                    }
+                }
+                continue;
+            }
+            let eat = left.min(resp.body_len - resp.body_received);
+            resp.body_received += eat;
+            left -= eat;
+            self.cursor += eat;
+            events.push(HttpEvent::BodyProgress {
+                id: resp.id,
+                received: resp.body_received,
+                total: resp.body_len,
+            });
+            if resp.body_received == resp.body_len {
+                events.push(HttpEvent::Complete {
+                    id: resp.id,
+                    body_dss: (resp.body_dss_start, self.cursor),
+                });
+                self.inflight.pop_front();
+            }
+        }
+        events
+    }
+
+    /// Number of exchanges the client still expects bytes for.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Total connection-stream bytes consumed by framing so far.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdash_link::LinkConfig;
+    use mpdash_mptcp::{MptcpConfig, StepOutcome};
+    use mpdash_sim::SimDuration;
+
+    fn sim() -> MptcpSim {
+        let wifi = LinkConfig::constant(3.8, SimDuration::from_millis(25));
+        let cell = LinkConfig::constant(3.0, SimDuration::from_millis(30));
+        MptcpSim::new(MptcpConfig::two_path(wifi, cell))
+    }
+
+    /// Drive one GET to completion; returns the events seen.
+    fn fetch(sim: &mut MptcpSim, http: &mut HttpLayer, size: u64) -> Vec<HttpEvent> {
+        let id = http.get(sim, size);
+        let mut events = Vec::new();
+        loop {
+            let Some((_, outcome)) = sim.step() else {
+                panic!("drained before completing request {id}")
+            };
+            match outcome {
+                StepOutcome::ServerMsg { id } => http.on_server_msg(sim, id),
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    let evs = http.on_delivered(newly_delivered);
+                    let done = evs
+                        .iter()
+                        .any(|e| matches!(e, HttpEvent::Complete { id: i, .. } if *i == id));
+                    events.extend(evs);
+                    if done {
+                        return events;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn single_get_round_trip() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let events = fetch(&mut s, &mut h, 100_000);
+        assert!(matches!(
+            events.first(),
+            Some(HttpEvent::HeaderReceived {
+                content_length: 100_000,
+                ..
+            })
+        ));
+        let Some(HttpEvent::Complete { body_dss, .. }) = events.last() else {
+            panic!("no completion")
+        };
+        assert_eq!(body_dss.0, RESPONSE_HEADER_BYTES);
+        assert_eq!(body_dss.1 - body_dss.0, 100_000);
+        assert_eq!(h.inflight(), 0);
+    }
+
+    #[test]
+    fn body_progress_is_monotone_and_complete() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let events = fetch(&mut s, &mut h, 50_000);
+        let mut last = 0;
+        for e in &events {
+            if let HttpEvent::BodyProgress { received, total, .. } = e {
+                assert!(*received >= last);
+                assert_eq!(*total, 50_000);
+                last = *received;
+            }
+        }
+        assert_eq!(last, 50_000);
+    }
+
+    #[test]
+    fn sequential_gets_share_the_connection() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let e1 = fetch(&mut s, &mut h, 30_000);
+        let e2 = fetch(&mut s, &mut h, 70_000);
+        let Some(HttpEvent::Complete { body_dss: r1, .. }) = e1.last() else {
+            panic!()
+        };
+        let Some(HttpEvent::Complete { body_dss: r2, .. }) = e2.last() else {
+            panic!()
+        };
+        // Second body sits after the first response in the stream.
+        assert_eq!(r2.0, r1.1 + RESPONSE_HEADER_BYTES);
+        assert_eq!(r2.1 - r2.0, 70_000);
+    }
+
+    #[test]
+    fn pipelined_requests_complete_in_order() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let a = h.get(&mut s, 40_000);
+        let b = h.get(&mut s, 10_000);
+        let mut completions = Vec::new();
+        while completions.len() < 2 {
+            let Some((_, outcome)) = s.step() else {
+                panic!("drained early")
+            };
+            match outcome {
+                StepOutcome::ServerMsg { id } => h.on_server_msg(&mut s, id),
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    for e in h.on_delivered(newly_delivered) {
+                        if let HttpEvent::Complete { id, .. } = e {
+                            completions.push(id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(completions, vec![a, b]);
+    }
+
+    #[test]
+    fn zero_byte_resource_completes_on_header() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let events = fetch(&mut s, &mut h, 0);
+        let Some(HttpEvent::Complete { body_dss, .. }) = events.last() else {
+            panic!("zero-byte GET must still complete")
+        };
+        assert_eq!(body_dss.0, body_dss.1, "empty body range");
+    }
+
+    #[test]
+    fn many_tiny_pipelined_requests_frame_correctly() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let ids: Vec<_> = (0..20).map(|i| h.get(&mut s, 100 + i)).collect();
+        let mut done = Vec::new();
+        while done.len() < ids.len() {
+            let Some((_, o)) = s.step() else { panic!("drained") };
+            match o {
+                StepOutcome::ServerMsg { id } => h.on_server_msg(&mut s, id),
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    for e in h.on_delivered(newly_delivered) {
+                        if let HttpEvent::Complete { id, body_dss } = e {
+                            let idx = (id - ids[0]) as usize;
+                            assert_eq!(body_dss.1 - body_dss.0, 100 + idx as u64);
+                            done.push(id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(done, ids, "completions in request order");
+    }
+
+    #[test]
+    fn transfer_time_reflects_link_rate() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        fetch(&mut s, &mut h, 5_000_000);
+        // 5 MB over ~6.8 Mbps aggregate ≈ 6 s (the paper's §2.3 numbers).
+        let secs = s.now().as_secs_f64();
+        assert!(secs > 5.0 && secs < 8.0, "took {secs:.2}s");
+    }
+}

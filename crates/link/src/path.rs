@@ -1,0 +1,55 @@
+//! [`PathId`]: identifies one network interface / path.
+//!
+//! The paper instantiates MP-DASH for two paths (WiFi preferred over LTE)
+//! but formulates the scheduler for N paths with arbitrary costs (§4). The
+//! identifier is therefore a small integer, with named constants for the
+//! two-path case every experiment uses.
+
+use std::fmt;
+
+/// Identifier of a network path (interface). Paths are dense small
+/// integers assigned by the transport; the conventional two-path layout is
+/// [`PathId::WIFI`] = 0 and [`PathId::CELLULAR`] = 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathId(pub u8);
+
+impl PathId {
+    /// The preferred (low-cost) path in the paper's main scenario.
+    pub const WIFI: PathId = PathId(0);
+    /// The metered (high-cost) path in the paper's main scenario.
+    pub const CELLULAR: PathId = PathId(1);
+
+    /// Index into dense per-path arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PathId::WIFI => write!(f, "wifi"),
+            PathId::CELLULAR => write!(f, "cell"),
+            PathId(n) => write!(f, "path{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_paths() {
+        assert_eq!(PathId::WIFI.index(), 0);
+        assert_eq!(PathId::CELLULAR.index(), 1);
+        assert_eq!(format!("{}", PathId::WIFI), "wifi");
+        assert_eq!(format!("{}", PathId::CELLULAR), "cell");
+        assert_eq!(format!("{}", PathId(3)), "path3");
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(PathId::WIFI < PathId::CELLULAR);
+    }
+}

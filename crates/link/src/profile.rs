@@ -1,0 +1,257 @@
+//! [`BandwidthProfile`]: the available bandwidth of a path as a function of
+//! simulated time.
+//!
+//! Profiles are *data*, not generators: the synthetic Gaussian-walk and
+//! field-location profiles in `mpdash-trace` pre-sample their randomness
+//! into a step function here, so the link layer itself stays deterministic
+//! and cheap to query. This mirrors how the paper feeds recorded bandwidth
+//! traces into its trace-driven simulation (§7.2.2).
+
+use mpdash_sim::{Rate, SimDuration, SimTime};
+
+/// A path's available bandwidth over time.
+#[derive(Clone, Debug)]
+pub enum BandwidthProfile {
+    /// Bandwidth fixed for all time (the controlled experiments of §7.3.2,
+    /// where Dummynet pins WiFi/LTE to e.g. 3.8/3.0 Mbps).
+    Constant(Rate),
+    /// A right-continuous step function: `steps[i] = (start_i, rate_i)`
+    /// means the rate is `rate_i` from `start_i` (inclusive) until the next
+    /// step. `steps` must be non-empty with strictly increasing, zero-based
+    /// start times. If `period` is set, the pattern repeats with that
+    /// period (used to loop short recorded traces over a long session).
+    Steps {
+        /// Step boundaries: `(start, rate)` pairs, first start must be 0.
+        steps: Vec<(SimTime, Rate)>,
+        /// Optional looping period; must be ≥ the last step's start.
+        period: Option<SimDuration>,
+    },
+}
+
+impl BandwidthProfile {
+    /// A constant-rate profile from fractional Mbps.
+    pub fn constant_mbps(mbps: f64) -> Self {
+        BandwidthProfile::Constant(Rate::from_mbps_f64(mbps))
+    }
+
+    /// Build a step profile from evenly spaced samples of width `slot`
+    /// (the natural shape of both the paper's synthetic profiles and its
+    /// 50 ms-slot trace-driven simulation).
+    ///
+    /// # Panics
+    /// If `samples` is empty or `slot` is zero.
+    pub fn from_samples(slot: SimDuration, samples: &[Rate], looped: bool) -> Self {
+        assert!(!samples.is_empty(), "profile needs at least one sample");
+        assert!(!slot.is_zero(), "slot width must be positive");
+        let steps = samples
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (SimTime::ZERO + slot * i as u64, r))
+            .collect();
+        BandwidthProfile::Steps {
+            steps,
+            period: looped.then(|| slot * samples.len() as u64),
+        }
+    }
+
+    /// The available bandwidth at instant `t`.
+    pub fn rate_at(&self, t: SimTime) -> Rate {
+        match self {
+            BandwidthProfile::Constant(r) => *r,
+            BandwidthProfile::Steps { steps, period } => {
+                debug_assert!(!steps.is_empty());
+                let t = match period {
+                    Some(p) if !p.is_zero() => {
+                        SimTime::from_nanos(t.as_nanos() % p.as_nanos())
+                    }
+                    _ => t,
+                };
+                // Last step whose start <= t. partition_point gives the
+                // count of steps with start <= t.
+                let idx = steps.partition_point(|&(start, _)| start <= t);
+                if idx == 0 {
+                    steps[0].1
+                } else {
+                    steps[idx - 1].1
+                }
+            }
+        }
+    }
+
+    /// Mean rate over `[0, horizon)`, exact over the step structure.
+    pub fn mean_rate(&self, horizon: SimDuration) -> Rate {
+        if horizon.is_zero() {
+            return self.rate_at(SimTime::ZERO);
+        }
+        match self {
+            BandwidthProfile::Constant(r) => *r,
+            BandwidthProfile::Steps { .. } => {
+                // Integrate bits over the horizon by walking step edges.
+                let mut bits: u128 = 0;
+                let mut t = SimTime::ZERO;
+                let end = SimTime::ZERO + horizon;
+                while t < end {
+                    let r = self.rate_at(t);
+                    let next = self.next_change_after(t).min(end);
+                    let span = next.saturating_since(t);
+                    bits += r.as_bps() as u128 * span.as_nanos() as u128;
+                    t = next;
+                }
+                let bps = bits / horizon.as_nanos() as u128;
+                Rate::from_bps(bps.min(u64::MAX as u128) as u64)
+            }
+        }
+    }
+
+    /// The next instant strictly after `t` at which the rate may change
+    /// ([`SimTime::MAX`] for constant profiles). Used by the mean-rate
+    /// integration and by the offline optimal solver's slot alignment.
+    pub fn next_change_after(&self, t: SimTime) -> SimTime {
+        match self {
+            BandwidthProfile::Constant(_) => SimTime::MAX,
+            BandwidthProfile::Steps { steps, period } => match period {
+                Some(p) if !p.is_zero() => {
+                    let pn = p.as_nanos();
+                    let cycle = t.as_nanos() / pn;
+                    let local = SimTime::from_nanos(t.as_nanos() % pn);
+                    let idx = steps.partition_point(|&(start, _)| start <= local);
+                    let next_local = if idx < steps.len() {
+                        steps[idx].0.as_nanos()
+                    } else {
+                        pn // wraps to next cycle's first step
+                    };
+                    SimTime::from_nanos(cycle * pn + next_local)
+                }
+                _ => {
+                    let idx = steps.partition_point(|&(start, _)| start <= t);
+                    if idx < steps.len() {
+                        steps[idx].0
+                    } else {
+                        SimTime::MAX
+                    }
+                }
+            },
+        }
+    }
+
+    /// Sample the profile into `n` evenly spaced slots of width `slot`
+    /// starting at `from` (the discretization used by the offline optimal
+    /// solver and by Table 2's simulation).
+    pub fn sample_slots(&self, from: SimTime, slot: SimDuration, n: usize) -> Vec<Rate> {
+        (0..n)
+            .map(|i| self.rate_at(from + slot * i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: f64) -> Rate {
+        Rate::from_mbps_f64(m)
+    }
+
+    #[test]
+    fn constant_profile() {
+        let p = BandwidthProfile::constant_mbps(3.8);
+        assert_eq!(p.rate_at(SimTime::ZERO), mbps(3.8));
+        assert_eq!(p.rate_at(SimTime::from_secs(1000)), mbps(3.8));
+        assert_eq!(p.mean_rate(SimDuration::from_secs(10)), mbps(3.8));
+        assert_eq!(p.next_change_after(SimTime::ZERO), SimTime::MAX);
+    }
+
+    #[test]
+    fn step_lookup() {
+        let p = BandwidthProfile::Steps {
+            steps: vec![
+                (SimTime::ZERO, mbps(1.0)),
+                (SimTime::from_secs(10), mbps(2.0)),
+                (SimTime::from_secs(20), mbps(4.0)),
+            ],
+            period: None,
+        };
+        assert_eq!(p.rate_at(SimTime::ZERO), mbps(1.0));
+        assert_eq!(p.rate_at(SimTime::from_secs(9)), mbps(1.0));
+        assert_eq!(p.rate_at(SimTime::from_secs(10)), mbps(2.0));
+        assert_eq!(p.rate_at(SimTime::from_secs(19)), mbps(2.0));
+        assert_eq!(p.rate_at(SimTime::from_secs(25)), mbps(4.0));
+        assert_eq!(p.rate_at(SimTime::from_secs(10_000)), mbps(4.0));
+    }
+
+    #[test]
+    fn looping_profile_wraps() {
+        let p = BandwidthProfile::from_samples(
+            SimDuration::from_secs(1),
+            &[mbps(1.0), mbps(2.0)],
+            true,
+        );
+        assert_eq!(p.rate_at(SimTime::from_millis(500)), mbps(1.0));
+        assert_eq!(p.rate_at(SimTime::from_millis(1500)), mbps(2.0));
+        // Wraps: t = 2.5 s is 0.5 s into the second cycle.
+        assert_eq!(p.rate_at(SimTime::from_millis(2500)), mbps(1.0));
+        assert_eq!(p.rate_at(SimTime::from_millis(3500)), mbps(2.0));
+    }
+
+    #[test]
+    fn mean_rate_integrates_steps() {
+        // 1 Mbps for 1 s then 3 Mbps for 1 s -> mean 2 Mbps over 2 s.
+        let p = BandwidthProfile::from_samples(
+            SimDuration::from_secs(1),
+            &[mbps(1.0), mbps(3.0)],
+            false,
+        );
+        assert_eq!(p.mean_rate(SimDuration::from_secs(2)), mbps(2.0));
+        // Over just the first second, mean is 1 Mbps.
+        assert_eq!(p.mean_rate(SimDuration::from_secs(1)), mbps(1.0));
+    }
+
+    #[test]
+    fn mean_rate_of_looped_profile() {
+        let p = BandwidthProfile::from_samples(
+            SimDuration::from_secs(1),
+            &[mbps(2.0), mbps(4.0)],
+            true,
+        );
+        // Over 4 s (two full cycles) the mean is 3 Mbps.
+        assert_eq!(p.mean_rate(SimDuration::from_secs(4)), mbps(3.0));
+    }
+
+    #[test]
+    fn next_change_walks_edges() {
+        let p = BandwidthProfile::from_samples(
+            SimDuration::from_secs(1),
+            &[mbps(1.0), mbps(2.0)],
+            false,
+        );
+        assert_eq!(p.next_change_after(SimTime::ZERO), SimTime::from_secs(1));
+        assert_eq!(p.next_change_after(SimTime::from_millis(1500)), SimTime::MAX);
+
+        let looped = BandwidthProfile::from_samples(
+            SimDuration::from_secs(1),
+            &[mbps(1.0), mbps(2.0)],
+            true,
+        );
+        assert_eq!(
+            looped.next_change_after(SimTime::from_millis(1500)),
+            SimTime::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn sample_slots_matches_rate_at() {
+        let p = BandwidthProfile::from_samples(
+            SimDuration::from_millis(50),
+            &[mbps(1.0), mbps(2.0), mbps(3.0)],
+            false,
+        );
+        let slots = p.sample_slots(SimTime::ZERO, SimDuration::from_millis(50), 4);
+        assert_eq!(slots, vec![mbps(1.0), mbps(2.0), mbps(3.0), mbps(3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = BandwidthProfile::from_samples(SimDuration::from_secs(1), &[], false);
+    }
+}

@@ -1,0 +1,128 @@
+//! MPTCP packet schedulers: lowest-SRTT ("default") and round-robin.
+//!
+//! These are the two stock schedulers the paper overlays MP-DASH on
+//! (§2.1, Figure 4). The scheduler answers one question per packet: *which
+//! subflow carries the next segment?* Candidates are subflows that (a) have
+//! congestion-window space and (b) are enabled in the current MP-DASH path
+//! mask — the mask filtering is exactly how the paper implements "disable
+//! the cellular subflow": skip it in the scheduling function (§6).
+
+use mpdash_link::PathId;
+use mpdash_sim::SimDuration;
+
+/// Which packet scheduler the connection uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerKind {
+    /// The MPTCP default: among subflows with window space, pick the one
+    /// with the smallest smoothed RTT estimate.
+    MinRtt,
+    /// Round-robin across subflows with window space.
+    RoundRobin,
+}
+
+/// Per-subflow facts the scheduler decides on.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The subflow's path.
+    pub path: PathId,
+    /// Smoothed RTT, `None` before the first sample.
+    pub srtt: Option<SimDuration>,
+}
+
+/// Pick the subflow for the next segment, or `None` if `candidates` is
+/// empty. `rr_cursor` is the round-robin rotation state, owned by the
+/// connection and advanced on every round-robin pick.
+pub fn pick(
+    kind: SchedulerKind,
+    rr_cursor: &mut usize,
+    candidates: &[Candidate],
+) -> Option<PathId> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match kind {
+        SchedulerKind::MinRtt => {
+            // Unmeasured subflows sort after measured ones (the kernel
+            // keeps data on established low-RTT paths until others have
+            // estimates); ties break on path index, which makes the
+            // primary (lowest index, WiFi by convention) win at start-up.
+            candidates
+                .iter()
+                .min_by_key(|c| (c.srtt.unwrap_or(SimDuration::MAX), c.path))
+                .map(|c| c.path)
+        }
+        SchedulerKind::RoundRobin => {
+            let idx = *rr_cursor % candidates.len();
+            *rr_cursor = rr_cursor.wrapping_add(1);
+            Some(candidates[idx].path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(path: u8, srtt_ms: Option<u64>) -> Candidate {
+        Candidate {
+            path: PathId(path),
+            srtt: srtt_ms.map(SimDuration::from_millis),
+        }
+    }
+
+    #[test]
+    fn min_rtt_picks_fastest() {
+        let mut rr = 0;
+        let picked = pick(
+            SchedulerKind::MinRtt,
+            &mut rr,
+            &[cand(0, Some(50)), cand(1, Some(30))],
+        );
+        assert_eq!(picked, Some(PathId(1)));
+    }
+
+    #[test]
+    fn min_rtt_prefers_measured_over_unmeasured() {
+        let mut rr = 0;
+        let picked = pick(
+            SchedulerKind::MinRtt,
+            &mut rr,
+            &[cand(0, None), cand(1, Some(500))],
+        );
+        assert_eq!(picked, Some(PathId(1)));
+    }
+
+    #[test]
+    fn min_rtt_tie_breaks_on_primary() {
+        let mut rr = 0;
+        let picked = pick(SchedulerKind::MinRtt, &mut rr, &[cand(1, None), cand(0, None)]);
+        assert_eq!(picked, Some(PathId(0)), "all-unmeasured falls to lowest index");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = 0;
+        let cands = [cand(0, Some(10)), cand(1, Some(10))];
+        let seq: Vec<_> = (0..4)
+            .map(|_| pick(SchedulerKind::RoundRobin, &mut rr, &cands).unwrap())
+            .collect();
+        assert_eq!(seq, vec![PathId(0), PathId(1), PathId(0), PathId(1)]);
+    }
+
+    #[test]
+    fn round_robin_adapts_to_shrinking_candidate_set() {
+        let mut rr = 0;
+        let both = [cand(0, Some(10)), cand(1, Some(10))];
+        let one = [cand(1, Some(10))];
+        pick(SchedulerKind::RoundRobin, &mut rr, &both);
+        // WiFi's window filled: only cell remains; must still pick validly.
+        assert_eq!(pick(SchedulerKind::RoundRobin, &mut rr, &one), Some(PathId(1)));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut rr = 0;
+        assert_eq!(pick(SchedulerKind::MinRtt, &mut rr, &[]), None);
+        assert_eq!(pick(SchedulerKind::RoundRobin, &mut rr, &[]), None);
+    }
+}

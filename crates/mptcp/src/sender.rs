@@ -1,0 +1,822 @@
+//! The MPTCP sender: connection-level data assignment plus per-subflow
+//! TCP send machinery.
+//!
+//! The sender owns one [`SubflowTx`] per path. Each subflow is a compact
+//! TCP sender: congestion window ([`crate::cc`]), Jacobson/Karn RTT
+//! estimation, duplicate-ACK fast retransmit with NewReno partial-ACK
+//! retransmission, and an RTO with exponential backoff. The connection
+//! stripes application bytes across subflows through the configured
+//! [`SchedulerKind`], *skipping* any subflow the current [`PathMask`]
+//! disables — that skip is the entire MP-DASH enforcement mechanism (§6 of
+//! the paper).
+//!
+//! The sender is pure state: it never touches links or the event queue.
+//! Methods return [`Transmit`] actions that the simulator realizes, which
+//! keeps this module synchronously testable.
+
+use crate::cc::{CcKind, CongestionControl};
+use crate::packet::{PathMask, MSS};
+use crate::scheduler::{pick, Candidate, SchedulerKind};
+use mpdash_link::PathId;
+use mpdash_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Initial retransmission timeout before any RTT sample (RFC 6298).
+const RTO_INITIAL: SimDuration = SimDuration::from_millis(1_000);
+/// Lower bound on the RTO (Linux uses 200 ms).
+const RTO_MIN: SimDuration = SimDuration::from_millis(200);
+/// Upper bound on the RTO.
+const RTO_MAX: SimDuration = SimDuration::from_secs(60);
+/// RTO firings without progress before a subflow is declared failed and
+/// its data reinjected on the surviving paths (Linux gives up on a TCP
+/// connection after ~15 backoffs; MPTCP abandons a subflow much sooner
+/// because the data has somewhere else to go).
+const MAX_CONSECUTIVE_RTOS: u32 = 6;
+/// How long a failed subflow rests before the sender probes it again
+/// (MPTCP re-establishes subflows when paths come back; we model that as
+/// a state reset after a cooldown).
+const REVIVAL_COOLDOWN: SimDuration = SimDuration::from_secs(10);
+
+/// A segment-transmission instruction for the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transmit {
+    /// Path to send on.
+    pub path: PathId,
+    /// Subflow-level sequence number of the first byte.
+    pub seq: u64,
+    /// Payload length in bytes (≤ [`MSS`]).
+    pub len: u64,
+    /// Connection-level (DSS) offset of the first byte.
+    pub dss: u64,
+    /// Whether this is a retransmission.
+    pub retx: bool,
+}
+
+/// An unacknowledged segment.
+#[derive(Clone, Copy, Debug)]
+struct Seg {
+    seq: u64,
+    len: u64,
+    dss: u64,
+    sent_at: SimTime,
+    retx: bool,
+    /// Whether this segment's DSS range has been reinjected on another
+    /// subflow (at most once per segment).
+    reinjected: bool,
+}
+
+/// Per-path TCP sender state.
+#[derive(Clone, Debug)]
+pub struct SubflowTx {
+    path: PathId,
+    cc: CongestionControl,
+    snd_una: u64,
+    snd_nxt: u64,
+    segs: VecDeque<Seg>,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    /// Lowest RTT ever sampled (propagation estimate for HyStart).
+    min_rtt: Option<SimDuration>,
+    dupacks: u32,
+    /// `Some(end)` while in loss recovery; recovery exits when
+    /// `snd_una >= end`.
+    recovery_end: Option<u64>,
+    /// Absolute instant the retransmission timer fires, if armed.
+    rto_deadline: Option<SimTime>,
+    /// RTO firings since the last forward progress; at
+    /// [`MAX_CONSECUTIVE_RTOS`] the subflow is declared failed.
+    consecutive_rtos: u32,
+    /// A persistently failing subflow is abandoned: its unacked data is
+    /// reinjected elsewhere and the packet scheduler skips it (MPTCP
+    /// tears such subflows down; we keep the state for accounting).
+    failed: bool,
+    /// Cooldown before the next revival probe; doubles on each repeated
+    /// failure so a permanently dead path is probed ever more rarely.
+    revival_backoff: SimDuration,
+    /// Last instant this subflow sent or received anything (for idle
+    /// window validation).
+    last_activity: SimTime,
+    /// Lifetime bytes handed to this subflow (first transmissions only).
+    pub assigned_bytes: u64,
+    /// Lifetime retransmitted bytes.
+    pub retx_bytes: u64,
+}
+
+impl SubflowTx {
+    fn new(path: PathId, cc: CcKind) -> Self {
+        SubflowTx {
+            path,
+            cc: CongestionControl::new(cc),
+            snd_una: 0,
+            snd_nxt: 0,
+            segs: VecDeque::new(),
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: RTO_INITIAL,
+            min_rtt: None,
+            dupacks: 0,
+            recovery_end: None,
+            rto_deadline: None,
+            consecutive_rtos: 0,
+            failed: false,
+            revival_backoff: REVIVAL_COOLDOWN,
+            last_activity: SimTime::ZERO,
+            assigned_bytes: 0,
+            retx_bytes: 0,
+        }
+    }
+
+    /// Bytes sent but not yet cumulatively acknowledged.
+    pub fn in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// Smoothed RTT estimate, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Current RTO value.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Absolute retransmission-timer deadline, if armed.
+    pub fn rto_deadline(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// Whether this subflow has been declared failed.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    fn take_rtt_sample(&mut self, rtt: SimDuration) {
+        // HyStart-style delay-based slow-start exit: once the RTT has
+        // inflated a quarter above the propagation floor (at least 4 ms),
+        // the bottleneck queue is filling — stop doubling before the
+        // drop-tail queue turns the overshoot into a burst of losses.
+        let min = match self.min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        };
+        self.min_rtt = Some(min);
+        let threshold = min + (min / 4).max(SimDuration::from_millis(4));
+        if rtt > threshold {
+            self.cc.exit_slow_start();
+        }
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar * 3 / 4 + err / 4;
+                self.srtt = Some(srtt * 7 / 8 + rtt / 8);
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        self.rto = (srtt + self.rttvar * 4).max(RTO_MIN).min(RTO_MAX);
+    }
+
+    /// Mark the first unacked segment for retransmission and return the
+    /// corresponding action.
+    fn retransmit_head(&mut self, now: SimTime) -> Option<Transmit> {
+        let seg = self.segs.front_mut()?;
+        seg.retx = true;
+        seg.sent_at = now;
+        self.retx_bytes += seg.len;
+        Some(Transmit {
+            path: self.path,
+            seq: seg.seq,
+            len: seg.len,
+            dss: seg.dss,
+            retx: true,
+        })
+    }
+}
+
+/// The connection-level MPTCP sender.
+pub struct Sender {
+    subflows: Vec<SubflowTx>,
+    scheduler: SchedulerKind,
+    rr_cursor: usize,
+    /// Total application bytes requested for transmission.
+    conn_total: u64,
+    /// Next DSS offset to assign (bytes already mapped to subflows).
+    conn_assigned: u64,
+    /// Enforcement state of the MP-DASH overlay, as last signaled.
+    mask: PathMask,
+}
+
+impl Sender {
+    /// A sender with `n_paths` subflows, all enabled.
+    pub fn new(n_paths: usize, scheduler: SchedulerKind, cc: CcKind) -> Self {
+        assert!(n_paths >= 1, "need at least one path");
+        assert!(n_paths <= 32, "PathMask supports up to 32 paths");
+        Sender {
+            subflows: (0..n_paths)
+                .map(|i| SubflowTx::new(PathId(i as u8), cc))
+                .collect(),
+            scheduler,
+            rr_cursor: 0,
+            conn_total: 0,
+            conn_assigned: 0,
+            mask: PathMask::ALL,
+        }
+    }
+
+    /// Read access to a subflow's state (diagnostics, scheduling oracles).
+    pub fn subflow(&self, path: PathId) -> &SubflowTx {
+        &self.subflows[path.index()]
+    }
+
+    /// Number of subflows.
+    pub fn n_paths(&self) -> usize {
+        self.subflows.len()
+    }
+
+    /// Application bytes queued so far (lifetime).
+    pub fn conn_total(&self) -> u64 {
+        self.conn_total
+    }
+
+    /// Bytes already assigned to subflows (lifetime).
+    pub fn conn_assigned(&self) -> u64 {
+        self.conn_assigned
+    }
+
+    /// The currently enforced path mask.
+    pub fn mask(&self) -> PathMask {
+        self.mask
+    }
+
+    /// Queue `bytes` more application bytes for transmission.
+    pub fn push_app_data(&mut self, bytes: u64) {
+        self.conn_total += bytes;
+    }
+
+    /// Apply a newly signaled path mask. Returns `true` if it changed
+    /// (callers re-pump on enables).
+    pub fn apply_mask(&mut self, mask: PathMask) -> bool {
+        let changed = self.mask != mask;
+        self.mask = mask;
+        changed
+    }
+
+    /// Assign as much pending data as window space and the mask allow.
+    /// Returns the transmissions to realize, in order.
+    pub fn pump(&mut self, now: SimTime) -> Vec<Transmit> {
+        // Idle window validation first: a subflow that has been silent for
+        // an RTO with nothing in flight must not blast a stale window.
+        // Failed subflows are probed again after a cooldown — the path
+        // may have come back (MPTCP would re-establish the subflow).
+        for sf in &mut self.subflows {
+            if sf.failed && now.saturating_since(sf.last_activity) > sf.revival_backoff {
+                sf.failed = false;
+                sf.consecutive_rtos = 0;
+                // A revival is a *probe*: keep the timer tight so a
+                // still-dead path reinjects (and re-fails) quickly rather
+                // than stalling the stream a full initial RTO.
+                sf.rto = RTO_MIN * 2;
+                sf.cc.on_idle_restart();
+                sf.last_activity = now;
+            }
+            if sf.in_flight() == 0
+                && now.saturating_since(sf.last_activity) > sf.rto
+                && sf.cwnd() as f64 > crate::cc::INIT_CWND
+            {
+                sf.cc.on_idle_restart();
+            }
+        }
+
+        let mut out = Vec::new();
+        loop {
+            let remaining = self.conn_total - self.conn_assigned;
+            if remaining == 0 {
+                break;
+            }
+            let len = remaining.min(MSS);
+            let candidates: Vec<Candidate> = self
+                .subflows
+                .iter()
+                .filter(|sf| {
+                    !sf.failed
+                        && self.mask.contains(sf.path)
+                        && sf.in_flight() + len <= sf.cwnd()
+                })
+                .map(|sf| Candidate {
+                    path: sf.path,
+                    srtt: sf.srtt,
+                })
+                .collect();
+            let Some(path) = pick(self.scheduler, &mut self.rr_cursor, &candidates) else {
+                break;
+            };
+            let sf = &mut self.subflows[path.index()];
+            let seg = Seg {
+                seq: sf.snd_nxt,
+                len,
+                dss: self.conn_assigned,
+                sent_at: now,
+                retx: false,
+                reinjected: false,
+            };
+            sf.snd_nxt += len;
+            sf.assigned_bytes += len;
+            sf.segs.push_back(seg);
+            sf.last_activity = now;
+            if sf.rto_deadline.is_none() {
+                sf.rto_deadline = Some(now + sf.rto);
+            }
+            self.conn_assigned += len;
+            out.push(Transmit {
+                path,
+                seq: seg.seq,
+                len,
+                dss: seg.dss,
+                retx: false,
+            });
+        }
+        out
+    }
+
+    /// Process a cumulative ACK for `path`. Returns retransmissions to
+    /// realize (fast retransmit or NewReno partial-ACK retransmit).
+    pub fn on_ack(&mut self, now: SimTime, path: PathId, ack: u64) -> Vec<Transmit> {
+        let sf = &mut self.subflows[path.index()];
+        // Only ACKs that relate to outstanding data count as activity.
+        // Pure control ACKs (MP-DASH mask signaling on an idle subflow)
+        // must not refresh the idle clock, or the RFC 2861 window
+        // validation in `pump` would never fire and every chunk would
+        // open with a full stale-window burst into the drop-tail queue.
+        if ack > sf.snd_una || !sf.segs.is_empty() {
+            sf.last_activity = now;
+        }
+        let mut out = Vec::new();
+
+        if ack > sf.snd_una {
+            let acked = ack - sf.snd_una;
+            sf.snd_una = ack;
+            sf.consecutive_rtos = 0;
+            sf.revival_backoff = REVIVAL_COOLDOWN;
+            // Pop fully covered segments; take the RTT sample from the
+            // most recent non-retransmitted one (Karn's algorithm).
+            let mut sample = None;
+            while let Some(front) = sf.segs.front() {
+                if front.seq + front.len <= ack {
+                    if !front.retx {
+                        sample = Some(now.saturating_since(front.sent_at));
+                    }
+                    sf.segs.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if let Some(rtt) = sample {
+                sf.take_rtt_sample(rtt);
+            }
+
+            // Growth stays frozen for the whole recovery episode,
+            // including the full ACK that exits it (the window was already
+            // set to ssthresh at the loss).
+            let was_in_recovery = sf.recovery_end.is_some();
+            let still_in_recovery = match sf.recovery_end {
+                Some(end) if ack >= end => {
+                    sf.recovery_end = None;
+                    false
+                }
+                Some(_) => true,
+                None => false,
+            };
+            sf.cc
+                .on_ack(now, acked, was_in_recovery, sf.srtt.unwrap_or(RTO_INITIAL));
+            // NewReno: a partial ACK during recovery means the next
+            // segment was also lost; retransmit it immediately.
+            if still_in_recovery {
+                if let Some(t) = sf.retransmit_head(now) {
+                    out.push(t);
+                }
+            }
+            sf.dupacks = 0;
+            sf.rto_deadline = if sf.segs.is_empty() {
+                None
+            } else {
+                Some(now + sf.rto)
+            };
+        } else if ack == sf.snd_una && !sf.segs.is_empty() {
+            sf.dupacks += 1;
+            if sf.dupacks == 3 && sf.recovery_end.is_none() {
+                let in_flight = sf.in_flight();
+                sf.cc.on_fast_retransmit(in_flight);
+                sf.recovery_end = Some(sf.snd_nxt);
+                if let Some(t) = sf.retransmit_head(now) {
+                    out.push(t);
+                }
+                sf.rto_deadline = Some(now + sf.rto);
+            }
+        }
+        out
+    }
+
+    /// Handle the retransmission timer for `path` firing at `now`.
+    /// Returns the transmissions to realize: the same-subflow
+    /// retransmission, plus (on the first RTO of a segment, and for every
+    /// outstanding segment when the subflow is declared failed) a
+    /// **reinjection** of the segment's DSS range on another live subflow
+    /// — MPTCP's mechanism for unblocking connection-level delivery when
+    /// one path stops acknowledging.
+    pub fn on_rto_fire(&mut self, now: SimTime, path: PathId) -> Vec<Transmit> {
+        let idx = path.index();
+        let Some(deadline) = self.subflows[idx].rto_deadline else {
+            return Vec::new();
+        };
+        if now < deadline {
+            return Vec::new(); // stale timer event; simulator re-arms
+        }
+        if self.subflows[idx].segs.is_empty() {
+            self.subflows[idx].rto_deadline = None;
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+
+        // A subflow is only abandoned if its data has somewhere else to
+        // go; the last usable path keeps retrying forever, like a
+        // single-path TCP (important for WiFi-only mode riding out a
+        // blackout).
+        let has_rescue_target = self
+            .subflows
+            .iter()
+            .any(|o| o.path != path && !o.failed && self.mask.contains(o.path));
+        let sf = &mut self.subflows[idx];
+        sf.consecutive_rtos += 1;
+        if sf.consecutive_rtos >= MAX_CONSECUTIVE_RTOS && has_rescue_target {
+            // Persistent failure: abandon the subflow and reinject every
+            // outstanding DSS range elsewhere. It may be revived after a
+            // cooldown (see `pump`); repeated failures back the probing
+            // off exponentially.
+            sf.failed = true;
+            sf.rto_deadline = None;
+            sf.last_activity = now;
+            sf.revival_backoff = (sf.revival_backoff * 2).min(SimDuration::from_secs(120));
+            let ranges: Vec<(u64, u64)> = sf.segs.iter().map(|s| (s.dss, s.len)).collect();
+            sf.segs.clear();
+            sf.snd_una = sf.snd_nxt;
+            for (dss, len) in ranges {
+                if let Some(t) = self.reinject(now, path, dss, len) {
+                    out.push(t);
+                }
+            }
+            return out;
+        }
+
+        let in_flight = sf.in_flight();
+        sf.cc.on_rto(in_flight);
+        sf.rto = (sf.rto * 2).min(RTO_MAX);
+        sf.recovery_end = Some(sf.snd_nxt);
+        sf.dupacks = 0;
+        if let Some(t) = sf.retransmit_head(now) {
+            out.push(t);
+        }
+        sf.rto_deadline = Some(now + sf.rto);
+        sf.last_activity = now;
+        // First RTO of the head segment: duplicate its DSS range onto a
+        // live sibling so connection-level delivery is not hostage to
+        // this path (the receiver's interval set deduplicates).
+        let head = self.subflows[idx].segs.front().copied();
+        if let Some(head) = head {
+            if !head.reinjected {
+                if let Some(t) = self.reinject(now, path, head.dss, head.len) {
+                    self.subflows[idx]
+                        .segs
+                        .front_mut()
+                        .expect("head still present")
+                        .reinjected = true;
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Send `len` bytes of DSS range `dss` as *new* subflow data on the
+    /// best live subflow other than `avoid`. Reinjections bypass the
+    /// congestion-window space check (they are rescue traffic and rare)
+    /// but still count toward the target subflow's in-flight bytes.
+    fn reinject(&mut self, now: SimTime, avoid: PathId, dss: u64, len: u64) -> Option<Transmit> {
+        let target = self
+            .subflows
+            .iter()
+            .filter(|sf| sf.path != avoid && !sf.failed && self.mask.contains(sf.path))
+            .min_by_key(|sf| (sf.srtt.unwrap_or(SimDuration::MAX), sf.path))?
+            .path;
+        let sf = &mut self.subflows[target.index()];
+        let seg = Seg {
+            seq: sf.snd_nxt,
+            len,
+            dss,
+            sent_at: now,
+            retx: false,
+            reinjected: true, // never reinject a reinjection
+        };
+        sf.snd_nxt += len;
+        sf.segs.push_back(seg);
+        sf.retx_bytes += len;
+        sf.last_activity = now;
+        if sf.rto_deadline.is_none() {
+            sf.rto_deadline = Some(now + sf.rto);
+        }
+        Some(Transmit {
+            path: target,
+            seq: seg.seq,
+            len,
+            dss,
+            retx: true,
+        })
+    }
+
+    /// Earliest pending retransmission-timer deadline of `path`, if armed.
+    pub fn rto_deadline(&self, path: PathId) -> Option<SimTime> {
+        self.subflows[path.index()].rto_deadline
+    }
+
+    /// True when every queued application byte has been acknowledged on
+    /// its subflow.
+    pub fn all_acked(&self) -> bool {
+        self.conn_assigned == self.conn_total
+            && self.subflows.iter().all(|sf| sf.segs.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path_sender() -> Sender {
+        Sender::new(2, SchedulerKind::MinRtt, CcKind::Reno)
+    }
+
+    #[test]
+    fn pump_respects_cwnd() {
+        let mut s = two_path_sender();
+        s.push_app_data(10_000_000);
+        let tx = s.pump(SimTime::ZERO);
+        // Two subflows, 10 MSS initial window each, MinRtt with no
+        // estimates fills the primary then the secondary.
+        assert_eq!(tx.len(), 20);
+        let wifi_bytes: u64 = tx
+            .iter()
+            .filter(|t| t.path == PathId::WIFI)
+            .map(|t| t.len)
+            .sum();
+        assert_eq!(wifi_bytes, 10 * MSS);
+        // No more space, nothing further to pump.
+        assert!(s.pump(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn dss_assignment_is_contiguous_and_unique() {
+        let mut s = two_path_sender();
+        s.push_app_data(100 * MSS);
+        let tx = s.pump(SimTime::ZERO);
+        let mut dss: Vec<u64> = tx.iter().map(|t| t.dss).collect();
+        dss.sort_unstable();
+        for (i, d) in dss.iter().enumerate() {
+            assert_eq!(*d, i as u64 * MSS);
+        }
+    }
+
+    #[test]
+    fn mask_skips_disabled_subflow() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(10_000_000);
+        let tx = s.pump(SimTime::ZERO);
+        assert!(tx.iter().all(|t| t.path == PathId::WIFI));
+        assert_eq!(tx.len(), 10);
+        // Enabling cellular lets the pump continue there.
+        assert!(s.apply_mask(PathMask::ALL));
+        let tx2 = s.pump(SimTime::ZERO);
+        assert!(tx2.iter().all(|t| t.path == PathId::CELLULAR));
+    }
+
+    #[test]
+    fn ack_advances_window_and_frees_space() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(100 * MSS);
+        let tx = s.pump(SimTime::ZERO);
+        let sent: u64 = tx.iter().map(|t| t.len).sum();
+        // Ack everything sent on wifi.
+        let now = SimTime::from_millis(50);
+        let retx = s.on_ack(now, PathId::WIFI, sent);
+        assert!(retx.is_empty());
+        assert_eq!(s.subflow(PathId::WIFI).in_flight(), 0);
+        // Slow start doubled the window.
+        assert!(s.subflow(PathId::WIFI).cwnd() >= 20 * MSS);
+        let tx2 = s.pump(now);
+        assert!(tx2.len() >= 20);
+    }
+
+    #[test]
+    fn rtt_estimation_from_acks() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(MSS);
+        s.pump(SimTime::ZERO);
+        s.on_ack(SimTime::from_millis(50), PathId::WIFI, MSS);
+        let srtt = s.subflow(PathId::WIFI).srtt().unwrap();
+        assert_eq!(srtt, SimDuration::from_millis(50));
+        assert_eq!(s.subflow(PathId::WIFI).rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(10 * MSS);
+        let tx = s.pump(SimTime::ZERO);
+        assert_eq!(tx.len(), 10);
+        // First packet lost: receiver acks 0 repeatedly as later packets
+        // arrive. First ack with ack=MSS? No: cumulative ack stays 0...
+        // Receiver acks rcv_nxt; with seg 0 lost it stays at 0.
+        let now = SimTime::from_millis(60);
+        assert!(s.on_ack(now, PathId::WIFI, 0).is_empty());
+        assert!(s.on_ack(now, PathId::WIFI, 0).is_empty());
+        let retx = s.on_ack(now, PathId::WIFI, 0);
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].seq, 0);
+        assert!(retx[0].retx);
+        // Window halved from 10 MSS in flight.
+        assert_eq!(s.subflow(PathId::WIFI).cwnd(), 5 * MSS);
+        // Further dupacks do not re-trigger.
+        assert!(s.on_ack(now, PathId::WIFI, 0).is_empty());
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(10 * MSS);
+        s.pump(SimTime::ZERO);
+        let now = SimTime::from_millis(60);
+        // Lose segments 0 and 3: dupacks for seg 0.
+        s.on_ack(now, PathId::WIFI, 0);
+        s.on_ack(now, PathId::WIFI, 0);
+        let r1 = s.on_ack(now, PathId::WIFI, 0);
+        assert_eq!(r1[0].seq, 0);
+        // Retransmit of 0 arrives; receiver now has 0..3 contiguous (3 was
+        // lost), acks 3*MSS — a partial ack: NewReno retransmits seg 3.
+        let r2 = s.on_ack(SimTime::from_millis(120), PathId::WIFI, 3 * MSS);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(r2[0].seq, 3 * MSS);
+        // Full ack exits recovery.
+        let r3 = s.on_ack(SimTime::from_millis(180), PathId::WIFI, 10 * MSS);
+        assert!(r3.is_empty());
+        assert!(s.all_acked());
+    }
+
+    #[test]
+    fn rto_fires_and_backs_off() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(4 * MSS);
+        s.pump(SimTime::ZERO);
+        let deadline = s.rto_deadline(PathId::WIFI).unwrap();
+        assert_eq!(deadline, SimTime::ZERO + RTO_INITIAL);
+        // Stale fire (before deadline) does nothing.
+        assert!(s.on_rto_fire(SimTime::from_millis(500), PathId::WIFI).is_empty());
+        // Real fire retransmits the head; the sibling is masked out
+        // (WiFi-only), so no reinjection happens — the mask is the user's
+        // preference and rescue traffic must honour it too.
+        let ts = s.on_rto_fire(deadline, PathId::WIFI);
+        assert_eq!(ts.len(), 1);
+        let t = ts[0];
+        assert_eq!(t.seq, 0);
+        assert!(t.retx);
+        assert_eq!(s.subflow(PathId::WIFI).cwnd(), MSS);
+        assert_eq!(s.subflow(PathId::WIFI).rto(), RTO_INITIAL * 2);
+        // Timer re-armed with the backed-off value.
+        assert_eq!(
+            s.rto_deadline(PathId::WIFI).unwrap(),
+            deadline + RTO_INITIAL * 2
+        );
+    }
+
+    #[test]
+    fn rto_reinjects_on_a_live_sibling() {
+        let mut s = two_path_sender();
+        // Both paths enabled; data lands on WiFi first (primary).
+        s.push_app_data(MSS);
+        let tx = s.pump(SimTime::ZERO);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].path, PathId::WIFI);
+        let deadline = s.rto_deadline(PathId::WIFI).unwrap();
+        let ts = s.on_rto_fire(deadline, PathId::WIFI);
+        assert_eq!(ts.len(), 2, "retransmit + reinjection");
+        assert_eq!(ts[0].path, PathId::WIFI);
+        assert_eq!(ts[1].path, PathId::CELLULAR);
+        assert_eq!(ts[1].dss, ts[0].dss, "same connection-level bytes");
+        assert!(ts[1].retx);
+        // Second RTO: the head was already reinjected, no duplicate.
+        let deadline2 = s.rto_deadline(PathId::WIFI).unwrap();
+        let ts2 = s.on_rto_fire(deadline2, PathId::WIFI);
+        assert_eq!(ts2.len(), 1, "no re-reinjection of the same segment");
+        // An ack on cellular (the reinjection arriving) completes the
+        // stream even though WiFi never recovers.
+        s.on_ack(deadline2 + SimDuration::from_millis(30), PathId::CELLULAR, MSS);
+        assert_eq!(s.subflow(PathId::CELLULAR).in_flight(), 0);
+    }
+
+    #[test]
+    fn persistent_rto_failure_abandons_the_subflow() {
+        let mut s = two_path_sender();
+        s.push_app_data(4 * MSS);
+        // Force everything onto WiFi by masking, then unmask so the
+        // reinjections have somewhere to go.
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.pump(SimTime::ZERO);
+        s.apply_mask(PathMask::ALL);
+        let mut now = SimTime::ZERO;
+        let mut failed = false;
+        for _ in 0..10 {
+            let Some(d) = s.rto_deadline(PathId::WIFI) else {
+                failed = true;
+                break;
+            };
+            now = d;
+            s.on_rto_fire(now, PathId::WIFI);
+            if s.subflow(PathId::WIFI).failed() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "subflow must eventually be declared failed");
+        assert_eq!(
+            s.subflow(PathId::WIFI).in_flight(),
+            0,
+            "failed subflow holds no data"
+        );
+        // All four segments' DSS ranges now live on cellular.
+        assert!(s.subflow(PathId::CELLULAR).in_flight() >= 4 * MSS);
+        // The scheduler no longer assigns new data to the failed path.
+        s.push_app_data(MSS);
+        let tx = s.pump(now);
+        assert!(tx.iter().all(|t| t.path == PathId::CELLULAR));
+    }
+
+    #[test]
+    fn karns_algorithm_skips_retransmitted_samples() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(MSS);
+        s.pump(SimTime::ZERO);
+        let deadline = s.rto_deadline(PathId::WIFI).unwrap();
+        assert!(!s.on_rto_fire(deadline, PathId::WIFI).is_empty());
+        // Ack arrives long after: no RTT sample because the segment was
+        // retransmitted (ambiguous).
+        s.on_ack(deadline + SimDuration::from_millis(70), PathId::WIFI, MSS);
+        assert!(s.subflow(PathId::WIFI).srtt().is_none());
+    }
+
+    #[test]
+    fn round_robin_alternates_paths() {
+        let mut s = Sender::new(2, SchedulerKind::RoundRobin, CcKind::Reno);
+        s.push_app_data(4 * MSS);
+        let tx = s.pump(SimTime::ZERO);
+        let paths: Vec<PathId> = tx.iter().map(|t| t.path).collect();
+        assert_eq!(
+            paths,
+            vec![PathId(0), PathId(1), PathId(0), PathId(1)]
+        );
+    }
+
+    #[test]
+    fn tail_segment_smaller_than_mss() {
+        let mut s = two_path_sender();
+        s.push_app_data(MSS + 100);
+        let tx = s.pump(SimTime::ZERO);
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx[0].len, MSS);
+        assert_eq!(tx[1].len, 100);
+    }
+
+    #[test]
+    fn all_acked_tracks_completion() {
+        let mut s = two_path_sender();
+        assert!(s.all_acked(), "empty connection is trivially complete");
+        s.push_app_data(MSS);
+        assert!(!s.all_acked());
+        s.pump(SimTime::ZERO);
+        assert!(!s.all_acked());
+        s.on_ack(SimTime::from_millis(10), PathId::WIFI, MSS);
+        assert!(s.all_acked());
+    }
+}

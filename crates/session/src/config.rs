@@ -1,0 +1,295 @@
+//! Session configuration: which network, which player, which transport
+//! policy.
+
+use mpdash_core::predict::PredictorKind;
+use mpdash_dash::abr::AbrKind;
+use mpdash_dash::adapter::{AdapterConfig, DeadlineMode};
+use mpdash_dash::video::Video;
+use mpdash_energy::DeviceProfile;
+use mpdash_link::{BandwidthProfile, LinkConfig, TokenBucket};
+use mpdash_mptcp::{CcKind, SchedulerKind};
+use mpdash_sim::{Rate, SimDuration};
+use mpdash_trace::field::Location;
+
+/// Which interface the user prefers (§3.2: "Our current prototype
+/// supports two policies … preferring WiFi over cellular, and preferring
+/// cellular over WiFi"; the latter suits users in motion). The two are
+/// symmetric: the preferred path runs at full rate and the other is
+/// deadline-gated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PathPreference {
+    /// Prefer WiFi; gate cellular (the paper's primary policy).
+    #[default]
+    WifiFirst,
+    /// Prefer cellular; gate WiFi (e.g. while driving past APs).
+    CellularFirst,
+}
+
+impl PathPreference {
+    /// Per-path unit costs `(wifi, cell)` for the scheduler.
+    pub fn costs(self) -> [f64; 2] {
+        match self {
+            PathPreference::WifiFirst => [0.0, 1.0],
+            PathPreference::CellularFirst => [1.0, 0.0],
+        }
+    }
+}
+
+/// The transport policy under test — the paper's comparison axes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TransportMode {
+    /// Vanilla MPTCP: every subflow always on (the paper's baseline).
+    Vanilla,
+    /// Single-path WiFi (the Figure 11 bottom row).
+    WifiOnly,
+    /// Vanilla MPTCP with the cellular path throttled by a token bucket —
+    /// the §7.3.1 alternative MP-DASH is compared against.
+    Throttled {
+        /// Token-bucket rate in kbps (the paper tries 200/700/1000).
+        kbps: u64,
+    },
+    /// MP-DASH: the deadline-aware scheduler plus the video adapter.
+    MpDash {
+        /// How chunk deadlines are derived (§5.1).
+        deadline: DeadlineMode,
+        /// Algorithm 1's α.
+        alpha: f64,
+    },
+}
+
+impl TransportMode {
+    /// MP-DASH with rate-based deadlines, α = 1 (the paper's default).
+    pub fn mpdash_rate_based() -> Self {
+        TransportMode::MpDash {
+            deadline: DeadlineMode::Rate,
+            alpha: 1.0,
+        }
+    }
+
+    /// MP-DASH with duration-based deadlines, α = 1.
+    pub fn mpdash_duration_based() -> Self {
+        TransportMode::MpDash {
+            deadline: DeadlineMode::Duration,
+            alpha: 1.0,
+        }
+    }
+
+    /// Short label for result tables.
+    pub fn label(&self) -> String {
+        match self {
+            TransportMode::Vanilla => "Baseline".into(),
+            TransportMode::WifiOnly => "WiFi-only".into(),
+            TransportMode::Throttled { kbps } => format!("Throttle{kbps}k"),
+            TransportMode::MpDash { deadline, .. } => deadline.name().into(),
+        }
+    }
+
+    /// Whether this mode runs the MP-DASH scheduler.
+    pub fn is_mpdash(&self) -> bool {
+        matches!(self, TransportMode::MpDash { .. })
+    }
+}
+
+/// Full configuration of one streaming session.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The video to stream.
+    pub video: Video,
+    /// WiFi data link.
+    pub wifi: LinkConfig,
+    /// Cellular data link.
+    pub cell: LinkConfig,
+    /// Rate-adaptation algorithm.
+    pub abr: AbrKind,
+    /// Transport policy.
+    pub mode: TransportMode,
+    /// Player buffer capacity.
+    pub buffer_capacity: SimDuration,
+    /// MPTCP packet scheduler.
+    pub scheduler: SchedulerKind,
+    /// Per-subflow congestion control.
+    pub cc: CcKind,
+    /// Device for energy replay.
+    pub device: DeviceProfile,
+    /// Pre-play throughput priors `(wifi, cell)` seeding the estimators
+    /// (the paper probes before playback, §7.3.3).
+    pub priors: (Rate, Rate),
+    /// Throughput predictor driving Algorithm 1 (ablation knob; the
+    /// paper's choice is Holt-Winters, §6).
+    pub predictor: PredictorKind,
+    /// Enable-side debounce of the deadline scheduler in progress checks
+    /// (see `SchedulerParams::enable_debounce`).
+    pub enable_debounce: u32,
+    /// Holt-Winters sampling-slot width (ablation knob).
+    pub sample_slot: SimDuration,
+    /// Override the video adapter's Φ/Ω tunables (ablation knob; `None`
+    /// keeps the paper's defaults).
+    pub adapter_config: Option<AdapterConfig>,
+    /// Which interface the user prefers (§3.2).
+    pub preference: PathPreference,
+}
+
+impl SessionConfig {
+    /// The controlled-experiment setup of §7.1/§7.3.2: testbed RTTs
+    /// (50 ms WiFi, 55 ms LTE), Big Buck Bunny, 40 s player buffer.
+    pub fn controlled(
+        profiles: (BandwidthProfile, BandwidthProfile),
+        abr: AbrKind,
+        mode: TransportMode,
+    ) -> Self {
+        let horizon = SimDuration::from_secs(120);
+        let priors = (
+            profiles.0.mean_rate(horizon),
+            profiles.1.mean_rate(horizon),
+        );
+        let (wifi, cell) = mpdash_trace::table1::testbed_links(profiles.0, profiles.1);
+        SessionConfig {
+            video: Video::big_buck_bunny(),
+            wifi,
+            cell,
+            abr,
+            mode,
+            buffer_capacity: SimDuration::from_secs(40),
+            scheduler: SchedulerKind::MinRtt,
+            cc: CcKind::Reno,
+            device: DeviceProfile::galaxy_note(),
+            priors,
+            predictor: PredictorKind::control_default(),
+            enable_debounce: 4,
+            sample_slot: SimDuration::from_millis(250),
+            adapter_config: None,
+            preference: PathPreference::WifiFirst,
+        }
+    }
+
+    /// A field-study session at one of the 33 corpus locations.
+    pub fn at_location(loc: &Location, abr: AbrKind, mode: TransportMode) -> Self {
+        let (wifi, cell) = loc.links();
+        SessionConfig {
+            video: Video::big_buck_bunny(),
+            wifi,
+            cell,
+            abr,
+            mode,
+            buffer_capacity: SimDuration::from_secs(40),
+            scheduler: SchedulerKind::MinRtt,
+            cc: CcKind::Reno,
+            device: DeviceProfile::galaxy_note(),
+            priors: (
+                Rate::from_mbps_f64(loc.wifi_mbps),
+                Rate::from_mbps_f64(loc.lte_mbps),
+            ),
+            predictor: PredictorKind::control_default(),
+            enable_debounce: 4,
+            sample_slot: SimDuration::from_millis(250),
+            adapter_config: None,
+            preference: PathPreference::WifiFirst,
+        }
+    }
+
+    /// Same config with a different video.
+    pub fn with_video(mut self, video: Video) -> Self {
+        self.video = video;
+        self
+    }
+
+    /// Same config with a different MPTCP packet scheduler.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Same config with a different congestion controller.
+    pub fn with_cc(mut self, cc: CcKind) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Same config with a different energy device.
+    pub fn with_device(mut self, d: DeviceProfile) -> Self {
+        self.device = d;
+        self
+    }
+
+    /// Same config with a different throughput predictor (ablation).
+    pub fn with_predictor(mut self, p: PredictorKind) -> Self {
+        self.predictor = p;
+        self
+    }
+
+    /// Same config with a different enable-side debounce (ablation).
+    pub fn with_debounce(mut self, checks: u32) -> Self {
+        self.enable_debounce = checks.max(1);
+        self
+    }
+
+    /// Same config with a different sampling-slot width (ablation).
+    pub fn with_sample_slot(mut self, slot: SimDuration) -> Self {
+        self.sample_slot = slot;
+        self
+    }
+
+    /// Same config with explicit adapter Φ/Ω tunables (ablation).
+    pub fn with_adapter_config(mut self, cfg: AdapterConfig) -> Self {
+        self.adapter_config = Some(cfg);
+        self
+    }
+
+    /// Same config with the opposite interface preference (§3.2).
+    pub fn with_preference(mut self, p: PathPreference) -> Self {
+        self.preference = p;
+        self
+    }
+
+    /// Apply the transport mode's link-level effects (cellular throttle).
+    pub(crate) fn effective_cell_link(&self) -> LinkConfig {
+        match self.mode {
+            TransportMode::Throttled { kbps } => self
+                .cell
+                .clone()
+                .with_throttle(TokenBucket::new(Rate::from_kbps(kbps), 3000)),
+            _ => self.cell.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdash_trace::table1;
+
+    #[test]
+    fn labels() {
+        assert_eq!(TransportMode::Vanilla.label(), "Baseline");
+        assert_eq!(TransportMode::Throttled { kbps: 700 }.label(), "Throttle700k");
+        assert_eq!(TransportMode::mpdash_rate_based().label(), "Rate");
+        assert_eq!(TransportMode::mpdash_duration_based().label(), "Duration");
+        assert!(TransportMode::mpdash_rate_based().is_mpdash());
+        assert!(!TransportMode::WifiOnly.is_mpdash());
+    }
+
+    #[test]
+    fn controlled_setup_uses_testbed_rtts_and_priors() {
+        let cfg = SessionConfig::controlled(
+            table1::synthetic_profile_pair(3.8, 3.0, 0.1, 1),
+            AbrKind::Festive,
+            TransportMode::Vanilla,
+        );
+        assert_eq!(cfg.wifi.delay * 2, SimDuration::from_millis(50));
+        let (pw, pc) = cfg.priors;
+        assert!((pw.as_mbps_f64() - 3.8).abs() < 0.4);
+        assert!((pc.as_mbps_f64() - 3.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn throttle_mode_installs_bucket() {
+        let mut cfg = SessionConfig::controlled(
+            table1::synthetic_profile_pair(3.8, 3.0, 0.1, 1),
+            AbrKind::Gpac,
+            TransportMode::Throttled { kbps: 700 },
+        );
+        assert!(cfg.effective_cell_link().throttle.is_some());
+        cfg.mode = TransportMode::Vanilla;
+        assert!(cfg.effective_cell_link().throttle.is_none());
+    }
+}

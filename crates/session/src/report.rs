@@ -1,0 +1,84 @@
+//! Session results: everything the benchmark harness and the analysis
+//! tool need to regenerate the paper's tables and figures.
+
+use mpdash_dash::player::PlayerEvent;
+use mpdash_dash::qoe::QoeSummary;
+use mpdash_energy::SessionEnergy;
+use mpdash_mptcp::PktRecord;
+use mpdash_sim::{SimDuration, SimTime};
+
+/// One fetched chunk, as logged by the session driver.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkLogEntry {
+    /// Chunk index.
+    pub index: usize,
+    /// Quality level fetched.
+    pub level: usize,
+    /// Body bytes.
+    pub size: u64,
+    /// Request issue time.
+    pub started: SimTime,
+    /// Last body byte arrival.
+    pub completed: SimTime,
+    /// Connection-stream range `[start, end)` of the body (for per-path
+    /// attribution).
+    pub body_dss: (u64, u64),
+    /// The MP-DASH window granted, `None` when the adapter bypassed.
+    pub deadline: Option<SimDuration>,
+}
+
+/// Everything measured in one streaming session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// QoE over the steady-state suffix (last 80% of chunks, like §7.3).
+    pub qoe: QoeSummary,
+    /// QoE over all chunks (the paper notes "very similar results").
+    pub qoe_all: QoeSummary,
+    /// Payload bytes received over WiFi (retransmissions included).
+    pub wifi_bytes: u64,
+    /// Payload bytes received over cellular.
+    pub cell_bytes: u64,
+    /// Radio energy replay on the configured device.
+    pub energy: SessionEnergy,
+    /// Wall-clock (virtual) end of the session.
+    pub duration: SimDuration,
+    /// Per-chunk log.
+    pub chunks: Vec<ChunkLogEntry>,
+    /// Raw packet receive trace.
+    pub records: Vec<PktRecord>,
+    /// MP-DASH scheduler statistics: `(toggles, missed deadlines,
+    /// completed transfers)`; zeros for non-MP-DASH modes.
+    pub scheduler_stats: (u64, u64, u64),
+    /// The player's event log (the §6 analysis tool's second input).
+    pub player_events: Vec<PlayerEvent>,
+}
+
+impl SessionReport {
+    /// Fraction of bytes that travelled over cellular.
+    pub fn cell_fraction(&self) -> f64 {
+        let total = self.wifi_bytes + self.cell_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.cell_bytes as f64 / total as f64
+        }
+    }
+
+    /// Cellular-byte saving of `self` versus a `baseline` run
+    /// (the paper's headline metric; 1.0 = 100% saved).
+    pub fn cell_saving_vs(&self, baseline: &SessionReport) -> f64 {
+        if baseline.cell_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.cell_bytes as f64 / baseline.cell_bytes as f64
+    }
+
+    /// Radio-energy saving versus a baseline run.
+    pub fn energy_saving_vs(&self, baseline: &SessionReport) -> f64 {
+        let base = baseline.energy.total_j();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy.total_j() / base
+    }
+}

@@ -1,0 +1,604 @@
+//! [`StreamingSession`]: one full DASH playback over the simulated
+//! multipath testbed.
+//!
+//! Per chunk, the driver follows the paper's architecture (Figure 2):
+//!
+//! 1. The ABR picks the level — under MP-DASH, with the adapter's
+//!    aggregate-throughput override in place of the app-level estimate.
+//! 2. The video adapter decides whether MP-DASH is active for the chunk
+//!    and computes its (possibly extended) deadline window (§5).
+//! 3. The chunk is fetched over HTTP; while it downloads, a 50 ms
+//!    progress tick feeds delivery samples into the Holt-Winters
+//!    estimators and re-runs Algorithm 1, which toggles the cellular
+//!    subflow through the MPTCP path mask (the DSS-bit signaling path).
+//! 4. Completion feeds the player's buffer; the next request is paced by
+//!    buffer space (the idle gaps of Figure 1 emerge from this, not from
+//!    any explicit modelling).
+
+use crate::config::{SessionConfig, TransportMode};
+use crate::report::{ChunkLogEntry, SessionReport};
+use mpdash_core::deadline::SchedulerParams;
+use mpdash_core::MpDashControl;
+use mpdash_dash::abr::{Abr, AbrInput};
+use mpdash_dash::adapter::{DeadlineDecision, VideoAdapter};
+use mpdash_dash::player::Player;
+use mpdash_dash::qoe::QoeSummary;
+use mpdash_energy::session_energy;
+use mpdash_http::{HttpEvent, HttpLayer, RequestId};
+use mpdash_link::PathId;
+use mpdash_mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, StepOutcome};
+use mpdash_sim::{Rate, SimDuration, SimTime};
+
+/// Progress-tick period while a chunk is in flight (one Holt-Winters slot,
+/// ~one testbed RTT — §7.2.2).
+const TICK: SimDuration = SimDuration::from_millis(50);
+
+const TICK_ID: u64 = u64::MAX - 1;
+const WAKE_ID: u64 = u64::MAX - 2;
+
+struct CurrentChunk {
+    index: usize,
+    level: usize,
+    size: u64,
+    started: SimTime,
+    req_id: RequestId,
+    body_received: u64,
+    deadline: Option<SimDuration>,
+}
+
+/// The streaming-session driver. See module docs.
+pub struct StreamingSession {
+    cfg: SessionConfig,
+    sim: MptcpSim,
+    http: HttpLayer,
+    player: Player,
+    abr: Box<dyn Abr>,
+    adapter: Option<VideoAdapter>,
+    control: Option<MpDashControl>,
+    current: Option<CurrentChunk>,
+    chunks: Vec<ChunkLogEntry>,
+    last_chunk_throughput: Option<Rate>,
+    record_cursor: usize,
+}
+
+impl StreamingSession {
+    /// Run a session to completion and report.
+    pub fn run(cfg: SessionConfig) -> SessionReport {
+        let mut s = Self::new(cfg);
+        s.drive();
+        s.finish()
+    }
+
+    fn new(cfg: SessionConfig) -> Self {
+        let mptcp_cfg = MptcpConfig {
+            paths: vec![
+                PathConfig::symmetric(cfg.wifi.clone()),
+                PathConfig::symmetric(cfg.effective_cell_link()),
+            ],
+            scheduler: cfg.scheduler,
+            cc: cfg.cc,
+        };
+        let mut sim = MptcpSim::new(mptcp_cfg);
+        if cfg.mode == TransportMode::WifiOnly {
+            sim.set_initial_mask(PathMask::only(PathId::WIFI));
+        }
+        let abr = cfg.abr.build(&cfg.video);
+        let (adapter, control) = match cfg.mode {
+            TransportMode::MpDash { deadline, alpha } => {
+                let adapter = match cfg.adapter_config {
+                    Some(mut ac) => {
+                        ac.mode = deadline;
+                        VideoAdapter::with_config(cfg.abr.category(), ac)
+                    }
+                    None => VideoAdapter::new(cfg.abr.category(), deadline),
+                };
+                let costs = cfg.preference.costs();
+                let control = MpDashControl::with_predictor(
+                    costs.to_vec(),
+                    vec![cfg.priors.0, cfg.priors.1],
+                    SchedulerParams::with_alpha(alpha).with_debounce(cfg.enable_debounce),
+                    cfg.sample_slot,
+                    cfg.predictor,
+                );
+                (Some(adapter), Some(control))
+            }
+            _ => (None, None),
+        };
+        let player = Player::new(&cfg.video, cfg.buffer_capacity);
+        StreamingSession {
+            sim,
+            http: HttpLayer::new(),
+            player,
+            abr,
+            adapter,
+            control,
+            current: None,
+            chunks: Vec::new(),
+            last_chunk_throughput: None,
+            record_cursor: 0,
+            cfg,
+        }
+    }
+
+    fn apply_enabled(&mut self, enabled: &[bool]) {
+        let mut mask = PathMask::NONE;
+        for (i, &e) in enabled.iter().enumerate() {
+            if e {
+                mask = mask.with(PathId(i as u8));
+            }
+        }
+        self.sim.set_desired_mask(mask);
+    }
+
+    fn request_next(&mut self, now: SimTime) {
+        let Some(index) = self.player.next_chunk_index() else {
+            return;
+        };
+        self.player.advance_to(now);
+        let override_throughput = self
+            .control
+            .as_ref()
+            .map(|c| c.aggregate_throughput());
+        let input = AbrInput {
+            buffer: self.player.buffer(),
+            buffer_capacity: self.player.capacity(),
+            last_level: self.player.history().last().map(|r| r.level),
+            last_chunk_throughput: self.last_chunk_throughput,
+            override_throughput,
+        };
+        let level = self.abr.select(&self.cfg.video, &input);
+        let size = self.cfg.video.chunk_size(index, level);
+
+        let mut deadline = None;
+        if let (Some(adapter), Some(control)) = (self.adapter.as_ref(), self.control.as_mut())
+        {
+            let estimate = control.aggregate_throughput();
+            match adapter.decide(
+                &self.cfg.video,
+                self.abr.as_ref(),
+                level,
+                size,
+                self.player.buffer(),
+                self.player.capacity(),
+                estimate,
+            ) {
+                DeadlineDecision::Schedule(window) => {
+                    let enabled = control.mp_dash_enable(now, size, window).to_vec();
+                    self.apply_enabled(&enabled);
+                    deadline = Some(window);
+                }
+                DeadlineDecision::Bypass => {
+                    let enabled = control.mp_dash_disable().to_vec();
+                    self.apply_enabled(&enabled);
+                }
+            }
+        }
+
+        let req_id = self.http.get(&mut self.sim, size);
+        self.current = Some(CurrentChunk {
+            index,
+            level,
+            size,
+            started: now,
+            req_id,
+            body_received: 0,
+            deadline,
+        });
+        self.sim.schedule_app_timer(now + TICK, TICK_ID);
+    }
+
+    /// Feed newly received packets into the estimators and re-run the
+    /// scheduling decision.
+    fn progress_check(&mut self, now: SimTime) {
+        let records = self.sim.records();
+        let new = &records[self.record_cursor..];
+        if let Some(control) = self.control.as_mut() {
+            for r in new {
+                control.on_bytes(r.path.index(), r.t, r.len);
+            }
+        }
+        self.record_cursor = records.len();
+        let received = self.current.as_ref().map(|c| c.body_received);
+        let busy = [
+            self.sim.path_in_flight(PathId::WIFI) > 0,
+            self.sim.path_in_flight(PathId::CELLULAR) > 0,
+        ];
+        if let (Some(control), Some(received)) = (self.control.as_mut(), received) {
+            if let Some(enabled) = control.on_progress(now, received, &busy) {
+                self.apply_enabled(&enabled);
+            }
+        }
+    }
+
+    fn finish_chunk(&mut self, now: SimTime, body_dss: (u64, u64)) {
+        let cur = self.current.take().expect("completion without a chunk");
+        let dl = now.saturating_since(cur.started).as_secs_f64();
+        if dl > 0.0 {
+            self.last_chunk_throughput =
+                Some(Rate::from_mbps_f64(cur.size as f64 * 8.0 / dl / 1e6));
+        }
+        if let Some(control) = self.control.as_mut() {
+            // Final progress report completes the transfer (reverts the
+            // transport to vanilla until the next chunk's decision).
+            if let Some(enabled) = control.on_progress(now, cur.size, &[false, false]) {
+                self.apply_enabled(&enabled);
+            }
+        }
+        self.player
+            .on_chunk_complete(now, cur.level, cur.size, cur.started);
+        self.chunks.push(ChunkLogEntry {
+            index: cur.index,
+            level: cur.level,
+            size: cur.size,
+            started: cur.started,
+            completed: now,
+            body_dss,
+            deadline: cur.deadline,
+        });
+        // Pace the next request on buffer space.
+        if self.player.has_space() {
+            self.request_next(now);
+        } else {
+            let wait = self.player.time_until_space(now);
+            self.sim.schedule_app_timer(now + wait, WAKE_ID);
+        }
+    }
+
+    fn drive(&mut self) {
+        self.request_next(SimTime::ZERO);
+        while let Some((t, outcome)) = self.sim.step() {
+            match outcome {
+                StepOutcome::Transport { newly_delivered } => {
+                    if newly_delivered > 0 {
+                        for ev in self.http.on_delivered(newly_delivered) {
+                            match ev {
+                                HttpEvent::BodyProgress { id, received, .. } => {
+                                    if let Some(cur) = self.current.as_mut() {
+                                        if cur.req_id == id {
+                                            cur.body_received = received;
+                                        }
+                                    }
+                                }
+                                HttpEvent::Complete { id, body_dss } => {
+                                    let ours = self
+                                        .current
+                                        .as_ref()
+                                        .map(|c| c.req_id == id)
+                                        .unwrap_or(false);
+                                    if ours {
+                                        self.finish_chunk(t, body_dss);
+                                    }
+                                }
+                                HttpEvent::HeaderReceived { .. } => {}
+                            }
+                        }
+                        // Mid-download decision on fresh bytes.
+                        if self.current.is_some() {
+                            self.progress_check(t);
+                        }
+                    }
+                }
+                StepOutcome::AppTimer { id: TICK_ID } => {
+                    if self.current.is_some() {
+                        self.player.advance_to(t);
+                        self.progress_check(t);
+                        self.sim.schedule_app_timer(t + TICK, TICK_ID);
+                    }
+                }
+                StepOutcome::AppTimer { id: WAKE_ID } => {
+                    self.request_next(t);
+                }
+                StepOutcome::AppTimer { .. } => {}
+                StepOutcome::ServerMsg { id } => {
+                    self.http.on_server_msg(&mut self.sim, id);
+                }
+            }
+            if self.player.download_complete() && self.sim.quiescent() {
+                break;
+            }
+        }
+        assert!(
+            self.player.download_complete(),
+            "session ended with {}/{} chunks",
+            self.player.chunks_downloaded(),
+            self.cfg.video.n_chunks()
+        );
+    }
+
+    fn finish(mut self) -> SessionReport {
+        // Let the remaining buffer play out for final QoE accounting.
+        let startup = self
+            .player
+            .startup_delay()
+            .unwrap_or(SimDuration::ZERO);
+        let playout_end = SimTime::ZERO
+            + startup
+            + self.cfg.video.total_duration()
+            + self.player.stall_time();
+        let end = playout_end.max(self.sim.now());
+        self.player.advance_to(end);
+        let duration = end.saturating_since(SimTime::ZERO);
+
+        let records = self.sim.records().to_vec();
+        let wifi_pkts: Vec<(SimTime, u64)> = records
+            .iter()
+            .filter(|r| r.path == PathId::WIFI)
+            .map(|r| (r.t, r.len))
+            .collect();
+        let cell_pkts: Vec<(SimTime, u64)> = records
+            .iter()
+            .filter(|r| r.path == PathId::CELLULAR)
+            .map(|r| (r.t, r.len))
+            .collect();
+        let energy = session_energy(&self.cfg.device, &wifi_pkts, &cell_pkts, duration);
+
+        SessionReport {
+            qoe: QoeSummary::from_player(&self.cfg.video, &self.player, 0.2),
+            qoe_all: QoeSummary::from_player(&self.cfg.video, &self.player, 0.0),
+            wifi_bytes: self.sim.path_bytes(PathId::WIFI),
+            cell_bytes: self.sim.path_bytes(PathId::CELLULAR),
+            energy,
+            duration,
+            chunks: self.chunks,
+            records,
+            scheduler_stats: self
+                .control
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or((0, 0, 0)),
+            player_events: self.player.events().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdash_dash::abr::AbrKind;
+    use mpdash_dash::video::Video;
+    use mpdash_trace::table1;
+
+    /// A shortened Big Buck Bunny so debug-mode tests stay fast.
+    fn short_video() -> Video {
+        Video::new(
+            "Big Buck Bunny (short)",
+            &[0.58, 1.01, 1.47, 2.41, 3.94],
+            SimDuration::from_secs(4),
+            40,
+        )
+    }
+
+    fn controlled(abr: AbrKind, mode: TransportMode) -> SessionConfig {
+        SessionConfig::controlled(
+            table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
+            abr,
+            mode,
+        )
+        .with_video(short_video())
+    }
+
+    #[test]
+    fn vanilla_festive_reaches_top_rate_with_heavy_cellular() {
+        let report = StreamingSession::run(controlled(AbrKind::Festive, TransportMode::Vanilla));
+        assert_eq!(report.qoe.stalls, 0);
+        // Aggregate 6.8 Mbps sustains 3.94 Mbps: steady state at the top.
+        assert!(
+            report.qoe.mean_bitrate_mbps > 3.5,
+            "mean bitrate {:.2}",
+            report.qoe.mean_bitrate_mbps
+        );
+        // The §2.3 problem: a large share of bytes ride LTE for no reason.
+        assert!(
+            report.cell_fraction() > 0.25,
+            "vanilla cellular share {:.2}",
+            report.cell_fraction()
+        );
+    }
+
+    #[test]
+    fn mpdash_slashes_cellular_without_hurting_qoe() {
+        let base = StreamingSession::run(controlled(AbrKind::Festive, TransportMode::Vanilla));
+        let mp = StreamingSession::run(controlled(
+            AbrKind::Festive,
+            TransportMode::mpdash_rate_based(),
+        ));
+        assert_eq!(mp.qoe.stalls, 0, "MP-DASH must not stall");
+        let saving = mp.cell_saving_vs(&base);
+        assert!(
+            saving > 0.4,
+            "cellular saving {:.2} (mp {} vs base {})",
+            saving,
+            mp.cell_bytes,
+            base.cell_bytes
+        );
+        // Negligible bitrate impact (paper: no reduction in the common
+        // case).
+        let reduction = mp.qoe.bitrate_reduction_vs(&base.qoe);
+        assert!(
+            reduction < 0.1,
+            "bitrate reduction {:.3} too large",
+            reduction
+        );
+        // Energy: W3.8/L3.0 is the paper's *hardest* energy case — WiFi
+        // goodput sits just under the top bitrate, so cellular slivers
+        // into most chunks and the LTE radio rarely sleeps (Table 5's
+        // scenario-1 rows show only 7–12% energy savings at similar
+        // headroom). Require "not materially worse"; the strong energy
+        // wins appear in the high-WiFi-headroom tests and benches.
+        assert!(
+            mp.energy_saving_vs(&base) > -0.08,
+            "energy {:.1} J vs {:.1} J",
+            mp.energy.total_j(),
+            base.energy.total_j()
+        );
+    }
+
+    #[test]
+    fn high_wifi_headroom_gives_large_energy_savings() {
+        // The Library-like case (§7.3.3, Table 5 scenario 3): WiFi 17.8
+        // Mbps dwarfs the 3.94 Mbps top bitrate, so MP-DASH keeps the
+        // cellular subflow silent and the LTE radio asleep — the paper
+        // reports 78–85% energy and 97%+ cellular savings there.
+        let mk = |mode| {
+            SessionConfig::controlled(
+                table1::synthetic_profile_pair(17.8, 5.18, 0.12, 6),
+                AbrKind::Festive,
+                mode,
+            )
+            .with_video(short_video())
+        };
+        let base = StreamingSession::run(mk(TransportMode::Vanilla));
+        let mp = StreamingSession::run(mk(TransportMode::mpdash_rate_based()));
+        assert_eq!(mp.qoe.stalls, 0);
+        assert!(
+            mp.cell_saving_vs(&base) > 0.9,
+            "cellular saving {:.2}",
+            mp.cell_saving_vs(&base)
+        );
+        assert!(
+            mp.energy_saving_vs(&base) > 0.3,
+            "energy saving {:.2} (mp {:.1} J vs base {:.1} J)",
+            mp.energy_saving_vs(&base),
+            mp.energy.total_j(),
+            base.energy.total_j()
+        );
+        // No bitrate penalty.
+        assert!(mp.qoe.bitrate_reduction_vs(&base.qoe) < 0.05);
+    }
+
+    #[test]
+    fn wifi_only_cannot_sustain_top_rate_at_2mbps() {
+        let cfg = SessionConfig::controlled(
+            table1::synthetic_profile_pair(2.0, 3.0, 0.10, 7),
+            AbrKind::Festive,
+            TransportMode::WifiOnly,
+        )
+        .with_video(short_video());
+        let report = StreamingSession::run(cfg);
+        assert_eq!(report.cell_bytes, 0, "wifi-only must not touch LTE");
+        assert!(
+            report.qoe.mean_bitrate_mbps < 2.0,
+            "bitrate {:.2} should be limited by wifi",
+            report.qoe.mean_bitrate_mbps
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_config() {
+        let a = StreamingSession::run(controlled(
+            AbrKind::Festive,
+            TransportMode::mpdash_rate_based(),
+        ));
+        let b = StreamingSession::run(controlled(
+            AbrKind::Festive,
+            TransportMode::mpdash_rate_based(),
+        ));
+        assert_eq!(a.cell_bytes, b.cell_bytes);
+        assert_eq!(a.wifi_bytes, b.wifi_bytes);
+        assert_eq!(a.qoe, b.qoe);
+    }
+
+    #[test]
+    fn chunk_log_is_complete_and_ordered() {
+        let report = StreamingSession::run(controlled(AbrKind::Gpac, TransportMode::Vanilla));
+        assert_eq!(report.chunks.len(), 40);
+        for (i, c) in report.chunks.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert!(c.completed > c.started);
+            assert_eq!(c.body_dss.1 - c.body_dss.0, c.size);
+        }
+        // Bodies are disjoint and ascending in the stream.
+        for w in report.chunks.windows(2) {
+            assert!(w[1].body_dss.0 >= w[0].body_dss.1);
+        }
+    }
+
+    #[test]
+    fn throughput_override_unlocks_top_level_under_mpdash() {
+        // At W3.8/L3.0 with MP-DASH mostly running WiFi-only, the
+        // app-level measurement alone would cap FESTIVE near 3.6 Mbps and
+        // it would sit at level 3 — the aggregate override (§5.2.1) is
+        // what lets it pick level 4. Verify level 4 dominates.
+        let report = StreamingSession::run(controlled(
+            AbrKind::Festive,
+            TransportMode::mpdash_rate_based(),
+        ));
+        let top = report
+            .chunks
+            .iter()
+            .skip(report.chunks.len() / 3)
+            .filter(|c| c.level == 4)
+            .count();
+        let counted = report.chunks.len() - report.chunks.len() / 3;
+        assert!(
+            top * 10 >= counted * 8,
+            "level 4 in only {top}/{counted} steady chunks"
+        );
+    }
+
+    #[test]
+    fn steady_state_requests_are_paced_by_playback() {
+        // Once the buffer is full, chunk starts must be ~one chunk
+        // duration apart (the Figure 1 idle-gap pacing).
+        let report = StreamingSession::run(controlled(AbrKind::Festive, TransportMode::Vanilla));
+        let starts: Vec<f64> = report
+            .chunks
+            .iter()
+            .skip(report.chunks.len() / 2)
+            .map(|c| c.started.as_secs_f64())
+            .collect();
+        let gaps: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.5,
+            "steady-state request cadence {mean:.2}s vs 4s chunks"
+        );
+    }
+
+    #[test]
+    fn startup_chunks_bypass_then_schedule() {
+        let report = StreamingSession::run(controlled(
+            AbrKind::Festive,
+            TransportMode::mpdash_rate_based(),
+        ));
+        // The first scheduled chunk appears only after some bypassed ones,
+        // and once scheduling starts it persists (no flapping back to
+        // long bypass runs).
+        let first_scheduled = report
+            .chunks
+            .iter()
+            .position(|c| c.deadline.is_some())
+            .expect("some chunk gets scheduled");
+        assert!(first_scheduled >= 1, "chunk 0 must bypass (empty buffer)");
+        let tail_bypassed = report.chunks[first_scheduled..]
+            .iter()
+            .filter(|c| c.deadline.is_none())
+            .count();
+        assert!(
+            tail_bypassed * 4 <= report.chunks.len() - first_scheduled,
+            "bypasses after scheduling began: {tail_bypassed}"
+        );
+    }
+
+    #[test]
+    fn mpdash_grants_deadlines_once_buffer_builds() {
+        let report = StreamingSession::run(controlled(
+            AbrKind::Festive,
+            TransportMode::mpdash_rate_based(),
+        ));
+        // Early chunks bypass (low buffer), later ones are scheduled.
+        assert!(report.chunks[0].deadline.is_none(), "startup must bypass");
+        let scheduled = report
+            .chunks
+            .iter()
+            .filter(|c| c.deadline.is_some())
+            .count();
+        assert!(
+            scheduled > report.chunks.len() / 2,
+            "only {scheduled} chunks scheduled"
+        );
+        let (_, missed, completed) = report.scheduler_stats;
+        assert_eq!(missed, 0, "no deadline misses in the easy setting");
+        assert_eq!(completed as usize, scheduled);
+    }
+}

@@ -1,0 +1,263 @@
+//! [`EventQueue`]: the deterministic priority queue at the heart of the
+//! discrete-event simulation.
+//!
+//! Events are ordered by `(fire time, insertion sequence)`. The sequence
+//! number breaks ties between events scheduled for the same instant in
+//! *insertion order*, which is what makes simulations reproducible: two runs
+//! that schedule the same events in the same order pop them in the same
+//! order, regardless of the payload type's own ordering (the payload does
+//! not even need to implement `Ord`).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    cancelled: bool,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// `pop` advances the queue's notion of *now* to the popped event's time;
+/// scheduling an event in the past is clamped to *now* rather than
+/// panicking (a component reacting to an event may legitimately want
+/// "immediately", which is the current instant).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    // Number of live (non-cancelled) entries, so len() is O(1) and honest.
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            live: 0,
+        }
+    }
+
+    /// The current simulation instant: the time of the most recently popped
+    /// event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at `at` (clamped to `now` if in the
+    /// past). Returns a handle usable with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            cancelled: false,
+            payload,
+        });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Lazily cancel a scheduled event. Cancellation is O(n) in the worst
+    /// case here because we must find the entry; for the simulation's usage
+    /// pattern (rare cancellations of timers) this is fine, and the heap
+    /// itself skips cancelled entries on pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // BinaryHeap has no in-place mutation; rebuild only when we find it.
+        let mut found = false;
+        let entries: Vec<Entry<E>> = self.heap.drain().collect();
+        self.heap = entries
+            .into_iter()
+            .map(|mut e| {
+                if e.seq == id.0 && !e.cancelled {
+                    e.cancelled = true;
+                    found = true;
+                }
+                e
+            })
+            .collect();
+        if found {
+            self.live -= 1;
+        }
+        found
+    }
+
+    /// Pop the earliest live event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if entry.cancelled {
+                continue;
+            }
+            self.live -= 1;
+            debug_assert!(entry.at >= self.now, "event queue time went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Fire time of the earliest live event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Cancelled entries may sit at the top; peek must skip them without
+        // mutating, so clone-free scan of the top is not possible with
+        // BinaryHeap. We conservatively report the top entry's time, which
+        // is a lower bound; `pop` remains exact. To keep peek exact we
+        // instead look through the heap's iterator for the minimum live
+        // entry (O(n), used only in tests and idle checks).
+        self.heap
+            .iter()
+            .filter(|e| !e.cancelled)
+            .map(|e| e.at)
+            .min()
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_and_past_events_clamp() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "later");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        // Scheduling in the past clamps to now.
+        q.schedule(SimTime::from_secs(1), "past");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(e, "past");
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn cancel_stress_preserves_order_of_survivors() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..200u64)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        // Cancel every third event.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*id));
+            }
+        }
+        assert_eq!(q.len(), 200 - 67);
+        let mut last = None;
+        let mut popped = 0;
+        while let Some((t, v)) = q.pop() {
+            assert!(v % 3 != 0, "cancelled event {v} escaped");
+            if let Some(prev) = last {
+                assert!(t >= prev);
+            }
+            last = Some(t);
+            popped += 1;
+        }
+        assert_eq!(popped, 133);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1u32);
+        let (t1, _) = q.pop().unwrap();
+        q.schedule(t1 + crate::SimDuration::from_secs(1), 2u32);
+        q.schedule(t1 + crate::SimDuration::from_millis(500), 3u32);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Trace serialization: save and load bandwidth profiles as JSON.
+//!
+//! The paper's field campaign produced 150+ GB of captures that were
+//! replayed through the trace-driven simulator and the energy model. The
+//! equivalent workflow here: export any [`BandwidthProfile`] (synthetic
+//! or corpus) to a portable JSON document, edit or collect your own, and
+//! load it back for experiments — so downstream users can feed *real*
+//! measured traces into the same harness.
+//!
+//! Format: a flat list of `(seconds, mbps)` step points plus an optional
+//! looping period — deliberately trivial to produce from `iperf` logs or
+//! packet captures.
+
+use mpdash_link::BandwidthProfile;
+use mpdash_sim::{Rate, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A serializable bandwidth profile.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ProfileSpec {
+    /// Human-readable label.
+    pub name: String,
+    /// Step points: the rate is `mbps[i]` from `at_secs[i]` until the
+    /// next point. Must be non-empty, starting at 0.0 seconds, strictly
+    /// increasing.
+    pub points: Vec<ProfilePoint>,
+    /// Looping period in seconds; `null` for a one-shot trace that holds
+    /// its last rate forever.
+    pub period_secs: Option<f64>,
+}
+
+/// One step point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ProfilePoint {
+    /// Step start, seconds from trace start.
+    pub at_secs: f64,
+    /// Rate from this instant, Mbps.
+    pub mbps: f64,
+}
+
+/// Errors loading a [`ProfileSpec`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ProfileSpecError {
+    /// No points.
+    Empty,
+    /// First point does not start at 0.
+    DoesNotStartAtZero,
+    /// Points not strictly increasing in time.
+    NotIncreasing,
+    /// A non-finite or negative number appeared.
+    BadNumber,
+}
+
+impl std::fmt::Display for ProfileSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileSpecError::Empty => write!(f, "profile has no points"),
+            ProfileSpecError::DoesNotStartAtZero => {
+                write!(f, "first point must start at t=0")
+            }
+            ProfileSpecError::NotIncreasing => {
+                write!(f, "points must be strictly increasing in time")
+            }
+            ProfileSpecError::BadNumber => write!(f, "times and rates must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileSpecError {}
+
+impl ProfileSpec {
+    /// Validate and convert into a [`BandwidthProfile`].
+    pub fn to_profile(&self) -> Result<BandwidthProfile, ProfileSpecError> {
+        if self.points.is_empty() {
+            return Err(ProfileSpecError::Empty);
+        }
+        for p in &self.points {
+            if !p.at_secs.is_finite() || p.at_secs < 0.0 || !p.mbps.is_finite() || p.mbps < 0.0
+            {
+                return Err(ProfileSpecError::BadNumber);
+            }
+        }
+        if self.points[0].at_secs != 0.0 {
+            return Err(ProfileSpecError::DoesNotStartAtZero);
+        }
+        if self
+            .points
+            .windows(2)
+            .any(|w| w[1].at_secs <= w[0].at_secs)
+        {
+            return Err(ProfileSpecError::NotIncreasing);
+        }
+        if let Some(p) = self.period_secs {
+            if !p.is_finite() || p <= 0.0 {
+                return Err(ProfileSpecError::BadNumber);
+            }
+        }
+        let steps = self
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    SimTime::from_secs_f64(p.at_secs),
+                    Rate::from_mbps_f64(p.mbps),
+                )
+            })
+            .collect();
+        Ok(BandwidthProfile::Steps {
+            steps,
+            period: self.period_secs.map(SimDuration::from_secs_f64),
+        })
+    }
+
+    /// Sample an arbitrary profile into a spec at fixed `slot` width over
+    /// `duration` (the export path; exact for step profiles sampled at
+    /// their own granularity).
+    pub fn from_profile(
+        name: impl Into<String>,
+        profile: &BandwidthProfile,
+        slot: SimDuration,
+        duration: SimDuration,
+        looped: bool,
+    ) -> Self {
+        assert!(!slot.is_zero() && !duration.is_zero());
+        let n = (duration.as_nanos() / slot.as_nanos()).max(1);
+        let points = (0..n)
+            .map(|i| {
+                let at = SimTime::ZERO + slot * i;
+                ProfilePoint {
+                    at_secs: at.as_secs_f64(),
+                    mbps: profile.rate_at(at).as_mbps_f64(),
+                }
+            })
+            .collect();
+        ProfileSpec {
+            name: name.into(),
+            points,
+            period_secs: looped.then(|| duration.as_secs_f64()),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn json_round_trip() {
+        let spec = ProfileSpec {
+            name: "office-wifi".into(),
+            points: vec![
+                ProfilePoint { at_secs: 0.0, mbps: 28.4 },
+                ProfilePoint { at_secs: 1.5, mbps: 22.0 },
+                ProfilePoint { at_secs: 3.0, mbps: 30.1 },
+            ],
+            period_secs: Some(4.5),
+        };
+        let json = spec.to_json();
+        let back = ProfileSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn spec_to_profile_and_back_preserves_rates() {
+        let synth = SynthSpec::new(3.8, 0.2, 5)
+            .with_duration(SimDuration::from_secs(10))
+            .profile();
+        let spec = ProfileSpec::from_profile(
+            "synth",
+            &synth,
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(10),
+            true,
+        );
+        let rebuilt = spec.to_profile().unwrap();
+        for i in 0..400u64 {
+            let t = SimTime::from_millis(i * 50 + 1);
+            let a = synth.rate_at(t).as_mbps_f64();
+            let b = rebuilt.rate_at(t).as_mbps_f64();
+            assert!((a - b).abs() < 1e-6, "t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let empty = ProfileSpec {
+            name: "x".into(),
+            points: vec![],
+            period_secs: None,
+        };
+        assert_eq!(empty.to_profile().unwrap_err(), ProfileSpecError::Empty);
+
+        let late_start = ProfileSpec {
+            name: "x".into(),
+            points: vec![ProfilePoint { at_secs: 1.0, mbps: 1.0 }],
+            period_secs: None,
+        };
+        assert_eq!(
+            late_start.to_profile().unwrap_err(),
+            ProfileSpecError::DoesNotStartAtZero
+        );
+
+        let unordered = ProfileSpec {
+            name: "x".into(),
+            points: vec![
+                ProfilePoint { at_secs: 0.0, mbps: 1.0 },
+                ProfilePoint { at_secs: 2.0, mbps: 1.0 },
+                ProfilePoint { at_secs: 1.0, mbps: 1.0 },
+            ],
+            period_secs: None,
+        };
+        assert_eq!(unordered.to_profile().unwrap_err(), ProfileSpecError::NotIncreasing);
+
+        let nan = ProfileSpec {
+            name: "x".into(),
+            points: vec![ProfilePoint { at_secs: 0.0, mbps: f64::NAN }],
+            period_secs: None,
+        };
+        assert_eq!(nan.to_profile().unwrap_err(), ProfileSpecError::BadNumber);
+
+        let bad_period = ProfileSpec {
+            name: "x".into(),
+            points: vec![ProfilePoint { at_secs: 0.0, mbps: 1.0 }],
+            period_secs: Some(-1.0),
+        };
+        assert_eq!(bad_period.to_profile().unwrap_err(), ProfileSpecError::BadNumber);
+    }
+
+    #[test]
+    fn loaded_profile_loops() {
+        let spec = ProfileSpec {
+            name: "loop".into(),
+            points: vec![
+                ProfilePoint { at_secs: 0.0, mbps: 1.0 },
+                ProfilePoint { at_secs: 1.0, mbps: 2.0 },
+            ],
+            period_secs: Some(2.0),
+        };
+        let p = spec.to_profile().unwrap();
+        assert_eq!(p.rate_at(SimTime::from_millis(500)).as_mbps_f64(), 1.0);
+        assert_eq!(p.rate_at(SimTime::from_millis(2_500)).as_mbps_f64(), 1.0);
+        assert_eq!(p.rate_at(SimTime::from_millis(3_500)).as_mbps_f64(), 2.0);
+    }
+}

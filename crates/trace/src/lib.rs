@@ -1,0 +1,33 @@
+//! The bandwidth-profile corpus behind every experiment.
+//!
+//! The paper's evaluation rests on three kinds of network conditions, all
+//! reproduced here as deterministic, seeded profiles:
+//!
+//! * [`synth`] — parameterized synthetic traces: AR(1)-correlated
+//!   multiplicative noise around a mean (the σ=10%/30% profiles of
+//!   Table 1) with optional deep-fade events.
+//! * [`table1`] — the five Table 1 profiles used by the trace-driven
+//!   scheduler simulation (Table 2) and the Figure 5 prediction plots.
+//! * [`field`] — the 33-location field corpus (§2.2, §7.3.3): the seven
+//!   named locations of Table 5 pinned to their measured bandwidths and
+//!   RTTs, plus 26 synthesized locations filling the paper's 64% / 15% /
+//!   21% scenario split.
+//! * [`mobility`] — the §7.3.4 walk-around-the-AP profile: WiFi swings
+//!   between full strength and near-blackout as the walker loops, LTE
+//!   stays steady.
+//! * [`io`] — JSON import/export of profiles, so real measured traces
+//!   (iperf logs, captures) can be fed into the same harness.
+//!
+//! Everything is a pure function of its seed — re-running an experiment
+//! re-creates the identical corpus (the substitution for the paper's
+//! 150 GB of captured traces is documented in `DESIGN.md`).
+
+pub mod field;
+pub mod io;
+pub mod mobility;
+pub mod synth;
+pub mod table1;
+
+pub use field::{field_corpus, Location, Scenario};
+pub use io::{ProfilePoint, ProfileSpec};
+pub use synth::SynthSpec;

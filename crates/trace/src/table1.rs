@@ -1,0 +1,181 @@
+//! The five bandwidth profiles of Table 1, used by the trace-driven
+//! scheduler simulation (Table 2) and the Figure 5 prediction plots.
+//!
+//! | trace | WiFi mean | cell mean | character |
+//! |---|---|---|---|
+//! | Synthetic σ=10% | 3.8 | 3.0 | mild stationary noise |
+//! | Synthetic σ=30% | 3.8 | 3.0 | strong stationary noise |
+//! | Fast Food B | 5.2 | 8.1 | heavily fluctuating public WiFi |
+//! | Coffeehouse D | 1.4 | 7.6 | weak, variable public WiFi |
+//! | Office | 28.4 | 19.1 | stable enterprise WiFi |
+//!
+//! The three "real" traces were captured by the authors and are not
+//! published; we stand in synthetic processes whose mean matches Table 1
+//! and whose variability matches the paper's qualitative description
+//! (Figure 5 shows Fast Food swinging across 2–8 Mbps on second scales
+//! while Coffeehouse crawls under 2 Mbps) — see DESIGN.md for the
+//! substitution note.
+
+use crate::synth::SynthSpec;
+use mpdash_link::{BandwidthProfile, LinkConfig};
+use mpdash_sim::SimDuration;
+
+/// One Table 1 row: a WiFi/cellular profile pair plus the file size used
+/// by the Table 2 simulation.
+#[derive(Clone, Debug)]
+pub struct ProfilePair {
+    /// Row name as printed in the paper.
+    pub name: &'static str,
+    /// WiFi bandwidth profile.
+    pub wifi: BandwidthProfile,
+    /// Cellular bandwidth profile.
+    pub cell: BandwidthProfile,
+    /// Transfer size for the Table 2 simulation, bytes.
+    pub file_size: u64,
+    /// Deadlines (seconds) evaluated in Table 2 for this row.
+    pub deadlines_s: &'static [u64],
+}
+
+const MB: u64 = 1_000_000;
+
+/// The synthetic WiFi 3.8 / LTE 3.0 pair with the given σ fraction —
+/// also the controlled-experiment network of §2.3/§7.2.1.
+pub fn synthetic_profile_pair(
+    wifi_mbps: f64,
+    cell_mbps: f64,
+    sigma: f64,
+    seed: u64,
+) -> (BandwidthProfile, BandwidthProfile) {
+    (
+        SynthSpec::new(wifi_mbps, sigma, seed).profile(),
+        SynthSpec::new(cell_mbps, sigma, seed ^ 0x9E37_79B9).profile(),
+    )
+}
+
+/// All five Table 1 rows, with the paper's file sizes and deadline sets.
+pub fn table1_rows() -> Vec<ProfilePair> {
+    vec![
+        ProfilePair {
+            name: "Synthetic (sigma=10%)",
+            wifi: SynthSpec::new(3.8, 0.10, 101).profile(),
+            cell: SynthSpec::new(3.0, 0.10, 102).profile(),
+            file_size: 5 * MB,
+            deadlines_s: &[8, 9, 10],
+        },
+        ProfilePair {
+            name: "Synthetic (sigma=30%)",
+            wifi: SynthSpec::new(3.8, 0.30, 103).profile(),
+            cell: SynthSpec::new(3.0, 0.30, 104).profile(),
+            file_size: 5 * MB,
+            deadlines_s: &[8, 9, 10],
+        },
+        ProfilePair {
+            name: "Fast Food B",
+            // Strongly fluctuating: σ=45% with slow wander plus brief
+            // fades — the Figure 5 "FastFood" character.
+            wifi: SynthSpec::new(5.2, 0.45, 105)
+                .with_fades(0.001, 0.15, SimDuration::from_secs(2))
+                .profile(),
+            cell: SynthSpec::new(8.1, 0.15, 106).profile(),
+            file_size: 20 * MB,
+            deadlines_s: &[15, 20, 25, 30],
+        },
+        ProfilePair {
+            name: "Coffeehouse D",
+            wifi: SynthSpec::new(1.4, 0.40, 107)
+                .with_fades(0.001, 0.2, SimDuration::from_secs(2))
+                .profile(),
+            cell: SynthSpec::new(7.6, 0.15, 108).profile(),
+            file_size: 5 * MB,
+            deadlines_s: &[5, 10, 15, 20],
+        },
+        ProfilePair {
+            name: "Office",
+            wifi: SynthSpec::new(28.4, 0.08, 109).profile(),
+            cell: SynthSpec::new(19.1, 0.10, 110).profile(),
+            file_size: 50 * MB,
+            deadlines_s: &[9, 12, 15, 18],
+        },
+    ]
+}
+
+/// Controlled-experiment link pair: the §7.1 testbed (50 ms WiFi RTT,
+/// ~55 ms LTE RTT) with the given bandwidth profiles.
+pub fn testbed_links(
+    wifi: BandwidthProfile,
+    cell: BandwidthProfile,
+) -> (LinkConfig, LinkConfig) {
+    (
+        LinkConfig::constant(1.0, SimDuration::from_millis(25)).with_profile(wifi),
+        LinkConfig::constant(1.0, SimDuration::from_micros(27_500)).with_profile(cell),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdash_sim::SimTime;
+
+    #[test]
+    fn five_rows_with_paper_means() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 5);
+        let expect = [
+            (3.8, 3.0, 5 * MB),
+            (3.8, 3.0, 5 * MB),
+            (5.2, 8.1, 20 * MB),
+            (1.4, 7.6, 5 * MB),
+            (28.4, 19.1, 50 * MB),
+        ];
+        let horizon = SimDuration::from_secs(600);
+        for (row, &(w, c, size)) in rows.iter().zip(&expect) {
+            let wm = row.wifi.mean_rate(horizon).as_mbps_f64();
+            let cm = row.cell.mean_rate(horizon).as_mbps_f64();
+            assert!((wm / w - 1.0).abs() < 0.06, "{}: wifi {wm} vs {w}", row.name);
+            assert!((cm / c - 1.0).abs() < 0.06, "{}: cell {cm} vs {c}", row.name);
+            assert_eq!(row.file_size, size);
+            assert!(!row.deadlines_s.is_empty());
+        }
+    }
+
+    #[test]
+    fn fastfood_is_much_more_variable_than_office() {
+        let rows = table1_rows();
+        let sample_sigma = |p: &BandwidthProfile| {
+            let vals: Vec<f64> = (0..6000)
+                .map(|i| {
+                    p.rate_at(SimTime::from_millis(i * 100)).as_mbps_f64()
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            var.sqrt() / mean
+        };
+        let fastfood = sample_sigma(&rows[2].wifi);
+        let office = sample_sigma(&rows[4].wifi);
+        assert!(
+            fastfood > 3.0 * office,
+            "fastfood cv {fastfood:.3} vs office cv {office:.3}"
+        );
+    }
+
+    #[test]
+    fn testbed_links_have_paper_rtts() {
+        let (w, c) = testbed_links(
+            BandwidthProfile::constant_mbps(3.8),
+            BandwidthProfile::constant_mbps(3.0),
+        );
+        assert_eq!(w.delay * 2, SimDuration::from_millis(50));
+        assert_eq!(c.delay * 2, SimDuration::from_millis(55));
+    }
+
+    #[test]
+    fn synthetic_pair_seeds_differ_across_paths() {
+        let (w, c) = synthetic_profile_pair(3.8, 3.0, 0.1, 9);
+        // Same seed base must not produce correlated identical noise.
+        let wt = w.rate_at(SimTime::from_millis(12_345));
+        let ct = c.rate_at(SimTime::from_millis(12_345));
+        assert_ne!(wt, ct);
+    }
+}

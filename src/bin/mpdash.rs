@@ -1,0 +1,97 @@
+//! The `mpdash` CLI: run a JSON scenario and print the full comparison.
+//!
+//! ```sh
+//! cargo run --release --bin mpdash -- scenarios/example.json
+//! cargo run --release --bin mpdash -- --chunks scenarios/example.json   # + Figure 8 bars
+//! ```
+
+use mpdash::analysis::{chunk_path_splits, render_chunk_bars, ChunkInfo};
+use mpdash::scenario::Scenario;
+use mpdash::session::{SessionReport, StreamingSession};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_chunks = args.iter().any(|a| a == "--chunks");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("usage: mpdash [--chunks] <scenario.json>...");
+        eprintln!("see scenarios/example.json for the document format");
+        return ExitCode::from(2);
+    }
+
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let scenario = match Scenario::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: parsing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let configs = match scenario.build() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: building {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        println!("scenario: {} ({path})", scenario.name);
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>9} {:>7} {:>9}",
+            "mode", "WiFi MB", "LTE MB", "energy J", "bitrate", "stalls", "switches"
+        );
+        let mut baseline: Option<SessionReport> = None;
+        for (label, cfg) in configs {
+            let report = StreamingSession::run(cfg);
+            println!(
+                "{:<16} {:>10.2} {:>10.2} {:>10.1} {:>9.2} {:>7} {:>9}",
+                label,
+                report.wifi_bytes as f64 / 1e6,
+                report.cell_bytes as f64 / 1e6,
+                report.energy.total_j(),
+                report.qoe.mean_bitrate_mbps,
+                report.qoe.stalls,
+                report.qoe.switches,
+            );
+            if let Some(base) = &baseline {
+                println!(
+                    "{:<16} cellular saving {:5.1}% | energy saving {:5.1}% | bitrate change {:+5.1}%",
+                    "",
+                    report.cell_saving_vs(base) * 100.0,
+                    report.energy_saving_vs(base) * 100.0,
+                    -report.qoe.bitrate_reduction_vs(&base.qoe) * 100.0,
+                );
+            }
+            if show_chunks {
+                let chunks: Vec<ChunkInfo> = report
+                    .chunks
+                    .iter()
+                    .map(|c| ChunkInfo {
+                        index: c.index,
+                        level: c.level,
+                        size: c.size,
+                        started: c.started,
+                        completed: c.completed,
+                        body_dss: c.body_dss,
+                    })
+                    .collect();
+                let splits = chunk_path_splits(&report.records, &chunks);
+                let n = chunks.len().min(20);
+                println!("{}", render_chunk_bars(&chunks[..n], &splits[..n], 24));
+            }
+            if baseline.is_none() {
+                baseline = Some(report);
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

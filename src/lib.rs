@@ -1,0 +1,56 @@
+//! # MP-DASH
+//!
+//! A full Rust reproduction of **"MP-DASH: Adaptive Video Streaming Over
+//! Preference-Aware Multipath"** (CoNEXT 2016).
+//!
+//! This umbrella crate re-exports every component of the workspace so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation core.
+//! * [`link`] — simulated WiFi/LTE links, bandwidth profiles, shaping.
+//! * [`mptcp`] — userspace MPTCP model (subflows, congestion control,
+//!   minRTT/round-robin packet schedulers, subflow enable/disable overlay).
+//! * [`core`] — the paper's contribution: the deadline-aware MP-DASH
+//!   scheduler (Algorithm 1), the offline-optimal solver, and the
+//!   Holt-Winters throughput predictor.
+//! * [`http`] — minimal HTTP/1.1 over the simulated transport.
+//! * [`dash`] — DASH player, rate-adaptation algorithms (GPAC, FESTIVE,
+//!   BBA-2, BBA-C, MPC) and the MP-DASH video adapter.
+//! * [`energy`] — LTE RRC/DRX + WiFi radio energy models.
+//! * [`trace`] — the bandwidth-profile corpus (Table 1, the 33-location
+//!   field corpus, the mobility walk).
+//! * [`analysis`] — the multipath video analysis tool (§6 of the paper).
+//! * [`session`] — the end-to-end experiment driver that wires everything
+//!   into a streaming session.
+//! * [`scenario`] — JSON scenario documents for the `mpdash` CLI runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpdash::session::{SessionConfig, StreamingSession, TransportMode};
+//! use mpdash::dash::abr::AbrKind;
+//! use mpdash::trace::table1;
+//!
+//! // Stream Big Buck Bunny over WiFi 3.8 Mbps + LTE 3.0 Mbps with the
+//! // MP-DASH scheduler (rate-based deadlines) and FESTIVE adaptation.
+//! let cfg = SessionConfig::controlled(
+//!     table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
+//!     AbrKind::Festive,
+//!     TransportMode::mpdash_rate_based(),
+//! );
+//! let report = StreamingSession::run(cfg);
+//! assert_eq!(report.qoe.stalls, 0);
+//! ```
+
+pub mod scenario;
+
+pub use mpdash_analysis as analysis;
+pub use mpdash_core as core;
+pub use mpdash_dash as dash;
+pub use mpdash_energy as energy;
+pub use mpdash_http as http;
+pub use mpdash_link as link;
+pub use mpdash_mptcp as mptcp;
+pub use mpdash_session as session;
+pub use mpdash_sim as sim;
+pub use mpdash_trace as trace;

@@ -1,0 +1,306 @@
+//! JSON scenario definitions for the `mpdash` CLI: describe a network, a
+//! video, an ABR algorithm and a set of transport policies in a file, and
+//! the runner replays the whole comparison.
+//!
+//! See `scenarios/example.json` for a complete document. The network can
+//! be a constant rate, a seeded synthetic trace, or an external profile
+//! in the `mpdash-trace` JSON format (so measured traces plug straight
+//! in).
+
+use mpdash_dash::abr::AbrKind;
+use mpdash_dash::video::Video;
+use mpdash_link::{BandwidthProfile, LinkConfig};
+use mpdash_session::{SessionConfig, TransportMode};
+use mpdash_sim::{Rate, SimDuration};
+use mpdash_trace::io::ProfileSpec;
+use mpdash_trace::synth::SynthSpec;
+use serde::Deserialize;
+
+/// A network path's bandwidth, one of three sources.
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BandwidthSpec {
+    /// Fixed rate in Mbps.
+    Constant(f64),
+    /// Seeded synthetic AR(1) trace.
+    Synthetic {
+        /// Mean rate, Mbps.
+        mean_mbps: f64,
+        /// σ as a fraction of the mean.
+        sigma: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Load an `mpdash-trace` JSON profile from this path.
+    File(String),
+}
+
+impl BandwidthSpec {
+    fn build(&self) -> Result<BandwidthProfile, String> {
+        match self {
+            BandwidthSpec::Constant(mbps) => Ok(BandwidthProfile::constant_mbps(*mbps)),
+            BandwidthSpec::Synthetic { mean_mbps, sigma, seed } => {
+                Ok(SynthSpec::new(*mean_mbps, *sigma, *seed).profile())
+            }
+            BandwidthSpec::File(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let spec = ProfileSpec::from_json(&text)
+                    .map_err(|e| format!("parsing {path}: {e}"))?;
+                spec.to_profile().map_err(|e| format!("{path}: {e}"))
+            }
+        }
+    }
+
+    fn mean(&self, profile: &BandwidthProfile) -> Rate {
+        profile.mean_rate(SimDuration::from_secs(120))
+    }
+}
+
+/// Which video to stream.
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum VideoSpec {
+    /// A Table 3 dataset video by name: `big_buck_bunny`,
+    /// `red_bull_playstreets`, `tears_of_steel`, `tears_of_steel_hd`.
+    Named(String),
+    /// A custom ladder.
+    Custom {
+        /// Average bitrates per level, Mbps, ascending.
+        levels_mbps: Vec<f64>,
+        /// Chunk playout duration, seconds.
+        chunk_secs: u64,
+        /// Number of chunks.
+        n_chunks: usize,
+    },
+}
+
+impl VideoSpec {
+    fn build(&self) -> Result<Video, String> {
+        match self {
+            VideoSpec::Named(name) => match name.as_str() {
+                "big_buck_bunny" => Ok(Video::big_buck_bunny()),
+                "red_bull_playstreets" => Ok(Video::red_bull_playstreets()),
+                "tears_of_steel" => Ok(Video::tears_of_steel()),
+                "tears_of_steel_hd" => Ok(Video::tears_of_steel_hd()),
+                other => Err(format!("unknown video '{other}'")),
+            },
+            VideoSpec::Custom {
+                levels_mbps,
+                chunk_secs,
+                n_chunks,
+            } => {
+                if levels_mbps.is_empty() || *chunk_secs == 0 || *n_chunks == 0 {
+                    return Err("custom video needs levels, chunk_secs, n_chunks".into());
+                }
+                Ok(Video::new(
+                    "custom",
+                    levels_mbps,
+                    SimDuration::from_secs(*chunk_secs),
+                    *n_chunks,
+                ))
+            }
+        }
+    }
+}
+
+/// A transport policy to compare.
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ModeSpec {
+    /// Vanilla MPTCP.
+    Vanilla,
+    /// Single-path WiFi.
+    WifiOnly,
+    /// MP-DASH with rate-based deadlines.
+    MpdashRate,
+    /// MP-DASH with duration-based deadlines.
+    MpdashDuration,
+    /// Cellular throttled at the given kbps.
+    Throttled(u64),
+}
+
+impl ModeSpec {
+    fn build(&self) -> TransportMode {
+        match self {
+            ModeSpec::Vanilla => TransportMode::Vanilla,
+            ModeSpec::WifiOnly => TransportMode::WifiOnly,
+            ModeSpec::MpdashRate => TransportMode::mpdash_rate_based(),
+            ModeSpec::MpdashDuration => TransportMode::mpdash_duration_based(),
+            ModeSpec::Throttled(kbps) => TransportMode::Throttled { kbps: *kbps },
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        self.build().label()
+    }
+}
+
+/// A complete scenario document.
+#[derive(Debug, Deserialize)]
+pub struct Scenario {
+    /// Scenario title for the report.
+    pub name: String,
+    /// Video selection.
+    pub video: VideoSpec,
+    /// WiFi bandwidth.
+    pub wifi: BandwidthSpec,
+    /// Cellular bandwidth.
+    pub cell: BandwidthSpec,
+    /// WiFi round-trip time, milliseconds (default 50).
+    #[serde(default = "default_wifi_rtt")]
+    pub wifi_rtt_ms: u64,
+    /// Cellular round-trip time, milliseconds (default 55).
+    #[serde(default = "default_cell_rtt")]
+    pub cell_rtt_ms: u64,
+    /// Rate-adaptation algorithm: `gpac`, `festive`, `bba`, `bba_c`,
+    /// `mpc`.
+    pub abr: String,
+    /// Player buffer capacity in seconds (default 40).
+    #[serde(default = "default_buffer")]
+    pub buffer_secs: u64,
+    /// Transport policies to compare, in order.
+    pub modes: Vec<ModeSpec>,
+}
+
+fn default_wifi_rtt() -> u64 {
+    50
+}
+fn default_cell_rtt() -> u64 {
+    55
+}
+fn default_buffer() -> u64 {
+    40
+}
+
+impl Scenario {
+    /// Parse a scenario document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    fn abr_kind(&self) -> Result<AbrKind, String> {
+        match self.abr.as_str() {
+            "gpac" => Ok(AbrKind::Gpac),
+            "festive" => Ok(AbrKind::Festive),
+            "bba" => Ok(AbrKind::Bba),
+            "bba_c" | "bbac" | "bba-c" => Ok(AbrKind::BbaC),
+            "mpc" => Ok(AbrKind::Mpc),
+            other => Err(format!("unknown abr '{other}'")),
+        }
+    }
+
+    /// Build the session configs, one per mode, in declaration order.
+    pub fn build(&self) -> Result<Vec<(String, SessionConfig)>, String> {
+        let video = self.video.build()?;
+        let abr = self.abr_kind()?;
+        let wifi_profile = self.wifi.build()?;
+        let cell_profile = self.cell.build()?;
+        let priors = (
+            self.wifi.mean(&wifi_profile),
+            self.cell.mean(&cell_profile),
+        );
+        let mut out = Vec::new();
+        for mode in &self.modes {
+            let wifi = LinkConfig::constant(
+                1.0,
+                SimDuration::from_millis(self.wifi_rtt_ms / 2),
+            )
+            .with_profile(wifi_profile.clone());
+            let cell = LinkConfig::constant(
+                1.0,
+                SimDuration::from_millis(self.cell_rtt_ms / 2),
+            )
+            .with_profile(cell_profile.clone());
+            let mut cfg = SessionConfig::controlled(
+                (wifi_profile.clone(), cell_profile.clone()),
+                abr,
+                mode.build(),
+            )
+            .with_video(video.clone());
+            cfg.wifi = wifi;
+            cfg.cell = cell;
+            cfg.buffer_capacity = SimDuration::from_secs(self.buffer_secs);
+            cfg.priors = priors;
+            out.push((mode.label(), cfg));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+        "name": "demo",
+        "video": {"named": "big_buck_bunny"},
+        "wifi": {"synthetic": {"mean_mbps": 3.8, "sigma": 0.1, "seed": 42}},
+        "cell": {"constant": 3.0},
+        "abr": "festive",
+        "modes": ["vanilla", "mpdash_rate", {"throttled": 700}]
+    }"#;
+
+    #[test]
+    fn parses_and_builds() {
+        let sc = Scenario::from_json(DOC).unwrap();
+        assert_eq!(sc.name, "demo");
+        assert_eq!(sc.wifi_rtt_ms, 50, "default applied");
+        let configs = sc.build().unwrap();
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0].0, "Baseline");
+        assert_eq!(configs[1].0, "Rate");
+        assert_eq!(configs[2].0, "Throttle700k");
+        assert_eq!(configs[0].1.video.n_chunks(), 150);
+        // Priors track the declared bandwidths.
+        assert!((configs[0].1.priors.0.as_mbps_f64() - 3.8).abs() < 0.4);
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let bad = DOC.replace("festive", "quantum");
+        let sc = Scenario::from_json(&bad).unwrap();
+        assert!(sc.build().unwrap_err().contains("unknown abr"));
+
+        let bad = DOC.replace("big_buck_bunny", "rickroll");
+        let sc = Scenario::from_json(&bad).unwrap();
+        assert!(sc.build().unwrap_err().contains("unknown video"));
+    }
+
+    #[test]
+    fn custom_video_and_file_profile() {
+        // Write a profile to a temp file and reference it.
+        let dir = std::env::temp_dir().join("mpdash-scenario-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wifi.json");
+        let spec = mpdash_trace::io::ProfileSpec {
+            name: "t".into(),
+            points: vec![
+                mpdash_trace::io::ProfilePoint { at_secs: 0.0, mbps: 5.0 },
+                mpdash_trace::io::ProfilePoint { at_secs: 1.0, mbps: 2.0 },
+            ],
+            period_secs: Some(2.0),
+        };
+        std::fs::write(&path, spec.to_json()).unwrap();
+        let doc = format!(
+            r#"{{
+            "name": "custom",
+            "video": {{"custom": {{"levels_mbps": [1.0, 2.0], "chunk_secs": 2, "n_chunks": 10}}}},
+            "wifi": {{"file": "{}"}},
+            "cell": {{"constant": 3.0}},
+            "abr": "gpac",
+            "buffer_secs": 20,
+            "modes": ["vanilla"]
+        }}"#,
+            path.display()
+        );
+        let sc = Scenario::from_json(&doc).unwrap();
+        let configs = sc.build().unwrap();
+        assert_eq!(configs[0].1.video.n_levels(), 2);
+        assert_eq!(
+            configs[0].1.buffer_capacity,
+            SimDuration::from_secs(20)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration: full streaming sessions through the whole
+//! stack (links → MPTCP → HTTP → player → MP-DASH control → energy),
+//! checking the invariants every configuration must uphold.
+
+use mpdash::dash::abr::AbrKind;
+use mpdash::dash::video::Video;
+use mpdash::session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash::sim::SimDuration;
+use mpdash::trace::table1;
+
+/// A short video keeps debug-mode runtimes reasonable while exercising
+/// startup, steady state, and pacing.
+fn short_video() -> Video {
+    Video::new(
+        "BBB-e2e",
+        &[0.58, 1.01, 1.47, 2.41, 3.94],
+        SimDuration::from_secs(4),
+        30,
+    )
+}
+
+fn run(abr: AbrKind, mode: TransportMode) -> SessionReport {
+    let cfg = SessionConfig::controlled(
+        table1::synthetic_profile_pair(3.8, 3.0, 0.10, 7),
+        abr,
+        mode,
+    )
+    .with_video(short_video());
+    StreamingSession::run(cfg)
+}
+
+#[test]
+fn every_abr_and_mode_completes_without_stalls() {
+    for abr in [
+        AbrKind::Gpac,
+        AbrKind::Festive,
+        AbrKind::Bba,
+        AbrKind::BbaC,
+        AbrKind::Mpc,
+    ] {
+        for mode in [
+            TransportMode::Vanilla,
+            TransportMode::mpdash_rate_based(),
+            TransportMode::mpdash_duration_based(),
+        ] {
+            let r = run(abr, mode);
+            assert_eq!(r.chunks.len(), 30, "{:?}/{:?}: all chunks", abr, mode);
+            assert_eq!(
+                r.qoe.stalls, 0,
+                "{:?}/{:?}: no stalls on an easy network",
+                abr, mode
+            );
+            // Bytes conservation: the two paths carried at least the
+            // video payload plus HTTP headers.
+            let body: u64 = r.chunks.iter().map(|c| c.size).sum();
+            assert!(
+                r.wifi_bytes + r.cell_bytes >= body,
+                "{:?}/{:?}: conservation",
+                abr,
+                mode
+            );
+            // Chunk bodies are disjoint, ordered, and size-consistent.
+            for w in r.chunks.windows(2) {
+                assert!(w[1].body_dss.0 >= w[0].body_dss.1);
+            }
+            for c in &r.chunks {
+                assert_eq!(c.body_dss.1 - c.body_dss.0, c.size);
+                assert!(c.completed > c.started);
+            }
+            // Energy is positive and finite.
+            assert!(r.energy.total_j().is_finite() && r.energy.total_j() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn mpdash_beats_baseline_on_cellular_for_every_throughput_abr() {
+    for abr in [AbrKind::Gpac, AbrKind::Festive, AbrKind::Mpc] {
+        let base = run(abr, TransportMode::Vanilla);
+        let mp = run(abr, TransportMode::mpdash_rate_based());
+        assert!(
+            mp.cell_bytes < base.cell_bytes,
+            "{:?}: {} vs {}",
+            abr,
+            mp.cell_bytes,
+            base.cell_bytes
+        );
+        // QoE preserved.
+        assert!(mp.qoe.bitrate_reduction_vs(&base.qoe) < 0.10, "{abr:?}");
+    }
+}
+
+#[test]
+fn wifi_only_mode_never_touches_cellular() {
+    let r = run(AbrKind::Festive, TransportMode::WifiOnly);
+    assert_eq!(r.cell_bytes, 0);
+    assert_eq!(r.energy.lte.active_j, 0.0, "LTE radio never leaves idle");
+}
+
+#[test]
+fn throttled_mode_caps_cellular_rate() {
+    let r = run(AbrKind::Gpac, TransportMode::Throttled { kbps: 700 });
+    // 700 kbps over the whole session bounds cellular bytes.
+    let cap = 700_000 / 8 * (r.duration.as_secs_f64() as u64 + 5);
+    assert!(
+        r.cell_bytes <= cap,
+        "cell {} exceeds throttle cap {}",
+        r.cell_bytes,
+        cap
+    );
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let a = run(AbrKind::Festive, TransportMode::mpdash_rate_based());
+    let b = run(AbrKind::Festive, TransportMode::mpdash_rate_based());
+    assert_eq!(a.wifi_bytes, b.wifi_bytes);
+    assert_eq!(a.cell_bytes, b.cell_bytes);
+    assert_eq!(a.qoe, b.qoe);
+    assert_eq!(a.energy.total_j(), b.energy.total_j());
+}
+
+#[test]
+fn scheduler_stats_only_under_mpdash() {
+    let base = run(AbrKind::Festive, TransportMode::Vanilla);
+    assert_eq!(base.scheduler_stats, (0, 0, 0));
+    let mp = run(AbrKind::Festive, TransportMode::mpdash_rate_based());
+    let (_, missed, completed) = mp.scheduler_stats;
+    assert_eq!(missed, 0, "easy network: no missed deadlines");
+    assert!(completed > 0, "some chunks must be scheduled");
+}

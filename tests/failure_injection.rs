@@ -1,0 +1,160 @@
+//! Failure injection: blackouts and loss. The whole point of MP-DASH is
+//! that the costly path rescues playback when the preferred one fails —
+//! these tests cut WiFi mid-session and check exactly that.
+
+use mpdash::dash::abr::AbrKind;
+use mpdash::dash::video::Video;
+use mpdash::link::{BandwidthProfile, LinkConfig, PathId};
+use mpdash::session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash::sim::{Rate, SimDuration};
+
+fn short_video(chunks: usize) -> Video {
+    Video::new(
+        "BBB-fault",
+        &[0.58, 1.01, 1.47, 2.41, 3.94],
+        SimDuration::from_secs(4),
+        chunks,
+    )
+}
+
+/// WiFi at `mbps` with a hard blackout in `[from, to)` seconds.
+fn wifi_with_blackout(mbps: f64, from: u64, to: u64, total: u64) -> BandwidthProfile {
+    let slot = SimDuration::from_secs(1);
+    let samples: Vec<Rate> = (0..total)
+        .map(|s| {
+            if s >= from && s < to {
+                Rate::ZERO
+            } else {
+                Rate::from_mbps_f64(mbps)
+            }
+        })
+        .collect();
+    BandwidthProfile::from_samples(slot, &samples, true)
+}
+
+fn run(wifi: BandwidthProfile, cell_mbps: f64, mode: TransportMode) -> SessionReport {
+    let cell = BandwidthProfile::Constant(Rate::from_mbps_f64(cell_mbps));
+    let cfg = SessionConfig::controlled((wifi, cell), AbrKind::Festive, mode)
+        .with_video(short_video(30));
+    StreamingSession::run(cfg)
+}
+
+#[test]
+fn wifi_blackout_is_rescued_by_cellular_under_mpdash() {
+    // WiFi healthy at 4.5 Mbps, dead from t=40 to t=55.
+    let mk = || wifi_with_blackout(4.5, 40, 55, 130);
+    let mp = run(mk(), 4.0, TransportMode::mpdash_rate_based());
+    assert_eq!(
+        mp.qoe.stalls, 0,
+        "cellular must bridge the WiFi outage without a stall"
+    );
+    assert_eq!(mp.chunks.len(), 30);
+    // Cellular was actually used during the outage window.
+    let outage_cell: u64 = mp
+        .records
+        .iter()
+        .filter(|r| {
+            r.path == PathId::CELLULAR
+                && r.t.as_secs_f64() >= 40.0
+                && r.t.as_secs_f64() < 60.0
+        })
+        .map(|r| r.len)
+        .sum();
+    assert!(
+        outage_cell > 1_000_000,
+        "cellular carried only {outage_cell} bytes during the outage"
+    );
+
+    // The same outage on WiFi-only drains the 40 s buffer? No — the
+    // buffer covers a 15 s outage. Use a longer one for the stall check.
+    let long_outage = wifi_with_blackout(4.5, 40, 95, 130);
+    let wifi_only = run(long_outage, 4.0, TransportMode::WifiOnly);
+    assert!(
+        wifi_only.qoe.stalls > 0 || wifi_only.qoe.mean_bitrate_mbps < 2.0,
+        "a 55 s outage must hurt WiFi-only playback (stalls {} bitrate {:.2})",
+        wifi_only.qoe.stalls,
+        wifi_only.qoe.mean_bitrate_mbps
+    );
+    // While MP-DASH rides through even that.
+    let mp_long = run(
+        wifi_with_blackout(4.5, 40, 95, 130),
+        4.0,
+        TransportMode::mpdash_rate_based(),
+    );
+    assert_eq!(mp_long.qoe.stalls, 0, "MP-DASH must survive the long outage");
+}
+
+#[test]
+fn cellular_blackout_is_invisible_when_wifi_suffices() {
+    // Cellular dies completely; WiFi at 6 Mbps carries everything.
+    let wifi = BandwidthProfile::Constant(Rate::from_mbps_f64(6.0));
+    let cell = BandwidthProfile::Constant(Rate::ZERO);
+    let cfg = SessionConfig::controlled(
+        (wifi, cell),
+        AbrKind::Festive,
+        TransportMode::mpdash_rate_based(),
+    )
+    .with_video(short_video(40));
+    let r = StreamingSession::run(cfg);
+    assert_eq!(r.qoe.stalls, 0);
+    assert_eq!(r.cell_bytes, 0);
+    // Early chunks pay RTO+reinjection penalties while the dead cellular
+    // subflow is probed and abandoned, and FESTIVE's stability gate
+    // climbs one level per few chunks; the session must still converge
+    // to the top level with healthy average quality.
+    assert!(
+        r.qoe.mean_bitrate_mbps > 2.0,
+        "bitrate {:.2}",
+        r.qoe.mean_bitrate_mbps
+    );
+    assert_eq!(r.chunks.last().unwrap().level, 4, "converges to the top");
+}
+
+#[test]
+fn random_loss_does_not_break_sessions() {
+    // 2% i.i.d. loss on both paths: QoE degrades gracefully, nothing
+    // wedges, the chunk log stays complete.
+    let wifi = LinkConfig::constant(3.8, SimDuration::from_millis(25)).with_loss(0.02, 97);
+    let cell =
+        LinkConfig::constant(3.0, SimDuration::from_micros(27_500)).with_loss(0.02, 98);
+    let mut cfg = SessionConfig::controlled(
+        (
+            BandwidthProfile::constant_mbps(3.8),
+            BandwidthProfile::constant_mbps(3.0),
+        ),
+        AbrKind::Festive,
+        TransportMode::mpdash_rate_based(),
+    )
+    .with_video(short_video(25));
+    cfg.wifi = wifi;
+    cfg.cell = cell;
+    let r = StreamingSession::run(cfg);
+    assert_eq!(r.chunks.len(), 25);
+    // Random multi-loss windows during the thin-buffered startup can
+    // cost one brief stall; more would indicate a recovery bug.
+    assert!(r.qoe.stalls <= 1, "stalls {}", r.qoe.stalls);
+}
+
+#[test]
+fn repeated_short_fades_toggle_cellular_adaptively() {
+    // WiFi fades for 5 s every 30 s: MP-DASH should enable cellular
+    // during fades and drop it between them.
+    let slot = SimDuration::from_secs(1);
+    let samples: Vec<Rate> = (0..30u64)
+        .map(|s| {
+            if s < 5 {
+                Rate::from_mbps_f64(0.3)
+            } else {
+                Rate::from_mbps_f64(5.0)
+            }
+        })
+        .collect();
+    let wifi = BandwidthProfile::from_samples(slot, &samples, true);
+    let r = run(wifi, 4.0, TransportMode::mpdash_rate_based());
+    assert_eq!(r.qoe.stalls, 0);
+    let (toggles, _, _) = r.scheduler_stats;
+    assert!(toggles >= 2, "fades should drive on/off cycles: {toggles}");
+    // Cellular used, but far from everything.
+    assert!(r.cell_bytes > 0);
+    assert!(r.cell_fraction() < 0.5, "fraction {:.2}", r.cell_fraction());
+}

@@ -1,0 +1,78 @@
+//! §3.2's two symmetric preference policies, exercised end-to-end. The
+//! paper's prototype supports "preferring WiFi over cellular, and
+//! preferring cellular over WiFi" (the latter for users in motion) and
+//! notes the policies are symmetric — which is precisely what these
+//! tests check: flipping the preference flips which path is gated.
+
+use mpdash::dash::abr::AbrKind;
+use mpdash::dash::video::Video;
+use mpdash::session::{
+    PathPreference, SessionConfig, SessionReport, StreamingSession, TransportMode,
+};
+use mpdash::sim::SimDuration;
+use mpdash::trace::table1;
+
+fn short_video() -> Video {
+    Video::new(
+        "BBB-pref",
+        &[0.58, 1.01, 1.47, 2.41, 3.94],
+        SimDuration::from_secs(4),
+        30,
+    )
+}
+
+fn run(pref: PathPreference, wifi_mbps: f64, cell_mbps: f64) -> SessionReport {
+    let cfg = SessionConfig::controlled(
+        table1::synthetic_profile_pair(wifi_mbps, cell_mbps, 0.10, 42),
+        AbrKind::Festive,
+        TransportMode::mpdash_rate_based(),
+    )
+    .with_video(short_video())
+    .with_preference(pref);
+    StreamingSession::run(cfg)
+}
+
+#[test]
+fn cellular_first_gates_wifi_instead() {
+    // Symmetric network (5/5 Mbps) so only the preference differs.
+    let wifi_first = run(PathPreference::WifiFirst, 5.0, 5.0);
+    let cell_first = run(PathPreference::CellularFirst, 5.0, 5.0);
+
+    assert_eq!(wifi_first.qoe.stalls, 0);
+    assert_eq!(cell_first.qoe.stalls, 0);
+    // Under WiFi-first the cellular share collapses; under cellular-first
+    // the WiFi share collapses.
+    assert!(
+        wifi_first.cell_fraction() < 0.25,
+        "wifi-first cell share {:.2}",
+        wifi_first.cell_fraction()
+    );
+    let wifi_share =
+        cell_first.wifi_bytes as f64 / (cell_first.wifi_bytes + cell_first.cell_bytes) as f64;
+    assert!(
+        wifi_share < 0.25,
+        "cellular-first wifi share {wifi_share:.2}"
+    );
+    // Same QoE either way (the policies are symmetric, §3.2).
+    assert!(
+        (wifi_first.qoe.mean_bitrate_mbps - cell_first.qoe.mean_bitrate_mbps).abs() < 0.3
+    );
+}
+
+#[test]
+fn cellular_first_still_uses_wifi_when_cellular_is_short() {
+    // Cellular preferred but too slow for the top level: WiFi must be
+    // deadline-gated in, mirroring the WiFi-first rescue behaviour.
+    let r = run(PathPreference::CellularFirst, 5.0, 2.0);
+    assert_eq!(r.qoe.stalls, 0);
+    assert!(
+        r.wifi_bytes > 5_000_000,
+        "WiFi must top up a 2 Mbps cellular: {} bytes",
+        r.wifi_bytes
+    );
+    assert!(
+        r.qoe.mean_bitrate_mbps > 3.0,
+        "quality held: {:.2}",
+        r.qoe.mean_bitrate_mbps
+    );
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over the whole stack: random networks, sizes and
+//! deadlines must never break the core invariants.
+
+use mpdash::core::deadline::{CellDecision, DeadlineScheduler, SchedulerParams};
+use mpdash::core::optimal::{optimal_min_cost, SlotItem};
+use mpdash::link::LinkConfig;
+use mpdash::mptcp::{MptcpConfig, MptcpSim, PathMask};
+use mpdash::link::PathId;
+use mpdash::session::{FileTransfer, FileTransferConfig, TransportMode};
+use mpdash::sim::{Rate, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The transport delivers exactly the bytes sent, in order, for any
+    /// reasonable two-path network — with and without random loss.
+    #[test]
+    fn mptcp_delivers_exactly(
+        wifi_mbps in 0.5f64..20.0,
+        cell_mbps in 0.5f64..20.0,
+        wifi_rtt_ms in 5u64..120,
+        cell_rtt_ms in 5u64..120,
+        loss_pm in 0u32..30,          // per-mille
+        bytes in 10_000u64..2_000_000,
+        seed in 0u64..1000,
+    ) {
+        let p = loss_pm as f64 / 1000.0;
+        let wifi = LinkConfig::constant(wifi_mbps, SimDuration::from_millis(wifi_rtt_ms / 2 + 1))
+            .with_loss(p, seed);
+        let cell = LinkConfig::constant(cell_mbps, SimDuration::from_millis(cell_rtt_ms / 2 + 1))
+            .with_loss(p, seed ^ 0xDEAD);
+        let mut sim = MptcpSim::new(MptcpConfig::two_path(wifi, cell));
+        sim.send_app(bytes);
+        let mut guard = 0u64;
+        while sim.delivered() < bytes {
+            prop_assert!(sim.step().is_some(), "queue drained early at {}", sim.delivered());
+            guard += 1;
+            prop_assert!(guard < 20_000_000, "runaway simulation");
+        }
+        prop_assert_eq!(sim.delivered(), bytes);
+        // Conservation: paths carried at least the payload.
+        prop_assert!(sim.path_bytes(PathId::WIFI) + sim.path_bytes(PathId::CELLULAR) >= bytes);
+    }
+
+    /// A masked-out path never carries new data.
+    #[test]
+    fn mask_is_enforced(
+        bytes in 10_000u64..500_000,
+        wifi_mbps in 1.0f64..10.0,
+    ) {
+        let wifi = LinkConfig::constant(wifi_mbps, SimDuration::from_millis(20));
+        let cell = LinkConfig::constant(5.0, SimDuration::from_millis(25));
+        let mut sim = MptcpSim::new(MptcpConfig::two_path(wifi, cell));
+        sim.set_initial_mask(PathMask::only(PathId::WIFI));
+        sim.send_app(bytes);
+        while sim.delivered() < bytes {
+            prop_assert!(sim.step().is_some());
+        }
+        prop_assert_eq!(sim.path_bytes(PathId::CELLULAR), 0);
+    }
+
+    /// Algorithm 1 under a *perfect* constant-rate estimate: the deadline
+    /// is met whenever it is feasible for WiFi+cell, and cellular is
+    /// never enabled when WiFi alone is clearly sufficient.
+    #[test]
+    fn algorithm1_feasibility(
+        wifi_mbps in 1.0f64..10.0,
+        size_mb in 1u64..8,
+        deadline_s in 4u64..20,
+    ) {
+        let size = size_mb * 1_000_000;
+        let window = SimDuration::from_secs(deadline_s);
+        let wifi = Rate::from_mbps_f64(wifi_mbps);
+        let mut s = DeadlineScheduler::new(SchedulerParams::default());
+        s.enable(SimTime::ZERO, size, window);
+        let d = s.on_progress(SimTime::ZERO, 0, wifi);
+        let wifi_can = wifi.bytes_in(window);
+        if wifi_can > size + size / 10 {
+            prop_assert_eq!(d, CellDecision::NoChange, "ample WiFi must not enable cellular");
+        }
+        if wifi_can * 2 < size {
+            prop_assert_eq!(d, CellDecision::Enable, "hopeless WiFi must enable cellular");
+        }
+    }
+
+    /// The DP optimum is never undercut by any greedy subset: spot-check
+    /// against the cheapest-first greedy.
+    #[test]
+    fn dp_at_most_greedy(
+        costs in prop::collection::vec(0.0f64..10.0, 4..20),
+        need_units in 1u64..12,
+    ) {
+        let items: Vec<SlotItem> = costs
+            .iter()
+            .map(|&c| SlotItem { bytes: 100, cost: c })
+            .collect();
+        let need = need_units * 100;
+        let total: u64 = items.iter().map(|i| i.bytes).sum();
+        let plan = optimal_min_cost(&items, need, 100);
+        if need > total {
+            prop_assert!(plan.is_none());
+        } else {
+            let plan = plan.unwrap();
+            // Greedy: cheapest items first until covered.
+            let mut sorted = costs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let greedy: f64 = sorted.iter().take(need_units as usize).sum();
+            prop_assert!(plan.total_cost <= greedy + 1e-9,
+                "dp {} > greedy {}", plan.total_cost, greedy);
+            prop_assert!(plan.covered_bytes >= need);
+        }
+    }
+
+    /// End-to-end: MP-DASH file transfers with feasible deadlines always
+    /// complete, meet the deadline, and never use more cellular than the
+    /// vanilla baseline.
+    #[test]
+    fn file_transfer_end_to_end(
+        wifi_mbps in 2.0f64..8.0,
+        cell_mbps in 1.0f64..6.0,
+        size_mb in 2u64..6,
+    ) {
+        let size = size_mb * 1_000_000;
+        // Deadline with 50% headroom over the aggregate's best-case
+        // *goodput* (link rate less TCP/IP header overhead), plus slack
+        // for connection ramp-up. The margin must be honest: Algorithm 1
+        // at α = 1 trusts the estimate, and on a perfectly marginal
+        // deadline a few percent of header overhead is the difference
+        // between meeting and missing — the paper's reason for offering
+        // α < 1 (§4).
+        let goodput = (wifi_mbps + cell_mbps) * 1460.0 / 1500.0;
+        let secs = (size as f64 * 8.0 / (goodput * 1e6) * 1.5).ceil() as u64 + 2;
+        let mk = |mode| FileTransferConfig::testbed(wifi_mbps, cell_mbps, mode)
+            .with_size(size)
+            .with_deadline(SimDuration::from_secs(secs));
+        let base = FileTransfer::run(mk(TransportMode::Vanilla));
+        let mp = FileTransfer::run(mk(TransportMode::mpdash_rate_based()));
+        prop_assert!(!mp.missed_deadline,
+            "deadline {}s missed at {:.2}s (wifi {:.1}, cell {:.1}, {}MB)",
+            secs, mp.duration.as_secs_f64(), wifi_mbps, cell_mbps, size_mb);
+        prop_assert!(mp.cell_bytes <= base.cell_bytes,
+            "mp {} > base {}", mp.cell_bytes, base.cell_bytes);
+    }
+}
