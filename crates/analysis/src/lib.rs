@@ -19,7 +19,7 @@ use mpdash_energy::{session_energy, DeviceProfile, SessionEnergy};
 use mpdash_link::PathId;
 use mpdash_mptcp::PktRecord;
 use mpdash_sim::{SimDuration, SimTime};
-use serde::Serialize;
+use mpdash_results::{Json, JsonError};
 
 /// One fetched chunk, as the analysis tool needs it. (The session layer
 /// converts its own log into this; the tool itself stays independent of
@@ -348,7 +348,7 @@ pub fn replay_energy(
 
 /// Machine-readable session summary for downstream plotting pipelines —
 /// the analysis tool's export format.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionSummaryJson {
     /// Per-chunk rows.
     pub chunks: Vec<ChunkRowJson>,
@@ -367,7 +367,7 @@ pub struct SessionSummaryJson {
 }
 
 /// One chunk row of the JSON export.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChunkRowJson {
     /// Chunk index.
     pub index: usize,
@@ -410,7 +410,122 @@ pub fn to_json(chunks: &[ChunkInfo], analysis: &SessionAnalysis) -> String {
             .map(|&(t, d)| (t.as_secs_f64(), d.as_secs_f64()))
             .collect(),
     };
-    serde_json::to_string_pretty(&doc).expect("summary serializes")
+    doc.to_json().to_pretty()
+}
+
+impl ChunkRowJson {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("index", Json::from(self.index)),
+            ("level", Json::from(self.level)),
+            ("size", Json::from(self.size)),
+            ("started_s", Json::Float(self.started_s)),
+            ("completed_s", Json::Float(self.completed_s)),
+            ("cell_fraction", Json::Float(self.cell_fraction)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let u = |key: &str| -> Result<u64, JsonError> {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::schema(format!("'{key}' must be an integer")))
+        };
+        let f = |key: &str| -> Result<f64, JsonError> {
+            v.req(key)?
+                .as_f64()
+                .ok_or_else(|| JsonError::schema(format!("'{key}' must be a number")))
+        };
+        Ok(ChunkRowJson {
+            index: u("index")? as usize,
+            level: u("level")? as usize,
+            size: u("size")?,
+            started_s: f("started_s")?,
+            completed_s: f("completed_s")?,
+            cell_fraction: f("cell_fraction")?,
+        })
+    }
+}
+
+impl SessionSummaryJson {
+    /// The export document as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "chunks",
+                Json::arr(self.chunks.iter().map(|c| c.to_json())),
+            ),
+            ("wifi_body_bytes", Json::from(self.wifi_body_bytes)),
+            ("cell_body_bytes", Json::from(self.cell_body_bytes)),
+            ("switches", Json::from(self.switches)),
+            (
+                "level_histogram",
+                Json::arr(self.level_histogram.iter().map(|&n| Json::from(n))),
+            ),
+            ("mean_download_s", Json::Float(self.mean_download_s)),
+            (
+                "idle_gaps",
+                Json::arr(self.idle_gaps.iter().map(|&(a, b)| {
+                    Json::arr([Json::Float(a), Json::Float(b)])
+                })),
+            ),
+        ])
+    }
+
+    /// Parse an exported summary back — the consuming side of the export
+    /// format, so pipelines can post-process sessions without rerunning
+    /// the simulator.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let arr = |key: &str| -> Result<Vec<Json>, JsonError> {
+            Ok(v.req(key)?
+                .as_arr()
+                .ok_or_else(|| JsonError::schema(format!("'{key}' must be an array")))?
+                .to_vec())
+        };
+        let u = |key: &str| -> Result<u64, JsonError> {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::schema(format!("'{key}' must be an integer")))
+        };
+        let chunks = arr("chunks")?
+            .iter()
+            .map(ChunkRowJson::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let level_histogram = arr("level_histogram")?
+            .iter()
+            .map(|n| {
+                n.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| JsonError::schema("histogram entries must be integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let idle_gaps = arr("idle_gaps")?
+            .iter()
+            .map(|g| {
+                let pair = g
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| JsonError::schema("idle gaps must be pairs"))?;
+                match (pair[0].as_f64(), pair[1].as_f64()) {
+                    (Some(a), Some(b)) => Ok((a, b)),
+                    _ => Err(JsonError::schema("idle gaps must be numeric")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SessionSummaryJson {
+            chunks,
+            wifi_body_bytes: u("wifi_body_bytes")?,
+            cell_body_bytes: u("cell_body_bytes")?,
+            switches: u("switches")?,
+            level_histogram,
+            mean_download_s: v
+                .req("mean_download_s")?
+                .as_f64()
+                .ok_or_else(|| JsonError::schema("'mean_download_s' must be a number"))?,
+            idle_gaps,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -542,11 +657,14 @@ mod tests {
         ];
         let a = analyze(&records, &chunks, 5);
         let json = to_json(&chunks, &a);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["chunks"].as_array().unwrap().len(), 2);
-        assert_eq!(v["switches"], 1);
-        assert!((v["chunks"][0]["cell_fraction"].as_f64().unwrap() - 0.4).abs() < 1e-9);
-        assert_eq!(v["wifi_body_bytes"], 1600);
+        let doc = SessionSummaryJson::from_json(&json).unwrap();
+        assert_eq!(doc.chunks.len(), 2);
+        assert_eq!(doc.switches, 1);
+        assert!((doc.chunks[0].cell_fraction - 0.4).abs() < 1e-9);
+        assert_eq!(doc.wifi_body_bytes, 1600);
+        // Full structural round trip: re-serializing the parsed document
+        // reproduces the export byte-for-byte.
+        assert_eq!(doc.to_json().to_pretty(), json);
     }
 
     #[test]

@@ -8,8 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mpdash_core::deadline::{DeadlineScheduler, SchedulerParams};
 use mpdash_core::optimal::{optimal_min_cost, SlotItem};
 use mpdash_core::predict::{HoltWinters, Predictor};
+use mpdash_dash::abr::AbrKind;
+use mpdash_dash::video::Video;
 use mpdash_link::LinkConfig;
 use mpdash_mptcp::{MptcpConfig, MptcpSim};
+use mpdash_session::{run_batch_with, Job, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -71,11 +74,43 @@ fn bench_mptcp_transfer(c: &mut Criterion) {
     });
 }
 
+fn bench_batch_runner(c: &mut Criterion) {
+    // Sessions/sec of the experiment batch runner at different worker
+    // counts: 8 tiny streaming sessions per iteration (one per job), so
+    // the reported per-iter time is the whole batch. Speedup over the
+    // 1-worker row is the parallel efficiency on this machine.
+    let jobs = || -> Vec<Job> {
+        (0..8)
+            .map(|i| {
+                let cfg = SessionConfig::controlled_mbps(
+                    2.0 + (i % 4) as f64,
+                    2.0,
+                    AbrKind::Festive,
+                    TransportMode::Vanilla,
+                )
+                .with_video(Video::new(
+                    "tiny",
+                    &[0.5, 1.0],
+                    SimDuration::from_secs(2),
+                    4,
+                ));
+                Job::session(format!("j{i}"), cfg)
+            })
+            .collect()
+    };
+    for workers in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("batch_8_sessions_{workers}_workers"), |b| {
+            b.iter(|| black_box(run_batch_with(jobs(), workers)).len())
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_scheduler_decision,
     bench_holt_winters,
     bench_optimal_dp,
-    bench_mptcp_transfer
+    bench_mptcp_transfer,
+    bench_batch_runner
 );
 criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The one switch every experiment binary shares.
+//!
+//! `--quick` (or `-q`) on the command line, or `MPDASH_QUICK=1` in the
+//! environment, asks for the reduced-size run: experiments that iterate a
+//! corpus shrink it, everything else ignores the flag. The environment
+//! form exists so `exp_all` and CI wrappers can set it once for a whole
+//! pipeline of binaries.
+
+/// Whether the user asked for the reduced quick-mode run.
+pub fn quick_requested() -> bool {
+    if std::env::args().skip(1).any(|a| a == "--quick" || a == "-q") {
+        return true;
+    }
+    quick_env()
+}
+
+/// Just the environment half (`MPDASH_QUICK`), for callers without a
+/// command line of their own.
+pub fn quick_env() -> bool {
+    match std::env::var("MPDASH_QUICK") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_env_is_not_quick() {
+        // Test processes have no `--quick` argument and the harness never
+        // sets MPDASH_QUICK, so both layers answer "full run".
+        assert!(!quick_env());
+        assert!(!quick_requested());
+    }
+}

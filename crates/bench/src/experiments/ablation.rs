@@ -6,16 +6,16 @@
 //! All runs: Big Buck Bunny, FESTIVE, W3.8/L3.0, rate-based deadlines —
 //! the paper's primary controlled setting. Reported per variant: cellular
 //! bytes, radio energy, bitrate, stalls, scheduler toggles and missed
-//! deadlines.
+//! deadlines. The whole sweep (30 sessions) is one flat batch.
 
-use crate::experiments::banner;
 use crate::{mb, Table};
 use mpdash_core::predict::PredictorKind;
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::adapter::{AdapterConfig, DeadlineMode};
 use mpdash_energy::DeviceProfile;
 use mpdash_mptcp::CcKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_batch, Job, SessionConfig, SessionReport, TransportMode};
 use mpdash_sim::SimDuration;
 use mpdash_trace::table1;
 
@@ -44,95 +44,160 @@ const HDR: [&str; 7] = [
     "variant", "cell bytes", "energy (J)", "bitrate", "stalls", "toggles", "missed",
 ];
 
-/// Run all ablations.
-pub fn run() {
-    banner("Ablation — congestion control (decoupled Reno vs CUBIC)");
-    let mut t = Table::new(&HDR);
-    for (name, cc) in [("Reno (paper)", CcKind::Reno), ("CUBIC", CcKind::Cubic)] {
-        let r = StreamingSession::run(base_cfg().with_cc(cc));
-        row(&mut t, name, &r);
-    }
-    println!("{}", t.render());
+fn with_adapter(f: impl FnOnce(&mut AdapterConfig)) -> SessionConfig {
+    let mut ac = AdapterConfig::new(DeadlineMode::Rate);
+    f(&mut ac);
+    base_cfg().with_adapter_config(ac)
+}
 
-    banner("Ablation — throughput predictor (the §6 choice)");
-    let mut t = Table::new(&HDR);
-    for (name, p) in [
+/// Compute all ablations as one batch.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new("ablation", "Ablations — MP-DASH design choices")
+        .with_quick(quick);
+
+    // (section title, [(variant label, config)]) in report order; the
+    // batch flattens in the same order.
+    let cc_variants = [("Reno (paper)", CcKind::Reno), ("CUBIC", CcKind::Cubic)];
+    let predictors = [
         ("Holt-Winters (paper)", PredictorKind::control_default()),
         ("HW aggressive (0.8/0.3)", PredictorKind::HoltWinters { alpha: 0.8, beta: 0.3 }),
         ("EWMA 0.5", PredictorKind::Ewma { alpha: 0.5 }),
         ("EWMA 0.2", PredictorKind::Ewma { alpha: 0.2 }),
-    ] {
-        let r = StreamingSession::run(base_cfg().with_predictor(p));
-        row(&mut t, name, &r);
-    }
-    println!("{}", t.render());
+    ];
+    let debounces = [1u32, 2, 4, 8];
+    let slots_ms = [50u64, 100, 250, 500];
+    let phis = [0.6f64, 0.7, 0.8, 0.9, 0.99];
+    let omegas = [0.2f64, 0.4, 0.6, 0.8];
+    let devices = [DeviceProfile::galaxy_note(), DeviceProfile::galaxy_s3()];
+    let t_factors = [1.0f64, 2.0, 3.0];
 
-    banner("Ablation — enable-side debounce (progress checks)");
-    let mut t = Table::new(&HDR);
-    for d in [1u32, 2, 4, 8] {
-        let r = StreamingSession::run(base_cfg().with_debounce(d));
-        row(&mut t, &format!("debounce {d} (paper: 1)"), &r);
-    }
-    println!("{}", t.render());
+    let mut sections: Vec<(&str, Vec<(String, SessionConfig)>)> = Vec::new();
+    sections.push((
+        "Ablation — congestion control (decoupled Reno vs CUBIC)",
+        cc_variants
+            .iter()
+            .map(|&(name, cc)| (name.to_string(), base_cfg().with_cc(cc)))
+            .collect(),
+    ));
+    sections.push((
+        "Ablation — throughput predictor (the §6 choice)",
+        predictors
+            .iter()
+            .map(|&(name, p)| (name.to_string(), base_cfg().with_predictor(p)))
+            .collect(),
+    ));
+    sections.push((
+        "Ablation — enable-side debounce (progress checks)",
+        debounces
+            .iter()
+            .map(|&d| (format!("debounce {d} (paper: 1)"), base_cfg().with_debounce(d)))
+            .collect(),
+    ));
+    sections.push((
+        "Ablation — sampling-slot width",
+        slots_ms
+            .iter()
+            .map(|&ms| {
+                (
+                    format!("{ms} ms"),
+                    base_cfg().with_sample_slot(SimDuration::from_millis(ms)),
+                )
+            })
+            .collect(),
+    ));
+    sections.push((
+        "Ablation — Φ (deadline-extension threshold), paper default 0.8",
+        phis.iter()
+            .map(|&phi| {
+                (
+                    format!("phi = {phi:.2} x capacity"),
+                    with_adapter(|ac| ac.phi_fraction = phi),
+                )
+            })
+            .collect(),
+    ));
+    sections.push((
+        "Ablation — Ω floor (low-buffer bypass), paper default 0.4",
+        omegas
+            .iter()
+            .map(|&omega| {
+                (
+                    format!("omega >= {omega:.2} x capacity"),
+                    with_adapter(|ac| ac.omega_floor = omega),
+                )
+            })
+            .collect(),
+    ));
+    sections.push((
+        "Ablation — Ω window T multiple, paper default 2 (1x/3x 'do not qualitatively change')",
+        t_factors
+            .iter()
+            .map(|&tf| {
+                (
+                    format!("T = {tf:.0} x capacity"),
+                    with_adapter(|ac| ac.t_factor = tf),
+                )
+            })
+            .collect(),
+    ));
 
-    banner("Ablation — sampling-slot width");
-    let mut t = Table::new(&HDR);
-    for ms in [50u64, 100, 250, 500] {
-        let r = StreamingSession::run(
-            base_cfg().with_sample_slot(SimDuration::from_millis(ms)),
-        );
-        row(&mut t, &format!("{ms} ms"), &r);
+    let mut jobs: Vec<Job> = Vec::new();
+    for (section, variants) in &sections {
+        for (name, cfg) in variants {
+            jobs.push(Job::session(format!("{section}/{name}"), cfg.clone()));
+        }
     }
-    println!("{}", t.render());
-
-    banner("Ablation — Φ (deadline-extension threshold), paper default 0.8");
-    let mut t = Table::new(&HDR);
-    for phi in [0.6f64, 0.7, 0.8, 0.9, 0.99] {
-        let mut ac = AdapterConfig::new(DeadlineMode::Rate);
-        ac.phi_fraction = phi;
-        let r = StreamingSession::run(base_cfg().with_adapter_config(ac));
-        row(&mut t, &format!("phi = {phi:.2} x capacity"), &r);
-    }
-    println!("{}", t.render());
-
-    banner("Ablation — Ω floor (low-buffer bypass), paper default 0.4");
-    let mut t = Table::new(&HDR);
-    for omega in [0.2f64, 0.4, 0.6, 0.8] {
-        let mut ac = AdapterConfig::new(DeadlineMode::Rate);
-        ac.omega_floor = omega;
-        let r = StreamingSession::run(base_cfg().with_adapter_config(ac));
-        row(&mut t, &format!("omega >= {omega:.2} x capacity"), &r);
-    }
-    println!("{}", t.render());
-
-    banner("Cross-check — device energy profiles (paper: 'both yielding similar results')");
-    let mut t = Table::new(&["device", "baseline E (J)", "MP-DASH E (J)", "energy saving"]);
-    for device in [DeviceProfile::galaxy_note(), DeviceProfile::galaxy_s3()] {
-        let base = StreamingSession::run(
+    // The device cross-check needs a baseline run per device, appended
+    // after the per-variant sections: (baseline, mp-dash) per device.
+    for device in devices {
+        jobs.push(Job::session(
+            format!("device {}/baseline", device.name),
             SessionConfig::controlled(
                 table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
                 AbrKind::Festive,
                 TransportMode::Vanilla,
             )
             .with_device(device),
-        );
-        let mp = StreamingSession::run(base_cfg().with_device(device));
+        ));
+        jobs.push(Job::session(
+            format!("device {}/mpdash", device.name),
+            base_cfg().with_device(device),
+        ));
+    }
+
+    let results = run_batch(jobs);
+    let mut next = results.iter();
+
+    for (section, variants) in &sections {
+        let mut t = Table::new(&HDR).with_title(format!("{section}:"));
+        for (name, _) in variants {
+            row(&mut t, name, next.next().unwrap().report.session());
+        }
+        res.table(t);
+    }
+
+    let mut t = Table::new(&["device", "baseline E (J)", "MP-DASH E (J)", "energy saving"])
+        .with_title("Cross-check — device energy profiles (paper: 'both yielding similar results'):");
+    for device in devices {
+        let base = next.next().unwrap().report.session();
+        let mp = next.next().unwrap().report.session();
         t.row(&[
             device.name.into(),
             format!("{:.1}", base.energy.total_j()),
             format!("{:.1}", mp.energy.total_j()),
-            crate::pct(mp.energy_saving_vs(&base)),
+            crate::pct(mp.energy_saving_vs(base)),
         ]);
     }
-    println!("{}", t.render());
+    res.table(t);
+    res
+}
 
-    banner("Ablation — Ω window T multiple, paper default 2 (1x/3x 'do not qualitatively change')");
-    let mut t = Table::new(&HDR);
-    for tf in [1.0f64, 2.0, 3.0] {
-        let mut ac = AdapterConfig::new(DeadlineMode::Rate);
-        ac.t_factor = tf;
-        let r = StreamingSession::run(base_cfg().with_adapter_config(ac));
-        row(&mut t, &format!("T = {tf:.0} x capacity"), &r);
-    }
-    println!("{}", t.render());
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

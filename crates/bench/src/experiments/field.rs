@@ -10,11 +10,16 @@
 //!   in 82.65% of experiments; average 2.5% among the rest).
 //! * Table 5 — per-location savings for the seven named locations.
 //! * Radio-energy savings percentiles (paper: 7.7% / 17% / 53%).
+//!
+//! This is the heaviest sweep (33 locations × 2 visits × 6 schemes =
+//! 396 sessions on the full run) and the batch runner's showcase: the
+//! whole grid is one flat job list, and the persisted CDF quantiles are
+//! byte-identical at any `MPDASH_WORKERS` setting.
 
-use crate::experiments::banner;
 use crate::{pct, Table};
 use mpdash_dash::abr::AbrKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::{CdfSummary, ExperimentResult, ScalarGroup};
+use mpdash_session::{run_batch, BatchResult, Job, SessionConfig, TransportMode};
 use mpdash_sim::series::Cdf;
 use mpdash_trace::field::{field_corpus, Location};
 
@@ -25,34 +30,44 @@ struct LocationResult {
     bba: [(f64, f64, f64); 2],
 }
 
-fn run_one(loc: &Location, abr: AbrKind, mode: TransportMode) -> SessionReport {
-    StreamingSession::run(SessionConfig::at_location(loc, abr, mode))
-}
+const ABRS: [AbrKind; 2] = [AbrKind::Festive, AbrKind::Bba];
 
-fn study(loc: &Location, abr: AbrKind) -> ([(f64, f64, f64); 2], SessionReport) {
-    let base = run_one(loc, abr, TransportMode::Vanilla);
-    let mut out = [(0.0, 0.0, 0.0); 2];
-    for (i, mode) in [
+/// Baseline + the two MP-DASH deadline modes, in fold order.
+fn scheme_modes() -> [TransportMode; 3] {
+    [
+        TransportMode::Vanilla,
         TransportMode::mpdash_rate_based(),
         TransportMode::mpdash_duration_based(),
     ]
-    .into_iter()
-    .enumerate()
-    {
-        let r = run_one(loc, abr, mode);
-        out[i] = (
-            r.cell_saving_vs(&base),
-            r.energy_saving_vs(&base),
+}
+
+/// Fold the next three reports (baseline, rate, duration) into per-mode
+/// savings versus the baseline.
+fn fold_study<'a>(
+    next: &mut impl Iterator<Item = &'a BatchResult>,
+) -> [(f64, f64, f64); 2] {
+    let base = next.next().unwrap().report.session();
+    let mut out = [(0.0, 0.0, 0.0); 2];
+    for slot in &mut out {
+        let r = next.next().unwrap().report.session();
+        *slot = (
+            r.cell_saving_vs(base),
+            r.energy_saving_vs(base),
             r.qoe.bitrate_reduction_vs(&base.qoe),
         );
     }
-    (out, base)
+    out
 }
 
-/// Run the experiment. `quick` limits the corpus (used by integration
-/// smoke tests); the full study covers all 33 locations.
-pub fn run_with(quick: bool) {
-    banner("Figures 9 & 10 + Table 5 — the 33-location field study");
+/// Compute the field study. `quick` limits the corpus to 6 locations and
+/// one visit (used by integration smoke tests); the full study covers all
+/// 33 locations twice.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "field",
+        "Figures 9 & 10 + Table 5 — the 33-location field study",
+    )
+    .with_quick(quick);
     let corpus = field_corpus();
     let corpus: Vec<&Location> = if quick {
         corpus.iter().take(6).collect()
@@ -64,15 +79,31 @@ pub fn run_with(quick: bool) {
     // day; revisits share the site's means but draw fresh instantaneous
     // conditions. Table 5 reports the first visit.
     let visits: u64 = if quick { 1 } else { 2 };
+    let mut jobs = Vec::new();
+    for loc in &corpus {
+        for visit in 0..visits {
+            let at = loc.revisit(visit);
+            for abr in ABRS {
+                for mode in scheme_modes() {
+                    jobs.push(Job::session(
+                        format!("{}/v{visit}/{}/{}", at.name, abr.name(), mode.label()),
+                        SessionConfig::at_location(&at, abr, mode),
+                    ));
+                }
+            }
+        }
+    }
+    let batch = run_batch(jobs);
+    let mut next = batch.iter();
+
     let mut results = Vec::new();
     let mut cell_cdf = Cdf::new();
     let mut energy_cdf = Cdf::new();
     let mut bitrate_cdf = Cdf::new();
     for loc in &corpus {
         for visit in 0..visits {
-            let at = loc.revisit(visit);
-            let (festive, _) = study(&at, AbrKind::Festive);
-            let (bba, _) = study(&at, AbrKind::Bba);
+            let festive = fold_study(&mut next);
+            let bba = fold_study(&mut next);
             for set in [&festive, &bba] {
                 for &(cell, energy, bitrate) in set.iter() {
                     cell_cdf.push(cell);
@@ -88,10 +119,9 @@ pub fn run_with(quick: bool) {
                 });
             }
         }
-        eprintln!("  finished {}", loc.name);
     }
 
-    println!("\nFigure 9 — cellular-data savings across all experiments:");
+    res.text("\nFigure 9 — cellular-data savings across all experiments:");
     let mut t = Table::new(&["percentile", "saving (paper)", "saving (measured)"]);
     for (q, paper) in [(0.25, "48%"), (0.50, "59%"), (0.75, "82%")] {
         t.row(&[
@@ -100,9 +130,10 @@ pub fn run_with(quick: bool) {
             pct(cell_cdf.quantile(q).unwrap_or(0.0)),
         ]);
     }
-    println!("{}", t.render());
+    res.table(t);
+    res.cdf(CdfSummary::from_cdf("cell_saving", &mut cell_cdf));
 
-    println!("Radio-energy savings (paper: 7.7% / 17% / 53%):");
+    res.text("Radio-energy savings (paper: 7.7% / 17% / 53%):");
     let mut t = Table::new(&["percentile", "saving (measured)"]);
     for q in [0.25, 0.50, 0.75] {
         t.row(&[
@@ -110,21 +141,29 @@ pub fn run_with(quick: bool) {
             pct(energy_cdf.quantile(q).unwrap_or(0.0)),
         ]);
     }
-    println!("{}", t.render());
+    res.table(t);
+    res.cdf(CdfSummary::from_cdf("energy_saving", &mut energy_cdf));
 
-    println!("Figure 10 — playback-bitrate reduction:");
+    res.text("Figure 10 — playback-bitrate reduction:");
     let no_reduction = bitrate_cdf.fraction_at_most(0.005);
-    println!(
+    res.text(format!(
         "  experiments with (essentially) no reduction: {} (paper: 82.65%)",
         pct(no_reduction)
-    );
-    println!(
+    ));
+    res.text(format!(
         "  median reduction: {} | 95th percentile: {}",
         pct(bitrate_cdf.quantile(0.5).unwrap_or(0.0)),
         pct(bitrate_cdf.quantile(0.95).unwrap_or(0.0)),
+    ));
+    res.cdf(CdfSummary::from_cdf("bitrate_reduction", &mut bitrate_cdf));
+    res.scalars(
+        ScalarGroup::new("headline numbers")
+            .with("no_reduction_fraction", no_reduction)
+            .with("median_cell_saving", cell_cdf.quantile(0.5).unwrap_or(0.0))
+            .with("median_energy_saving", energy_cdf.quantile(0.5).unwrap_or(0.0)),
     );
 
-    println!("\nTable 5 — named locations (savings in % vs vanilla MPTCP):");
+    res.text("\nTable 5 — named locations (savings in % vs vanilla MPTCP):");
     let mut t = Table::new(&[
         "location",
         "FEST/bytes R", "FEST/bytes D",
@@ -152,10 +191,16 @@ pub fn run_with(quick: bool) {
             pct(r.bba[1].1),
         ]);
     }
-    println!("{}", t.render());
+    res.table(t);
+    res
 }
 
-/// Full study.
+/// Compute, render, persist. `quick` limits the corpus.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// Full study behind the shared quick switch.
 pub fn run() {
-    run_with(false);
+    run_with(crate::cli::quick_requested());
 }

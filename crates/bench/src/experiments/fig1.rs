@@ -5,24 +5,28 @@
 //! state even though WiFi alone nearly suffices, and the flow shows
 //! on/off idle gaps as the player's buffer fills.
 
-use crate::experiments::banner;
 use crate::Table;
 use mpdash_analysis::throughput_timeline;
 use mpdash_dash::abr::AbrKind;
 use mpdash_link::PathId;
-use mpdash_session::{SessionConfig, StreamingSession, TransportMode};
+use mpdash_results::{ExperimentResult, MetricSeries, ScalarGroup};
+use mpdash_session::{run_sessions, SessionConfig, TransportMode};
 use mpdash_sim::{Series, SimDuration};
 use mpdash_trace::table1;
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 1 — vanilla MPTCP throughput while streaming DASH (W3.8/L3.0)");
+/// Compute the experiment (one session).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig1",
+        "Figure 1 — vanilla MPTCP throughput while streaming DASH (W3.8/L3.0)",
+    )
+    .with_quick(quick);
     let cfg = SessionConfig::controlled(
         table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
         AbrKind::Gpac,
         TransportMode::Vanilla,
     );
-    let report = StreamingSession::run(cfg);
+    let report = run_sessions(vec![cfg]).remove(0);
 
     // Per-second throughput of each subflow over the steady state.
     let mut wifi = Series::new("wifi-bytes");
@@ -37,6 +41,8 @@ pub fn run() {
     let window = SimDuration::from_secs(1);
     let wifi_th = wifi.throughput_mbps(window);
     let cell_th = cell.throughput_mbps(window);
+    res.series(MetricSeries::throughput("wifi_mbps", &wifi, window));
+    res.series(MetricSeries::throughput("cell_mbps", &cell, window));
 
     let mut t = Table::new(&["t (s)", "WiFi Mbps", "LTE Mbps", "MPTCP Mbps"]);
     for i in 10..40 {
@@ -53,21 +59,41 @@ pub fn run() {
             format!("{:.2}", w + c),
         ]);
     }
-    println!("{}", t.render());
+    res.table(t);
 
-    println!(
+    res.text(format!(
         "session: {} on WiFi, {} on LTE ({} of bytes over the metered link)",
         crate::mb(report.wifi_bytes),
         crate::mb(report.cell_bytes),
         crate::pct(report.cell_fraction()),
-    );
-    println!(
+    ));
+    res.text(format!(
         "mean playback bitrate {:.2} Mbps, stalls {}",
         report.qoe.mean_bitrate_mbps, report.qoe.stalls
+    ));
+    res.scalars(
+        ScalarGroup::new("session totals")
+            .with("wifi_bytes", report.wifi_bytes as f64)
+            .with("cell_bytes", report.cell_bytes as f64)
+            .with("cell_fraction", report.cell_fraction())
+            .with("mean_bitrate_mbps", report.qoe.mean_bitrate_mbps)
+            .with("stalls", report.qoe.stalls as f64),
     );
-    println!("\nfirst 60 s, 1 s buckets:");
-    println!(
-        "{}",
-        throughput_timeline(&report.records, SimDuration::from_secs(1), SimDuration::from_secs(60))
-    );
+    res.text("\nfirst 60 s, 1 s buckets:");
+    res.text(throughput_timeline(
+        &report.records,
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(60),
+    ));
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

@@ -7,14 +7,14 @@
 //! throughout, and WiFi-only cannot hold the top bitrate (paper: 81%
 //! cellular / 47% energy savings with no bitrate loss).
 
-use crate::experiments::banner;
 use crate::{mb, pct, Table};
 use mpdash_analysis::throughput_timeline;
-use mpdash_dash::abr::AbrKind;
 use mpdash_core::predict::PredictorKind;
+use mpdash_dash::abr::AbrKind;
 use mpdash_energy::DeviceProfile;
 use mpdash_mptcp::{CcKind, SchedulerKind};
-use mpdash_session::{SessionConfig, StreamingSession, TransportMode};
+use mpdash_results::{ExperimentResult, ScalarGroup};
+use mpdash_session::{run_sessions, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::mobility::MobilityWalk;
 
@@ -43,20 +43,27 @@ fn config(mode: TransportMode) -> SessionConfig {
     }
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 11 — mobility walk (WiFi 5↔0 Mbps, LTE 5 Mbps, FESTIVE)");
-    let base = StreamingSession::run(config(TransportMode::Vanilla));
-    let mp = StreamingSession::run(config(TransportMode::mpdash_rate_based()));
-    let wifi_only = StreamingSession::run(config(TransportMode::WifiOnly));
+/// Compute the experiment (three sessions, batched).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig11",
+        "Figure 11 — mobility walk (WiFi 5↔0 Mbps, LTE 5 Mbps, FESTIVE)",
+    )
+    .with_quick(quick);
+    let reports = run_sessions(vec![
+        config(TransportMode::Vanilla),
+        config(TransportMode::mpdash_rate_based()),
+        config(TransportMode::WifiOnly),
+    ]);
+    let (base, mp, wifi_only) = (&reports[0], &reports[1], &reports[2]);
 
     let mut t = Table::new(&[
         "config", "cell bytes", "energy (J)", "bitrate (Mbps)", "stalls",
     ]);
     for (name, r) in [
-        ("MP-DASH (rate)", &mp),
-        ("default MPTCP", &base),
-        ("WiFi only", &wifi_only),
+        ("MP-DASH (rate)", mp),
+        ("default MPTCP", base),
+        ("WiFi only", wifi_only),
     ] {
         t.row(&[
             name.into(),
@@ -66,19 +73,36 @@ pub fn run() {
             format!("{}", r.qoe.stalls),
         ]);
     }
-    println!("{}", t.render());
-    println!(
+    res.table(t);
+    res.text(format!(
         "MP-DASH vs default: cellular saving {}, energy saving {} (paper: 81.4% / 47.3%)",
-        pct(mp.cell_saving_vs(&base)),
-        pct(mp.energy_saving_vs(&base)),
+        pct(mp.cell_saving_vs(base)),
+        pct(mp.energy_saving_vs(base)),
+    ));
+    res.scalars(
+        ScalarGroup::new("MP-DASH vs default MPTCP")
+            .with("cell_saving", mp.cell_saving_vs(base))
+            .with("energy_saving", mp.energy_saving_vs(base)),
     );
 
-    println!("\ntraffic over two walk laps (1 s buckets):");
-    for (name, r) in [("MP-DASH", &mp), ("default MPTCP", &base), ("WiFi only", &wifi_only)] {
-        println!("\n{name}:");
-        println!(
-            "{}",
-            throughput_timeline(&r.records, SimDuration::from_secs(1), SimDuration::from_secs(60))
-        );
+    res.text("\ntraffic over two walk laps (1 s buckets):");
+    for (name, r) in [("MP-DASH", mp), ("default MPTCP", base), ("WiFi only", wifi_only)] {
+        res.text(format!("\n{name}:"));
+        res.text(throughput_timeline(
+            &r.records,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+        ));
     }
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

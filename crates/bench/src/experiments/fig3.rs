@@ -2,9 +2,9 @@
 //! MPTCP capacity (~3.4 Mbps) sits between two encoding bitrates
 //! (2.41 and 3.94 Mbps for Big Buck Bunny), and how BBA-C locks the rate.
 
-use crate::experiments::banner;
 use mpdash_dash::abr::AbrKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::{ExperimentResult, ScalarGroup};
+use mpdash_session::{run_sessions, SessionConfig, SessionReport, TransportMode};
 use mpdash_trace::table1;
 
 fn oscillations(report: &SessionReport) -> (usize, Vec<usize>) {
@@ -14,9 +14,13 @@ fn oscillations(report: &SessionReport) -> (usize, Vec<usize>) {
     (switches, levels)
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 3 — BBA bitrate oscillation at MPTCP capacity ~3.4 Mbps");
+/// Compute the experiment (two sessions, batched).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig3",
+        "Figure 3 — BBA bitrate oscillation at MPTCP capacity ~3.4 Mbps",
+    )
+    .with_quick(quick);
     // WiFi 2.0 + LTE 1.5 gives an aggregate goodput near 3.4 Mbps —
     // squarely between levels 4 (2.41) and 5 (3.94).
     let mk = |abr| {
@@ -26,22 +30,46 @@ pub fn run() {
             TransportMode::Vanilla,
         )
     };
-    let bba = StreamingSession::run(mk(AbrKind::Bba));
-    let bbac = StreamingSession::run(mk(AbrKind::BbaC));
+    let reports = run_sessions(vec![mk(AbrKind::Bba), mk(AbrKind::BbaC)]);
+    let (bba, bbac) = (&reports[0], &reports[1]);
 
-    let (bba_sw, bba_levels) = oscillations(&bba);
-    let (bbac_sw, _) = oscillations(&bbac);
+    let (bba_sw, bba_levels) = oscillations(bba);
+    let (bbac_sw, _) = oscillations(bbac);
 
-    println!("BBA   steady-state switches: {bba_sw} (mean bitrate {:.2} Mbps)", bba.qoe.mean_bitrate_mbps);
-    println!("BBA-C steady-state switches: {bbac_sw} (mean bitrate {:.2} Mbps)", bbac.qoe.mean_bitrate_mbps);
-    println!("\nBBA level per chunk (steady state, 1 char per chunk):");
+    res.text(format!(
+        "BBA   steady-state switches: {bba_sw} (mean bitrate {:.2} Mbps)",
+        bba.qoe.mean_bitrate_mbps
+    ));
+    res.text(format!(
+        "BBA-C steady-state switches: {bbac_sw} (mean bitrate {:.2} Mbps)",
+        bbac.qoe.mean_bitrate_mbps
+    ));
+    res.scalars(
+        ScalarGroup::new("steady-state switches")
+            .with("bba_switches", bba_sw as f64)
+            .with("bbac_switches", bbac_sw as f64)
+            .with("bba_mean_bitrate_mbps", bba.qoe.mean_bitrate_mbps)
+            .with("bbac_mean_bitrate_mbps", bbac.qoe.mean_bitrate_mbps),
+    );
+    res.text("\nBBA level per chunk (steady state, 1 char per chunk):");
     let line: String = bba_levels
         .iter()
         .map(|&l| char::from_digit(l as u32, 10).unwrap_or('?'))
         .collect();
-    println!("{line}");
-    println!(
+    res.text(line);
+    res.text(
         "\nShape check: BBA oscillates (switches ≫ 0) while BBA-C locks the \
-         highest sustainable level — the paper's §5.2.2 motivation."
+         highest sustainable level — the paper's §5.2.2 motivation.",
     );
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

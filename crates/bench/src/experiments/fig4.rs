@@ -7,11 +7,11 @@
 //! longer deadlines save more (paper: 68% cellular / 44% energy at 10 s);
 //! α = 0.8 still saves (paper: 28% / 15%) but less than α = 1.
 
-use crate::experiments::banner;
 use crate::{mb, pct, Table};
 use mpdash_dash::adapter::DeadlineMode;
 use mpdash_mptcp::SchedulerKind;
-use mpdash_session::{FileTransfer, FileTransferConfig, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_transfers, FileTransferConfig, TransportMode};
 use mpdash_sim::SimDuration;
 
 fn mpdash(alpha: f64) -> TransportMode {
@@ -21,18 +21,50 @@ fn mpdash(alpha: f64) -> TransportMode {
     }
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 4 — MP-DASH scheduler alone: 5 MB, WiFi 3.8 / LTE 3.0");
-    for sched in [SchedulerKind::MinRtt, SchedulerKind::RoundRobin] {
+const DEADLINES_S: [u64; 3] = [8, 9, 10];
+const ALPHAS: [f64; 4] = [1.0, 0.95, 0.9, 0.8];
+
+/// Compute the experiment: one flat transfer batch (baseline + deadline
+/// grid per scheduler, then the α sweep), folded into per-scheduler
+/// tables.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig4",
+        "Figure 4 — MP-DASH scheduler alone: 5 MB, WiFi 3.8 / LTE 3.0",
+    )
+    .with_quick(quick);
+
+    let schedulers = [SchedulerKind::MinRtt, SchedulerKind::RoundRobin];
+    let mut configs = Vec::new();
+    for sched in schedulers {
+        configs.push(
+            FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla).with_scheduler(sched),
+        );
+        for d in DEADLINES_S {
+            configs.push(
+                FileTransferConfig::testbed(3.8, 3.0, mpdash(1.0))
+                    .with_deadline(SimDuration::from_secs(d))
+                    .with_scheduler(sched),
+            );
+        }
+    }
+    configs.push(FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla));
+    for alpha in ALPHAS {
+        configs.push(
+            FileTransferConfig::testbed(3.8, 3.0, mpdash(alpha))
+                .with_deadline(SimDuration::from_secs(10)),
+        );
+    }
+    let reports = run_transfers(configs);
+    let mut next = reports.iter();
+
+    for sched in schedulers {
         let name = match sched {
             SchedulerKind::MinRtt => "default (minRTT)",
             SchedulerKind::RoundRobin => "round-robin",
         };
-        println!("\nMPTCP scheduler: {name}");
-        let base = FileTransfer::run(
-            FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla).with_scheduler(sched),
-        );
+        res.text(format!("\nMPTCP scheduler: {name}"));
+        let base = next.next().unwrap();
         let mut t = Table::new(&[
             "config", "LTE bytes", "energy (J)", "finish (s)", "LTE saving", "energy saving",
         ]);
@@ -44,12 +76,8 @@ pub fn run() {
             "-".into(),
             "-".into(),
         ]);
-        for d in [8u64, 9, 10] {
-            let r = FileTransfer::run(
-                FileTransferConfig::testbed(3.8, 3.0, mpdash(1.0))
-                    .with_deadline(SimDuration::from_secs(d))
-                    .with_scheduler(sched),
-            );
+        for d in DEADLINES_S {
+            let r = next.next().unwrap();
             assert!(!r.missed_deadline, "deadline {d}s must be met");
             t.row(&[
                 format!("MP-DASH D={d}s"),
@@ -60,17 +88,14 @@ pub fn run() {
                 pct(1.0 - r.energy.total_j() / base.energy.total_j()),
             ]);
         }
-        println!("{}", t.render());
+        res.table(t);
     }
 
-    println!("\nα sensitivity at D = 10 s (minRTT):");
-    let base = FileTransfer::run(FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla));
+    res.text("\nα sensitivity at D = 10 s (minRTT):");
+    let base = next.next().unwrap();
     let mut t = Table::new(&["alpha", "LTE bytes", "LTE saving", "energy saving", "finish (s)"]);
-    for alpha in [1.0, 0.95, 0.9, 0.8] {
-        let r = FileTransfer::run(
-            FileTransferConfig::testbed(3.8, 3.0, mpdash(alpha))
-                .with_deadline(SimDuration::from_secs(10)),
-        );
+    for alpha in ALPHAS {
+        let r = next.next().unwrap();
         t.row(&[
             format!("{alpha:.2}"),
             mb(r.cell_bytes),
@@ -79,5 +104,16 @@ pub fn run() {
             format!("{:.2}", r.duration.as_secs_f64()),
         ]);
     }
-    println!("{}", t.render());
+    res.table(t);
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

@@ -5,21 +5,30 @@
 //! with bounded lag — the property Table 2's small online-vs-optimal gap
 //! relies on.
 
-use crate::experiments::banner;
 use crate::Table;
 use mpdash_core::predict::{HoltWinters, Predictor};
-use mpdash_trace::table1;
+use mpdash_results::{ExperimentResult, MetricSeries, ScalarGroup};
 use mpdash_sim::{SimDuration, SimTime};
+use mpdash_trace::table1;
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 5 — bandwidth traces and Holt-Winters prediction");
+/// Compute the experiment. Pure prediction replay, so `quick` only tags
+/// the artifact.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig5",
+        "Figure 5 — bandwidth traces and Holt-Winters prediction",
+    )
+    .with_quick(quick);
     let rows = table1::table1_rows();
-    for row in rows.iter().filter(|r| r.name.contains("Fast Food") || r.name.contains("Coffeehouse")) {
-        println!("\ntrace: {}", row.name);
+    for row in rows
+        .iter()
+        .filter(|r| r.name.contains("Fast Food") || r.name.contains("Coffeehouse"))
+    {
+        res.text(format!("\ntrace: {}", row.name));
         let slot = SimDuration::from_millis(500);
         let mut hw = HoltWinters::default();
         let mut t = Table::new(&["t (s)", "actual Mbps", "HW forecast Mbps", "error"]);
+        let mut forecast_points = Vec::new();
         let mut abs_err = 0.0;
         let mut n = 0;
         for i in 0..70 {
@@ -29,6 +38,7 @@ pub fn run() {
             if let Some(f) = forecast {
                 abs_err += (f - actual).abs();
                 n += 1;
+                forecast_points.push((at.as_secs_f64(), f));
                 if i % 4 == 0 {
                     t.row(&[
                         format!("{:.1}", at.as_secs_f64()),
@@ -40,7 +50,28 @@ pub fn run() {
             }
             hw.observe(row.wifi.rate_at(at));
         }
-        println!("{}", t.render());
-        println!("mean |error| over 35 s: {:.3} Mbps", abs_err / n as f64);
+        res.table(t);
+        res.series(MetricSeries::from_points(
+            format!("hw_forecast/{}", row.name),
+            "Mbps",
+            forecast_points,
+        ));
+        let mean_abs_err = abs_err / n as f64;
+        res.text(format!("mean |error| over 35 s: {mean_abs_err:.3} Mbps"));
+        res.scalars(
+            ScalarGroup::new(format!("prediction error — {}", row.name))
+                .with("mean_abs_error_mbps", mean_abs_err),
+        );
     }
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

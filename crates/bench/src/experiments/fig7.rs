@@ -8,10 +8,10 @@
 //! the sustainable level (paper: ~69% cellular / 50% energy at a ~29%
 //! bitrate cost versus oscillating BBA).
 
-use crate::experiments::banner;
 use crate::{mb, pct, Table};
 use mpdash_dash::abr::AbrKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_batch, Job, SessionConfig, TransportMode};
 use mpdash_trace::table1;
 
 const CONDITIONS: [(&str, f64, f64); 3] = [
@@ -20,60 +20,87 @@ const CONDITIONS: [(&str, f64, f64); 3] = [
     ("W2.2/L1.2", 2.2, 1.2),
 ];
 
-fn run_one(wifi: f64, lte: f64, abr: AbrKind, mode: TransportMode) -> SessionReport {
-    let cfg = SessionConfig::controlled(
+const MODES: [(&str, fn() -> TransportMode); 3] = [
+    ("Baseline", || TransportMode::Vanilla),
+    ("Duration", TransportMode::mpdash_duration_based),
+    ("Rate", TransportMode::mpdash_rate_based),
+];
+
+fn config(wifi: f64, lte: f64, abr: AbrKind, mode: TransportMode) -> SessionConfig {
+    SessionConfig::controlled(
         table1::synthetic_profile_pair(wifi, lte, 0.10, 42),
         abr,
         mode,
-    );
-    StreamingSession::run(cfg)
+    )
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 7 — FESTIVE / BBA / BBA-C under three network conditions");
-    for abr in [AbrKind::Festive, AbrKind::Bba, AbrKind::BbaC] {
-        println!("\n--- {} ---", abr.name());
+/// Compute the experiment: the full 3 ABRs × 3 conditions × 3 modes grid
+/// as one batch, folded into one table per ABR.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig7",
+        "Figure 7 — FESTIVE / BBA / BBA-C under three network conditions",
+    )
+    .with_quick(quick);
+
+    let abrs = [AbrKind::Festive, AbrKind::Bba, AbrKind::BbaC];
+    let mut jobs = Vec::new();
+    for abr in abrs {
+        for (cname, w, l) in CONDITIONS {
+            for (mname, mode) in MODES {
+                jobs.push(Job::session(
+                    format!("{}/{cname}/{mname}", abr.name()),
+                    config(w, l, abr, mode()),
+                ));
+            }
+        }
+    }
+    let results = run_batch(jobs);
+    let mut next = results.iter();
+
+    for abr in abrs {
+        res.text(format!("\n--- {} ---", abr.name()));
         let mut t = Table::new(&[
             "condition", "config", "cell bytes", "energy (J)", "bitrate", "stalls",
             "cell saving", "energy saving",
         ]);
-        for (cname, w, l) in CONDITIONS {
-            let base = run_one(w, l, abr, TransportMode::Vanilla);
-            for (mname, mode) in [
-                ("Baseline", TransportMode::Vanilla),
-                ("Duration", TransportMode::mpdash_duration_based()),
-                ("Rate", TransportMode::mpdash_rate_based()),
-            ] {
-                let r = if mname == "Baseline" {
-                    base.clone()
-                } else {
-                    run_one(w, l, abr, mode)
-                };
+        for (cname, _, _) in CONDITIONS {
+            // The batch keeps input order, so each condition's three mode
+            // rows arrive together, baseline first.
+            let rows: Vec<_> = MODES
+                .iter()
+                .map(|_| next.next().unwrap().report.session())
+                .collect();
+            let base = rows[0];
+            for ((mname, _), r) in MODES.iter().zip(&rows) {
+                let is_base = *mname == "Baseline";
                 t.row(&[
                     cname.into(),
-                    mname.into(),
+                    (*mname).into(),
                     mb(r.cell_bytes),
                     format!("{:.1}", r.energy.total_j()),
                     format!("{:.2}", r.qoe.mean_bitrate_mbps),
                     format!("{}", r.qoe.stalls),
-                    if mname == "Baseline" {
-                        "-".into()
-                    } else {
-                        pct(r.cell_saving_vs(&base))
-                    },
-                    if mname == "Baseline" {
-                        "-".into()
-                    } else {
-                        pct(r.energy_saving_vs(&base))
-                    },
+                    if is_base { "-".into() } else { pct(r.cell_saving_vs(base)) },
+                    if is_base { "-".into() } else { pct(r.energy_saving_vs(base)) },
                 ]);
             }
         }
-        println!("{}", t.render());
+        res.table(t);
     }
-    println!(
+    res.text(
         "\nBBA vs BBA-C at W2.2/L1.2: BBA-C trades the oscillating 4↔5 \
-         playback for a locked level, giving MP-DASH room to save (§7.3.2)."
+         playback for a locked level, giving MP-DASH room to save (§7.3.2).",
     );
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

@@ -7,10 +7,10 @@
 //! cellular slivers, and the duration-based setting uses more cellular on
 //! larger-than-nominal chunks than the rate-based one.
 
-use crate::experiments::banner;
 use mpdash_analysis::{analyze, chunk_path_splits, render_chunk_bars, ChunkInfo};
 use mpdash_dash::abr::AbrKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_sessions, SessionConfig, SessionReport, TransportMode};
 use mpdash_trace::table1;
 
 fn chunk_infos(report: &SessionReport) -> Vec<ChunkInfo> {
@@ -28,33 +28,51 @@ fn chunk_infos(report: &SessionReport) -> Vec<ChunkInfo> {
         .collect()
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Figure 8 — analysis-tool chunk bars (FESTIVE, W3.8/L3.0)");
-    for (name, mode) in [
+/// Compute the experiment (three sessions, batched).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig8",
+        "Figure 8 — analysis-tool chunk bars (FESTIVE, W3.8/L3.0)",
+    )
+    .with_quick(quick);
+    let modes = [
         ("default MPTCP", TransportMode::Vanilla),
         ("MP-DASH rate-based", TransportMode::mpdash_rate_based()),
         ("MP-DASH duration-based", TransportMode::mpdash_duration_based()),
-    ] {
-        let cfg = SessionConfig::controlled(
-            table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
-            AbrKind::Festive,
-            mode,
-        );
-        let report = StreamingSession::run(cfg);
-        let chunks = chunk_infos(&report);
+    ];
+    let configs = modes
+        .iter()
+        .map(|&(_, mode)| {
+            SessionConfig::controlled(
+                table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
+                AbrKind::Festive,
+                mode,
+            )
+        })
+        .collect();
+    let reports = run_sessions(configs);
+    for ((name, _), report) in modes.iter().zip(&reports) {
+        let chunks = chunk_infos(report);
         let splits = chunk_path_splits(&report.records, &chunks);
         let a = analyze(&report.records, &chunks, 5);
-        println!("\n{name} — chunks 30..46 (of {}):", chunks.len());
-        println!(
-            "{}",
-            render_chunk_bars(&chunks[30..46], &splits[30..46], 24)
-        );
-        println!(
+        res.text(format!("\n{name} — chunks 30..46 (of {}):", chunks.len()));
+        res.text(render_chunk_bars(&chunks[30..46], &splits[30..46], 24));
+        res.text(format!(
             "session cellular body bytes: {:.2} MB | idle gaps >0.5 s: {} | switches: {}",
             a.cell_body_bytes as f64 / 1e6,
             a.idle_gaps.len(),
             a.switches
-        );
+        ));
     }
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

@@ -1,6 +1,21 @@
-//! One module per reproduced table/figure. Each exposes `run()`, which
-//! prints the regenerated rows/series to stdout; the `exp_*` binaries are
-//! thin wrappers, and `exp_all` chains every experiment.
+//! One module per reproduced table/figure.
+//!
+//! Every module follows the same pipeline:
+//!
+//! * `result(quick) -> ExperimentResult` **computes** the experiment —
+//!   building a flat job list, fanning it over
+//!   [`mpdash_session::run_batch`], and folding the reports into typed
+//!   blocks (tables, CDF summaries, series, scalars);
+//! * [`execute`] **renders** the result to stdout and **persists** it as
+//!   a JSON artifact under `results/` (see
+//!   [`mpdash_results::write_artifact`]);
+//! * `run()` wires the two together behind the shared `--quick` /
+//!   `MPDASH_QUICK` switch ([`crate::cli::quick_requested`]).
+//!
+//! The `exp_*` binaries are thin wrappers over `run()`, and `exp_all`
+//! chains every experiment. Because rendering is a pure function of the
+//! result, re-rendering a deserialized artifact reproduces the printed
+//! report byte-for-byte — the round-trip the test suite asserts.
 
 pub mod ablation;
 pub mod field;
@@ -17,9 +32,35 @@ pub mod tab2;
 pub mod tab4;
 pub mod tab6;
 
-/// Print a section banner.
-pub fn banner(title: &str) {
-    println!("\n================================================================");
-    println!("{title}");
-    println!("================================================================");
+use mpdash_results::{artifact_dir, write_artifact, ExperimentResult};
+
+/// Render `result` to stdout and persist its JSON artifact; the artifact
+/// path goes to stderr so piped stdout stays a clean report.
+pub fn execute(result: &ExperimentResult) {
+    print!("{}", result.render());
+    match write_artifact(result) {
+        Ok(path) => eprintln!("[artifact] {}", path.display()),
+        Err(e) => {
+            let path = artifact_dir().join(format!("{}.json", result.name));
+            eprintln!("[artifact] {} not written: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mpdash_results::ExperimentResult;
+
+    /// The pipeline contract: every experiment's artifact deserializes to
+    /// a value that renders byte-identically to the original. `tab2` is
+    /// the cheapest full experiment, so it stands in for the family.
+    #[test]
+    fn artifact_round_trips_to_identical_render() {
+        let r = super::tab2::result(true);
+        let text = r.to_json().to_pretty();
+        let back = ExperimentResult::parse(&text).expect("artifact parses");
+        assert_eq!(back, r);
+        assert_eq!(back.render(), r.render());
+        assert_eq!(back.to_json().to_pretty(), text);
+    }
 }

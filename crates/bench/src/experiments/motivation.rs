@@ -7,11 +7,11 @@
 //! WiFi-only and over vanilla MPTCP at every corpus location and classify
 //! by the fraction of steady-state chunks fetched at the top level.
 
-use crate::experiments::banner;
 use crate::{pct, Table};
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_session::{SessionConfig, StreamingSession, TransportMode};
+use mpdash_results::{ExperimentResult, ScalarGroup};
+use mpdash_session::{run_batch, Job, SessionConfig, TransportMode};
 use mpdash_sim::SimDuration;
 use mpdash_trace::field::{field_corpus, Scenario};
 
@@ -41,32 +41,50 @@ fn classify(frac: f64) -> Scenario {
     }
 }
 
-/// Run the study.
-pub fn run() {
-    banner("§2.2 motivation — can WiFi alone sustain the top bitrate?");
-    let corpus = field_corpus();
+/// Compute the study: two sessions per corpus location (WiFi-only and
+/// vanilla MPTCP) as one flat batch. `quick` keeps the first 8 locations.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "motivation",
+        "§2.2 motivation — can WiFi alone sustain the top bitrate?",
+    )
+    .with_quick(quick);
+    let mut corpus = field_corpus();
+    if quick {
+        corpus.truncate(8);
+    }
+    let mut jobs = Vec::new();
+    for loc in &corpus {
+        jobs.push(Job::session(
+            format!("{}/wifi-only", loc.name),
+            SessionConfig::at_location(loc, AbrKind::Festive, TransportMode::WifiOnly)
+                .with_video(video()),
+        ));
+        jobs.push(Job::session(
+            format!("{}/mptcp", loc.name),
+            SessionConfig::at_location(loc, AbrKind::Festive, TransportMode::Vanilla)
+                .with_video(video()),
+        ));
+    }
+    let results = run_batch(jobs);
+    let mut next = results.iter();
+
     let mut counts = [0usize; 3];
     let mut mptcp_ok = 0usize;
     let mut sample = Table::new(&[
         "location", "WiFi Mbps", "WiFi-only top-rate %", "class", "MPTCP top-rate %",
     ]);
     for (i, loc) in corpus.iter().enumerate() {
-        let wifi_only = StreamingSession::run(
-            SessionConfig::at_location(loc, AbrKind::Festive, TransportMode::WifiOnly)
-                .with_video(video()),
-        );
-        let mptcp = StreamingSession::run(
-            SessionConfig::at_location(loc, AbrKind::Festive, TransportMode::Vanilla)
-                .with_video(video()),
-        );
-        let frac = top_level_fraction(&wifi_only);
+        let wifi_only = next.next().unwrap().report.session();
+        let mptcp = next.next().unwrap().report.session();
+        let frac = top_level_fraction(wifi_only);
         let class = classify(frac);
         counts[match class {
             Scenario::WifiNeverSufficient => 0,
             Scenario::WifiSometimesSufficient => 1,
             Scenario::WifiAlwaysSufficient => 2,
         }] += 1;
-        let mfrac = top_level_fraction(&mptcp);
+        let mfrac = top_level_fraction(mptcp);
         if mfrac > 0.95 && mptcp.qoe.stalls == 0 {
             mptcp_ok += 1;
         }
@@ -80,17 +98,36 @@ pub fn run() {
             ]);
         }
     }
-    println!("every 5th location:\n{}", sample.render());
+    res.text("every 5th location:");
+    res.table(sample);
     let n = corpus.len();
-    println!(
+    res.text(format!(
         "classification: never {}/{} ({}), sometimes {}/{} ({}), always {}/{} ({})",
         counts[0], n, pct(counts[0] as f64 / n as f64),
         counts[1], n, pct(counts[1] as f64 / n as f64),
         counts[2], n, pct(counts[2] as f64 / n as f64),
-    );
-    println!("paper: 64% / 15% / 21%");
-    println!(
+    ));
+    res.text("paper: 64% / 15% / 21%");
+    res.text(format!(
         "MPTCP sustains the top bitrate (≥95% of steady chunks, 0 stalls) at {mptcp_ok}/{n} locations \
          (paper: all locations)"
+    ));
+    res.scalars(
+        ScalarGroup::new("classification")
+            .with("never_fraction", counts[0] as f64 / n as f64)
+            .with("sometimes_fraction", counts[1] as f64 / n as f64)
+            .with("always_fraction", counts[2] as f64 / n as f64)
+            .with("mptcp_ok_fraction", mptcp_ok as f64 / n as f64),
     );
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

@@ -8,58 +8,85 @@
 //! (buffer-led); MP-DASH saves cellular for it with no stalls and little
 //! bitrate impact, like the other throughput-consuming algorithms.
 
-use crate::experiments::banner;
 use crate::{mb, pct, Table};
 use mpdash_dash::abr::AbrKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_batch, Job, SessionConfig, TransportMode};
 use mpdash_trace::table1;
 
-fn run_one(wifi: f64, lte: f64, mode: TransportMode) -> SessionReport {
-    StreamingSession::run(SessionConfig::controlled(
+const CONDITIONS: [(&str, f64, f64); 3] = [
+    ("W3.8/L3.0", 3.8, 3.0),
+    ("W2.8/L3.0", 2.8, 3.0),
+    ("W2.2/L1.2", 2.2, 1.2),
+];
+
+const MODES: [(&str, fn() -> TransportMode); 3] = [
+    ("Baseline", || TransportMode::Vanilla),
+    ("Rate", TransportMode::mpdash_rate_based),
+    ("Duration", TransportMode::mpdash_duration_based),
+];
+
+fn config(wifi: f64, lte: f64, mode: TransportMode) -> SessionConfig {
+    SessionConfig::controlled(
         table1::synthetic_profile_pair(wifi, lte, 0.10, 42),
         AbrKind::Mpc,
         mode,
-    ))
+    )
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Extension — MPC (hybrid) rate adaptation under MP-DASH (§5.2.3)");
+/// Compute the experiment (the 3 conditions × 3 modes grid as one batch).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "mpc",
+        "Extension — MPC (hybrid) rate adaptation under MP-DASH (§5.2.3)",
+    )
+    .with_quick(quick);
+    let mut jobs = Vec::new();
+    for (cname, w, l) in CONDITIONS {
+        for (mname, mode) in MODES {
+            jobs.push(Job::session(format!("{cname}/{mname}"), config(w, l, mode())));
+        }
+    }
+    let results = run_batch(jobs);
+    let mut next = results.iter();
+
     let mut t = Table::new(&[
         "condition", "config", "cell bytes", "energy (J)", "bitrate", "switches", "stalls",
         "cell saving",
     ]);
-    for (cname, w, l) in [
-        ("W3.8/L3.0", 3.8, 3.0),
-        ("W2.8/L3.0", 2.8, 3.0),
-        ("W2.2/L1.2", 2.2, 1.2),
-    ] {
-        let base = run_one(w, l, TransportMode::Vanilla);
-        for (mname, mode) in [
-            ("Baseline", TransportMode::Vanilla),
-            ("Rate", TransportMode::mpdash_rate_based()),
-            ("Duration", TransportMode::mpdash_duration_based()),
-        ] {
-            let r = if mname == "Baseline" {
-                base.clone()
-            } else {
-                run_one(w, l, mode)
-            };
+    for (cname, _, _) in CONDITIONS {
+        let rows: Vec<_> = MODES
+            .iter()
+            .map(|_| next.next().unwrap().report.session())
+            .collect();
+        let base = rows[0];
+        for ((mname, _), r) in MODES.iter().zip(&rows) {
             t.row(&[
                 cname.into(),
-                mname.into(),
+                (*mname).into(),
                 mb(r.cell_bytes),
                 format!("{:.1}", r.energy.total_j()),
                 format!("{:.2}", r.qoe.mean_bitrate_mbps),
                 format!("{}", r.qoe.switches),
                 format!("{}", r.qoe.stalls),
-                if mname == "Baseline" {
+                if *mname == "Baseline" {
                     "-".into()
                 } else {
-                    pct(r.cell_saving_vs(&base))
+                    pct(r.cell_saving_vs(base))
                 },
             ]);
         }
     }
-    println!("{}", t.render());
+    res.table(t);
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

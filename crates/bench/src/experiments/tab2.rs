@@ -6,14 +6,19 @@
 //! small; deadlines are essentially never missed (the paper has a single
 //! 10 ms miss); longer deadlines need less cellular.
 
-use crate::experiments::banner;
 use crate::{pct, simulate_online, Table};
+use mpdash_results::ExperimentResult;
 use mpdash_sim::SimDuration;
 use mpdash_trace::table1::table1_rows;
 
-/// Run the experiment.
-pub fn run() {
-    banner("Table 2 — online vs optimal cellular usage (trace-driven)");
+/// Compute the experiment. Pure CPU (no sessions), so `quick` only tags
+/// the artifact.
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "tab2",
+        "Table 2 — online vs optimal cellular usage (trace-driven)",
+    )
+    .with_quick(quick);
     let mut t = Table::new(&[
         "trace", "D/L (s)", "Cell% optimal", "Cell% online", "Diff.", "Miss?",
     ]);
@@ -37,5 +42,16 @@ pub fn run() {
             ]);
         }
     }
-    println!("{}", t.render());
+    res.table(t);
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

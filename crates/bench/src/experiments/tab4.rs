@@ -6,59 +6,75 @@
 //! the lowest cellular usage and the lowest energy; low throttle caps
 //! also degrade chunk quality.
 
-use crate::experiments::banner;
 use crate::{mb, pct, Table};
 use mpdash_analysis::throughput_timeline;
 use mpdash_dash::abr::AbrKind;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_sessions, SessionConfig, TransportMode};
 use mpdash_sim::SimDuration;
 use mpdash_trace::table1;
 
-fn run_one(mode: TransportMode) -> SessionReport {
-    let cfg = SessionConfig::controlled(
-        table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
-        AbrKind::Gpac,
-        mode,
-    );
-    StreamingSession::run(cfg)
-}
-
-/// Run the experiment.
-pub fn run() {
-    banner("Table 4 — cellular throttling vs MP-DASH (GPAC, W3.8/L3.0)");
+/// Compute the experiment (four sessions, batched).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "tab4",
+        "Table 4 — cellular throttling vs MP-DASH (GPAC, W3.8/L3.0)",
+    )
+    .with_quick(quick);
     let configs = [
         ("Default", TransportMode::Vanilla),
         ("Throttle 700 Kbps", TransportMode::Throttled { kbps: 700 }),
         ("Throttle 1000 Kbps", TransportMode::Throttled { kbps: 1000 }),
         ("MP-DASH (rate)", TransportMode::mpdash_rate_based()),
     ];
-    let mut reports = Vec::new();
+    let reports = run_sessions(
+        configs
+            .iter()
+            .map(|&(_, mode)| {
+                SessionConfig::controlled(
+                    table1::synthetic_profile_pair(3.8, 3.0, 0.10, 42),
+                    AbrKind::Gpac,
+                    mode,
+                )
+            })
+            .collect(),
+    );
     let mut t = Table::new(&[
         "config", "cell bytes", "% of cell data", "radio energy (J)", "mean bitrate", "stalls",
     ]);
-    for (name, mode) in configs {
-        let r = run_one(mode);
+    for ((name, _), r) in configs.iter().zip(&reports) {
         t.row(&[
-            name.into(),
+            (*name).into(),
             mb(r.cell_bytes),
             pct(r.cell_fraction()),
             format!("{:.1}", r.energy.total_j()),
             format!("{:.2}", r.qoe.mean_bitrate_mbps),
             format!("{}", r.qoe.stalls),
         ]);
-        reports.push((name, r));
     }
-    println!("{}", t.render());
+    res.table(t);
 
-    println!("\nFigure 6 — traffic patterns (first 60 s, 1 s buckets):");
-    for (name, r) in &reports {
+    res.text("\nFigure 6 — traffic patterns (first 60 s, 1 s buckets):");
+    for ((name, _), r) in configs.iter().zip(&reports) {
         if *name == "Throttle 1000 Kbps" {
             continue; // the paper's figure shows 700k / MP-DASH / default
         }
-        println!("\n{name}:");
-        println!(
-            "{}",
-            throughput_timeline(&r.records, SimDuration::from_secs(1), SimDuration::from_secs(60))
-        );
+        res.text(format!("\n{name}:"));
+        res.text(throughput_timeline(
+            &r.records,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+        ));
     }
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

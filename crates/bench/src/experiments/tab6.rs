@@ -8,39 +8,58 @@
 //! estimate beats the app-level one), ~37% for BBA-C with a small bitrate
 //! dip; single-digit energy savings.
 
-use crate::experiments::banner;
 use crate::{mb, pct, Table};
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
+use mpdash_results::ExperimentResult;
+use mpdash_session::{run_batch, Job, SessionConfig, TransportMode};
 use mpdash_trace::table1;
 
-fn run_one(abr: AbrKind, mode: TransportMode) -> SessionReport {
+fn config(abr: AbrKind, mode: TransportMode) -> SessionConfig {
     // "Supermarket": WiFi 4.5 + LTE 3.5 ≈ 8 Mbps aggregate < the 10 Mbps
     // top rate.
-    let cfg = SessionConfig::controlled(
+    SessionConfig::controlled(
         table1::synthetic_profile_pair(4.5, 3.5, 0.15, 31),
         abr,
         mode,
     )
-    .with_video(Video::tears_of_steel_hd());
-    StreamingSession::run(cfg)
+    .with_video(Video::tears_of_steel_hd())
 }
 
-/// Run the experiment.
-pub fn run() {
-    banner("Table 6 — HD video (Tears of Steel HD, aggregate < top rate)");
+/// Compute the experiment (four sessions — baseline + MP-DASH per ABR —
+/// as one batch).
+pub fn result(quick: bool) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "tab6",
+        "Table 6 — HD video (Tears of Steel HD, aggregate < top rate)",
+    )
+    .with_quick(quick);
+    let abrs = [AbrKind::Festive, AbrKind::BbaC];
+    let mut jobs = Vec::new();
+    for abr in abrs {
+        // BBA-C's baseline is unmodified BBA over vanilla MPTCP, per the
+        // paper's "37% for BBA-C over the unmodified BBA".
+        let base_abr = if abr == AbrKind::BbaC { AbrKind::Bba } else { abr };
+        jobs.push(Job::session(
+            format!("{}/baseline", abr.name()),
+            config(base_abr, TransportMode::Vanilla),
+        ));
+        jobs.push(Job::session(
+            format!("{}/rate", abr.name()),
+            config(abr, TransportMode::mpdash_rate_based()),
+        ));
+    }
+    let results = run_batch(jobs);
+    let mut next = results.iter();
+
     let mut t = Table::new(&[
         "algorithm", "config", "cell bytes", "energy (J)", "bitrate (Mbps)",
         "cell saving", "energy saving", "bitrate change",
     ]);
-    for abr in [AbrKind::Festive, AbrKind::BbaC] {
-        // BBA-C's baseline is unmodified BBA over vanilla MPTCP, per the
-        // paper's "37% for BBA-C over the unmodified BBA".
-        let base_abr = if abr == AbrKind::BbaC { AbrKind::Bba } else { abr };
-        let base = run_one(base_abr, TransportMode::Vanilla);
-        let mp = run_one(abr, TransportMode::mpdash_rate_based());
-        for (name, r) in [("Baseline", &base), ("MP-DASH rate", &mp)] {
+    for abr in abrs {
+        let base = next.next().unwrap().report.session();
+        let mp = next.next().unwrap().report.session();
+        for (name, r) in [("Baseline", base), ("MP-DASH rate", mp)] {
             let is_base = name == "Baseline";
             let delta = -r.qoe.bitrate_reduction_vs(&base.qoe);
             t.row(&[
@@ -49,8 +68,8 @@ pub fn run() {
                 mb(r.cell_bytes),
                 format!("{:.1}", r.energy.total_j()),
                 format!("{:.2}", r.qoe.mean_bitrate_mbps),
-                if is_base { "-".into() } else { pct(r.cell_saving_vs(&base)) },
-                if is_base { "-".into() } else { pct(r.energy_saving_vs(&base)) },
+                if is_base { "-".into() } else { pct(r.cell_saving_vs(base)) },
+                if is_base { "-".into() } else { pct(r.energy_saving_vs(base)) },
                 if is_base {
                     "-".into()
                 } else {
@@ -59,5 +78,16 @@ pub fn run() {
             ]);
         }
     }
-    println!("{}", t.render());
+    res.table(t);
+    res
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::execute(&result(quick));
+}
+
+/// [`run_with`] behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
 }

@@ -129,70 +129,11 @@ pub fn simulate_online(
     }
 }
 
-/// Percent formatting helper (two decimals, paper style).
-pub fn pct(x: f64) -> String {
-    format!("{:.2}%", x * 100.0)
-}
-
-/// Megabyte formatting helper.
-pub fn mb(bytes: u64) -> String {
-    format!("{:.2} MB", bytes as f64 / 1e6)
-}
-
-/// Simple fixed-width markdown-ish table printer.
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Start a table with the given column headers.
-    pub fn new(header: &[&str]) -> Self {
-        Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Append one row (must match the header arity).
-    pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
-        self.rows.push(cells.to_vec());
-    }
-
-    /// Render with padded columns.
-    pub fn render(&self) -> String {
-        let ncols = self.header.len();
-        let mut widths = vec![0usize; ncols];
-        for (i, h) in self.header.iter().enumerate() {
-            widths[i] = h.len();
-        }
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let fmt_row = |cells: &[String]| -> String {
-            let mut s = String::from("|");
-            for (i, c) in cells.iter().enumerate() {
-                s.push_str(&format!(" {:>w$} |", c, w = widths[i]));
-            }
-            s.push('\n');
-            s
-        };
-        let mut out = fmt_row(&self.header);
-        let mut sep = String::from("|");
-        for w in &widths {
-            sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
-        }
-        sep.push('\n');
-        out.push_str(&sep);
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-        }
-        out
-    }
-}
+// The table/formatting helpers moved to `mpdash-results` when experiments
+// split into compute → persist → render; the old names stay as aliases so
+// experiment code reads unchanged.
+pub use mpdash_results::TableData as Table;
+pub use mpdash_results::{mb, pct};
 
 #[cfg(test)]
 mod tests {
@@ -280,4 +221,5 @@ mod tests {
         assert!(s.contains("| 1 |    2 |"));
     }
 }
+pub mod cli;
 pub mod experiments;

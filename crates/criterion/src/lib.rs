@@ -1,0 +1,146 @@
+//! Minimal in-tree benchmark harness with a criterion-compatible API.
+//!
+//! The workspace's micro-benchmarks were written against the `criterion`
+//! crate, which cannot be fetched in this build environment (no registry
+//! access). This path crate keeps `cargo bench` working by implementing
+//! the subset those benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] / [`criterion_main!`], and a
+//! [`black_box`] re-export.
+//!
+//! Methodology: each benchmark warms up for ~`WARMUP`, then runs timed
+//! batches until ~`MEASURE` of wall time has accumulated, and reports
+//! mean ns/iteration with min/max over batches. No statistics beyond
+//! that — this is a smoke-level harness, not a rigorous sampler.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(240);
+
+/// Runs one benchmark's closure in warmup and timed batches.
+pub struct Bencher {
+    batches: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Benchmark `f`: warm up, then time batches of calls until the
+    /// measurement budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup, also used to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~20 batches over the measurement budget.
+        let batch = ((MEASURE.as_secs_f64() / 20.0 / per_iter).ceil() as u64).max(1);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.batches.push((batch, t0.elapsed()));
+        }
+    }
+}
+
+/// Registry that runs named benchmarks and prints one line per result.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run `f` as the benchmark `name` and print its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            batches: Vec::new(),
+        };
+        f(&mut b);
+        if b.batches.is_empty() {
+            println!("{name:<40} (no measurements)");
+            return self;
+        }
+        let total_iters: u64 = b.batches.iter().map(|&(n, _)| n).sum();
+        let total_time: Duration = b.batches.iter().map(|&(_, d)| d).sum();
+        let mean = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+        let per_batch: Vec<f64> = b
+            .batches
+            .iter()
+            .map(|&(n, d)| d.as_nanos() as f64 / n.max(1) as f64)
+            .collect();
+        let min = per_batch.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_batch.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<40} {:>12}/iter  (min {}, max {}, {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            total_iters
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn bencher_records_batches() {
+        let mut b = Bencher {
+            batches: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.batches.is_empty());
+        assert!(b.batches.iter().all(|&(n, _)| n >= 1));
+    }
+}

@@ -21,9 +21,7 @@
 
 use crate::profile::BandwidthProfile;
 use crate::shaper::TokenBucket;
-use mpdash_sim::{Rate, SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mpdash_sim::{Prng, Rate, SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// Why a packet was not delivered.
@@ -110,7 +108,7 @@ impl LinkConfig {
 /// One unidirectional simulated path. See the module docs for the model.
 pub struct Link {
     cfg: LinkConfig,
-    rng: StdRng,
+    rng: Prng,
     /// Instant at which the server finishes the last accepted packet.
     busy_until: SimTime,
     /// Accepted packets still occupying the queue/server:
@@ -125,7 +123,7 @@ pub struct Link {
 impl Link {
     /// Build a link from its configuration.
     pub fn new(cfg: LinkConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Prng::new(cfg.seed);
         Link {
             cfg,
             rng,
@@ -189,7 +187,7 @@ impl Link {
         // 1. Random loss happens "on the wire" but is decided up front —
         //    the byte still occupied upstream buffers in reality, but for a
         //    drop-tail model deciding early is equivalent and simpler.
-        if self.cfg.loss > 0.0 && self.rng.random::<f64>() < self.cfg.loss {
+        if self.cfg.loss > 0.0 && self.rng.next_f64() < self.cfg.loss {
             self.dropped_packets += 1;
             return SendOutcome::Dropped(DropReason::RandomLoss);
         }

@@ -1,0 +1,250 @@
+//! Deterministic parallel batch runner for experiment jobs.
+//!
+//! The paper's evaluation is batch-shaped: 33 locations × {FESTIVE, BBA}
+//! × {baseline, rate, duration} for the field study alone (§7.3.3).
+//! Every experiment builds a flat job list up front, this runner fans the
+//! jobs over a fixed pool of scoped threads, and the results come back in
+//! input order — so a parallel run is observationally identical to a
+//! sequential one:
+//!
+//! * every job is a **pure function of its config** (all randomness lives
+//!   in embedded seeds, the simulator never reads the wall clock);
+//! * collection is **order-preserving** ([`mpdash_sim::par_map`]), so
+//!   downstream aggregation sees the same sequence regardless of worker
+//!   count or completion interleaving;
+//! * worker count comes from `MPDASH_WORKERS` (or the machine) and is
+//!   deliberately **absent from every report** — artifacts must not
+//!   depend on it.
+//!
+//! [`seed_jobs`] derives independent per-job seeds from one base seed for
+//! sweeps that want per-job randomness without hand-numbering streams.
+
+use crate::config::SessionConfig;
+use crate::file_transfer::{FileTransfer, FileTransferConfig, FileTransferReport};
+use crate::report::SessionReport;
+use crate::streaming::StreamingSession;
+use mpdash_sim::{default_workers, derive_seed, par_map};
+
+/// What one job runs: a full streaming session or a §7.2 single-file
+/// deadline transfer.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// A streaming session ([`StreamingSession::run`]).
+    Session(Box<SessionConfig>),
+    /// A deadline file transfer ([`FileTransfer::run`]).
+    Transfer(FileTransferConfig),
+}
+
+/// One labelled unit of work in a batch.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Label carried through to the result (experiment-defined meaning,
+    /// e.g. `"loc03/festive/Rate"`).
+    pub label: String,
+    /// The work itself.
+    pub spec: JobSpec,
+}
+
+impl Job {
+    /// A streaming-session job.
+    pub fn session(label: impl Into<String>, cfg: SessionConfig) -> Self {
+        Job {
+            label: label.into(),
+            spec: JobSpec::Session(Box::new(cfg)),
+        }
+    }
+
+    /// A file-transfer job.
+    pub fn transfer(label: impl Into<String>, cfg: FileTransferConfig) -> Self {
+        Job {
+            label: label.into(),
+            spec: JobSpec::Transfer(cfg),
+        }
+    }
+
+    /// Reseed the job's stochastic components (link loss processes) from
+    /// one job-level seed, deriving independent per-link streams.
+    pub fn reseed(&mut self, seed: u64) {
+        match &mut self.spec {
+            JobSpec::Session(cfg) => {
+                cfg.wifi.seed = derive_seed(seed, 0);
+                cfg.cell.seed = derive_seed(seed, 1);
+            }
+            JobSpec::Transfer(cfg) => {
+                cfg.wifi.seed = derive_seed(seed, 0);
+                cfg.cell.seed = derive_seed(seed, 1);
+            }
+        }
+    }
+}
+
+/// The report matching a [`JobSpec`].
+#[derive(Clone, Debug)]
+pub enum JobReport {
+    /// From a session job.
+    Session(Box<SessionReport>),
+    /// From a transfer job.
+    Transfer(FileTransferReport),
+}
+
+impl JobReport {
+    /// The session report; panics on a transfer job (caller mismatch).
+    pub fn session(&self) -> &SessionReport {
+        match self {
+            JobReport::Session(r) => r,
+            JobReport::Transfer(_) => panic!("job produced a transfer report"),
+        }
+    }
+
+    /// The transfer report; panics on a session job.
+    pub fn transfer(&self) -> &FileTransferReport {
+        match self {
+            JobReport::Transfer(r) => r,
+            JobReport::Session(_) => panic!("job produced a session report"),
+        }
+    }
+}
+
+/// One completed job: its label and report, at the same index the job
+/// occupied in the input list.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// The job's label.
+    pub label: String,
+    /// The job's report.
+    pub report: JobReport,
+}
+
+/// Run `jobs` on the default worker count (`MPDASH_WORKERS` env var, else
+/// available parallelism), preserving input order.
+pub fn run_batch(jobs: Vec<Job>) -> Vec<BatchResult> {
+    run_batch_with(jobs, default_workers())
+}
+
+/// Run `jobs` on exactly `workers` threads, preserving input order.
+///
+/// Output is independent of `workers`: each job is a pure function of its
+/// config and results are collected by input index.
+pub fn run_batch_with(jobs: Vec<Job>, workers: usize) -> Vec<BatchResult> {
+    par_map(jobs, workers, |job| BatchResult {
+        label: job.label.clone(),
+        report: match &job.spec {
+            JobSpec::Session(cfg) => {
+                JobReport::Session(Box::new(StreamingSession::run((**cfg).clone())))
+            }
+            JobSpec::Transfer(cfg) => JobReport::Transfer(FileTransfer::run(cfg.clone())),
+        },
+    })
+}
+
+/// Run plain session configs (the common experiment case), preserving
+/// order, on the default worker count.
+pub fn run_sessions(configs: Vec<SessionConfig>) -> Vec<SessionReport> {
+    par_map(configs, default_workers(), |cfg| {
+        StreamingSession::run(cfg.clone())
+    })
+}
+
+/// Run file-transfer configs, preserving order, on the default worker
+/// count.
+pub fn run_transfers(configs: Vec<FileTransferConfig>) -> Vec<FileTransferReport> {
+    par_map(configs, default_workers(), |cfg| FileTransfer::run(cfg.clone()))
+}
+
+/// Give every job an independent derived seed: job `i` gets
+/// `derive_seed(base, i)`. Use when a sweep wants per-job randomness
+/// without hand-numbering seed streams.
+pub fn seed_jobs(base: u64, jobs: &mut [Job]) {
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.reseed(derive_seed(base, i as u64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransportMode;
+    use mpdash_dash::abr::AbrKind;
+    use mpdash_dash::video::Video;
+    use mpdash_sim::SimDuration;
+
+    fn tiny_cfg(wifi_mbps: f64) -> SessionConfig {
+        SessionConfig::controlled_mbps(wifi_mbps, 2.0, AbrKind::Festive, TransportMode::Vanilla)
+            .with_video(Video::new(
+                "tiny",
+                &[0.5, 1.0],
+                SimDuration::from_secs(2),
+                4,
+            ))
+    }
+
+    #[test]
+    fn batch_preserves_order_and_labels() {
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::session(format!("job{i}"), tiny_cfg(2.0 + i as f64)))
+            .collect();
+        let out = run_batch_with(jobs, 3);
+        assert_eq!(out.len(), 6);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.label, format!("job{i}"));
+            assert!(r.report.session().qoe_all.chunks > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mk = || {
+            (0..5)
+                .map(|i| Job::session(format!("j{i}"), tiny_cfg(1.5 + i as f64)))
+                .collect::<Vec<_>>()
+        };
+        let seq = run_batch_with(mk(), 1);
+        let par = run_batch_with(mk(), 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.label, b.label);
+            let (a, b) = (a.report.session(), b.report.session());
+            assert_eq!(a.summary_json().to_pretty(), b.summary_json().to_pretty());
+        }
+    }
+
+    #[test]
+    fn mixed_batch_dispatches_by_spec() {
+        let jobs = vec![
+            Job::session("s", tiny_cfg(3.0)),
+            Job::transfer(
+                "t",
+                FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla)
+                    .with_size(200_000),
+            ),
+        ];
+        let out = run_batch_with(jobs, 2);
+        assert!(matches!(out[0].report, JobReport::Session(_)));
+        assert!(matches!(out[1].report, JobReport::Transfer(_)));
+        assert!(out[1].report.transfer().wifi_bytes > 0);
+    }
+
+    #[test]
+    fn seed_jobs_gives_distinct_seeds() {
+        let mut jobs: Vec<Job> = (0..3).map(|i| Job::session(format!("{i}"), tiny_cfg(2.0))).collect();
+        seed_jobs(99, &mut jobs);
+        let seeds: Vec<u64> = jobs
+            .iter()
+            .map(|j| match &j.spec {
+                JobSpec::Session(c) => c.wifi.seed,
+                JobSpec::Transfer(c) => c.wifi.seed,
+            })
+            .collect();
+        assert_ne!(seeds[0], seeds[1]);
+        assert_ne!(seeds[1], seeds[2]);
+        // Re-deriving is stable.
+        let mut again: Vec<Job> = (0..3).map(|i| Job::session(format!("{i}"), tiny_cfg(2.0))).collect();
+        seed_jobs(99, &mut again);
+        match (&jobs[0].spec, &again[0].spec) {
+            (JobSpec::Session(a), JobSpec::Session(b)) => {
+                assert_eq!(a.wifi.seed, b.wifi.seed);
+                assert_ne!(a.wifi.seed, a.cell.seed);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -162,6 +162,24 @@ impl SessionConfig {
         }
     }
 
+    /// [`SessionConfig::controlled`] with flat constant-rate paths — the
+    /// shortest way to a valid config for tests and batch-runner demos.
+    pub fn controlled_mbps(
+        wifi_mbps: f64,
+        cell_mbps: f64,
+        abr: AbrKind,
+        mode: TransportMode,
+    ) -> Self {
+        SessionConfig::controlled(
+            (
+                BandwidthProfile::constant_mbps(wifi_mbps),
+                BandwidthProfile::constant_mbps(cell_mbps),
+            ),
+            abr,
+            mode,
+        )
+    }
+
     /// A field-study session at one of the 33 corpus locations.
     pub fn at_location(loc: &Location, abr: AbrKind, mode: TransportMode) -> Self {
         let (wifi, cell) = loc.links();

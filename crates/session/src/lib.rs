@@ -14,11 +14,16 @@
 //! Both produce reports carrying everything the benchmark harness needs
 //! to regenerate the paper's tables and figures.
 
+pub mod batch;
 pub mod config;
 pub mod file_transfer;
 pub mod report;
 pub mod streaming;
 
+pub use batch::{
+    run_batch, run_batch_with, run_sessions, run_transfers, seed_jobs, BatchResult, Job,
+    JobReport, JobSpec,
+};
 pub use config::{PathPreference, SessionConfig, TransportMode};
 pub use file_transfer::{FileTransfer, FileTransferConfig, FileTransferReport};
 pub use report::{ChunkLogEntry, SessionReport};

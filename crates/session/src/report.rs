@@ -5,6 +5,7 @@ use mpdash_dash::player::PlayerEvent;
 use mpdash_dash::qoe::QoeSummary;
 use mpdash_energy::SessionEnergy;
 use mpdash_mptcp::PktRecord;
+use mpdash_results::Json;
 use mpdash_sim::{SimDuration, SimTime};
 
 /// One fetched chunk, as logged by the session driver.
@@ -80,5 +81,69 @@ impl SessionReport {
             return 0.0;
         }
         1.0 - self.energy.total_j() / base
+    }
+
+    /// A deterministic JSON summary of the session: QoE, byte split,
+    /// energy, scheduler statistics, and the chunk log. Deliberately
+    /// excludes the raw packet trace (too large for artifacts) and any
+    /// run-environment detail (worker count, wall time) — two runs of the
+    /// same config serialize byte-identically, which is what the batch
+    /// determinism tests compare.
+    pub fn summary_json(&self) -> Json {
+        fn qoe_json(q: &QoeSummary) -> Json {
+            Json::obj([
+                ("stalls", Json::from(q.stalls)),
+                ("stall_time_s", Json::Float(q.stall_time.as_secs_f64())),
+                (
+                    "startup_delay_s",
+                    q.startup_delay
+                        .map(|d| Json::Float(d.as_secs_f64()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("mean_bitrate_mbps", Json::Float(q.mean_bitrate_mbps)),
+                ("switches", Json::from(q.switches)),
+                (
+                    "level_histogram",
+                    Json::arr(q.level_histogram.iter().map(|&n| Json::from(n))),
+                ),
+                ("chunks", Json::from(q.chunks)),
+            ])
+        }
+        Json::obj([
+            ("qoe", qoe_json(&self.qoe)),
+            ("qoe_all", qoe_json(&self.qoe_all)),
+            ("wifi_bytes", Json::from(self.wifi_bytes)),
+            ("cell_bytes", Json::from(self.cell_bytes)),
+            ("energy_j", Json::Float(self.energy.total_j())),
+            ("energy_wifi_j", Json::Float(self.energy.wifi.total_j())),
+            ("energy_lte_j", Json::Float(self.energy.lte.total_j())),
+            ("duration_s", Json::Float(self.duration.as_secs_f64())),
+            (
+                "scheduler_stats",
+                Json::obj([
+                    ("toggles", Json::from(self.scheduler_stats.0)),
+                    ("missed_deadlines", Json::from(self.scheduler_stats.1)),
+                    ("completed", Json::from(self.scheduler_stats.2)),
+                ]),
+            ),
+            (
+                "chunks",
+                Json::arr(self.chunks.iter().map(|c| {
+                    Json::obj([
+                        ("index", Json::from(c.index)),
+                        ("level", Json::from(c.level)),
+                        ("size", Json::from(c.size)),
+                        ("started_s", Json::Float(c.started.as_secs_f64())),
+                        ("completed_s", Json::Float(c.completed.as_secs_f64())),
+                        (
+                            "deadline_s",
+                            c.deadline
+                                .map(|d| Json::Float(d.as_secs_f64()))
+                                .unwrap_or(Json::Null),
+                        ),
+                    ])
+                })),
+            ),
+        ])
     }
 }

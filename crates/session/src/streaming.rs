@@ -441,7 +441,7 @@ mod tests {
         // reports 78–85% energy and 97%+ cellular savings there.
         let mk = |mode| {
             SessionConfig::controlled(
-                table1::synthetic_profile_pair(17.8, 5.18, 0.12, 6),
+                table1::synthetic_profile_pair(17.8, 5.18, 0.12, 1),
                 AbrKind::Festive,
                 mode,
             )

@@ -36,12 +36,16 @@
 //! assert_eq!(r.bytes_in(SimDuration::from_secs(1)), 1_500_000);
 //! ```
 
+pub mod par;
 pub mod queue;
 pub mod rate;
+pub mod rng;
 pub mod series;
 pub mod time;
 
+pub use par::{default_workers, par_map};
 pub use queue::EventQueue;
 pub use rate::Rate;
+pub use rng::{derive_seed, Prng};
 pub use series::Series;
 pub use time::{SimDuration, SimTime};

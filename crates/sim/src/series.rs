@@ -177,6 +177,24 @@ impl Cdf {
         n as f64 / self.values.len() as f64
     }
 
+    /// Arithmetic mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Several quantiles at once (each as [`Cdf::quantile`]), in the
+    /// order requested — the summarization the structured experiment
+    /// results persist instead of raw observation lists.
+    pub fn quantiles(&mut self, qs: &[f64]) -> Vec<(f64, f64)> {
+        qs.iter()
+            .map(|&q| (q, self.quantile(q).unwrap_or(f64::NAN)))
+            .collect()
+    }
+
     /// The full `(value, cumulative fraction)` staircase, one step per
     /// observation, suitable for plotting.
     pub fn steps(&mut self) -> Vec<(f64, f64)> {
@@ -256,6 +274,12 @@ mod tests {
         assert_eq!(c.fraction_at_most(2.0), 0.5);
         assert_eq!(c.fraction_at_most(0.5), 0.0);
         assert_eq!(c.fraction_at_most(10.0), 1.0);
+        assert_eq!(c.mean(), Some(2.5));
+        assert_eq!(
+            c.quantiles(&[0.0, 0.5, 1.0]),
+            vec![(0.0, 1.0), (0.5, 2.5), (1.0, 4.0)]
+        );
+        assert!(Cdf::new().mean().is_none());
     }
 
     #[test]

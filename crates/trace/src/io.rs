@@ -12,11 +12,11 @@
 //! packet captures.
 
 use mpdash_link::BandwidthProfile;
+use mpdash_results::{Json, JsonError};
 use mpdash_sim::{Rate, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A serializable bandwidth profile.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProfileSpec {
     /// Human-readable label.
     pub name: String,
@@ -30,7 +30,7 @@ pub struct ProfileSpec {
 }
 
 /// One step point.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProfilePoint {
     /// Step start, seconds from trace start.
     pub at_secs: f64,
@@ -141,12 +141,63 @@ impl ProfileSpec {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("at_secs", Json::Float(p.at_secs)),
+                        ("mbps", Json::Float(p.mbps)),
+                    ])
+                })),
+            ),
+            (
+                "period_secs",
+                self.period_secs.map(Json::Float).unwrap_or(Json::Null),
+            ),
+        ])
+        .to_pretty()
     }
 
     /// Parse from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(s)?;
+        let name = v
+            .req("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::schema("'name' must be a string"))?
+            .to_string();
+        let points = v
+            .req("points")?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema("'points' must be an array"))?
+            .iter()
+            .map(|p| {
+                let num = |key: &str| -> Result<f64, JsonError> {
+                    p.req(key)?
+                        .as_f64()
+                        .ok_or_else(|| JsonError::schema(format!("'{key}' must be a number")))
+                };
+                Ok(ProfilePoint {
+                    at_secs: num("at_secs")?,
+                    mbps: num("mbps")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let period_secs = match v.get("period_secs") {
+            None => None,
+            Some(p) if p.is_null() => None,
+            Some(p) => Some(
+                p.as_f64()
+                    .ok_or_else(|| JsonError::schema("'period_secs' must be a number"))?,
+            ),
+        };
+        Ok(ProfileSpec {
+            name,
+            points,
+            period_secs,
+        })
     }
 }
 

@@ -15,9 +15,7 @@
 //! default 50 ms slot (decorrelation time ≈ 0.5 s).
 
 use mpdash_link::BandwidthProfile;
-use mpdash_sim::{Rate, SimDuration};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mpdash_sim::{Prng, Rate, SimDuration};
 
 /// Specification of one synthetic trace.
 #[derive(Clone, Debug)]
@@ -78,7 +76,7 @@ impl SynthSpec {
 
     /// Generate the raw per-slot rates.
     pub fn samples(&self) -> Vec<Rate> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::new(self.seed);
         let n = self.n_slots();
         let sigma = self.mean_mbps * self.sigma_frac;
         let innov_sigma = sigma * (1.0 - self.rho * self.rho).sqrt();
@@ -88,15 +86,15 @@ impl SynthSpec {
         let mut fade_depth = 1.0;
         for _ in 0..n {
             // Box-Muller from two uniforms; deterministic per seed.
-            let u1: f64 = rng.random::<f64>().max(1e-12);
-            let u2: f64 = rng.random();
+            let u1: f64 = rng.next_f64().max(1e-12);
+            let u2: f64 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             x = self.mean_mbps + self.rho * (x - self.mean_mbps) + innov_sigma * z;
             let mut v = x.max(self.floor_mbps);
             if let Some((p, depth, len)) = self.fade {
                 if fade_left > 0 {
                     fade_left -= 1;
-                } else if rng.random::<f64>() < p {
+                } else if rng.next_f64() < p {
                     fade_left = (len.as_nanos() / self.slot.as_nanos()).max(1) as usize;
                     fade_depth = depth;
                 }

@@ -7,7 +7,7 @@
 
 use mpdash::analysis::{chunk_path_splits, render_chunk_bars, ChunkInfo};
 use mpdash::scenario::Scenario;
-use mpdash::session::{SessionReport, StreamingSession};
+use mpdash::session::run_batch;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,8 +35,8 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let configs = match scenario.build() {
-            Ok(c) => c,
+        let jobs = match scenario.jobs() {
+            Ok(j) => j,
             Err(e) => {
                 eprintln!("error: building {path}: {e}");
                 return ExitCode::FAILURE;
@@ -48,12 +48,15 @@ fn main() -> ExitCode {
             "{:<16} {:>10} {:>10} {:>10} {:>9} {:>7} {:>9}",
             "mode", "WiFi MB", "LTE MB", "energy J", "bitrate", "stalls", "switches"
         );
-        let mut baseline: Option<SessionReport> = None;
-        for (label, cfg) in configs {
-            let report = StreamingSession::run(cfg);
+        // All modes run as one parallel batch; results come back in
+        // declaration order, so the first is the baseline for savings.
+        let results = run_batch(jobs);
+        let baseline = results.first().map(|r| r.report.session().clone());
+        for (i, result) in results.iter().enumerate() {
+            let report = result.report.session();
             println!(
                 "{:<16} {:>10.2} {:>10.2} {:>10.1} {:>9.2} {:>7} {:>9}",
-                label,
+                result.label,
                 report.wifi_bytes as f64 / 1e6,
                 report.cell_bytes as f64 / 1e6,
                 report.energy.total_j(),
@@ -61,7 +64,7 @@ fn main() -> ExitCode {
                 report.qoe.stalls,
                 report.qoe.switches,
             );
-            if let Some(base) = &baseline {
+            if let Some(base) = baseline.as_ref().filter(|_| i > 0) {
                 println!(
                     "{:<16} cellular saving {:5.1}% | energy saving {:5.1}% | bitrate change {:+5.1}%",
                     "",
@@ -86,9 +89,6 @@ fn main() -> ExitCode {
                 let splits = chunk_path_splits(&report.records, &chunks);
                 let n = chunks.len().min(20);
                 println!("{}", render_chunk_bars(&chunks[..n], &splits[..n], 24));
-            }
-            if baseline.is_none() {
-                baseline = Some(report);
             }
         }
         println!();

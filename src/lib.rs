@@ -20,6 +20,7 @@
 //! * [`trace`] — the bandwidth-profile corpus (Table 1, the 33-location
 //!   field corpus, the mobility walk).
 //! * [`analysis`] — the multipath video analysis tool (§6 of the paper).
+//! * [`results`] — typed experiment results, JSON artifacts, rendering.
 //! * [`session`] — the end-to-end experiment driver that wires everything
 //!   into a streaming session.
 //! * [`scenario`] — JSON scenario documents for the `mpdash` CLI runner.
@@ -51,6 +52,7 @@ pub use mpdash_energy as energy;
 pub use mpdash_http as http;
 pub use mpdash_link as link;
 pub use mpdash_mptcp as mptcp;
+pub use mpdash_results as results;
 pub use mpdash_session as session;
 pub use mpdash_sim as sim;
 pub use mpdash_trace as trace;

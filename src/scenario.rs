@@ -10,15 +10,14 @@
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
 use mpdash_link::{BandwidthProfile, LinkConfig};
-use mpdash_session::{SessionConfig, TransportMode};
+use mpdash_session::{Job, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::io::ProfileSpec;
 use mpdash_trace::synth::SynthSpec;
-use serde::Deserialize;
+use mpdash_results::Json;
 
 /// A network path's bandwidth, one of three sources.
-#[derive(Debug, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug)]
 pub enum BandwidthSpec {
     /// Fixed rate in Mbps.
     Constant(f64),
@@ -58,8 +57,7 @@ impl BandwidthSpec {
 }
 
 /// Which video to stream.
-#[derive(Debug, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug)]
 pub enum VideoSpec {
     /// A Table 3 dataset video by name: `big_buck_bunny`,
     /// `red_bull_playstreets`, `tears_of_steel`, `tears_of_steel_hd`.
@@ -105,8 +103,7 @@ impl VideoSpec {
 }
 
 /// A transport policy to compare.
-#[derive(Debug, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug)]
 pub enum ModeSpec {
     /// Vanilla MPTCP.
     Vanilla,
@@ -138,7 +135,7 @@ impl ModeSpec {
 }
 
 /// A complete scenario document.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 pub struct Scenario {
     /// Scenario title for the report.
     pub name: String,
@@ -149,35 +146,131 @@ pub struct Scenario {
     /// Cellular bandwidth.
     pub cell: BandwidthSpec,
     /// WiFi round-trip time, milliseconds (default 50).
-    #[serde(default = "default_wifi_rtt")]
     pub wifi_rtt_ms: u64,
     /// Cellular round-trip time, milliseconds (default 55).
-    #[serde(default = "default_cell_rtt")]
     pub cell_rtt_ms: u64,
     /// Rate-adaptation algorithm: `gpac`, `festive`, `bba`, `bba_c`,
     /// `mpc`.
     pub abr: String,
     /// Player buffer capacity in seconds (default 40).
-    #[serde(default = "default_buffer")]
     pub buffer_secs: u64,
     /// Transport policies to compare, in order.
     pub modes: Vec<ModeSpec>,
 }
 
-fn default_wifi_rtt() -> u64 {
-    50
+// The documents use serde-style externally-tagged enums in snake_case: a
+// bare string is a unit variant ("vanilla"), a single-key object wraps a
+// payload variant ({"throttled": 700}). The helpers below keep that exact
+// format so existing scenario files parse unchanged.
+
+/// For a single-key object, the `(key, payload)` pair.
+fn variant(v: &Json) -> Result<(&str, &Json), String> {
+    match v.as_obj() {
+        Some([(key, payload)]) => Ok((key.as_str(), payload)),
+        _ => Err("expected a single-variant object".into()),
+    }
 }
-fn default_cell_rtt() -> u64 {
-    55
+
+fn num(v: &Json, what: &str) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| format!("'{what}' must be a number"))
 }
-fn default_buffer() -> u64 {
-    40
+
+fn uint(v: &Json, what: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("'{what}' must be a non-negative integer"))
+}
+
+fn string(v: &Json, what: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("'{what}' must be a string"))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.req(key).map_err(|e| e.to_string())
+}
+
+impl BandwidthSpec {
+    fn parse(v: &Json) -> Result<Self, String> {
+        let (tag, payload) = variant(v)?;
+        match tag {
+            "constant" => Ok(BandwidthSpec::Constant(num(payload, "constant")?)),
+            "synthetic" => Ok(BandwidthSpec::Synthetic {
+                mean_mbps: num(field(payload, "mean_mbps")?, "mean_mbps")?,
+                sigma: num(field(payload, "sigma")?, "sigma")?,
+                seed: uint(field(payload, "seed")?, "seed")?,
+            }),
+            "file" => Ok(BandwidthSpec::File(string(payload, "file")?)),
+            other => Err(format!("unknown bandwidth kind '{other}'")),
+        }
+    }
+}
+
+impl VideoSpec {
+    fn parse(v: &Json) -> Result<Self, String> {
+        let (tag, payload) = variant(v)?;
+        match tag {
+            "named" => Ok(VideoSpec::Named(string(payload, "named")?)),
+            "custom" => Ok(VideoSpec::Custom {
+                levels_mbps: field(payload, "levels_mbps")?
+                    .as_arr()
+                    .ok_or("'levels_mbps' must be an array")?
+                    .iter()
+                    .map(|l| num(l, "levels_mbps"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                chunk_secs: uint(field(payload, "chunk_secs")?, "chunk_secs")?,
+                n_chunks: uint(field(payload, "n_chunks")?, "n_chunks")? as usize,
+            }),
+            other => Err(format!("unknown video kind '{other}'")),
+        }
+    }
+}
+
+impl ModeSpec {
+    fn parse(v: &Json) -> Result<Self, String> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "vanilla" => Ok(ModeSpec::Vanilla),
+                "wifi_only" => Ok(ModeSpec::WifiOnly),
+                "mpdash_rate" => Ok(ModeSpec::MpdashRate),
+                "mpdash_duration" => Ok(ModeSpec::MpdashDuration),
+                other => Err(format!("unknown mode '{other}'")),
+            };
+        }
+        let (tag, payload) = variant(v)?;
+        match tag {
+            "throttled" => Ok(ModeSpec::Throttled(uint(payload, "throttled")?)),
+            other => Err(format!("unknown mode '{other}'")),
+        }
+    }
 }
 
 impl Scenario {
     /// Parse a scenario document.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let opt_uint = |key: &str, default: u64| -> Result<u64, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(j) => uint(j, key),
+            }
+        };
+        Ok(Scenario {
+            name: string(field(&v, "name")?, "name")?,
+            video: VideoSpec::parse(field(&v, "video")?)?,
+            wifi: BandwidthSpec::parse(field(&v, "wifi")?)?,
+            cell: BandwidthSpec::parse(field(&v, "cell")?)?,
+            wifi_rtt_ms: opt_uint("wifi_rtt_ms", 50)?,
+            cell_rtt_ms: opt_uint("cell_rtt_ms", 55)?,
+            abr: string(field(&v, "abr")?, "abr")?,
+            buffer_secs: opt_uint("buffer_secs", 40)?,
+            modes: field(&v, "modes")?
+                .as_arr()
+                .ok_or("'modes' must be an array")?
+                .iter()
+                .map(ModeSpec::parse)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
     }
 
     fn abr_kind(&self) -> Result<AbrKind, String> {
@@ -203,14 +296,16 @@ impl Scenario {
         );
         let mut out = Vec::new();
         for mode in &self.modes {
+            // Half-RTT in microseconds, so odd RTTs (the testbed's 55 ms
+            // LTE) survive the halving exactly.
             let wifi = LinkConfig::constant(
                 1.0,
-                SimDuration::from_millis(self.wifi_rtt_ms / 2),
+                SimDuration::from_micros(self.wifi_rtt_ms * 500),
             )
             .with_profile(wifi_profile.clone());
             let cell = LinkConfig::constant(
                 1.0,
-                SimDuration::from_millis(self.cell_rtt_ms / 2),
+                SimDuration::from_micros(self.cell_rtt_ms * 500),
             )
             .with_profile(cell_profile.clone());
             let mut cfg = SessionConfig::controlled(
@@ -226,6 +321,17 @@ impl Scenario {
             out.push((mode.label(), cfg));
         }
         Ok(out)
+    }
+
+    /// The scenario as a batch-runner job list (one job per mode, in
+    /// declaration order) — feed straight into
+    /// [`mpdash_session::run_batch`].
+    pub fn jobs(&self) -> Result<Vec<Job>, String> {
+        Ok(self
+            .build()?
+            .into_iter()
+            .map(|(label, cfg)| Job::session(label, cfg))
+            .collect())
     }
 }
 

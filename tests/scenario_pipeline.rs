@@ -1,0 +1,67 @@
+//! The shipped `scenarios/example.json` document drives the full
+//! pipeline: parse → typed [`Scenario`] → session configs → batch runner.
+//! This is the CLI's code path minus the printing, so the example file
+//! can never rot.
+
+use mpdash::dash::video::Video;
+use mpdash::scenario::Scenario;
+use mpdash::session::{run_batch_with, JobSpec, TransportMode};
+use mpdash::sim::SimDuration;
+
+fn example() -> Scenario {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/example.json");
+    let text = std::fs::read_to_string(path).expect("example scenario readable");
+    Scenario::from_json(&text).expect("example scenario parses")
+}
+
+#[test]
+fn example_scenario_round_trips_into_session_configs() {
+    let sc = example();
+    assert_eq!(sc.name, "paper motivating network: WiFi 3.8 Mbps + LTE 3.0 Mbps");
+    assert_eq!(sc.buffer_secs, 40);
+
+    let configs = sc.build().expect("example scenario builds");
+    assert_eq!(configs.len(), 5, "one config per declared mode");
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
+    assert_eq!(
+        labels,
+        ["Baseline", "Rate", "Duration", "Throttle700k", "WiFi-only"]
+    );
+    for (_, cfg) in &configs {
+        // Declared document fields land in the config.
+        assert_eq!(cfg.buffer_capacity, SimDuration::from_secs(40));
+        assert_eq!(cfg.wifi.delay * 2, SimDuration::from_millis(50));
+        assert_eq!(cfg.cell.delay * 2, SimDuration::from_millis(55));
+        assert_eq!(cfg.video.name(), "Big Buck Bunny");
+        assert!((cfg.priors.0.as_mbps_f64() - 3.8).abs() < 0.4);
+        assert!((cfg.priors.1.as_mbps_f64() - 3.0).abs() < 0.1);
+    }
+    assert_eq!(configs[3].1.mode, TransportMode::Throttled { kbps: 700 });
+}
+
+#[test]
+fn example_scenario_runs_through_the_batch_runner() {
+    let sc = example();
+    let mut jobs = sc.jobs().expect("example scenario builds jobs");
+    assert_eq!(jobs.len(), 5);
+    // Keep the smoke test fast: shrink the video, preserve everything
+    // else the document declared.
+    for job in &mut jobs {
+        let JobSpec::Session(cfg) = &mut job.spec else {
+            panic!("scenario jobs are sessions");
+        };
+        cfg.video = Video::new("tiny", &[0.5, 1.0], SimDuration::from_secs(2), 4);
+    }
+    let results = run_batch_with(jobs, 2);
+    assert_eq!(results.len(), 5);
+    assert_eq!(results[0].label, "Baseline");
+    for r in &results {
+        let report = r.report.session();
+        assert_eq!(report.qoe_all.chunks, 4, "{}: all chunks fetched", r.label);
+        assert!(report.duration > SimDuration::ZERO);
+    }
+    // WiFi-only really stays off cellular; the baseline does not.
+    let wifi_only = results.last().unwrap().report.session();
+    assert_eq!(wifi_only.cell_bytes, 0);
+    assert!(results[0].report.session().cell_bytes > 0);
+}
