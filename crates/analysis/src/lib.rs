@@ -18,8 +18,8 @@ use mpdash_dash::player::PlayerEvent;
 use mpdash_energy::{session_energy, DeviceProfile, SessionEnergy};
 use mpdash_link::PathId;
 use mpdash_mptcp::PktRecord;
-use mpdash_sim::{SimDuration, SimTime};
 use mpdash_results::{Json, JsonError};
+use mpdash_sim::{SimDuration, SimTime};
 
 /// One fetched chunk, as the analysis tool needs it. (The session layer
 /// converts its own log into this; the tool itself stays independent of
@@ -240,7 +240,9 @@ pub fn throughput_timeline(
         .max()
         .unwrap_or(0)
         .max(1);
-    let blocks = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}'];
+    let blocks = [
+        ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+    ];
     let render = |v: &[u64]| -> String {
         v.iter()
             .map(|&b| {
@@ -451,10 +453,7 @@ impl SessionSummaryJson {
     /// The export document as a JSON value.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            (
-                "chunks",
-                Json::arr(self.chunks.iter().map(|c| c.to_json())),
-            ),
+            ("chunks", Json::arr(self.chunks.iter().map(|c| c.to_json()))),
             ("wifi_body_bytes", Json::from(self.wifi_body_bytes)),
             ("cell_body_bytes", Json::from(self.cell_body_bytes)),
             ("switches", Json::from(self.switches)),
@@ -465,9 +464,11 @@ impl SessionSummaryJson {
             ("mean_download_s", Json::Float(self.mean_download_s)),
             (
                 "idle_gaps",
-                Json::arr(self.idle_gaps.iter().map(|&(a, b)| {
-                    Json::arr([Json::Float(a), Json::Float(b)])
-                })),
+                Json::arr(
+                    self.idle_gaps
+                        .iter()
+                        .map(|&(a, b)| Json::arr([Json::Float(a), Json::Float(b)])),
+                ),
             ),
         ])
     }
@@ -561,8 +562,8 @@ mod tests {
     fn attribution_by_dss_overlap() {
         let chunks = [chunk(0, 3, (100, 1100), 0.0, 1.0)];
         let records = [
-            rec(0.1, PathId::WIFI, 0, 100),    // header, not body
-            rec(0.2, PathId::WIFI, 100, 600),  // body
+            rec(0.1, PathId::WIFI, 0, 100),       // header, not body
+            rec(0.2, PathId::WIFI, 100, 600),     // body
             rec(0.3, PathId::CELLULAR, 700, 400), // body
         ];
         let splits = chunk_path_splits(&records, &chunks);
@@ -634,7 +635,11 @@ mod tests {
             rec(0.5, PathId::WIFI, 0, 100_000),
             rec(1.5, PathId::CELLULAR, 100_000, 50_000),
         ];
-        let s = throughput_timeline(&records, SimDuration::from_secs(1), SimDuration::from_secs(3));
+        let s = throughput_timeline(
+            &records,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("wifi |"));
@@ -685,7 +690,12 @@ mod tests {
         assert!((u - 0.5).abs() < 1e-9, "{u}");
         // Degenerate capacity.
         assert_eq!(
-            path_utilization(&records, PathId::CELLULAR, Rate::ZERO, SimDuration::from_secs(1)),
+            path_utilization(
+                &records,
+                PathId::CELLULAR,
+                Rate::ZERO,
+                SimDuration::from_secs(1)
+            ),
             0.0
         );
     }
@@ -694,10 +704,18 @@ mod tests {
     fn stall_intervals_pair_up() {
         use mpdash_sim::SimTime as T;
         let ev = [
-            PlayerEvent::Started { at: T::from_secs(1) },
-            PlayerEvent::Stalled { at: T::from_secs(10) },
-            PlayerEvent::Resumed { at: T::from_secs(12) },
-            PlayerEvent::Stalled { at: T::from_secs(20) },
+            PlayerEvent::Started {
+                at: T::from_secs(1),
+            },
+            PlayerEvent::Stalled {
+                at: T::from_secs(10),
+            },
+            PlayerEvent::Resumed {
+                at: T::from_secs(12),
+            },
+            PlayerEvent::Stalled {
+                at: T::from_secs(20),
+            },
             PlayerEvent::ChunkDone {
                 at: T::from_secs(23),
                 index: 5,

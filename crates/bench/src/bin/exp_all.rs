@@ -16,5 +16,6 @@ fn main() {
     e::tab6::run();
     e::mpc::run();
     e::ablation::run();
+    e::faults::run();
     e::field::run();
 }

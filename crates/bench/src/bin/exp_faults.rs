@@ -1,0 +1,5 @@
+//! Runs the fault-injection resilience matrix. See
+//! `mpdash_bench::experiments::faults`.
+fn main() {
+    mpdash_bench::experiments::faults::run();
+}

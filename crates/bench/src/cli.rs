@@ -8,7 +8,10 @@
 
 /// Whether the user asked for the reduced quick-mode run.
 pub fn quick_requested() -> bool {
-    if std::env::args().skip(1).any(|a| a == "--quick" || a == "-q") {
+    if std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "-q")
+    {
         return true;
     }
     quick_env()

@@ -41,7 +41,13 @@ fn row(t: &mut Table, name: &str, r: &SessionReport) {
 }
 
 const HDR: [&str; 7] = [
-    "variant", "cell bytes", "energy (J)", "bitrate", "stalls", "toggles", "missed",
+    "variant",
+    "cell bytes",
+    "energy (J)",
+    "bitrate",
+    "stalls",
+    "toggles",
+    "missed",
 ];
 
 fn with_adapter(f: impl FnOnce(&mut AdapterConfig)) -> SessionConfig {
@@ -52,15 +58,21 @@ fn with_adapter(f: impl FnOnce(&mut AdapterConfig)) -> SessionConfig {
 
 /// Compute all ablations as one batch.
 pub fn result(quick: bool) -> ExperimentResult {
-    let mut res = ExperimentResult::new("ablation", "Ablations — MP-DASH design choices")
-        .with_quick(quick);
+    let mut res =
+        ExperimentResult::new("ablation", "Ablations — MP-DASH design choices").with_quick(quick);
 
     // (section title, [(variant label, config)]) in report order; the
     // batch flattens in the same order.
     let cc_variants = [("Reno (paper)", CcKind::Reno), ("CUBIC", CcKind::Cubic)];
     let predictors = [
         ("Holt-Winters (paper)", PredictorKind::control_default()),
-        ("HW aggressive (0.8/0.3)", PredictorKind::HoltWinters { alpha: 0.8, beta: 0.3 }),
+        (
+            "HW aggressive (0.8/0.3)",
+            PredictorKind::HoltWinters {
+                alpha: 0.8,
+                beta: 0.3,
+            },
+        ),
         ("EWMA 0.5", PredictorKind::Ewma { alpha: 0.5 }),
         ("EWMA 0.2", PredictorKind::Ewma { alpha: 0.2 }),
     ];
@@ -90,7 +102,12 @@ pub fn result(quick: bool) -> ExperimentResult {
         "Ablation — enable-side debounce (progress checks)",
         debounces
             .iter()
-            .map(|&d| (format!("debounce {d} (paper: 1)"), base_cfg().with_debounce(d)))
+            .map(|&d| {
+                (
+                    format!("debounce {d} (paper: 1)"),
+                    base_cfg().with_debounce(d),
+                )
+            })
             .collect(),
     ));
     sections.push((
@@ -171,16 +188,22 @@ pub fn result(quick: bool) -> ExperimentResult {
     for (section, variants) in &sections {
         let mut t = Table::new(&HDR).with_title(format!("{section}:"));
         for (name, _) in variants {
-            row(&mut t, name, next.next().unwrap().report.session());
+            row(
+                &mut t,
+                name,
+                next.next().unwrap().session().expect("session job"),
+            );
         }
         res.table(t);
     }
 
     let mut t = Table::new(&["device", "baseline E (J)", "MP-DASH E (J)", "energy saving"])
-        .with_title("Cross-check — device energy profiles (paper: 'both yielding similar results'):");
+        .with_title(
+            "Cross-check — device energy profiles (paper: 'both yielding similar results'):",
+        );
     for device in devices {
-        let base = next.next().unwrap().report.session();
-        let mp = next.next().unwrap().report.session();
+        let base = next.next().unwrap().session().expect("session job");
+        let mp = next.next().unwrap().session().expect("session job");
         t.row(&[
             device.name.into(),
             format!("{:.1}", base.energy.total_j()),

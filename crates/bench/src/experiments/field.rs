@@ -43,13 +43,11 @@ fn scheme_modes() -> [TransportMode; 3] {
 
 /// Fold the next three reports (baseline, rate, duration) into per-mode
 /// savings versus the baseline.
-fn fold_study<'a>(
-    next: &mut impl Iterator<Item = &'a BatchResult>,
-) -> [(f64, f64, f64); 2] {
-    let base = next.next().unwrap().report.session();
+fn fold_study<'a>(next: &mut impl Iterator<Item = &'a BatchResult>) -> [(f64, f64, f64); 2] {
+    let base = next.next().unwrap().session().expect("session job");
     let mut out = [(0.0, 0.0, 0.0); 2];
     for slot in &mut out {
-        let r = next.next().unwrap().report.session();
+        let r = next.next().unwrap().session().expect("session job");
         *slot = (
             r.cell_saving_vs(base),
             r.energy_saving_vs(base),
@@ -160,19 +158,31 @@ pub fn result(quick: bool) -> ExperimentResult {
         ScalarGroup::new("headline numbers")
             .with("no_reduction_fraction", no_reduction)
             .with("median_cell_saving", cell_cdf.quantile(0.5).unwrap_or(0.0))
-            .with("median_energy_saving", energy_cdf.quantile(0.5).unwrap_or(0.0)),
+            .with(
+                "median_energy_saving",
+                energy_cdf.quantile(0.5).unwrap_or(0.0),
+            ),
     );
 
     res.text("\nTable 5 — named locations (savings in % vs vanilla MPTCP):");
     let mut t = Table::new(&[
         "location",
-        "FEST/bytes R", "FEST/bytes D",
-        "FEST/energy R", "FEST/energy D",
-        "BBA/bytes R", "BBA/bytes D",
-        "BBA/energy R", "BBA/energy D",
+        "FEST/bytes R",
+        "FEST/bytes D",
+        "FEST/energy R",
+        "FEST/energy D",
+        "BBA/bytes R",
+        "BBA/bytes D",
+        "BBA/energy R",
+        "BBA/energy D",
     ]);
     let named = [
-        "Hotel Hi", "Hotel Ha", "Food Market", "Airport", "Coffeehouse", "Library",
+        "Hotel Hi",
+        "Hotel Ha",
+        "Food Market",
+        "Airport",
+        "Coffeehouse",
+        "Library",
         "Elec. Store",
     ];
     for r in &results {

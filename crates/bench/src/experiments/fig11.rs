@@ -58,7 +58,11 @@ pub fn result(quick: bool) -> ExperimentResult {
     let (base, mp, wifi_only) = (&reports[0], &reports[1], &reports[2]);
 
     let mut t = Table::new(&[
-        "config", "cell bytes", "energy (J)", "bitrate (Mbps)", "stalls",
+        "config",
+        "cell bytes",
+        "energy (J)",
+        "bitrate (Mbps)",
+        "stalls",
     ]);
     for (name, r) in [
         ("MP-DASH (rate)", mp),
@@ -86,7 +90,11 @@ pub fn result(quick: bool) -> ExperimentResult {
     );
 
     res.text("\ntraffic over two walk laps (1 s buckets):");
-    for (name, r) in [("MP-DASH", mp), ("default MPTCP", base), ("WiFi only", wifi_only)] {
+    for (name, r) in [
+        ("MP-DASH", mp),
+        ("default MPTCP", base),
+        ("WiFi only", wifi_only),
+    ] {
         res.text(format!("\n{name}:"));
         res.text(throughput_timeline(
             &r.records,

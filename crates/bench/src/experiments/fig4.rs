@@ -48,7 +48,11 @@ pub fn result(quick: bool) -> ExperimentResult {
             );
         }
     }
-    configs.push(FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla));
+    configs.push(FileTransferConfig::testbed(
+        3.8,
+        3.0,
+        TransportMode::Vanilla,
+    ));
     for alpha in ALPHAS {
         configs.push(
             FileTransferConfig::testbed(3.8, 3.0, mpdash(alpha))
@@ -66,7 +70,12 @@ pub fn result(quick: bool) -> ExperimentResult {
         res.text(format!("\nMPTCP scheduler: {name}"));
         let base = next.next().unwrap();
         let mut t = Table::new(&[
-            "config", "LTE bytes", "energy (J)", "finish (s)", "LTE saving", "energy saving",
+            "config",
+            "LTE bytes",
+            "energy (J)",
+            "finish (s)",
+            "LTE saving",
+            "energy saving",
         ]);
         t.row(&[
             "Baseline".into(),
@@ -93,7 +102,13 @@ pub fn result(quick: bool) -> ExperimentResult {
 
     res.text("\nα sensitivity at D = 10 s (minRTT):");
     let base = next.next().unwrap();
-    let mut t = Table::new(&["alpha", "LTE bytes", "LTE saving", "energy saving", "finish (s)"]);
+    let mut t = Table::new(&[
+        "alpha",
+        "LTE bytes",
+        "LTE saving",
+        "energy saving",
+        "finish (s)",
+    ]);
     for alpha in ALPHAS {
         let r = next.next().unwrap();
         t.row(&[

@@ -20,7 +20,10 @@ const CONDITIONS: [(&str, f64, f64); 3] = [
     ("W2.2/L1.2", 2.2, 1.2),
 ];
 
-const MODES: [(&str, fn() -> TransportMode); 3] = [
+/// A transport-mode constructor, named so the mode table stays legible.
+type ModeCtor = fn() -> TransportMode;
+
+const MODES: [(&str, ModeCtor); 3] = [
     ("Baseline", || TransportMode::Vanilla),
     ("Duration", TransportMode::mpdash_duration_based),
     ("Rate", TransportMode::mpdash_rate_based),
@@ -61,15 +64,21 @@ pub fn result(quick: bool) -> ExperimentResult {
     for abr in abrs {
         res.text(format!("\n--- {} ---", abr.name()));
         let mut t = Table::new(&[
-            "condition", "config", "cell bytes", "energy (J)", "bitrate", "stalls",
-            "cell saving", "energy saving",
+            "condition",
+            "config",
+            "cell bytes",
+            "energy (J)",
+            "bitrate",
+            "stalls",
+            "cell saving",
+            "energy saving",
         ]);
         for (cname, _, _) in CONDITIONS {
             // The batch keeps input order, so each condition's three mode
             // rows arrive together, baseline first.
             let rows: Vec<_> = MODES
                 .iter()
-                .map(|_| next.next().unwrap().report.session())
+                .map(|_| next.next().unwrap().session().expect("session job"))
                 .collect();
             let base = rows[0];
             for ((mname, _), r) in MODES.iter().zip(&rows) {
@@ -81,8 +90,16 @@ pub fn result(quick: bool) -> ExperimentResult {
                     format!("{:.1}", r.energy.total_j()),
                     format!("{:.2}", r.qoe.mean_bitrate_mbps),
                     format!("{}", r.qoe.stalls),
-                    if is_base { "-".into() } else { pct(r.cell_saving_vs(base)) },
-                    if is_base { "-".into() } else { pct(r.energy_saving_vs(base)) },
+                    if is_base {
+                        "-".into()
+                    } else {
+                        pct(r.cell_saving_vs(base))
+                    },
+                    if is_base {
+                        "-".into()
+                    } else {
+                        pct(r.energy_saving_vs(base))
+                    },
                 ]);
             }
         }

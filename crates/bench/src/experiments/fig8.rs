@@ -38,7 +38,10 @@ pub fn result(quick: bool) -> ExperimentResult {
     let modes = [
         ("default MPTCP", TransportMode::Vanilla),
         ("MP-DASH rate-based", TransportMode::mpdash_rate_based()),
-        ("MP-DASH duration-based", TransportMode::mpdash_duration_based()),
+        (
+            "MP-DASH duration-based",
+            TransportMode::mpdash_duration_based(),
+        ),
     ];
     let configs = modes
         .iter()

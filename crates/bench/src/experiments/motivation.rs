@@ -72,11 +72,15 @@ pub fn result(quick: bool) -> ExperimentResult {
     let mut counts = [0usize; 3];
     let mut mptcp_ok = 0usize;
     let mut sample = Table::new(&[
-        "location", "WiFi Mbps", "WiFi-only top-rate %", "class", "MPTCP top-rate %",
+        "location",
+        "WiFi Mbps",
+        "WiFi-only top-rate %",
+        "class",
+        "MPTCP top-rate %",
     ]);
     for (i, loc) in corpus.iter().enumerate() {
-        let wifi_only = next.next().unwrap().report.session();
-        let mptcp = next.next().unwrap().report.session();
+        let wifi_only = next.next().unwrap().session().expect("session job");
+        let mptcp = next.next().unwrap().session().expect("session job");
         let frac = top_level_fraction(wifi_only);
         let class = classify(frac);
         counts[match class {
@@ -103,9 +107,15 @@ pub fn result(quick: bool) -> ExperimentResult {
     let n = corpus.len();
     res.text(format!(
         "classification: never {}/{} ({}), sometimes {}/{} ({}), always {}/{} ({})",
-        counts[0], n, pct(counts[0] as f64 / n as f64),
-        counts[1], n, pct(counts[1] as f64 / n as f64),
-        counts[2], n, pct(counts[2] as f64 / n as f64),
+        counts[0],
+        n,
+        pct(counts[0] as f64 / n as f64),
+        counts[1],
+        n,
+        pct(counts[1] as f64 / n as f64),
+        counts[2],
+        n,
+        pct(counts[2] as f64 / n as f64),
     ));
     res.text("paper: 64% / 15% / 21%");
     res.text(format!(

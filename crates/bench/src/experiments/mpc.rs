@@ -20,7 +20,10 @@ const CONDITIONS: [(&str, f64, f64); 3] = [
     ("W2.2/L1.2", 2.2, 1.2),
 ];
 
-const MODES: [(&str, fn() -> TransportMode); 3] = [
+/// A transport-mode constructor, named so the mode table stays legible.
+type ModeCtor = fn() -> TransportMode;
+
+const MODES: [(&str, ModeCtor); 3] = [
     ("Baseline", || TransportMode::Vanilla),
     ("Rate", TransportMode::mpdash_rate_based),
     ("Duration", TransportMode::mpdash_duration_based),
@@ -44,20 +47,29 @@ pub fn result(quick: bool) -> ExperimentResult {
     let mut jobs = Vec::new();
     for (cname, w, l) in CONDITIONS {
         for (mname, mode) in MODES {
-            jobs.push(Job::session(format!("{cname}/{mname}"), config(w, l, mode())));
+            jobs.push(Job::session(
+                format!("{cname}/{mname}"),
+                config(w, l, mode()),
+            ));
         }
     }
     let results = run_batch(jobs);
     let mut next = results.iter();
 
     let mut t = Table::new(&[
-        "condition", "config", "cell bytes", "energy (J)", "bitrate", "switches", "stalls",
+        "condition",
+        "config",
+        "cell bytes",
+        "energy (J)",
+        "bitrate",
+        "switches",
+        "stalls",
         "cell saving",
     ]);
     for (cname, _, _) in CONDITIONS {
         let rows: Vec<_> = MODES
             .iter()
-            .map(|_| next.next().unwrap().report.session())
+            .map(|_| next.next().unwrap().session().expect("session job"))
             .collect();
         let base = rows[0];
         for ((mname, _), r) in MODES.iter().zip(&rows) {

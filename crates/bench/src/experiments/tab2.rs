@@ -20,7 +20,12 @@ pub fn result(quick: bool) -> ExperimentResult {
     )
     .with_quick(quick);
     let mut t = Table::new(&[
-        "trace", "D/L (s)", "Cell% optimal", "Cell% online", "Diff.", "Miss?",
+        "trace",
+        "D/L (s)",
+        "Cell% optimal",
+        "Cell% online",
+        "Diff.",
+        "Miss?",
     ]);
     for row in table1_rows() {
         for &d in row.deadlines_s {

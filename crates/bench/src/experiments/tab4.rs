@@ -24,7 +24,10 @@ pub fn result(quick: bool) -> ExperimentResult {
     let configs = [
         ("Default", TransportMode::Vanilla),
         ("Throttle 700 Kbps", TransportMode::Throttled { kbps: 700 }),
-        ("Throttle 1000 Kbps", TransportMode::Throttled { kbps: 1000 }),
+        (
+            "Throttle 1000 Kbps",
+            TransportMode::Throttled { kbps: 1000 },
+        ),
         ("MP-DASH (rate)", TransportMode::mpdash_rate_based()),
     ];
     let reports = run_sessions(
@@ -40,7 +43,12 @@ pub fn result(quick: bool) -> ExperimentResult {
             .collect(),
     );
     let mut t = Table::new(&[
-        "config", "cell bytes", "% of cell data", "radio energy (J)", "mean bitrate", "stalls",
+        "config",
+        "cell bytes",
+        "% of cell data",
+        "radio energy (J)",
+        "mean bitrate",
+        "stalls",
     ]);
     for ((name, _), r) in configs.iter().zip(&reports) {
         t.row(&[

@@ -39,7 +39,11 @@ pub fn result(quick: bool) -> ExperimentResult {
     for abr in abrs {
         // BBA-C's baseline is unmodified BBA over vanilla MPTCP, per the
         // paper's "37% for BBA-C over the unmodified BBA".
-        let base_abr = if abr == AbrKind::BbaC { AbrKind::Bba } else { abr };
+        let base_abr = if abr == AbrKind::BbaC {
+            AbrKind::Bba
+        } else {
+            abr
+        };
         jobs.push(Job::session(
             format!("{}/baseline", abr.name()),
             config(base_abr, TransportMode::Vanilla),
@@ -53,12 +57,18 @@ pub fn result(quick: bool) -> ExperimentResult {
     let mut next = results.iter();
 
     let mut t = Table::new(&[
-        "algorithm", "config", "cell bytes", "energy (J)", "bitrate (Mbps)",
-        "cell saving", "energy saving", "bitrate change",
+        "algorithm",
+        "config",
+        "cell bytes",
+        "energy (J)",
+        "bitrate (Mbps)",
+        "cell saving",
+        "energy saving",
+        "bitrate change",
     ]);
     for abr in abrs {
-        let base = next.next().unwrap().report.session();
-        let mp = next.next().unwrap().report.session();
+        let base = next.next().unwrap().session().expect("session job");
+        let mp = next.next().unwrap().session().expect("session job");
         for (name, r) in [("Baseline", base), ("MP-DASH rate", mp)] {
             let is_base = name == "Baseline";
             let delta = -r.qoe.bitrate_reduction_vs(&base.qoe);
@@ -68,8 +78,16 @@ pub fn result(quick: bool) -> ExperimentResult {
                 mb(r.cell_bytes),
                 format!("{:.1}", r.energy.total_j()),
                 format!("{:.2}", r.qoe.mean_bitrate_mbps),
-                if is_base { "-".into() } else { pct(r.cell_saving_vs(base)) },
-                if is_base { "-".into() } else { pct(r.energy_saving_vs(base)) },
+                if is_base {
+                    "-".into()
+                } else {
+                    pct(r.cell_saving_vs(base))
+                },
+                if is_base {
+                    "-".into()
+                } else {
+                    pct(r.energy_saving_vs(base))
+                },
                 if is_base {
                     "-".into()
                 } else {

@@ -14,6 +14,7 @@
 //! | `exp_field` | Figures 9 & 10, Table 5 — the 33-location field study |
 //! | `exp_fig11` | Figure 11 — the mobility scenario |
 //! | `exp_tab6`  | Table 6 — HD video |
+//! | `exp_faults` | resilience matrix — fault injection on the preferred path (beyond the paper) |
 //! | `exp_all`   | everything above, in sequence |
 //!
 //! The library half hosts the trace-driven simulator behind Table 2 (the
@@ -208,7 +209,11 @@ mod tests {
             1.0,
         );
         assert_eq!(row.optimal_cell_frac, 0.0);
-        assert!(row.online_cell_frac < 0.02, "online {}", row.online_cell_frac);
+        assert!(
+            row.online_cell_frac < 0.02,
+            "online {}",
+            row.online_cell_frac
+        );
         assert!(!row.missed);
     }
 

@@ -55,7 +55,13 @@ impl MpDashControl {
         // enough to toggle the cellular subflow. Blackout response is
         // still a few slots (zero samples compound as (1−α)^k plus a
         // negative trend).
-        Self::with_predictor(costs, priors, params, slot, PredictorKind::control_default())
+        Self::with_predictor(
+            costs,
+            priors,
+            params,
+            slot,
+            PredictorKind::control_default(),
+        )
     }
 
     /// Like [`MpDashControl::new`] but with an explicit predictor choice
@@ -146,6 +152,17 @@ impl MpDashControl {
         (0..self.n_paths())
             .map(|p| self.estimate(p))
             .fold(Rate::ZERO, Rate::saturating_add)
+    }
+
+    /// A path's subflow was torn down and re-established (e.g. WiFi
+    /// reassociation after a disassociation fault): the Holt-Winters
+    /// state learned on the old association is stale — the AP, channel
+    /// conditions, or even the BSS may have changed — so reset the
+    /// path's predictor and re-anchor its slot clock at `now`. Until
+    /// fresh samples arrive the estimate falls back to the configured
+    /// prior.
+    pub fn on_path_reset(&mut self, path: usize, now: SimTime) {
+        self.samplers[path].reset_at(now);
     }
 
     /// Progress update: advance busy paths' sampling clocks to `now`,

@@ -211,12 +211,7 @@ impl DeadlineScheduler {
     /// so completion returns [`CellDecision::Enable`]. DASH adapters
     /// immediately re-`enable` for the next chunk, and the link is idle in
     /// between, so no stray cellular bytes flow from this.
-    pub fn on_progress(
-        &mut self,
-        now: SimTime,
-        total_sent: u64,
-        wifi_rate: Rate,
-    ) -> CellDecision {
+    pub fn on_progress(&mut self, now: SimTime, total_sent: u64, wifi_rate: Rate) -> CellDecision {
         let Some(a) = self.active.as_mut() else {
             return CellDecision::NoChange;
         };
@@ -322,7 +317,7 @@ mod tests {
         let mut s = sched();
         s.enable(SimTime::ZERO, 5 * MB, SimDuration::from_secs(10));
         s.on_progress(SimTime::ZERO, 0, mbps(3.0)); // enable
-        // WiFi recovers to 10 Mbps: 9 s left can move 11 MB > 4.6 MB left.
+                                                    // WiFi recovers to 10 Mbps: 9 s left can move 11 MB > 4.6 MB left.
         let d = s.on_progress(SimTime::from_secs(1), 400_000, mbps(10.0));
         assert_eq!(d, CellDecision::Disable);
         assert!(!s.cell_enabled());

@@ -157,11 +157,7 @@ impl MultiPathScheduler {
             }
             let all = vec![true; self.costs.len()];
             if a.enabled != all {
-                self.toggles += a
-                    .enabled
-                    .iter()
-                    .filter(|&&e| !e)
-                    .count() as u64;
+                self.toggles += a.enabled.iter().filter(|&&e| !e).count() as u64;
                 a.enabled = all.clone();
                 return Some(all);
             }
@@ -253,8 +249,7 @@ mod tests {
     #[test]
     fn three_paths_enable_in_cost_order() {
         // Path costs: p1 cheapest, p0 middle, p2 dearest.
-        let mut s =
-            MultiPathScheduler::new(vec![0.5, 0.0, 1.0], SchedulerParams::default());
+        let mut s = MultiPathScheduler::new(vec![0.5, 0.0, 1.0], SchedulerParams::default());
         assert_eq!(s.preferred(), 1);
         let en = s.enable(SimTime::ZERO, 10 * MB, SimDuration::from_secs(10));
         assert_eq!(en, vec![false, true, false]);
@@ -299,10 +294,7 @@ mod tests {
         for &(ms, sent, wifi) in traj {
             let now = SimTime::from_millis(ms);
             let est = [mbps(wifi), mbps(3.0)];
-            let multi_cell = match multi.on_progress(now, sent, &est) {
-                Some(en) => Some(en[1]),
-                None => None,
-            };
+            let multi_cell = multi.on_progress(now, sent, &est).map(|en| en[1]);
             let single_cell = match single.on_progress(now, sent, mbps(wifi)) {
                 CellDecision::Enable => Some(true),
                 CellDecision::Disable => Some(false),

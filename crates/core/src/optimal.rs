@@ -46,11 +46,7 @@ pub struct SlotPlan {
 /// window and tops up the deficit over cellular, stopping exactly at `S`
 /// (the proof sketch in §4: disabling cellular later or enabling it
 /// earlier than the perfect-knowledge schedule can only add cost).
-pub fn optimal_cellular_bytes(
-    wifi_slots: &[u64],
-    cell_slots: &[u64],
-    size: u64,
-) -> Option<u64> {
+pub fn optimal_cellular_bytes(wifi_slots: &[u64], cell_slots: &[u64], size: u64) -> Option<u64> {
     let wifi_total: u64 = wifi_slots.iter().sum();
     let cell_total: u64 = cell_slots.iter().sum();
     let deficit = size.saturating_sub(wifi_total);
@@ -193,9 +189,18 @@ mod tests {
     fn dp_picks_cheapest_cover() {
         // Three items; need 2 units of 100 bytes.
         let items = [
-            SlotItem { bytes: 100, cost: 5.0 },
-            SlotItem { bytes: 100, cost: 1.0 },
-            SlotItem { bytes: 100, cost: 2.0 },
+            SlotItem {
+                bytes: 100,
+                cost: 5.0,
+            },
+            SlotItem {
+                bytes: 100,
+                cost: 1.0,
+            },
+            SlotItem {
+                bytes: 100,
+                cost: 2.0,
+            },
         ];
         let plan = optimal_min_cost(&items, 200, 100).unwrap();
         assert_eq!(plan.total_cost, 3.0);
@@ -206,11 +211,26 @@ mod tests {
     #[test]
     fn dp_prefers_one_big_item_over_many_small() {
         let items = [
-            SlotItem { bytes: 1000, cost: 3.0 },
-            SlotItem { bytes: 300, cost: 1.5 },
-            SlotItem { bytes: 300, cost: 1.5 },
-            SlotItem { bytes: 300, cost: 1.5 },
-            SlotItem { bytes: 300, cost: 1.5 },
+            SlotItem {
+                bytes: 1000,
+                cost: 3.0,
+            },
+            SlotItem {
+                bytes: 300,
+                cost: 1.5,
+            },
+            SlotItem {
+                bytes: 300,
+                cost: 1.5,
+            },
+            SlotItem {
+                bytes: 300,
+                cost: 1.5,
+            },
+            SlotItem {
+                bytes: 300,
+                cost: 1.5,
+            },
         ];
         let plan = optimal_min_cost(&items, 1000, 100).unwrap();
         assert_eq!(plan.total_cost, 3.0);
@@ -219,7 +239,10 @@ mod tests {
 
     #[test]
     fn dp_infeasible_returns_none() {
-        let items = [SlotItem { bytes: 100, cost: 1.0 }];
+        let items = [SlotItem {
+            bytes: 100,
+            cost: 1.0,
+        }];
         assert!(optimal_min_cost(&items, 1000, 10).is_none());
     }
 
@@ -234,8 +257,14 @@ mod tests {
     fn dp_subunit_items_are_ignored() {
         // Items smaller than a unit can't be counted toward coverage.
         let items = [
-            SlotItem { bytes: 50, cost: 0.1 },
-            SlotItem { bytes: 200, cost: 2.0 },
+            SlotItem {
+                bytes: 50,
+                cost: 0.1,
+            },
+            SlotItem {
+                bytes: 200,
+                cost: 2.0,
+            },
         ];
         let plan = optimal_min_cost(&items, 200, 100).unwrap();
         assert_eq!(plan.chosen, vec![1]);
@@ -255,7 +284,10 @@ mod tests {
         // byte count.
         let mut items: Vec<SlotItem> = wifi
             .iter()
-            .map(|&b| SlotItem { bytes: b, cost: 0.0 })
+            .map(|&b| SlotItem {
+                bytes: b,
+                cost: 0.0,
+            })
             .collect();
         items.extend(cell.iter().map(|&b| SlotItem {
             bytes: b,
@@ -271,8 +303,14 @@ mod tests {
     #[test]
     fn dp_handles_exact_boundary() {
         let items = [
-            SlotItem { bytes: 500, cost: 1.0 },
-            SlotItem { bytes: 500, cost: 1.0 },
+            SlotItem {
+                bytes: 500,
+                cost: 1.0,
+            },
+            SlotItem {
+                bytes: 500,
+                cost: 1.0,
+            },
         ];
         let plan = optimal_min_cost(&items, 1000, 100).unwrap();
         assert_eq!(plan.total_cost, 2.0);

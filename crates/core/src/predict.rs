@@ -67,9 +67,7 @@ impl PredictorKind {
     /// Instantiate.
     pub fn build(self) -> Box<dyn Predictor> {
         match self {
-            PredictorKind::HoltWinters { alpha, beta } => {
-                Box::new(HoltWinters::new(alpha, beta))
-            }
+            PredictorKind::HoltWinters { alpha, beta } => Box::new(HoltWinters::new(alpha, beta)),
             PredictorKind::Ewma { alpha } => Box::new(EwmaPredictor::new(alpha)),
         }
     }
@@ -140,8 +138,7 @@ impl Predictor for HoltWinters {
             }
             Some(prev_level) => {
                 let level = self.alpha * x + (1.0 - self.alpha) * (prev_level + self.trend);
-                self.trend =
-                    self.beta * (level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.trend = self.beta * (level - prev_level) + (1.0 - self.beta) * self.trend;
                 self.level = Some(level);
             }
         }

@@ -18,9 +18,9 @@
 
 use super::{Abr, AbrInput, AbrKind};
 use crate::video::Video;
-use mpdash_sim::SimDuration;
 #[cfg(test)]
 use mpdash_sim::Rate;
+use mpdash_sim::SimDuration;
 
 /// The BBA chunk map: buffer-occupancy thresholds per level.
 #[derive(Clone, Debug)]

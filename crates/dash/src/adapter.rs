@@ -169,7 +169,7 @@ impl VideoAdapter {
     /// chunk size, the current buffer, and the MP-DASH aggregate
     /// throughput estimate.
     #[allow(clippy::too_many_arguments)] // one argument per §5 input; a
-    // context struct would only relocate the same seven names
+                                         // context struct would only relocate the same seven names
     pub fn decide(
         &self,
         video: &Video,

@@ -46,8 +46,8 @@ pub mod qoe;
 pub mod video;
 
 pub use abr::{Abr, AbrCategory, AbrInput, AbrKind};
-pub use manifest::{Manifest, Representation};
 pub use adapter::{AdapterConfig, DeadlineDecision, DeadlineMode, VideoAdapter};
+pub use manifest::{Manifest, Representation};
 pub use player::{Player, PlayerConfig, PlayerEvent, PlayerState};
 pub use qoe::QoeSummary;
 pub use video::{ChunkRef, Video};

@@ -95,9 +95,7 @@ impl Manifest {
         let rep = &self.representations[level];
         match &rep.segment_sizes {
             Some(sizes) => sizes[segment],
-            None => {
-                Rate::from_bps(rep.bandwidth_bps).bytes_in(self.segment_duration)
-            }
+            None => Rate::from_bps(rep.bandwidth_bps).bytes_in(self.segment_duration),
         }
     }
 
@@ -226,7 +224,9 @@ impl Manifest {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
 }
 
 /// Value of `name="..."` inside the first `<element ...>` tag.
@@ -304,7 +304,9 @@ mod tests {
         assert!(Manifest::from_xml("<MPD>").is_err());
         let missing_reps = "<?xml version=\"1.0\"?>\n<MPD title=\"x\" \
              segmentDurationMs=\"4000\" segmentCount=\"3\">\n</MPD>\n";
-        assert!(Manifest::from_xml(missing_reps).unwrap_err().contains("no representations"));
+        assert!(Manifest::from_xml(missing_reps)
+            .unwrap_err()
+            .contains("no representations"));
         let wrong_count = "<?xml version=\"1.0\"?>\n<MPD title=\"x\" \
              segmentDurationMs=\"4000\" segmentCount=\"3\">\n  <AdaptationSet>\n    \
              <Representation id=\"0\" bandwidth=\"1000\">\n      \

@@ -251,13 +251,7 @@ impl Player {
     ///
     /// # Panics
     /// If more chunks complete than the video has.
-    pub fn on_chunk_complete(
-        &mut self,
-        now: SimTime,
-        level: usize,
-        size: u64,
-        started: SimTime,
-    ) {
+    pub fn on_chunk_complete(&mut self, now: SimTime, level: usize, size: u64, started: SimTime) {
         assert!(
             self.chunks_downloaded < self.n_chunks,
             "more chunks completed than the video has"
@@ -285,11 +279,10 @@ impl Player {
                 self.startup_delay = Some(now.saturating_since(SimTime::ZERO));
                 self.events.push(PlayerEvent::Started { at: now });
             }
-            PlayerState::Stalled
-                if self.buffer >= self.cfg.resume_threshold => {
-                    self.state = PlayerState::Playing;
-                    self.events.push(PlayerEvent::Resumed { at: now });
-                }
+            PlayerState::Stalled if self.buffer >= self.cfg.resume_threshold => {
+                self.state = PlayerState::Playing;
+                self.events.push(PlayerEvent::Resumed { at: now });
+            }
             _ => {}
         }
     }
@@ -394,13 +387,22 @@ mod tests {
         p.advance_to(t(6.0)); // dry at 4.5 -> stall
         p.on_chunk_complete(t(7.0), 0, 1, t(6.0)); // resumes
         let ev = p.events();
-        assert!(matches!(ev[0], PlayerEvent::ChunkDone { index: 0, level: 2, .. }));
+        assert!(matches!(
+            ev[0],
+            PlayerEvent::ChunkDone {
+                index: 0,
+                level: 2,
+                ..
+            }
+        ));
         assert!(matches!(ev[1], PlayerEvent::Started { at } if at == t(0.5)));
         assert!(matches!(ev[2], PlayerEvent::Stalled { at } if at == t(4.5)));
         assert!(matches!(ev[3], PlayerEvent::ChunkDone { index: 1, .. }));
         assert!(matches!(ev[4], PlayerEvent::Resumed { at } if at == t(7.0)));
         // Buffer levels recorded on completions.
-        let PlayerEvent::ChunkDone { buffer, .. } = ev[0] else { panic!() };
+        let PlayerEvent::ChunkDone { buffer, .. } = ev[0] else {
+            panic!()
+        };
         assert_eq!(buffer, SimDuration::from_secs(4));
     }
 

@@ -160,10 +160,7 @@ impl Video {
     /// The highest level whose bitrate does not exceed `rate`, or level 0
     /// if none fits (the common "highest sustainable level" query).
     pub fn highest_level_at_most(&self, rate: Rate) -> usize {
-        self.levels
-            .iter()
-            .rposition(|&b| b <= rate)
-            .unwrap_or(0)
+        self.levels.iter().rposition(|&b| b <= rate).unwrap_or(0)
     }
 
     /// Deterministic VBR size factor for `(chunk, level)` in

@@ -279,10 +279,8 @@ pub fn radio_energy(
             .saturating_since(drx_start);
     }
 
-    out.promotion_j = promotions as f64
-        * model.promo_power_mw
-        * model.promo_time.as_secs_f64()
-        / 1_000.0;
+    out.promotion_j =
+        promotions as f64 * model.promo_power_mw * model.promo_time.as_secs_f64() / 1_000.0;
     out.active_j = model.active_power_mw * active_time.as_secs_f64() / 1_000.0;
     out.drx_j = model.drx_power_mw * drx_time.as_secs_f64() / 1_000.0;
     out.transfer_j = total_bits / 1e6 * model.per_mbit_mj / 1_000.0;

@@ -269,7 +269,10 @@ mod tests {
         let events = fetch(&mut s, &mut h, 50_000);
         let mut last = 0;
         for e in &events {
-            if let HttpEvent::BodyProgress { received, total, .. } = e {
+            if let HttpEvent::BodyProgress {
+                received, total, ..
+            } = e
+            {
                 assert!(*received >= last);
                 assert_eq!(*total, 50_000);
                 last = *received;
@@ -339,7 +342,9 @@ mod tests {
         let ids: Vec<_> = (0..20).map(|i| h.get(&mut s, 100 + i)).collect();
         let mut done = Vec::new();
         while done.len() < ids.len() {
-            let Some((_, o)) = s.step() else { panic!("drained") };
+            let Some((_, o)) = s.step() else {
+                panic!("drained")
+            };
             match o {
                 StepOutcome::ServerMsg { id } => h.on_server_msg(&mut s, id),
                 StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {

@@ -28,11 +28,13 @@
 //! }
 //! ```
 
+pub mod fault;
 pub mod link;
 pub mod path;
 pub mod profile;
 pub mod shaper;
 
+pub use fault::{FaultEvent, FaultKind, FaultScript, GeChain, GilbertElliott};
 pub use link::{DropReason, Link, LinkConfig, SendOutcome};
 pub use path::PathId;
 pub use profile::BandwidthProfile;

@@ -19,6 +19,7 @@
 //! * **Throttle** — an optional [`TokenBucket`] in front of the server,
 //!   the stand-in for the paper's cellular-throttling baseline (§7.3.1).
 
+use crate::fault::{FaultScript, FaultState};
 use crate::profile::BandwidthProfile;
 use crate::shaper::TokenBucket;
 use mpdash_sim::{Prng, Rate, SimDuration, SimTime};
@@ -34,6 +35,13 @@ pub enum DropReason {
     /// The profile reports zero bandwidth with no future change (a link
     /// permanently blacked out); the packet can never be serialized.
     DeadLink,
+    /// An injected Gilbert–Elliott burst-loss chain discarded the packet
+    /// (see [`crate::fault`]).
+    BurstLoss,
+    /// An injected disassociation window covers this instant: the
+    /// association is down (or still re-handshaking), so nothing crosses
+    /// the link.
+    Disassociated,
 }
 
 /// Result of [`Link::send`].
@@ -61,8 +69,11 @@ pub struct LinkConfig {
     /// Optional token-bucket throttle ahead of the server.
     pub throttle: Option<TokenBucket>,
     /// Seed for the loss RNG (per-link, so loss patterns are reproducible
-    /// and independent across links).
+    /// and independent across links). Fault-script randomness (burst
+    /// chains, jitter) runs on streams derived from this same seed.
     pub seed: u64,
+    /// Optional deterministic fault timeline layered over the link.
+    pub faults: Option<FaultScript>,
 }
 
 impl LinkConfig {
@@ -75,6 +86,7 @@ impl LinkConfig {
             loss: 0.0,
             throttle: None,
             seed: 0,
+            faults: None,
         }
     }
 
@@ -103,12 +115,23 @@ impl LinkConfig {
         self.queue_capacity = bytes;
         self
     }
+
+    /// Same link with a deterministic fault timeline attached. Fault
+    /// randomness derives from the link `seed` (set it via
+    /// [`LinkConfig::with_loss`] or directly) on streams independent of
+    /// the i.i.d. loss RNG.
+    pub fn with_faults(mut self, script: FaultScript) -> Self {
+        self.faults = Some(script);
+        self
+    }
 }
 
 /// One unidirectional simulated path. See the module docs for the model.
 pub struct Link {
     cfg: LinkConfig,
     rng: Prng,
+    /// Runtime state for the attached fault script, if any.
+    faults: Option<FaultState>,
     /// Instant at which the server finishes the last accepted packet.
     busy_until: SimTime,
     /// Accepted packets still occupying the queue/server:
@@ -118,20 +141,27 @@ pub struct Link {
     delivered_bytes: u64,
     delivered_packets: u64,
     dropped_packets: u64,
+    fault_dropped_packets: u64,
 }
 
 impl Link {
     /// Build a link from its configuration.
     pub fn new(cfg: LinkConfig) -> Self {
         let rng = Prng::new(cfg.seed);
+        let faults = cfg
+            .faults
+            .clone()
+            .map(|script| FaultState::new(script, cfg.seed));
         Link {
             cfg,
             rng,
+            faults,
             busy_until: SimTime::ZERO,
             in_system: VecDeque::new(),
             delivered_bytes: 0,
             delivered_packets: 0,
             dropped_packets: 0,
+            fault_dropped_packets: 0,
         }
     }
 
@@ -172,9 +202,21 @@ impl Link {
         self.delivered_packets
     }
 
-    /// Total packets dropped so far (loss + overflow + dead link).
+    /// Total packets dropped so far (loss + overflow + dead link +
+    /// injected faults).
     pub fn dropped_packets(&self) -> u64 {
         self.dropped_packets
+    }
+
+    /// Packets dropped by injected faults (burst loss + disassociation)
+    /// — a subset of [`Link::dropped_packets`].
+    pub fn fault_dropped_packets(&self) -> u64 {
+        self.fault_dropped_packets
+    }
+
+    /// Whether an injected disassociation outage covers `t`.
+    pub fn disassociated_at(&self, t: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.disassociated_at(t))
     }
 
     /// Offer a packet of `size` bytes to the link at time `now`.
@@ -184,7 +226,28 @@ impl Link {
     pub fn send(&mut self, now: SimTime, size: u64) -> SendOutcome {
         debug_assert!(size > 0, "packets must be non-empty");
 
-        // 1. Random loss happens "on the wire" but is decided up front —
+        // 0. An active disassociation outage swallows everything — the
+        //    association (or its re-handshake) isn't up, so the packet
+        //    never reaches the air.
+        if let Some(faults) = &self.faults {
+            if faults.disassociated_at(now) {
+                self.dropped_packets += 1;
+                self.fault_dropped_packets += 1;
+                return SendOutcome::Dropped(DropReason::Disassociated);
+            }
+        }
+
+        // 1. Burst loss: every active Gilbert–Elliott chain advances one
+        //    step per offered packet; any of them may eat it.
+        if let Some(faults) = &mut self.faults {
+            if faults.burst_lose_packet(now) {
+                self.dropped_packets += 1;
+                self.fault_dropped_packets += 1;
+                return SendOutcome::Dropped(DropReason::BurstLoss);
+            }
+        }
+
+        // 2. Random loss happens "on the wire" but is decided up front —
         //    the byte still occupied upstream buffers in reality, but for a
         //    drop-tail model deciding early is equivalent and simpler.
         if self.cfg.loss > 0.0 && self.rng.next_f64() < self.cfg.loss {
@@ -192,22 +255,24 @@ impl Link {
             return SendOutcome::Dropped(DropReason::RandomLoss);
         }
 
-        // 2. Drop-tail admission check against the current backlog.
+        // 3. Drop-tail admission check against the current backlog.
         let backlog = self.backlog(now);
         if backlog + size > self.cfg.queue_capacity {
             self.dropped_packets += 1;
             return SendOutcome::Dropped(DropReason::QueueOverflow);
         }
 
-        // 3. Optional throttle delays the earliest service start.
+        // 4. Optional throttle delays the earliest service start.
         let earliest = match &mut self.cfg.throttle {
             Some(bucket) => bucket.admit(now, size),
             None => now,
         };
 
-        // 4. Serialize after the server frees up. If the profile is at
+        // 5. Serialize after the server frees up. If the profile is at
         //    zero, wait for its next change (a temporary blackout); if it
-        //    never changes, the packet is undeliverable.
+        //    never changes, the packet is undeliverable. An active rate
+        //    collapse scales the profile rate (sampled, like the rate
+        //    itself, at serialization start).
         let mut start = earliest.max(self.busy_until);
         let mut rate = self.cfg.profile.rate_at(start);
         while rate.is_zero() {
@@ -219,15 +284,30 @@ impl Link {
             start = next;
             rate = self.cfg.profile.rate_at(start);
         }
+        if let Some(faults) = &self.faults {
+            let factor = faults.rate_factor_at(start);
+            if factor < 1.0 {
+                // Clamp to 1 bps: the factor is in (0,1] by construction,
+                // so a collapse may crawl but never turns into the
+                // dead-link (infinite serialization) case.
+                rate = rate.mul_f64(factor).max(Rate::from_bps(1));
+            }
+        }
         let ser = rate.time_to_send(size);
         let tx_end = start + ser;
         self.busy_until = tx_end;
         self.in_system.push_back((tx_end, size));
 
+        // 6. An active RTT spike inflates propagation for this delivery.
+        let extra = match &mut self.faults {
+            Some(faults) => faults.rtt_extra_at(start),
+            None => SimDuration::ZERO,
+        };
+
         self.delivered_bytes += size;
         self.delivered_packets += 1;
         SendOutcome::Delivered {
-            at: tx_end + self.cfg.delay,
+            at: tx_end + self.cfg.delay + extra,
         }
     }
 }
@@ -361,9 +441,7 @@ mod tests {
             &[Rate::ZERO, Rate::from_mbps(8)],
             false,
         );
-        let mut l = Link::new(
-            LinkConfig::constant(1.0, SimDuration::ZERO).with_profile(profile),
-        );
+        let mut l = Link::new(LinkConfig::constant(1.0, SimDuration::ZERO).with_profile(profile));
         match l.send(SimTime::ZERO, 1000) {
             SendOutcome::Delivered { at } => {
                 // Starts at t=1 s, 1000 B at 8 Mbps = 1 ms.
@@ -383,6 +461,137 @@ mod tests {
             l.send(SimTime::ZERO, 100),
             SendOutcome::Dropped(DropReason::DeadLink)
         );
+    }
+
+    #[test]
+    fn disassociation_window_swallows_then_recovers() {
+        let script = crate::fault::FaultScript::new().disassociation(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(2),
+        );
+        let mut l =
+            Link::new(LinkConfig::constant(12.0, SimDuration::from_millis(25)).with_faults(script));
+        assert!(matches!(
+            l.send(SimTime::from_secs(9), MSS),
+            SendOutcome::Delivered { .. }
+        ));
+        // Down for the disassociation AND the reassociation handshake.
+        for s in [10, 12, 14, 16] {
+            assert_eq!(
+                l.send(SimTime::from_secs(s), MSS),
+                SendOutcome::Dropped(DropReason::Disassociated),
+                "at {s} s"
+            );
+        }
+        assert!(matches!(
+            l.send(SimTime::from_secs(17), MSS),
+            SendOutcome::Delivered { .. }
+        ));
+        assert_eq!(l.fault_dropped_packets(), 4);
+        assert!(l.disassociated_at(SimTime::from_secs(15)));
+        assert!(!l.disassociated_at(SimTime::from_secs(17)));
+    }
+
+    #[test]
+    fn rate_collapse_stretches_serialization() {
+        let script = crate::fault::FaultScript::new().rate_collapse(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            0.25,
+        );
+        let mut l = Link::new(LinkConfig::constant(12.0, SimDuration::ZERO).with_faults(script));
+        // Healthy: 1500 B at 12 Mbps = 1 ms.
+        let SendOutcome::Delivered { at } = l.send(SimTime::ZERO, 1500) else {
+            panic!()
+        };
+        assert_eq!(at, SimTime::from_millis(1));
+        // Collapsed to 3 Mbps: 4 ms.
+        let SendOutcome::Delivered { at } = l.send(SimTime::from_secs(10), 1500) else {
+            panic!()
+        };
+        assert_eq!(at, SimTime::from_secs(10) + SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn rtt_spike_inflates_delivery_deterministically() {
+        let script = || {
+            crate::fault::FaultScript::new().rtt_spike(
+                SimTime::from_secs(10),
+                SimDuration::from_secs(10),
+                SimDuration::from_millis(300),
+                SimDuration::from_millis(100),
+            )
+        };
+        let deliveries = |seed: u64| {
+            let mut l = Link::new(
+                LinkConfig::constant(12.0, SimDuration::from_millis(25))
+                    .with_loss(0.0, seed)
+                    .with_faults(script()),
+            );
+            (0..20u64)
+                .map(|i| {
+                    match l.send(
+                        SimTime::from_secs(10) + SimDuration::from_millis(i * 100),
+                        1500,
+                    ) {
+                        SendOutcome::Delivered { at } => at,
+                        other => panic!("unexpected {other:?}"),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = deliveries(3);
+        // Baseline without the spike: serialization 1 ms + delay 25 ms.
+        for (i, at) in a.iter().enumerate() {
+            let offered = SimTime::from_secs(10) + SimDuration::from_millis(i as u64 * 100);
+            let base = offered + SimDuration::from_millis(26);
+            let extra = at.saturating_since(base);
+            assert!(
+                extra >= SimDuration::from_millis(300) && extra <= SimDuration::from_millis(400),
+                "packet {i}: extra {extra:?}"
+            );
+        }
+        assert_eq!(a, deliveries(3), "same seed, same jitter");
+        assert_ne!(a, deliveries(4), "different seed, different jitter");
+    }
+
+    #[test]
+    fn burst_loss_window_drops_only_inside_window() {
+        let script = crate::fault::FaultScript::new().burst_loss(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            crate::fault::GilbertElliott::new(0.2, 0.2, 1.0),
+        );
+        let mut l = Link::new(
+            LinkConfig::constant(100.0, SimDuration::ZERO)
+                .with_queue_capacity(u64::MAX)
+                .with_faults(script),
+        );
+        for i in 0..100u64 {
+            assert!(
+                matches!(
+                    l.send(SimTime::from_millis(i), MSS),
+                    SendOutcome::Delivered { .. }
+                ),
+                "before the window nothing drops"
+            );
+        }
+        let mut dropped = 0;
+        for i in 0..500u64 {
+            if matches!(
+                l.send(
+                    SimTime::from_secs(10) + SimDuration::from_millis(i * 10),
+                    MSS
+                ),
+                SendOutcome::Dropped(DropReason::BurstLoss)
+            ) {
+                dropped += 1;
+            }
+        }
+        // Stationary bad probability 0.5 with loss 1.0 → about half drop.
+        assert!((150..350).contains(&dropped), "in-window drops {dropped}");
+        assert_eq!(l.fault_dropped_packets(), dropped);
     }
 
     #[test]

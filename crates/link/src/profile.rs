@@ -61,9 +61,7 @@ impl BandwidthProfile {
             BandwidthProfile::Steps { steps, period } => {
                 debug_assert!(!steps.is_empty());
                 let t = match period {
-                    Some(p) if !p.is_zero() => {
-                        SimTime::from_nanos(t.as_nanos() % p.as_nanos())
-                    }
+                    Some(p) if !p.is_zero() => SimTime::from_nanos(t.as_nanos() % p.as_nanos()),
                     _ => t,
                 };
                 // Last step whose start <= t. partition_point gives the
@@ -225,7 +223,10 @@ mod tests {
             false,
         );
         assert_eq!(p.next_change_after(SimTime::ZERO), SimTime::from_secs(1));
-        assert_eq!(p.next_change_after(SimTime::from_millis(1500)), SimTime::MAX);
+        assert_eq!(
+            p.next_change_after(SimTime::from_millis(1500)),
+            SimTime::MAX
+        );
 
         let looped = BandwidthProfile::from_samples(
             SimDuration::from_secs(1),

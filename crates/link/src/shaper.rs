@@ -7,9 +7,9 @@
 //! depart?* — and consumes the tokens when the caller commits to that
 //! departure.
 
-use mpdash_sim::{Rate, SimTime};
 #[cfg(test)]
 use mpdash_sim::SimDuration;
+use mpdash_sim::{Rate, SimTime};
 
 /// Token bucket with fill rate `rate` and capacity `burst` bytes.
 #[derive(Clone, Debug)]

@@ -254,7 +254,7 @@ mod tests {
         // Growth per window-acked is ~1 MSS; slightly under because the
         // divisor (cwnd) grows as the window inflates during the pass.
         assert!(
-            grown >= MSS * 9 / 10 && grown <= MSS + 200,
+            (MSS * 9 / 10..=MSS + 200).contains(&grown),
             "CA grew {grown} bytes per window"
         );
     }

@@ -29,7 +29,20 @@ struct SubRx {
 
 impl SubRx {
     /// Ingest a `[seq, seq+len)` segment, returning the new cumulative ACK.
-    fn on_segment(&mut self, seq: u64, len: u64) -> u64 {
+    ///
+    /// `syn` marks the opening segment of a re-established subflow: the
+    /// previous incarnation's unacked tail was abandoned by the sender, so
+    /// the receive state jumps forward to `seq` instead of waiting forever
+    /// for a range that will never arrive. Late duplicates of the old
+    /// incarnation (or of the SYN segment itself once it has been
+    /// processed) satisfy `seq <= rcv_nxt` and fall through to the normal
+    /// duplicate path — the resync only ever moves forward.
+    fn on_segment(&mut self, seq: u64, len: u64, syn: bool) -> u64 {
+        if syn && seq > self.rcv_nxt {
+            self.rcv_nxt = seq;
+            // Buffered fragments of the dead incarnation are void.
+            self.ooo.clear();
+        }
         let end = seq + len;
         if seq <= self.rcv_nxt {
             // In-order (or duplicate overlapping the head).
@@ -82,7 +95,10 @@ impl Receiver {
         }
     }
 
-    /// Ingest one data packet.
+    /// Ingest one data packet. The arguments mirror the on-the-wire
+    /// segment fields one-to-one, so a parameter struct would only
+    /// restate them.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_data(
         &mut self,
         t: SimTime,
@@ -91,8 +107,9 @@ impl Receiver {
         len: u64,
         dss: u64,
         retx: bool,
+        syn: bool,
     ) -> RxResult {
-        let ack = self.subs[path.index()].on_segment(seq, len);
+        let ack = self.subs[path.index()].on_segment(seq, len, syn);
         self.conn.insert(dss, dss + len);
         let head = self.conn.contiguous_from(self.conn_delivered);
         let newly = head - self.conn_delivered;
@@ -157,10 +174,10 @@ mod tests {
     #[test]
     fn in_order_delivery_single_path() {
         let mut r = Receiver::new(2);
-        let r1 = r.on_data(t0(), PathId::WIFI, 0, MSS, 0, false);
+        let r1 = r.on_data(t0(), PathId::WIFI, 0, MSS, 0, false, false);
         assert_eq!(r1.ack, MSS);
         assert_eq!(r1.newly_delivered, MSS);
-        let r2 = r.on_data(t0(), PathId::WIFI, MSS, MSS, MSS, false);
+        let r2 = r.on_data(t0(), PathId::WIFI, MSS, MSS, MSS, false, false);
         assert_eq!(r2.ack, 2 * MSS);
         assert_eq!(r.delivered(), 2 * MSS);
     }
@@ -169,11 +186,11 @@ mod tests {
     fn subflow_gap_holds_ack_but_dss_can_deliver() {
         let mut r = Receiver::new(2);
         // WiFi seg (dss 0) lost; cellular carries dss MSS.. first.
-        let rc = r.on_data(t0(), PathId::CELLULAR, 0, MSS, MSS, false);
+        let rc = r.on_data(t0(), PathId::CELLULAR, 0, MSS, MSS, false, false);
         assert_eq!(rc.ack, MSS, "cellular subflow itself is in order");
         assert_eq!(rc.newly_delivered, 0, "dss 0 still missing");
         // WiFi seg with dss 0 arrives.
-        let rw = r.on_data(t0(), PathId::WIFI, 0, MSS, 0, false);
+        let rw = r.on_data(t0(), PathId::WIFI, 0, MSS, 0, false, false);
         assert_eq!(rw.newly_delivered, 2 * MSS, "gap filled, both deliver");
         assert_eq!(r.delivered(), 2 * MSS);
     }
@@ -181,23 +198,44 @@ mod tests {
     #[test]
     fn out_of_order_within_subflow_generates_dup_acks() {
         let mut r = Receiver::new(1);
-        r.on_data(t0(), PathId(0), 0, MSS, 0, false);
+        r.on_data(t0(), PathId(0), 0, MSS, 0, false, false);
         // Segment at seq MSS lost; 2*MSS..3*MSS arrives.
-        let d = r.on_data(t0(), PathId(0), 2 * MSS, MSS, 2 * MSS, false);
+        let d = r.on_data(t0(), PathId(0), 2 * MSS, MSS, 2 * MSS, false, false);
         assert_eq!(d.ack, MSS, "cumulative ack stuck at the hole");
-        let d2 = r.on_data(t0(), PathId(0), 3 * MSS, MSS, 3 * MSS, false);
+        let d2 = r.on_data(t0(), PathId(0), 3 * MSS, MSS, 3 * MSS, false, false);
         assert_eq!(d2.ack, MSS);
         // Retransmission fills the hole; ack jumps over buffered data.
-        let d3 = r.on_data(t0(), PathId(0), MSS, MSS, MSS, true);
+        let d3 = r.on_data(t0(), PathId(0), MSS, MSS, MSS, true, false);
         assert_eq!(d3.ack, 4 * MSS);
         assert_eq!(r.delivered(), 4 * MSS);
     }
 
     #[test]
+    fn syn_resyncs_past_an_abandoned_incarnation() {
+        let mut r = Receiver::new(1);
+        r.on_data(t0(), PathId(0), 0, MSS, 0, false, false);
+        // [MSS, 3*MSS) died with the old incarnation; a buffered fragment
+        // of it is stranded beyond the hole.
+        let d = r.on_data(t0(), PathId(0), 2 * MSS, MSS, 2 * MSS, false, false);
+        assert_eq!(d.ack, MSS, "stuck at the hole before the resync");
+        // The re-established subflow opens at 3*MSS with the SYN marker:
+        // the ack jumps forward, skipping the range that will never come.
+        let d2 = r.on_data(t0(), PathId(0), 3 * MSS, MSS, 3 * MSS, false, true);
+        assert_eq!(d2.ack, 4 * MSS, "resync + opening segment");
+        // A late retransmitted duplicate of the SYN segment must not
+        // regress anything.
+        let d3 = r.on_data(t0(), PathId(0), 3 * MSS, MSS, 3 * MSS, true, true);
+        assert_eq!(d3.ack, 4 * MSS);
+        // Subsequent data flows in order on the new incarnation.
+        let d4 = r.on_data(t0(), PathId(0), 4 * MSS, MSS, 4 * MSS, false, false);
+        assert_eq!(d4.ack, 5 * MSS);
+    }
+
+    #[test]
     fn duplicate_segments_do_not_double_deliver() {
         let mut r = Receiver::new(1);
-        r.on_data(t0(), PathId(0), 0, MSS, 0, false);
-        let d = r.on_data(t0(), PathId(0), 0, MSS, 0, true);
+        r.on_data(t0(), PathId(0), 0, MSS, 0, false, false);
+        let d = r.on_data(t0(), PathId(0), 0, MSS, 0, true, false);
         assert_eq!(d.ack, MSS);
         assert_eq!(d.newly_delivered, 0);
         assert_eq!(r.delivered(), MSS);
@@ -208,8 +246,24 @@ mod tests {
     #[test]
     fn records_capture_the_packet_trace() {
         let mut r = Receiver::new(2);
-        r.on_data(SimTime::from_millis(5), PathId::WIFI, 0, MSS, 0, false);
-        r.on_data(SimTime::from_millis(7), PathId::CELLULAR, 0, 500, MSS, false);
+        r.on_data(
+            SimTime::from_millis(5),
+            PathId::WIFI,
+            0,
+            MSS,
+            0,
+            false,
+            false,
+        );
+        r.on_data(
+            SimTime::from_millis(7),
+            PathId::CELLULAR,
+            0,
+            500,
+            MSS,
+            false,
+            false,
+        );
         let recs = r.records();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].path, PathId::WIFI);

@@ -95,8 +95,16 @@ mod tests {
     #[test]
     fn min_rtt_tie_breaks_on_primary() {
         let mut rr = 0;
-        let picked = pick(SchedulerKind::MinRtt, &mut rr, &[cand(1, None), cand(0, None)]);
-        assert_eq!(picked, Some(PathId(0)), "all-unmeasured falls to lowest index");
+        let picked = pick(
+            SchedulerKind::MinRtt,
+            &mut rr,
+            &[cand(1, None), cand(0, None)],
+        );
+        assert_eq!(
+            picked,
+            Some(PathId(0)),
+            "all-unmeasured falls to lowest index"
+        );
     }
 
     #[test]
@@ -116,7 +124,10 @@ mod tests {
         let one = [cand(1, Some(10))];
         pick(SchedulerKind::RoundRobin, &mut rr, &both);
         // WiFi's window filled: only cell remains; must still pick validly.
-        assert_eq!(pick(SchedulerKind::RoundRobin, &mut rr, &one), Some(PathId(1)));
+        assert_eq!(
+            pick(SchedulerKind::RoundRobin, &mut rr, &one),
+            Some(PathId(1))
+        );
     }
 
     #[test]

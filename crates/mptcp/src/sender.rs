@@ -50,6 +50,13 @@ pub struct Transmit {
     pub dss: u64,
     /// Whether this is a retransmission.
     pub retx: bool,
+    /// First segment of a (re-)established subflow. A revival is a fresh
+    /// TCP connection, so its opening segment carries a SYN-like marker
+    /// telling the receiver to resynchronize its subflow sequence state —
+    /// the abandoned incarnation's unacked range is gone for good and
+    /// must not hold the cumulative ACK back. Retransmissions of the
+    /// opening segment re-carry the marker (a lost SYN is retried).
+    pub syn: bool,
 }
 
 /// An unacknowledged segment.
@@ -63,6 +70,9 @@ struct Seg {
     /// Whether this segment's DSS range has been reinjected on another
     /// subflow (at most once per segment).
     reinjected: bool,
+    /// Opening segment of a (re-)established subflow (see
+    /// [`Transmit::syn`]).
+    syn: bool,
 }
 
 /// Per-path TCP sender state.
@@ -70,6 +80,9 @@ struct Seg {
 pub struct SubflowTx {
     path: PathId,
     cc: CongestionControl,
+    /// Congestion-control flavor, kept so re-establishment can build a
+    /// fresh controller of the same kind.
+    cc_kind: CcKind,
     snd_una: u64,
     snd_nxt: u64,
     segs: VecDeque<Seg>,
@@ -97,6 +110,16 @@ pub struct SubflowTx {
     /// Last instant this subflow sent or received anything (for idle
     /// window validation).
     last_activity: SimTime,
+    /// Instant the (re-)established subflow may carry new data; the
+    /// re-establishment handshake occupies `[revival, established_at)`.
+    established_at: SimTime,
+    /// Lifetime count of failure declarations.
+    failures: u64,
+    /// Lifetime count of revivals (re-establishments after failure).
+    revivals: u64,
+    /// The next segment handed to this subflow opens a fresh incarnation
+    /// and must carry the SYN-like resync marker (see [`Transmit::syn`]).
+    send_syn: bool,
     /// Lifetime bytes handed to this subflow (first transmissions only).
     pub assigned_bytes: u64,
     /// Lifetime retransmitted bytes.
@@ -108,6 +131,7 @@ impl SubflowTx {
         SubflowTx {
             path,
             cc: CongestionControl::new(cc),
+            cc_kind: cc,
             snd_una: 0,
             snd_nxt: 0,
             segs: VecDeque::new(),
@@ -122,6 +146,10 @@ impl SubflowTx {
             failed: false,
             revival_backoff: REVIVAL_COOLDOWN,
             last_activity: SimTime::ZERO,
+            established_at: SimTime::ZERO,
+            failures: 0,
+            revivals: 0,
+            send_syn: false,
             assigned_bytes: 0,
             retx_bytes: 0,
         }
@@ -155,6 +183,58 @@ impl SubflowTx {
     /// Whether this subflow has been declared failed.
     pub fn failed(&self) -> bool {
         self.failed
+    }
+
+    /// Lifetime count of failure declarations on this subflow.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Lifetime count of revivals (full re-establishments) on this
+    /// subflow.
+    pub fn revivals(&self) -> u64 {
+        self.revivals
+    }
+
+    /// Current revival-probe cooldown (doubles on repeated failures).
+    pub fn revival_backoff(&self) -> SimDuration {
+        self.revival_backoff
+    }
+
+    /// Instant the subflow may next carry new data; later than the
+    /// revival instant while the re-establishment handshake is in
+    /// flight.
+    pub fn established_at(&self) -> SimTime {
+        self.established_at
+    }
+
+    /// Re-establish the subflow after a failure. MPTCP tears a failed
+    /// subflow down, so a revival is a fresh three-way handshake: new
+    /// congestion state, no RTT history, and the handshake itself costs
+    /// roughly one RTT before new data may flow (`established_at`).
+    fn reestablish(&mut self, now: SimTime) {
+        self.revivals += 1;
+        // SYN + SYN/ACK ≈ the last known RTT; with no history, fall back
+        // to the tight probe timer below.
+        let handshake = self.srtt.unwrap_or(RTO_MIN * 2);
+        self.established_at = now + handshake;
+        self.failed = false;
+        self.consecutive_rtos = 0;
+        self.cc = CongestionControl::new(self.cc_kind);
+        self.srtt = None;
+        self.rttvar = SimDuration::ZERO;
+        self.min_rtt = None;
+        self.dupacks = 0;
+        self.recovery_end = None;
+        // A revival is a *probe*: keep the timer tight so a still-dead
+        // path reinjects (and re-fails) quickly rather than stalling the
+        // stream a full initial RTO.
+        self.rto = RTO_MIN * 2;
+        self.last_activity = now;
+        // The fresh incarnation's first segment announces the resync:
+        // the receiver must not wait for the dead incarnation's abandoned
+        // sequence range.
+        self.send_syn = true;
     }
 
     fn take_rtt_sample(&mut self, rtt: SimDuration) {
@@ -199,6 +279,7 @@ impl SubflowTx {
             len: seg.len,
             dss: seg.dss,
             retx: true,
+            syn: seg.syn,
         })
     }
 }
@@ -258,6 +339,16 @@ impl Sender {
         self.mask
     }
 
+    /// Failure declarations summed over all subflows (lifetime).
+    pub fn total_failures(&self) -> u64 {
+        self.subflows.iter().map(|sf| sf.failures()).sum()
+    }
+
+    /// Revivals summed over all subflows (lifetime).
+    pub fn total_revivals(&self) -> u64 {
+        self.subflows.iter().map(|sf| sf.revivals()).sum()
+    }
+
     /// Queue `bytes` more application bytes for transmission.
     pub fn push_app_data(&mut self, bytes: u64) {
         self.conn_total += bytes;
@@ -280,14 +371,7 @@ impl Sender {
         // may have come back (MPTCP would re-establish the subflow).
         for sf in &mut self.subflows {
             if sf.failed && now.saturating_since(sf.last_activity) > sf.revival_backoff {
-                sf.failed = false;
-                sf.consecutive_rtos = 0;
-                // A revival is a *probe*: keep the timer tight so a
-                // still-dead path reinjects (and re-fails) quickly rather
-                // than stalling the stream a full initial RTO.
-                sf.rto = RTO_MIN * 2;
-                sf.cc.on_idle_restart();
-                sf.last_activity = now;
+                sf.reestablish(now);
             }
             if sf.in_flight() == 0
                 && now.saturating_since(sf.last_activity) > sf.rto
@@ -309,6 +393,7 @@ impl Sender {
                 .iter()
                 .filter(|sf| {
                     !sf.failed
+                        && now >= sf.established_at
                         && self.mask.contains(sf.path)
                         && sf.in_flight() + len <= sf.cwnd()
                 })
@@ -328,6 +413,7 @@ impl Sender {
                 sent_at: now,
                 retx: false,
                 reinjected: false,
+                syn: std::mem::take(&mut sf.send_syn),
             };
             sf.snd_nxt += len;
             sf.assigned_bytes += len;
@@ -343,6 +429,7 @@ impl Sender {
                 len,
                 dss: seg.dss,
                 retx: false,
+                syn: seg.syn,
             });
         }
         out
@@ -463,6 +550,7 @@ impl Sender {
             // cooldown (see `pump`); repeated failures back the probing
             // off exponentially.
             sf.failed = true;
+            sf.failures += 1;
             sf.rto_deadline = None;
             sf.last_activity = now;
             sf.revival_backoff = (sf.revival_backoff * 2).min(SimDuration::from_secs(120));
@@ -511,6 +599,11 @@ impl Sender {
     /// congestion-window space check (they are rescue traffic and rare)
     /// but still count toward the target subflow's in-flight bytes.
     fn reinject(&mut self, now: SimTime, avoid: PathId, dss: u64, len: u64) -> Option<Transmit> {
+        // Deliberately not gated on `established_at`: the failure path
+        // already verified a rescue target with this same filter, and
+        // stranding the cleared DSS ranges would lose data. Rescue
+        // traffic onto a mid-handshake subflow rides out the handshake
+        // in the link's queue.
         let target = self
             .subflows
             .iter()
@@ -525,6 +618,7 @@ impl Sender {
             sent_at: now,
             retx: false,
             reinjected: true, // never reinject a reinjection
+            syn: std::mem::take(&mut sf.send_syn),
         };
         sf.snd_nxt += len;
         sf.segs.push_back(seg);
@@ -539,6 +633,7 @@ impl Sender {
             len,
             dss,
             retx: true,
+            syn: seg.syn,
         })
     }
 
@@ -550,8 +645,7 @@ impl Sender {
     /// True when every queued application byte has been acknowledged on
     /// its subflow.
     pub fn all_acked(&self) -> bool {
-        self.conn_assigned == self.conn_total
-            && self.subflows.iter().all(|sf| sf.segs.is_empty())
+        self.conn_assigned == self.conn_total && self.subflows.iter().all(|sf| sf.segs.is_empty())
     }
 }
 
@@ -692,7 +786,9 @@ mod tests {
         let deadline = s.rto_deadline(PathId::WIFI).unwrap();
         assert_eq!(deadline, SimTime::ZERO + RTO_INITIAL);
         // Stale fire (before deadline) does nothing.
-        assert!(s.on_rto_fire(SimTime::from_millis(500), PathId::WIFI).is_empty());
+        assert!(s
+            .on_rto_fire(SimTime::from_millis(500), PathId::WIFI)
+            .is_empty());
         // Real fire retransmits the head; the sibling is masked out
         // (WiFi-only), so no reinjection happens — the mask is the user's
         // preference and rescue traffic must honour it too.
@@ -731,7 +827,11 @@ mod tests {
         assert_eq!(ts2.len(), 1, "no re-reinjection of the same segment");
         // An ack on cellular (the reinjection arriving) completes the
         // stream even though WiFi never recovers.
-        s.on_ack(deadline2 + SimDuration::from_millis(30), PathId::CELLULAR, MSS);
+        s.on_ack(
+            deadline2 + SimDuration::from_millis(30),
+            PathId::CELLULAR,
+            MSS,
+        );
         assert_eq!(s.subflow(PathId::CELLULAR).in_flight(), 0);
     }
 
@@ -772,6 +872,119 @@ mod tests {
         assert!(tx.iter().all(|t| t.path == PathId::CELLULAR));
     }
 
+    /// Drive the WiFi subflow to a declared failure via consecutive
+    /// RTOs; returns the instant of the failure declaration. Pushes one
+    /// MSS of fresh data pinned to WiFi so the timer is armed.
+    fn fail_wifi(s: &mut Sender, start: SimTime) -> SimTime {
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(MSS);
+        assert!(!s.pump(start).is_empty(), "data must land on wifi");
+        s.apply_mask(PathMask::ALL);
+        for _ in 0..20 {
+            let Some(d) = s.rto_deadline(PathId::WIFI) else {
+                break;
+            };
+            s.on_rto_fire(d, PathId::WIFI);
+            if s.subflow(PathId::WIFI).failed() {
+                return d;
+            }
+        }
+        panic!("wifi subflow never failed");
+    }
+
+    #[test]
+    fn revival_backoff_doubles_across_failures_and_resets_on_progress() {
+        let mut s = two_path_sender();
+        let t1 = fail_wifi(&mut s, SimTime::ZERO);
+        assert_eq!(s.subflow(PathId::WIFI).failures(), 1);
+        assert_eq!(
+            s.subflow(PathId::WIFI).revival_backoff(),
+            REVIVAL_COOLDOWN * 2,
+            "first failure doubles the cooldown"
+        );
+        // Still failed right at the cooldown boundary (strictly-greater).
+        s.pump(t1 + REVIVAL_COOLDOWN * 2);
+        assert!(s.subflow(PathId::WIFI).failed());
+        // Past it: revived.
+        let revive_at = t1 + REVIVAL_COOLDOWN * 2 + SimDuration::from_millis(1);
+        s.pump(revive_at);
+        assert!(!s.subflow(PathId::WIFI).failed());
+        assert_eq!(s.subflow(PathId::WIFI).revivals(), 1);
+
+        // Second failure doubles again (no ack progress in between).
+        let ready1 = s.subflow(PathId::WIFI).established_at();
+        let t2 = fail_wifi(&mut s, ready1);
+        assert_eq!(s.subflow(PathId::WIFI).failures(), 2);
+        assert_eq!(
+            s.subflow(PathId::WIFI).revival_backoff(),
+            REVIVAL_COOLDOWN * 4
+        );
+
+        // Revive and make real forward progress: the backoff resets.
+        let revive2 = t2 + REVIVAL_COOLDOWN * 4 + SimDuration::from_millis(1);
+        s.pump(revive2);
+        assert_eq!(s.subflow(PathId::WIFI).revivals(), 2);
+        let ready = s.subflow(PathId::WIFI).established_at();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(MSS);
+        let tx = s.pump(ready);
+        assert_eq!(tx.len(), 1);
+        s.on_ack(
+            ready + SimDuration::from_millis(20),
+            PathId::WIFI,
+            tx[0].seq + tx[0].len,
+        );
+        assert_eq!(
+            s.subflow(PathId::WIFI).revival_backoff(),
+            REVIVAL_COOLDOWN,
+            "ack progress resets the revival backoff"
+        );
+    }
+
+    #[test]
+    fn revival_is_a_full_reestablishment() {
+        let mut s = two_path_sender();
+        // Grow state first: acked data gives WiFi an RTT estimate and an
+        // opened window.
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(10 * MSS);
+        s.pump(SimTime::ZERO);
+        s.on_ack(SimTime::from_millis(50), PathId::WIFI, 10 * MSS);
+        assert!(s.subflow(PathId::WIFI).cwnd() >= 20 * MSS);
+        assert_eq!(
+            s.subflow(PathId::WIFI).srtt(),
+            Some(SimDuration::from_millis(50))
+        );
+
+        let t_fail = fail_wifi(&mut s, SimTime::from_millis(60));
+        let revive_at =
+            t_fail + s.subflow(PathId::WIFI).revival_backoff() + SimDuration::from_millis(1);
+        s.pump(revive_at);
+
+        let sf = s.subflow(PathId::WIFI);
+        assert!(!sf.failed());
+        assert_eq!(sf.revivals(), 1);
+        assert!(
+            sf.srtt().is_none(),
+            "re-established subflow forgets its RTT"
+        );
+        assert_eq!(sf.cwnd(), 10 * MSS, "fresh initial congestion window");
+        // Handshake cost: one (pre-reset) smoothed RTT.
+        assert_eq!(
+            sf.established_at(),
+            revive_at + SimDuration::from_millis(50)
+        );
+
+        // New data waits for the handshake to complete.
+        let ready = sf.established_at();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        s.push_app_data(MSS);
+        assert!(s.pump(revive_at).is_empty(), "no new data mid-handshake");
+        let tx = s.pump(ready);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].path, PathId::WIFI);
+    }
+
     #[test]
     fn karns_algorithm_skips_retransmitted_samples() {
         let mut s = two_path_sender();
@@ -792,10 +1005,7 @@ mod tests {
         s.push_app_data(4 * MSS);
         let tx = s.pump(SimTime::ZERO);
         let paths: Vec<PathId> = tx.iter().map(|t| t.path).collect();
-        assert_eq!(
-            paths,
-            vec![PathId(0), PathId(1), PathId(0), PathId(1)]
-        );
+        assert_eq!(paths, vec![PathId(0), PathId(1), PathId(0), PathId(1)]);
     }
 
     #[test]

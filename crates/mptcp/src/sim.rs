@@ -110,6 +110,7 @@ enum Event {
         len: u64,
         dss: u64,
         retx: bool,
+        syn: bool,
     },
     Ack {
         path: PathId,
@@ -144,7 +145,11 @@ impl MptcpSim {
     pub fn new(cfg: MptcpConfig) -> Self {
         let n = cfg.paths.len();
         assert!(n >= 1, "need at least one path");
-        let links = cfg.paths.iter().map(|p| Link::new(p.link.clone())).collect();
+        let links = cfg
+            .paths
+            .iter()
+            .map(|p| Link::new(p.link.clone()))
+            .collect();
         let ack_delay = cfg.paths.iter().map(|p| p.ack_delay).collect();
         MptcpSim {
             queue: EventQueue::new(),
@@ -271,6 +276,16 @@ impl MptcpSim {
         &self.links[path.index()]
     }
 
+    /// Lifetime failure declarations on `path`'s subflow.
+    pub fn subflow_failures(&self, path: PathId) -> u64 {
+        self.snd.subflow(path).failures()
+    }
+
+    /// Lifetime revivals (full re-establishments) on `path`'s subflow.
+    pub fn subflow_revivals(&self, path: PathId) -> u64 {
+        self.snd.subflow(path).revivals()
+    }
+
     /// True when every queued byte has been sent and acknowledged.
     pub fn quiescent(&self) -> bool {
         self.snd.all_acked()
@@ -292,8 +307,9 @@ impl MptcpSim {
                 len,
                 dss,
                 retx,
+                syn,
             } => {
-                let res = self.rcv.on_data(now, path, seq, len, dss, retx);
+                let res = self.rcv.on_data(now, path, seq, len, dss, retx, syn);
                 // Immediate ACK, carrying the current desired mask.
                 self.queue.schedule(
                     now + self.ack_delay[path.index()],
@@ -379,6 +395,7 @@ impl MptcpSim {
                         len: t.len,
                         dss: t.dss,
                         retx: t.retx,
+                        syn: t.syn,
                     },
                 );
             }
@@ -450,7 +467,10 @@ mod tests {
         let mbps = bytes as f64 * 8.0 / t.as_secs_f64() / 1e6;
         // Paper: ~6 s for 5 MB over 3.8+3.0 Mbps MPTCP => ~6.6 Mbps goodput.
         assert!(mbps > 5.8, "aggregate goodput {mbps:.2} Mbps too low");
-        assert!(mbps < 6.8, "aggregate goodput {mbps:.2} Mbps impossibly high");
+        assert!(
+            mbps < 6.8,
+            "aggregate goodput {mbps:.2} Mbps impossibly high"
+        );
         // Both paths carried substantial data.
         assert!(sim.path_bytes(PathId::WIFI) > bytes / 3);
         assert!(sim.path_bytes(PathId::CELLULAR) > bytes / 4);
@@ -504,10 +524,10 @@ mod tests {
     #[test]
     fn queue_overflow_triggers_recovery_not_stall() {
         // Tiny queue forces drops as cwnd grows.
-        let wifi = LinkConfig::constant(2.0, SimDuration::from_millis(25))
-            .with_queue_capacity(8 * MSS);
-        let cell = LinkConfig::constant(1.0, SimDuration::from_millis(30))
-            .with_queue_capacity(8 * MSS);
+        let wifi =
+            LinkConfig::constant(2.0, SimDuration::from_millis(25)).with_queue_capacity(8 * MSS);
+        let cell =
+            LinkConfig::constant(1.0, SimDuration::from_millis(30)).with_queue_capacity(8 * MSS);
         let mut sim = MptcpSim::new(MptcpConfig::two_path(wifi, cell));
         let bytes = 3_000_000;
         let t = download(&mut sim, bytes);
@@ -573,7 +593,11 @@ mod tests {
         let run = || {
             let mut sim = two_path_sim(3.3, 2.1);
             let t = download(&mut sim, 1_234_567);
-            (t, sim.path_bytes(PathId::WIFI), sim.path_bytes(PathId::CELLULAR))
+            (
+                t,
+                sim.path_bytes(PathId::WIFI),
+                sim.path_bytes(PathId::CELLULAR),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -394,7 +394,7 @@ mod tests {
             flag in any::<bool>(),
             v in prop::collection::vec(0u32..5, 1..4),
         ) {
-            prop_assert!(x >= 1.0 && x < 2.0);
+            prop_assert!((1.0..2.0).contains(&x));
             prop_assert!(n >= 1, "n was {n}");
             prop_assert_eq!(flag, flag);
             prop_assert!(!v.is_empty());
@@ -407,16 +407,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "property 'always_fails' failed")]
     fn failure_reports_inputs() {
-        run_proptest(
-            "always_fails",
-            ProptestConfig::with_cases(5),
-            |rng| {
-                let x = (0u64..10).generate(rng);
-                (
-                    format!("x = {x:?}"),
-                    Err(TestCaseError::fail("boom")),
-                )
-            },
-        );
+        run_proptest("always_fails", ProptestConfig::with_cases(5), |rng| {
+            let x = (0u64..10).generate(rng);
+            (format!("x = {x:?}"), Err(TestCaseError::fail("boom")))
+        });
     }
 }

@@ -453,7 +453,7 @@ impl<'a> Parser<'a> {
                             let cp = self.hex4()?;
                             // Surrogate pairs: decode the low half too.
                             let c = if (0xD800..0xDC00).contains(&cp) {
-                                if !(self.peek() == Some(b'\\')) {
+                                if self.peek() != Some(b'\\') {
                                     return Err(self.err("lone high surrogate"));
                                 }
                                 self.pos += 1;
@@ -465,8 +465,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let c =
-                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(c)
                             } else {
                                 char::from_u32(cp)
@@ -485,8 +484,7 @@ impl<'a> Parser<'a> {
                     // Copy one UTF-8 scalar; input is a &str so the
                     // boundaries are valid.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -532,8 +530,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             if let Ok(v) = text.parse::<i64>() {
                 return Ok(Json::Int(v));

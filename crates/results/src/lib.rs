@@ -209,10 +209,7 @@ impl ScalarGroup {
 
     /// Value by name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 }
 
@@ -331,10 +328,7 @@ impl ExperimentResult {
                 Block::Cdf(c) => {
                     let mut t = TableData::new(&["percentile", &format!("{} ", c.name)]);
                     for &(q, v) in &c.quantiles {
-                        t.row(&[
-                            format!("{:.0}th", q * 100.0),
-                            format!("{:.2}%", v * 100.0),
-                        ]);
+                        t.row(&[format!("{:.0}th", q * 100.0), format!("{:.2}%", v * 100.0)]);
                     }
                     out.push_str(&format!(
                         "CDF {} — {} observations, mean {:.4}:\n",
@@ -369,10 +363,7 @@ impl ExperimentResult {
             ("name", Json::from(self.name.as_str())),
             ("title", Json::from(self.title.as_str())),
             ("quick", Json::from(self.quick)),
-            (
-                "blocks",
-                Json::arr(self.blocks.iter().map(block_to_json)),
-            ),
+            ("blocks", Json::arr(self.blocks.iter().map(block_to_json))),
         ])
     }
 
@@ -443,8 +434,20 @@ fn pairs_from_json(v: &Json, what: &str) -> Result<Vec<(f64, f64)>, JsonError> {
                 (Some(a), Some(b)) => Ok((a, b)),
                 _ => {
                     // NaN/∞ serialize as null; map them back to NaN.
-                    let a = if items[0].is_null() { f64::NAN } else { items[0].as_f64().ok_or_else(|| JsonError::schema(format!("'{what}' entries must be numeric")))? };
-                    let b = if items[1].is_null() { f64::NAN } else { items[1].as_f64().ok_or_else(|| JsonError::schema(format!("'{what}' entries must be numeric")))? };
+                    let a = if items[0].is_null() {
+                        f64::NAN
+                    } else {
+                        items[0].as_f64().ok_or_else(|| {
+                            JsonError::schema(format!("'{what}' entries must be numeric"))
+                        })?
+                    };
+                    let b = if items[1].is_null() {
+                        f64::NAN
+                    } else {
+                        items[1].as_f64().ok_or_else(|| {
+                            JsonError::schema(format!("'{what}' entries must be numeric"))
+                        })?
+                    };
                     Ok((a, b))
                 }
             }
@@ -462,10 +465,7 @@ fn block_to_json(b: &Block) -> Json {
             ("type", Json::from("table")),
             (
                 "title",
-                t.title
-                    .as_deref()
-                    .map(Json::from)
-                    .unwrap_or(Json::Null),
+                t.title.as_deref().map(Json::from).unwrap_or(Json::Null),
             ),
             (
                 "header",
@@ -473,9 +473,11 @@ fn block_to_json(b: &Block) -> Json {
             ),
             (
                 "rows",
-                Json::arr(t.rows.iter().map(|r| {
-                    Json::arr(r.iter().map(|c| Json::from(c.as_str())))
-                })),
+                Json::arr(
+                    t.rows
+                        .iter()
+                        .map(|r| Json::arr(r.iter().map(|c| Json::from(c.as_str())))),
+                ),
             ),
         ]),
         Block::Cdf(c) => Json::obj([
@@ -571,9 +573,8 @@ fn block_from_json(v: &Json) -> Result<Block, JsonError> {
                     let f = if val.is_null() {
                         f64::NAN
                     } else {
-                        val.as_f64().ok_or_else(|| {
-                            JsonError::schema("scalar values must be numeric")
-                        })?
+                        val.as_f64()
+                            .ok_or_else(|| JsonError::schema("scalar values must be numeric"))?
                     };
                     Ok((k.clone(), f))
                 })
@@ -597,11 +598,30 @@ pub fn artifact_dir() -> std::path::PathBuf {
 
 /// Write `result` as `results/<name>.json` (creating the directory) and
 /// return the path.
+///
+/// The write is atomic: the bytes land in a temporary file in the same
+/// directory which is then renamed over the target, so a crash (or a
+/// concurrent reader — experiments run in parallel batches) never
+/// observes a truncated artifact. The temp name is keyed by process id
+/// so concurrent writers of *different* experiments cannot collide.
 pub fn write_artifact(result: &ExperimentResult) -> std::io::Result<std::path::PathBuf> {
-    let dir = artifact_dir();
-    std::fs::create_dir_all(&dir)?;
+    write_artifact_to(&artifact_dir(), result)
+}
+
+/// [`write_artifact`] with an explicit target directory.
+pub fn write_artifact_to(
+    dir: &std::path::Path,
+    result: &ExperimentResult,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", result.name));
-    std::fs::write(&path, result.to_json().to_pretty())?;
+    let tmp = dir.join(format!(".{}.json.{}.tmp", result.name, std::process::id()));
+    std::fs::write(&tmp, result.to_json().to_pretty())?;
+    // Same directory, so the rename cannot cross a filesystem boundary.
+    if let Err(e) = std::fs::rename(&tmp, &path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     Ok(path)
 }
 
@@ -642,6 +662,26 @@ mod tests {
                 .with("median_saving", 0.59),
         );
         r
+    }
+
+    #[test]
+    fn artifact_write_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("mpdash-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = sample_result();
+        let path = write_artifact_to(&dir, &r).expect("artifact written");
+        assert_eq!(path, dir.join("demo.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, r.to_json().to_pretty());
+        // Overwrite goes through the same rename; the directory must hold
+        // exactly the finished artifact, never a leftover temp file.
+        write_artifact_to(&dir, &r).expect("artifact rewritten");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["demo.json".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

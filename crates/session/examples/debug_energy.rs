@@ -1,25 +1,43 @@
-use mpdash_session::*;
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_sim::{SimDuration, SimTime};
 use mpdash_link::PathId;
+use mpdash_session::*;
+use mpdash_sim::{SimDuration, SimTime};
 use mpdash_trace::table1;
 
 fn short_video() -> Video {
-    Video::new("Big Buck Bunny (short)", &[0.58, 1.01, 1.47, 2.41, 3.94], SimDuration::from_secs(4), 40)
+    Video::new(
+        "Big Buck Bunny (short)",
+        &[0.58, 1.01, 1.47, 2.41, 3.94],
+        SimDuration::from_secs(4),
+        40,
+    )
 }
 
 fn main() {
     // File transfer diagnostics
-    for (name, mode) in [("vanilla", TransportMode::Vanilla), ("mpdash", TransportMode::mpdash_rate_based())] {
-        let r = FileTransfer::run(FileTransferConfig::testbed(3.8, 3.0, mode).with_deadline(SimDuration::from_secs(10)));
+    for (name, mode) in [
+        ("vanilla", TransportMode::Vanilla),
+        ("mpdash", TransportMode::mpdash_rate_based()),
+    ] {
+        let r = FileTransfer::run(
+            FileTransferConfig::testbed(3.8, 3.0, mode).with_deadline(SimDuration::from_secs(10)),
+        );
         println!("FT {name}: dur={:.2}s wifi={} cell={} toggles={} E={:.1}J (wifi {:.1} lte {:.1}) lte_breakdown={:?}",
             r.duration.as_secs_f64(), r.wifi_bytes, r.cell_bytes, r.toggles, r.energy.total_j(),
             r.energy.wifi.total_j(), r.energy.lte.total_j(), r.energy.lte);
     }
     // Streaming diagnostics
-    for (name, mode) in [("vanilla", TransportMode::Vanilla), ("mpdash-rate", TransportMode::mpdash_rate_based())] {
-        let cfg = SessionConfig::controlled(table1::synthetic_profile_pair(17.8, 5.18, 0.12, 6), AbrKind::Festive, mode).with_video(short_video());
+    for (name, mode) in [
+        ("vanilla", TransportMode::Vanilla),
+        ("mpdash-rate", TransportMode::mpdash_rate_based()),
+    ] {
+        let cfg = SessionConfig::controlled(
+            table1::synthetic_profile_pair(17.8, 5.18, 0.12, 6),
+            AbrKind::Festive,
+            mode,
+        )
+        .with_video(short_video());
         let r = StreamingSession::run(cfg);
         println!("ST {name}: dur={:.1}s wifi={:.2}MB cell={:.2}MB stats={:?} E={:.1}J (wifi {:.1} lte {:.1})",
             r.duration.as_secs_f64(), r.wifi_bytes as f64/1e6, r.cell_bytes as f64/1e6, r.scheduler_stats,
@@ -27,16 +45,34 @@ fn main() {
         println!("   lte: {:?}", r.energy.lte);
         println!("   wifi: {:?}", r.energy.wifi);
         // cellular packet time histogram (second resolution, only count)
-        let cells: Vec<f64> = r.records.iter().filter(|p| p.path == PathId::CELLULAR).map(|p| p.t.as_secs_f64()).collect();
+        let cells: Vec<f64> = r
+            .records
+            .iter()
+            .filter(|p| p.path == PathId::CELLULAR)
+            .map(|p| p.t.as_secs_f64())
+            .collect();
         if !cells.is_empty() {
-            println!("   cell pkt times: first={:.1} last={:.1} n={}", cells[0], cells.last().unwrap(), cells.len());
+            println!(
+                "   cell pkt times: first={:.1} last={:.1} n={}",
+                cells[0],
+                cells.last().unwrap(),
+                cells.len()
+            );
             // gaps > 11.6s?
             let mut gaps = 0;
-            for w in cells.windows(2) { if w[1]-w[0] > 11.576 { gaps += 1; } }
+            for w in cells.windows(2) {
+                if w[1] - w[0] > 11.576 {
+                    gaps += 1;
+                }
+            }
             println!("   lte sleep opportunities (gaps>tail): {gaps}");
         }
         let deadline_chunks = r.chunks.iter().filter(|c| c.deadline.is_some()).count();
-        println!("   chunks with deadline: {}/{}", deadline_chunks, r.chunks.len());
+        println!(
+            "   chunks with deadline: {}/{}",
+            deadline_chunks,
+            r.chunks.len()
+        );
         let _ = SimTime::ZERO;
     }
 }

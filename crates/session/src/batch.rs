@@ -24,6 +24,21 @@ use crate::file_transfer::{FileTransfer, FileTransferConfig, FileTransferReport}
 use crate::report::SessionReport;
 use crate::streaming::StreamingSession;
 use mpdash_sim::{default_workers, derive_seed, par_map};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Arbitrary batch work: any function producing a [`JobReport`]. Lets
+/// experiments mix bespoke computations (or fault-injection probes that
+/// are *expected* to panic) into an ordinary batch.
+#[derive(Clone)]
+pub struct CustomJob(pub Arc<dyn Fn() -> JobReport + Send + Sync>);
+
+impl fmt::Debug for CustomJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CustomJob(..)")
+    }
+}
 
 /// What one job runs: a full streaming session or a §7.2 single-file
 /// deadline transfer.
@@ -32,7 +47,9 @@ pub enum JobSpec {
     /// A streaming session ([`StreamingSession::run`]).
     Session(Box<SessionConfig>),
     /// A deadline file transfer ([`FileTransfer::run`]).
-    Transfer(FileTransferConfig),
+    Transfer(Box<FileTransferConfig>),
+    /// An arbitrary computation (see [`Job::custom`]).
+    Custom(CustomJob),
 }
 
 /// One labelled unit of work in a batch.
@@ -58,12 +75,26 @@ impl Job {
     pub fn transfer(label: impl Into<String>, cfg: FileTransferConfig) -> Self {
         Job {
             label: label.into(),
-            spec: JobSpec::Transfer(cfg),
+            spec: JobSpec::Transfer(Box::new(cfg)),
+        }
+    }
+
+    /// An arbitrary-computation job. Like every job it runs isolated:
+    /// if `f` panics, the batch records a [`JobError::Panicked`] at this
+    /// job's index and every other job still completes.
+    pub fn custom(
+        label: impl Into<String>,
+        f: impl Fn() -> JobReport + Send + Sync + 'static,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            spec: JobSpec::Custom(CustomJob(Arc::new(f))),
         }
     }
 
     /// Reseed the job's stochastic components (link loss processes) from
-    /// one job-level seed, deriving independent per-link streams.
+    /// one job-level seed, deriving independent per-link streams. Custom
+    /// jobs own their randomness and are left untouched.
     pub fn reseed(&mut self, seed: u64) {
         match &mut self.spec {
             JobSpec::Session(cfg) => {
@@ -74,6 +105,7 @@ impl Job {
                 cfg.wifi.seed = derive_seed(seed, 0);
                 cfg.cell.seed = derive_seed(seed, 1);
             }
+            JobSpec::Custom(_) => {}
         }
     }
 }
@@ -88,31 +120,102 @@ pub enum JobReport {
 }
 
 impl JobReport {
-    /// The session report; panics on a transfer job (caller mismatch).
-    pub fn session(&self) -> &SessionReport {
+    /// The report flavor, for mismatch diagnostics.
+    fn kind(&self) -> &'static str {
         match self {
-            JobReport::Session(r) => r,
-            JobReport::Transfer(_) => panic!("job produced a transfer report"),
+            JobReport::Session(_) => "session",
+            JobReport::Transfer(_) => "transfer",
         }
     }
 
-    /// The transfer report; panics on a session job.
-    pub fn transfer(&self) -> &FileTransferReport {
+    /// The session report, or a typed mismatch error when the job
+    /// produced a transfer report.
+    pub fn session(&self) -> Result<&SessionReport, JobError> {
         match self {
-            JobReport::Transfer(r) => r,
-            JobReport::Session(_) => panic!("job produced a session report"),
+            JobReport::Session(r) => Ok(r),
+            other => Err(JobError::Mismatch {
+                expected: "session",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// The transfer report, or a typed mismatch error when the job
+    /// produced a session report.
+    pub fn transfer(&self) -> Result<&FileTransferReport, JobError> {
+        match self {
+            JobReport::Transfer(r) => Ok(r),
+            other => Err(JobError::Mismatch {
+                expected: "transfer",
+                got: other.kind(),
+            }),
         }
     }
 }
 
-/// One completed job: its label and report, at the same index the job
-/// occupied in the input list.
+/// Why a batch job produced no usable report.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobError {
+    /// The job panicked; the batch kept running and recorded the panic
+    /// message at the job's index.
+    Panicked {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// The caller asked for one report flavor but the job produced the
+    /// other (e.g. [`JobReport::session`] on a transfer job).
+    Mismatch {
+        /// The flavor the accessor wanted.
+        expected: &'static str,
+        /// The flavor the job actually produced.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::Mismatch { expected, got } => {
+                write!(
+                    f,
+                    "expected a {expected} report, job produced a {got} report"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// One completed job: its label and report (or the error that replaced
+/// it), at the same index the job occupied in the input list.
 #[derive(Clone, Debug)]
 pub struct BatchResult {
     /// The job's label.
     pub label: String,
-    /// The job's report.
-    pub report: JobReport,
+    /// The job's report, or why there is none.
+    pub report: Result<JobReport, JobError>,
+}
+
+impl BatchResult {
+    /// The session report; errors when the job panicked or produced a
+    /// transfer report.
+    pub fn session(&self) -> Result<&SessionReport, JobError> {
+        match &self.report {
+            Ok(r) => r.session(),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The transfer report; errors when the job panicked or produced a
+    /// session report.
+    pub fn transfer(&self) -> Result<&FileTransferReport, JobError> {
+        match &self.report {
+            Ok(r) => r.transfer(),
+            Err(e) => Err(e.clone()),
+        }
+    }
 }
 
 /// Run `jobs` on the default worker count (`MPDASH_WORKERS` env var, else
@@ -121,19 +224,50 @@ pub fn run_batch(jobs: Vec<Job>) -> Vec<BatchResult> {
     run_batch_with(jobs, default_workers())
 }
 
+fn run_spec(spec: &JobSpec) -> JobReport {
+    match spec {
+        JobSpec::Session(cfg) => {
+            JobReport::Session(Box::new(StreamingSession::run((**cfg).clone())))
+        }
+        JobSpec::Transfer(cfg) => JobReport::Transfer(FileTransfer::run((**cfg).clone())),
+        JobSpec::Custom(f) => (f.0)(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `jobs` on exactly `workers` threads, preserving input order.
 ///
 /// Output is independent of `workers`: each job is a pure function of its
 /// config and results are collected by input index.
+///
+/// Jobs are **panic-isolated**: a panicking job becomes a
+/// [`JobError::Panicked`] in its slot and every other job still runs —
+/// one diverging corner of a 396-session sweep costs one cell, not the
+/// fleet. (The standard panic hook still prints to stderr; set your own
+/// hook to silence expected panics.)
 pub fn run_batch_with(jobs: Vec<Job>, workers: usize) -> Vec<BatchResult> {
-    par_map(jobs, workers, |job| BatchResult {
-        label: job.label.clone(),
-        report: match &job.spec {
-            JobSpec::Session(cfg) => {
-                JobReport::Session(Box::new(StreamingSession::run((**cfg).clone())))
+    par_map(jobs, workers, |job| {
+        // AssertUnwindSafe: the closure touches only this job's spec
+        // (read-only) and each run builds its state from scratch, so a
+        // unwound job leaves nothing half-mutated behind.
+        let report = catch_unwind(AssertUnwindSafe(|| run_spec(&job.spec))).map_err(|p| {
+            JobError::Panicked {
+                message: panic_message(p.as_ref()),
             }
-            JobSpec::Transfer(cfg) => JobReport::Transfer(FileTransfer::run(cfg.clone())),
-        },
+        });
+        BatchResult {
+            label: job.label.clone(),
+            report,
+        }
     })
 }
 
@@ -148,7 +282,9 @@ pub fn run_sessions(configs: Vec<SessionConfig>) -> Vec<SessionReport> {
 /// Run file-transfer configs, preserving order, on the default worker
 /// count.
 pub fn run_transfers(configs: Vec<FileTransferConfig>) -> Vec<FileTransferReport> {
-    par_map(configs, default_workers(), |cfg| FileTransfer::run(cfg.clone()))
+    par_map(configs, default_workers(), |cfg| {
+        FileTransfer::run(cfg.clone())
+    })
 }
 
 /// Give every job an independent derived seed: job `i` gets
@@ -187,7 +323,7 @@ mod tests {
         assert_eq!(out.len(), 6);
         for (i, r) in out.iter().enumerate() {
             assert_eq!(r.label, format!("job{i}"));
-            assert!(r.report.session().qoe_all.chunks > 0);
+            assert!(r.session().expect("session job").qoe_all.chunks > 0);
         }
     }
 
@@ -202,7 +338,7 @@ mod tests {
         let par = run_batch_with(mk(), 4);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.label, b.label);
-            let (a, b) = (a.report.session(), b.report.session());
+            let (a, b) = (a.session().unwrap(), b.session().unwrap());
             assert_eq!(a.summary_json().to_pretty(), b.summary_json().to_pretty());
         }
     }
@@ -213,31 +349,95 @@ mod tests {
             Job::session("s", tiny_cfg(3.0)),
             Job::transfer(
                 "t",
-                FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla)
-                    .with_size(200_000),
+                FileTransferConfig::testbed(3.8, 3.0, TransportMode::Vanilla).with_size(200_000),
             ),
         ];
         let out = run_batch_with(jobs, 2);
-        assert!(matches!(out[0].report, JobReport::Session(_)));
-        assert!(matches!(out[1].report, JobReport::Transfer(_)));
-        assert!(out[1].report.transfer().wifi_bytes > 0);
+        assert!(matches!(out[0].report, Ok(JobReport::Session(_))));
+        assert!(matches!(out[1].report, Ok(JobReport::Transfer(_))));
+        assert!(out[1].transfer().unwrap().wifi_bytes > 0);
+    }
+
+    #[test]
+    fn accessor_mismatch_is_a_typed_error_not_a_panic() {
+        let out = run_batch_with(vec![Job::session("s", tiny_cfg(3.0))], 1);
+        let err = out[0].transfer().unwrap_err();
+        assert_eq!(
+            err,
+            JobError::Mismatch {
+                expected: "transfer",
+                got: "session"
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "expected a transfer report, job produced a session report"
+        );
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_order_preserved() {
+        // Silence the default hook so the expected panic does not spam
+        // the test output; restore it afterwards.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs = vec![
+            Job::session("ok0", tiny_cfg(3.0)),
+            Job::custom("boom", || panic!("deliberate fault-injection panic")),
+            Job::session("ok1", tiny_cfg(2.5)),
+        ];
+        let out = run_batch_with(jobs, 3);
+        std::panic::set_hook(prev);
+
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].label, "ok0");
+        assert_eq!(out[1].label, "boom");
+        assert_eq!(out[2].label, "ok1");
+        assert!(out[0].session().is_ok(), "jobs before the panic survive");
+        assert!(out[2].session().is_ok(), "jobs after the panic survive");
+        match out[1].session() {
+            Err(JobError::Panicked { message }) => {
+                assert!(
+                    message.contains("deliberate fault-injection panic"),
+                    "payload surfaced: {message}"
+                );
+            }
+            other => panic!("expected a Panicked error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_job_returns_its_report() {
+        let cfg = tiny_cfg(3.0);
+        let jobs = vec![Job::custom("custom", move || {
+            JobReport::Session(Box::new(crate::streaming::StreamingSession::run(
+                cfg.clone(),
+            )))
+        })];
+        let out = run_batch_with(jobs, 1);
+        assert!(out[0].session().unwrap().qoe_all.chunks > 0);
     }
 
     #[test]
     fn seed_jobs_gives_distinct_seeds() {
-        let mut jobs: Vec<Job> = (0..3).map(|i| Job::session(format!("{i}"), tiny_cfg(2.0))).collect();
+        let mut jobs: Vec<Job> = (0..3)
+            .map(|i| Job::session(format!("{i}"), tiny_cfg(2.0)))
+            .collect();
         seed_jobs(99, &mut jobs);
         let seeds: Vec<u64> = jobs
             .iter()
             .map(|j| match &j.spec {
                 JobSpec::Session(c) => c.wifi.seed,
                 JobSpec::Transfer(c) => c.wifi.seed,
+                JobSpec::Custom(_) => unreachable!("only session jobs here"),
             })
             .collect();
         assert_ne!(seeds[0], seeds[1]);
         assert_ne!(seeds[1], seeds[2]);
         // Re-deriving is stable.
-        let mut again: Vec<Job> = (0..3).map(|i| Job::session(format!("{i}"), tiny_cfg(2.0))).collect();
+        let mut again: Vec<Job> = (0..3)
+            .map(|i| Job::session(format!("{i}"), tiny_cfg(2.0)))
+            .collect();
         seed_jobs(99, &mut again);
         match (&jobs[0].spec, &again[0].spec) {
             (JobSpec::Session(a), JobSpec::Session(b)) => {

@@ -6,7 +6,7 @@ use mpdash_dash::abr::AbrKind;
 use mpdash_dash::adapter::{AdapterConfig, DeadlineMode};
 use mpdash_dash::video::Video;
 use mpdash_energy::DeviceProfile;
-use mpdash_link::{BandwidthProfile, LinkConfig, TokenBucket};
+use mpdash_link::{BandwidthProfile, FaultScript, LinkConfig, TokenBucket};
 use mpdash_mptcp::{CcKind, SchedulerKind};
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::field::Location;
@@ -138,10 +138,7 @@ impl SessionConfig {
         mode: TransportMode,
     ) -> Self {
         let horizon = SimDuration::from_secs(120);
-        let priors = (
-            profiles.0.mean_rate(horizon),
-            profiles.1.mean_rate(horizon),
-        );
+        let priors = (profiles.0.mean_rate(horizon), profiles.1.mean_rate(horizon));
         let (wifi, cell) = mpdash_trace::table1::testbed_links(profiles.0, profiles.1);
         SessionConfig {
             video: Video::big_buck_bunny(),
@@ -259,6 +256,20 @@ impl SessionConfig {
         self
     }
 
+    /// Same config with a fault script injected on the WiFi link
+    /// (robustness runs: burst loss, RTT storms, rate collapse,
+    /// disassociation).
+    pub fn with_wifi_faults(mut self, faults: FaultScript) -> Self {
+        self.wifi = self.wifi.with_faults(faults);
+        self
+    }
+
+    /// Same config with a fault script injected on the cellular link.
+    pub fn with_cell_faults(mut self, faults: FaultScript) -> Self {
+        self.cell = self.cell.with_faults(faults);
+        self
+    }
+
     /// Apply the transport mode's link-level effects (cellular throttle).
     pub(crate) fn effective_cell_link(&self) -> LinkConfig {
         match self.mode {
@@ -279,7 +290,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(TransportMode::Vanilla.label(), "Baseline");
-        assert_eq!(TransportMode::Throttled { kbps: 700 }.label(), "Throttle700k");
+        assert_eq!(
+            TransportMode::Throttled { kbps: 700 }.label(),
+            "Throttle700k"
+        );
         assert_eq!(TransportMode::mpdash_rate_based().label(), "Rate");
         assert_eq!(TransportMode::mpdash_duration_based().label(), "Duration");
         assert!(TransportMode::mpdash_rate_based().is_mpdash());

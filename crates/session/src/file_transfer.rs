@@ -16,7 +16,9 @@ use mpdash_core::deadline::SchedulerParams;
 use mpdash_core::MpDashControl;
 use mpdash_energy::{session_energy, DeviceProfile, SessionEnergy};
 use mpdash_link::{LinkConfig, PathId, TokenBucket};
-use mpdash_mptcp::{CcKind, MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerKind, StepOutcome};
+use mpdash_mptcp::{
+    CcKind, MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerKind, StepOutcome,
+};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 
 const TICK: SimDuration = SimDuration::from_millis(50);
@@ -148,7 +150,9 @@ impl FileTransfer {
                     SchedulerParams::with_alpha(alpha).with_debounce(4),
                     SAMPLE_SLOT,
                 );
-                let enabled = c.mp_dash_enable(SimTime::ZERO, cfg.size, cfg.deadline).to_vec();
+                let enabled = c
+                    .mp_dash_enable(SimTime::ZERO, cfg.size, cfg.deadline)
+                    .to_vec();
                 apply_initial(&mut sim, &enabled);
                 Some(c)
             }
@@ -168,11 +172,7 @@ impl FileTransfer {
         let mut done_at = SimTime::ZERO;
         while sim.delivered() < cfg.size {
             let Some((t, outcome)) = sim.step() else {
-                panic!(
-                    "transfer stalled at {}/{} bytes",
-                    sim.delivered(),
-                    cfg.size
-                );
+                panic!("transfer stalled at {}/{} bytes", sim.delivered(), cfg.size);
             };
             done_at = t;
             let tick = matches!(outcome, StepOutcome::AppTimer { id: TICK_ID });
@@ -252,14 +252,21 @@ mod tests {
         let secs = r.duration.as_secs_f64();
         assert!(secs > 5.0 && secs < 7.5, "took {secs:.2} s (paper: ~6 s)");
         // Roughly proportional split: LTE carries ~40%.
-        assert!(r.cell_fraction() > 0.3, "cell share {:.2}", r.cell_fraction());
+        assert!(
+            r.cell_fraction() > 0.3,
+            "cell share {:.2}",
+            r.cell_fraction()
+        );
     }
 
     #[test]
     fn wifi_only_takes_about_ten_and_a_half_seconds() {
         let r = FileTransfer::run(base(TransportMode::WifiOnly));
         let secs = r.duration.as_secs_f64();
-        assert!(secs > 10.0 && secs < 12.5, "took {secs:.2} s (paper: ~10.5 s)");
+        assert!(
+            secs > 10.0 && secs < 12.5,
+            "took {secs:.2} s (paper: ~10.5 s)"
+        );
         assert_eq!(r.cell_bytes, 0);
     }
 
@@ -269,8 +276,7 @@ mod tests {
         let mut cells = Vec::new();
         for d in [8u64, 9, 10] {
             let r = FileTransfer::run(
-                base(TransportMode::mpdash_rate_based())
-                    .with_deadline(SimDuration::from_secs(d)),
+                base(TransportMode::mpdash_rate_based()).with_deadline(SimDuration::from_secs(d)),
             );
             assert!(
                 !r.missed_deadline,
@@ -298,8 +304,7 @@ mod tests {
             base(TransportMode::Vanilla).with_scheduler(SchedulerKind::RoundRobin),
         );
         let m = FileTransfer::run(
-            base(TransportMode::mpdash_rate_based())
-                .with_scheduler(SchedulerKind::RoundRobin),
+            base(TransportMode::mpdash_rate_based()).with_scheduler(SchedulerKind::RoundRobin),
         );
         assert!(!m.missed_deadline);
         assert!(m.cell_bytes < b.cell_bytes / 2);

@@ -21,10 +21,10 @@ pub mod report;
 pub mod streaming;
 
 pub use batch::{
-    run_batch, run_batch_with, run_sessions, run_transfers, seed_jobs, BatchResult, Job,
-    JobReport, JobSpec,
+    run_batch, run_batch_with, run_sessions, run_transfers, seed_jobs, BatchResult, CustomJob, Job,
+    JobError, JobReport, JobSpec,
 };
 pub use config::{PathPreference, SessionConfig, TransportMode};
 pub use file_transfer::{FileTransfer, FileTransferConfig, FileTransferReport};
-pub use report::{ChunkLogEntry, SessionReport};
+pub use report::{ChunkLogEntry, DegradationMetrics, SessionReport};
 pub use streaming::StreamingSession;

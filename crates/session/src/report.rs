@@ -28,6 +28,23 @@ pub struct ChunkLogEntry {
     pub deadline: Option<SimDuration>,
 }
 
+/// How gracefully the session weathered path faults: the robustness
+/// counters the `exp_faults` resilience matrix asserts its invariants
+/// over. All zeros in a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradationMetrics {
+    /// MP-DASH scheduler deadline misses (always 0 in non-MP-DASH
+    /// modes, which set no deadlines).
+    pub deadline_misses: u64,
+    /// Chunks whose body rode almost entirely (> 90%) on non-preferred
+    /// paths — the signature of cellular bridging a WiFi fault window.
+    pub outage_bridged_chunks: u64,
+    /// Subflow failure declarations, summed over paths.
+    pub subflow_failures: u64,
+    /// Subflow re-establishments after failure, summed over paths.
+    pub subflow_revivals: u64,
+}
+
 /// Everything measured in one streaming session.
 #[derive(Clone, Debug)]
 pub struct SessionReport {
@@ -52,6 +69,9 @@ pub struct SessionReport {
     pub scheduler_stats: (u64, u64, u64),
     /// The player's event log (the §6 analysis tool's second input).
     pub player_events: Vec<PlayerEvent>,
+    /// Graceful-degradation counters (deadline misses, outage-bridged
+    /// chunks, subflow failovers/revivals).
+    pub degradation: DegradationMetrics,
 }
 
 impl SessionReport {
@@ -124,6 +144,27 @@ impl SessionReport {
                     ("toggles", Json::from(self.scheduler_stats.0)),
                     ("missed_deadlines", Json::from(self.scheduler_stats.1)),
                     ("completed", Json::from(self.scheduler_stats.2)),
+                ]),
+            ),
+            (
+                "degradation",
+                Json::obj([
+                    (
+                        "deadline_misses",
+                        Json::from(self.degradation.deadline_misses),
+                    ),
+                    (
+                        "outage_bridged_chunks",
+                        Json::from(self.degradation.outage_bridged_chunks),
+                    ),
+                    (
+                        "subflow_failures",
+                        Json::from(self.degradation.subflow_failures),
+                    ),
+                    (
+                        "subflow_revivals",
+                        Json::from(self.degradation.subflow_revivals),
+                    ),
                 ]),
             ),
             (

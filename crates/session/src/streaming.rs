@@ -16,7 +16,7 @@
 //!    any explicit modelling).
 
 use crate::config::{SessionConfig, TransportMode};
-use crate::report::{ChunkLogEntry, SessionReport};
+use crate::report::{ChunkLogEntry, DegradationMetrics, SessionReport};
 use mpdash_core::deadline::SchedulerParams;
 use mpdash_core::MpDashControl;
 use mpdash_dash::abr::{Abr, AbrInput};
@@ -59,6 +59,10 @@ pub struct StreamingSession {
     chunks: Vec<ChunkLogEntry>,
     last_chunk_throughput: Option<Rate>,
     record_cursor: usize,
+    /// Per-path revival counters as of the last progress check; an
+    /// increase means the subflow was re-established and the path's
+    /// throughput history must be reset.
+    seen_revivals: [u64; 2],
 }
 
 impl StreamingSession {
@@ -116,6 +120,7 @@ impl StreamingSession {
             chunks: Vec::new(),
             last_chunk_throughput: None,
             record_cursor: 0,
+            seen_revivals: [0, 0],
             cfg,
         }
     }
@@ -135,10 +140,7 @@ impl StreamingSession {
             return;
         };
         self.player.advance_to(now);
-        let override_throughput = self
-            .control
-            .as_ref()
-            .map(|c| c.aggregate_throughput());
+        let override_throughput = self.control.as_ref().map(|c| c.aggregate_throughput());
         let input = AbrInput {
             buffer: self.player.buffer(),
             buffer_capacity: self.player.capacity(),
@@ -150,8 +152,7 @@ impl StreamingSession {
         let size = self.cfg.video.chunk_size(index, level);
 
         let mut deadline = None;
-        if let (Some(adapter), Some(control)) = (self.adapter.as_ref(), self.control.as_mut())
-        {
+        if let (Some(adapter), Some(control)) = (self.adapter.as_ref(), self.control.as_mut()) {
             let estimate = control.aggregate_throughput();
             match adapter.decide(
                 &self.cfg.video,
@@ -198,6 +199,19 @@ impl StreamingSession {
             }
         }
         self.record_cursor = records.len();
+        // A revived subflow came back as a *new* association: drop the
+        // old association's throughput history before the next decision,
+        // so Algorithm 1 starts from the prior instead of a pre-fault
+        // (or blackout-dragged) estimate.
+        for (i, path) in [PathId::WIFI, PathId::CELLULAR].into_iter().enumerate() {
+            let revivals = self.sim.subflow_revivals(path);
+            if revivals > self.seen_revivals[i] {
+                self.seen_revivals[i] = revivals;
+                if let Some(control) = self.control.as_mut() {
+                    control.on_path_reset(i, now);
+                }
+            }
+        }
         let received = self.current.as_ref().map(|c| c.body_received);
         let busy = [
             self.sim.path_in_flight(PathId::WIFI) > 0,
@@ -307,14 +321,9 @@ impl StreamingSession {
 
     fn finish(mut self) -> SessionReport {
         // Let the remaining buffer play out for final QoE accounting.
-        let startup = self
-            .player
-            .startup_delay()
-            .unwrap_or(SimDuration::ZERO);
-        let playout_end = SimTime::ZERO
-            + startup
-            + self.cfg.video.total_duration()
-            + self.player.stall_time();
+        let startup = self.player.startup_delay().unwrap_or(SimDuration::ZERO);
+        let playout_end =
+            SimTime::ZERO + startup + self.cfg.video.total_duration() + self.player.stall_time();
         let end = playout_end.max(self.sim.now());
         self.player.advance_to(end);
         let duration = end.saturating_since(SimTime::ZERO);
@@ -332,6 +341,46 @@ impl StreamingSession {
             .collect();
         let energy = session_energy(&self.cfg.device, &wifi_pkts, &cell_pkts, duration);
 
+        // Degradation accounting: a chunk is "outage-bridged" when the
+        // preferred path contributed under 10% of its body bytes while
+        // the other path carried it — cellular covering a WiFi fault
+        // window (or vice versa under CellularFirst).
+        let costs = self.cfg.preference.costs();
+        let preferred = if costs[0] <= costs[1] {
+            PathId::WIFI
+        } else {
+            PathId::CELLULAR
+        };
+        let mut outage_bridged_chunks = 0u64;
+        for c in &self.chunks {
+            let (lo, hi) = c.body_dss;
+            let mut pref = 0u64;
+            let mut other = 0u64;
+            for r in records.iter().filter(|r| r.dss >= lo && r.dss < hi) {
+                if r.path == preferred {
+                    pref += r.len;
+                } else {
+                    other += r.len;
+                }
+            }
+            if other > 0 && pref * 10 < pref + other {
+                outage_bridged_chunks += 1;
+            }
+        }
+        let scheduler_stats = self
+            .control
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or((0, 0, 0));
+        let degradation = DegradationMetrics {
+            deadline_misses: scheduler_stats.1,
+            outage_bridged_chunks,
+            subflow_failures: self.sim.subflow_failures(PathId::WIFI)
+                + self.sim.subflow_failures(PathId::CELLULAR),
+            subflow_revivals: self.sim.subflow_revivals(PathId::WIFI)
+                + self.sim.subflow_revivals(PathId::CELLULAR),
+        };
+
         SessionReport {
             qoe: QoeSummary::from_player(&self.cfg.video, &self.player, 0.2),
             qoe_all: QoeSummary::from_player(&self.cfg.video, &self.player, 0.0),
@@ -341,12 +390,9 @@ impl StreamingSession {
             duration,
             chunks: self.chunks,
             records,
-            scheduler_stats: self
-                .control
-                .as_ref()
-                .map(|c| c.stats())
-                .unwrap_or((0, 0, 0)),
+            scheduler_stats,
             player_events: self.player.events().to_vec(),
+            degradation,
         }
     }
 }

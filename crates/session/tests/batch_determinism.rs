@@ -11,8 +11,12 @@ use mpdash_sim::SimDuration;
 use proptest::prelude::*;
 
 fn tiny_cfg(wifi_mbps: f64, mode: TransportMode) -> SessionConfig {
-    SessionConfig::controlled_mbps(wifi_mbps, 2.0, AbrKind::Festive, mode)
-        .with_video(Video::new("tiny", &[0.5, 1.0], SimDuration::from_secs(2), 4))
+    SessionConfig::controlled_mbps(wifi_mbps, 2.0, AbrKind::Festive, mode).with_video(Video::new(
+        "tiny",
+        &[0.5, 1.0],
+        SimDuration::from_secs(2),
+        4,
+    ))
 }
 
 /// Every observable byte of a batch: labels plus the full JSON summary of
@@ -20,7 +24,13 @@ fn tiny_cfg(wifi_mbps: f64, mode: TransportMode) -> SessionConfig {
 fn serialize(results: &[BatchResult]) -> String {
     results
         .iter()
-        .map(|r| format!("{}\n{}", r.label, r.report.session().summary_json().to_pretty()))
+        .map(|r| {
+            format!(
+                "{}\n{}",
+                r.label,
+                r.session().expect("session job").summary_json().to_pretty()
+            )
+        })
         .collect::<Vec<_>>()
         .join("\n---\n")
 }

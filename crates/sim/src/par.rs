@@ -40,7 +40,7 @@ where
 {
     let workers = workers.max(1).min(items.len().max(1));
     if workers == 1 {
-        return items.iter().map(|it| f(it)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let n = items.len();
@@ -60,10 +60,7 @@ where
                     }
                     local.push((i, f(&items[i])));
                 }
-                collected
-                    .lock()
-                    .expect("a worker panicked")
-                    .extend(local);
+                collected.lock().expect("a worker panicked").extend(local);
             });
         }
     });
@@ -89,7 +86,9 @@ mod tests {
     #[test]
     fn one_worker_equals_many() {
         let items: Vec<u64> = (0..57).collect();
-        let seq = par_map(items.clone(), 1, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        let seq = par_map(items.clone(), 1, |&x| {
+            x.wrapping_mul(0x9E3779B9).rotate_left(7)
+        });
         let par = par_map(items, 5, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
         assert_eq!(seq, par);
     }

@@ -188,7 +188,10 @@ mod tests {
             let r = Rate::from_mbps_f64(3.8);
             let t = r.time_to_send(bytes);
             let back = r.bytes_in(t);
-            assert!(back <= bytes && bytes - back <= 1, "bytes={bytes} back={back}");
+            assert!(
+                back <= bytes && bytes - back <= 1,
+                "bytes={bytes} back={back}"
+            );
         }
     }
 

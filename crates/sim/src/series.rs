@@ -290,7 +290,9 @@ mod tests {
         }
         let steps = c.steps();
         assert_eq!(steps.len(), 3);
-        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(steps
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
         assert_eq!(steps.last().unwrap().1, 1.0);
     }
 

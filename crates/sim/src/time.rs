@@ -341,8 +341,14 @@ mod tests {
     #[test]
     fn saturation_at_extremes() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
-        assert_eq!(SimDuration::from_secs(1).mul_f64(f64::MAX), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(f64::MAX),
+            SimDuration::MAX
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub struct Location {
 
 impl Location {
     #[allow(clippy::too_many_arguments)] // table constructor: one argument
-    // per Table 5 column keeps the corpus literals readable
+                                         // per Table 5 column keeps the corpus literals readable
     fn named(
         name: &str,
         scenario: Scenario,
@@ -97,7 +97,9 @@ impl Location {
     /// each site "multiple times at different times of a day", §7.3.3).
     pub fn revisit(&self, visit: u64) -> Location {
         let mut l = self.clone();
-        l.seed = self.seed.wrapping_add(visit.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        l.seed = self
+            .seed
+            .wrapping_add(visit.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         if visit > 0 {
             l.name = format!("{} (visit {})", self.name, visit + 1);
         }
@@ -120,10 +122,8 @@ impl Location {
 
     /// Link configurations for a streaming session at this location.
     pub fn links(&self) -> (LinkConfig, LinkConfig) {
-        let wifi = LinkConfig::constant(1.0, self.wifi_rtt / 2)
-            .with_profile(self.wifi_profile());
-        let lte = LinkConfig::constant(1.0, self.lte_rtt / 2)
-            .with_profile(self.lte_profile());
+        let wifi = LinkConfig::constant(1.0, self.wifi_rtt / 2).with_profile(self.wifi_profile());
+        let lte = LinkConfig::constant(1.0, self.lte_rtt / 2).with_profile(self.lte_profile());
         (wifi, lte)
     }
 }
@@ -136,34 +136,105 @@ pub fn field_corpus() -> Vec<Location> {
     // Table 5's seven named locations (BW in Mbps, RTT in ms), grouped by
     // the paper's horizontal lines: scenarios 1, 2, 3.
     out.push(Location::named(
-        "Hotel Hi", WifiNeverSufficient, 2.92, 14.1, 11.0, 51.9, 0.25, false, 1001,
+        "Hotel Hi",
+        WifiNeverSufficient,
+        2.92,
+        14.1,
+        11.0,
+        51.9,
+        0.25,
+        false,
+        1001,
     ));
     out.push(Location::named(
-        "Hotel Ha", WifiNeverSufficient, 2.96, 40.8, 14.0, 68.6, 0.25, false, 1002,
+        "Hotel Ha",
+        WifiNeverSufficient,
+        2.96,
+        40.8,
+        14.0,
+        68.6,
+        0.25,
+        false,
+        1002,
     ));
     out.push(Location::named(
-        "Food Market", WifiNeverSufficient, 3.58, 75.4, 22.9, 53.4, 0.30, false, 1003,
+        "Food Market",
+        WifiNeverSufficient,
+        3.58,
+        75.4,
+        22.9,
+        53.4,
+        0.30,
+        false,
+        1003,
     ));
     out.push(Location::named(
-        "Airport", WifiSometimesSufficient, 5.97, 32.2, 12.1, 67.3, 0.40, true, 1004,
+        "Airport",
+        WifiSometimesSufficient,
+        5.97,
+        32.2,
+        12.1,
+        67.3,
+        0.40,
+        true,
+        1004,
     ));
     out.push(Location::named(
-        "Coffeehouse", WifiSometimesSufficient, 6.04, 28.9, 18.1, 69.0, 0.40, true, 1005,
+        "Coffeehouse",
+        WifiSometimesSufficient,
+        6.04,
+        28.9,
+        18.1,
+        69.0,
+        0.40,
+        true,
+        1005,
     ));
     out.push(Location::named(
-        "Library", WifiAlwaysSufficient, 17.8, 23.3, 5.18, 64.1, 0.12, false, 1006,
+        "Library",
+        WifiAlwaysSufficient,
+        17.8,
+        23.3,
+        5.18,
+        64.1,
+        0.12,
+        false,
+        1006,
     ));
     out.push(Location::named(
-        "Elec. Store", WifiAlwaysSufficient, 28.4, 10.8, 18.5, 59.4, 0.10, false, 1007,
+        "Elec. Store",
+        WifiAlwaysSufficient,
+        28.4,
+        10.8,
+        18.5,
+        59.4,
+        0.10,
+        false,
+        1007,
     ));
 
     // 26 synthesized locations completing the 21 / 5 / 7 scenario split.
     // Bandwidths cycle through each scenario's plausible range; RTTs and
     // LTE rates vary deterministically with the index.
     let s1_kinds = [
-        "Fast Food", "Shopping Mall", "Retailer", "Grocery", "Parking Lot", "Hotel",
-        "Cafe", "Diner", "Pharmacy", "Gas Station", "Bookstore", "Bakery", "Gym",
-        "Museum", "Bus Station", "Clinic", "Laundromat", "Arcade",
+        "Fast Food",
+        "Shopping Mall",
+        "Retailer",
+        "Grocery",
+        "Parking Lot",
+        "Hotel",
+        "Cafe",
+        "Diner",
+        "Pharmacy",
+        "Gas Station",
+        "Bookstore",
+        "Bakery",
+        "Gym",
+        "Museum",
+        "Bus Station",
+        "Clinic",
+        "Laundromat",
+        "Arcade",
     ];
     for (i, kind) in s1_kinds.iter().enumerate() {
         // Scenario 1: WiFi mean 0.8 .. 3.6 Mbps (< the 4 Mbps top rate).

@@ -75,19 +75,14 @@ impl ProfileSpec {
             return Err(ProfileSpecError::Empty);
         }
         for p in &self.points {
-            if !p.at_secs.is_finite() || p.at_secs < 0.0 || !p.mbps.is_finite() || p.mbps < 0.0
-            {
+            if !p.at_secs.is_finite() || p.at_secs < 0.0 || !p.mbps.is_finite() || p.mbps < 0.0 {
                 return Err(ProfileSpecError::BadNumber);
             }
         }
         if self.points[0].at_secs != 0.0 {
             return Err(ProfileSpecError::DoesNotStartAtZero);
         }
-        if self
-            .points
-            .windows(2)
-            .any(|w| w[1].at_secs <= w[0].at_secs)
-        {
+        if self.points.windows(2).any(|w| w[1].at_secs <= w[0].at_secs) {
             return Err(ProfileSpecError::NotIncreasing);
         }
         if let Some(p) = self.period_secs {
@@ -211,9 +206,18 @@ mod tests {
         let spec = ProfileSpec {
             name: "office-wifi".into(),
             points: vec![
-                ProfilePoint { at_secs: 0.0, mbps: 28.4 },
-                ProfilePoint { at_secs: 1.5, mbps: 22.0 },
-                ProfilePoint { at_secs: 3.0, mbps: 30.1 },
+                ProfilePoint {
+                    at_secs: 0.0,
+                    mbps: 28.4,
+                },
+                ProfilePoint {
+                    at_secs: 1.5,
+                    mbps: 22.0,
+                },
+                ProfilePoint {
+                    at_secs: 3.0,
+                    mbps: 30.1,
+                },
             ],
             period_secs: Some(4.5),
         };
@@ -254,7 +258,10 @@ mod tests {
 
         let late_start = ProfileSpec {
             name: "x".into(),
-            points: vec![ProfilePoint { at_secs: 1.0, mbps: 1.0 }],
+            points: vec![ProfilePoint {
+                at_secs: 1.0,
+                mbps: 1.0,
+            }],
             period_secs: None,
         };
         assert_eq!(
@@ -265,27 +272,48 @@ mod tests {
         let unordered = ProfileSpec {
             name: "x".into(),
             points: vec![
-                ProfilePoint { at_secs: 0.0, mbps: 1.0 },
-                ProfilePoint { at_secs: 2.0, mbps: 1.0 },
-                ProfilePoint { at_secs: 1.0, mbps: 1.0 },
+                ProfilePoint {
+                    at_secs: 0.0,
+                    mbps: 1.0,
+                },
+                ProfilePoint {
+                    at_secs: 2.0,
+                    mbps: 1.0,
+                },
+                ProfilePoint {
+                    at_secs: 1.0,
+                    mbps: 1.0,
+                },
             ],
             period_secs: None,
         };
-        assert_eq!(unordered.to_profile().unwrap_err(), ProfileSpecError::NotIncreasing);
+        assert_eq!(
+            unordered.to_profile().unwrap_err(),
+            ProfileSpecError::NotIncreasing
+        );
 
         let nan = ProfileSpec {
             name: "x".into(),
-            points: vec![ProfilePoint { at_secs: 0.0, mbps: f64::NAN }],
+            points: vec![ProfilePoint {
+                at_secs: 0.0,
+                mbps: f64::NAN,
+            }],
             period_secs: None,
         };
         assert_eq!(nan.to_profile().unwrap_err(), ProfileSpecError::BadNumber);
 
         let bad_period = ProfileSpec {
             name: "x".into(),
-            points: vec![ProfilePoint { at_secs: 0.0, mbps: 1.0 }],
+            points: vec![ProfilePoint {
+                at_secs: 0.0,
+                mbps: 1.0,
+            }],
             period_secs: Some(-1.0),
         };
-        assert_eq!(bad_period.to_profile().unwrap_err(), ProfileSpecError::BadNumber);
+        assert_eq!(
+            bad_period.to_profile().unwrap_err(),
+            ProfileSpecError::BadNumber
+        );
     }
 
     #[test]
@@ -293,8 +321,14 @@ mod tests {
         let spec = ProfileSpec {
             name: "loop".into(),
             points: vec![
-                ProfilePoint { at_secs: 0.0, mbps: 1.0 },
-                ProfilePoint { at_secs: 1.0, mbps: 2.0 },
+                ProfilePoint {
+                    at_secs: 0.0,
+                    mbps: 1.0,
+                },
+                ProfilePoint {
+                    at_secs: 1.0,
+                    mbps: 2.0,
+                },
             ],
             period_secs: Some(2.0),
         };

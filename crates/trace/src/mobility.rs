@@ -8,9 +8,9 @@
 
 use crate::synth::SynthSpec;
 use mpdash_link::{BandwidthProfile, LinkConfig};
-use mpdash_sim::{Rate, SimDuration};
 #[cfg(test)]
 use mpdash_sim::SimTime;
+use mpdash_sim::{Rate, SimDuration};
 
 /// Walk parameters.
 #[derive(Clone, Copy, Debug)]
@@ -53,8 +53,7 @@ impl MobilityWalk {
             .map(|i| {
                 let phase = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
                 let sweep = 0.5 * (1.0 + phase.cos()); // 1 at AP, 0 far side
-                let base =
-                    self.trough_mbps + (self.peak_mbps - self.trough_mbps) * sweep;
+                let base = self.trough_mbps + (self.peak_mbps - self.trough_mbps) * sweep;
                 let k = noise
                     .get(i % noise.len())
                     .map(|r| r.as_mbps_f64())

@@ -101,10 +101,7 @@ pub fn table1_rows() -> Vec<ProfilePair> {
 
 /// Controlled-experiment link pair: the §7.1 testbed (50 ms WiFi RTT,
 /// ~55 ms LTE RTT) with the given bandwidth profiles.
-pub fn testbed_links(
-    wifi: BandwidthProfile,
-    cell: BandwidthProfile,
-) -> (LinkConfig, LinkConfig) {
+pub fn testbed_links(wifi: BandwidthProfile, cell: BandwidthProfile) -> (LinkConfig, LinkConfig) {
     (
         LinkConfig::constant(1.0, SimDuration::from_millis(25)).with_profile(wifi),
         LinkConfig::constant(1.0, SimDuration::from_micros(27_500)).with_profile(cell),
@@ -131,8 +128,16 @@ mod tests {
         for (row, &(w, c, size)) in rows.iter().zip(&expect) {
             let wm = row.wifi.mean_rate(horizon).as_mbps_f64();
             let cm = row.cell.mean_rate(horizon).as_mbps_f64();
-            assert!((wm / w - 1.0).abs() < 0.06, "{}: wifi {wm} vs {w}", row.name);
-            assert!((cm / c - 1.0).abs() < 0.06, "{}: cell {cm} vs {c}", row.name);
+            assert!(
+                (wm / w - 1.0).abs() < 0.06,
+                "{}: wifi {wm} vs {w}",
+                row.name
+            );
+            assert!(
+                (cm / c - 1.0).abs() < 0.06,
+                "{}: cell {cm} vs {c}",
+                row.name
+            );
             assert_eq!(row.file_size, size);
             assert!(!row.deadlines_s.is_empty());
         }
@@ -143,13 +148,10 @@ mod tests {
         let rows = table1_rows();
         let sample_sigma = |p: &BandwidthProfile| {
             let vals: Vec<f64> = (0..6000)
-                .map(|i| {
-                    p.rate_at(SimTime::from_millis(i * 100)).as_mbps_f64()
-                })
+                .map(|i| p.rate_at(SimTime::from_millis(i * 100)).as_mbps_f64())
                 .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
             var.sqrt() / mean
         };
         let fastfood = sample_sigma(&rows[2].wifi);

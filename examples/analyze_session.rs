@@ -10,8 +10,8 @@ use mpdash::analysis::{
     analyze, buffer_trajectory, chunk_path_splits, render_chunk_bars, replay_energy,
     stall_intervals, throughput_timeline, to_json, ChunkInfo,
 };
-use mpdash::energy::DeviceProfile;
 use mpdash::dash::abr::AbrKind;
+use mpdash::energy::DeviceProfile;
 use mpdash::session::{SessionConfig, StreamingSession, TransportMode};
 use mpdash::sim::SimDuration;
 use mpdash::trace::table1;
@@ -45,14 +45,21 @@ fn main() {
     println!("throughput, first 60 s:");
     println!(
         "{}",
-        throughput_timeline(&report.records, SimDuration::from_secs(1), SimDuration::from_secs(60))
+        throughput_timeline(
+            &report.records,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60)
+        )
     );
 
     println!("session summary:");
     println!("  chunks           : {}", chunks.len());
     println!("  quality switches : {}", a.switches);
     println!("  level histogram  : {:?}", a.level_histogram);
-    println!("  mean download    : {:.2} s", a.mean_download.as_secs_f64());
+    println!(
+        "  mean download    : {:.2} s",
+        a.mean_download.as_secs_f64()
+    );
     println!(
         "  cellular share   : {:.1}% of body bytes",
         a.cell_body_bytes as f64 / (a.cell_body_bytes + a.wifi_body_bytes).max(1) as f64 * 100.0
@@ -89,5 +96,9 @@ fn main() {
     let json = to_json(&chunks, &a);
     let path = std::env::temp_dir().join("mpdash-session.json");
     std::fs::write(&path, &json).expect("write export");
-    println!("  JSON export      : {} ({} bytes)", path.display(), json.len());
+    println!(
+        "  JSON export      : {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
 }

@@ -13,7 +13,13 @@ use mpdash::trace::field::field_corpus;
 
 fn main() {
     let corpus = field_corpus();
-    let picks = ["Hotel Hi", "Food Market", "Airport", "Coffeehouse", "Library"];
+    let picks = [
+        "Hotel Hi",
+        "Food Market",
+        "Airport",
+        "Coffeehouse",
+        "Library",
+    ];
 
     println!(
         "{:<14} {:>10} {:>10} {:>12} {:>12} {:>9}",

@@ -7,9 +7,9 @@
 //! ```
 
 use mpdash::analysis::throughput_timeline;
+use mpdash::core::predict::PredictorKind;
 use mpdash::dash::abr::AbrKind;
 use mpdash::dash::video::Video;
-use mpdash::core::predict::PredictorKind;
 use mpdash::energy::DeviceProfile;
 use mpdash::mptcp::{CcKind, SchedulerKind};
 use mpdash::session::{SessionConfig, StreamingSession, TransportMode};
@@ -60,6 +60,10 @@ fn main() {
     println!("MP-DASH traffic over two laps (cellular bursts track the WiFi fades):");
     println!(
         "{}",
-        throughput_timeline(&mp.records, SimDuration::from_secs(2), SimDuration::from_secs(120))
+        throughput_timeline(
+            &mp.records,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(120)
+        )
     );
 }

@@ -13,6 +13,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let show_chunks = args.iter().any(|a| a == "--chunks");
+    let mut failed = false;
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         eprintln!("usage: mpdash [--chunks] <scenario.json>...");
@@ -51,9 +52,18 @@ fn main() -> ExitCode {
         // All modes run as one parallel batch; results come back in
         // declaration order, so the first is the baseline for savings.
         let results = run_batch(jobs);
-        let baseline = results.first().map(|r| r.report.session().clone());
+        // A failed job (e.g. a panic inside one mode's simulation) must
+        // not take down the whole comparison: report it and keep going.
+        let baseline = results.first().and_then(|r| r.session().ok()).cloned();
         for (i, result) in results.iter().enumerate() {
-            let report = result.report.session();
+            let report = match result.session() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: job {}: {e}", result.label);
+                    failed = true;
+                    continue;
+                }
+            };
             println!(
                 "{:<16} {:>10.2} {:>10.2} {:>10.1} {:>9.2} {:>7} {:>9}",
                 result.label,
@@ -93,5 +103,9 @@ fn main() -> ExitCode {
         }
         println!();
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

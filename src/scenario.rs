@@ -10,11 +10,11 @@
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
 use mpdash_link::{BandwidthProfile, LinkConfig};
+use mpdash_results::Json;
 use mpdash_session::{Job, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::io::ProfileSpec;
 use mpdash_trace::synth::SynthSpec;
-use mpdash_results::Json;
 
 /// A network path's bandwidth, one of three sources.
 #[derive(Debug)]
@@ -37,15 +37,34 @@ pub enum BandwidthSpec {
 impl BandwidthSpec {
     fn build(&self) -> Result<BandwidthProfile, String> {
         match self {
-            BandwidthSpec::Constant(mbps) => Ok(BandwidthProfile::constant_mbps(*mbps)),
-            BandwidthSpec::Synthetic { mean_mbps, sigma, seed } => {
+            BandwidthSpec::Constant(mbps) => {
+                // Zero is a legitimate dead path; negative (or NaN from a
+                // hand-edited file) is a typo worth naming precisely.
+                if mbps.is_nan() || *mbps < 0.0 {
+                    return Err(format!("constant bandwidth must be >= 0 Mbps, got {mbps}"));
+                }
+                Ok(BandwidthProfile::constant_mbps(*mbps))
+            }
+            BandwidthSpec::Synthetic {
+                mean_mbps,
+                sigma,
+                seed,
+            } => {
+                if mean_mbps.is_nan() || *mean_mbps <= 0.0 {
+                    return Err(format!(
+                        "synthetic 'mean_mbps' must be > 0, got {mean_mbps}"
+                    ));
+                }
+                if sigma.is_nan() || *sigma < 0.0 {
+                    return Err(format!("synthetic 'sigma' must be >= 0, got {sigma}"));
+                }
                 Ok(SynthSpec::new(*mean_mbps, *sigma, *seed).profile())
             }
             BandwidthSpec::File(path) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("reading {path}: {e}"))?;
-                let spec = ProfileSpec::from_json(&text)
-                    .map_err(|e| format!("parsing {path}: {e}"))?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let spec =
+                    ProfileSpec::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
                 spec.to_profile().map_err(|e| format!("{path}: {e}"))
             }
         }
@@ -90,6 +109,24 @@ impl VideoSpec {
             } => {
                 if levels_mbps.is_empty() || *chunk_secs == 0 || *n_chunks == 0 {
                     return Err("custom video needs levels, chunk_secs, n_chunks".into());
+                }
+                for pair in levels_mbps.windows(2) {
+                    // A NaN level must fail validation too, so test the
+                    // positive "strictly ascending" predicate.
+                    let ascending = pair[1] > pair[0];
+                    if !ascending {
+                        return Err(format!(
+                            "'levels_mbps' must be strictly ascending, got {:?} before {:?}",
+                            pair[0], pair[1]
+                        ));
+                    }
+                }
+                let first_positive = levels_mbps[0] > 0.0;
+                if !first_positive {
+                    return Err(format!(
+                        "'levels_mbps' must all be > 0, got {}",
+                        levels_mbps[0]
+                    ));
                 }
                 Ok(Video::new(
                     "custom",
@@ -172,7 +209,8 @@ fn variant(v: &Json) -> Result<(&str, &Json), String> {
 }
 
 fn num(v: &Json, what: &str) -> Result<f64, String> {
-    v.as_f64().ok_or_else(|| format!("'{what}' must be a number"))
+    v.as_f64()
+        .ok_or_else(|| format!("'{what}' must be a number"))
 }
 
 fn uint(v: &Json, what: &str) -> Result<u64, String> {
@@ -255,7 +293,7 @@ impl Scenario {
                 Some(j) => uint(j, key),
             }
         };
-        Ok(Scenario {
+        let sc = Scenario {
             name: string(field(&v, "name")?, "name")?,
             video: VideoSpec::parse(field(&v, "video")?)?,
             wifi: BandwidthSpec::parse(field(&v, "wifi")?)?,
@@ -270,7 +308,34 @@ impl Scenario {
                 .iter()
                 .map(ModeSpec::parse)
                 .collect::<Result<Vec<_>, _>>()?,
-        })
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Reject structurally-valid documents whose values would wedge or
+    /// panic deep inside the simulator, with a message naming the field.
+    fn validate(&self) -> Result<(), String> {
+        if self.wifi_rtt_ms == 0 {
+            return Err("'wifi_rtt_ms' must be > 0".into());
+        }
+        if self.cell_rtt_ms == 0 {
+            return Err("'cell_rtt_ms' must be > 0".into());
+        }
+        if self.buffer_secs == 0 {
+            return Err("'buffer_secs' must be > 0 (the player needs a buffer)".into());
+        }
+        if self.modes.is_empty() {
+            return Err("'modes' must list at least one transport policy".into());
+        }
+        for mode in &self.modes {
+            if let ModeSpec::Throttled(0) = mode {
+                return Err("throttled mode needs a rate > 0 kbps (use a zero-rate \
+                     'cell' bandwidth for a dead path instead)"
+                    .into());
+            }
+        }
+        Ok(())
     }
 
     fn abr_kind(&self) -> Result<AbrKind, String> {
@@ -290,24 +355,15 @@ impl Scenario {
         let abr = self.abr_kind()?;
         let wifi_profile = self.wifi.build()?;
         let cell_profile = self.cell.build()?;
-        let priors = (
-            self.wifi.mean(&wifi_profile),
-            self.cell.mean(&cell_profile),
-        );
+        let priors = (self.wifi.mean(&wifi_profile), self.cell.mean(&cell_profile));
         let mut out = Vec::new();
         for mode in &self.modes {
             // Half-RTT in microseconds, so odd RTTs (the testbed's 55 ms
             // LTE) survive the halving exactly.
-            let wifi = LinkConfig::constant(
-                1.0,
-                SimDuration::from_micros(self.wifi_rtt_ms * 500),
-            )
-            .with_profile(wifi_profile.clone());
-            let cell = LinkConfig::constant(
-                1.0,
-                SimDuration::from_micros(self.cell_rtt_ms * 500),
-            )
-            .with_profile(cell_profile.clone());
+            let wifi = LinkConfig::constant(1.0, SimDuration::from_micros(self.wifi_rtt_ms * 500))
+                .with_profile(wifi_profile.clone());
+            let cell = LinkConfig::constant(1.0, SimDuration::from_micros(self.cell_rtt_ms * 500))
+                .with_profile(cell_profile.clone());
             let mut cfg = SessionConfig::controlled(
                 (wifi_profile.clone(), cell_profile.clone()),
                 abr,
@@ -375,6 +431,51 @@ mod tests {
     }
 
     #[test]
+    fn rejects_values_that_would_wedge_the_simulator() {
+        for (patch, expect) in [
+            (r#""wifi_rtt_ms": 0,"#, "'wifi_rtt_ms' must be > 0"),
+            (r#""buffer_secs": 0,"#, "'buffer_secs' must be > 0"),
+        ] {
+            let doc = DOC.replacen(r#""name":"#, &format!("{patch} \"name\":"), 1);
+            let err = Scenario::from_json(&doc).unwrap_err();
+            assert!(err.contains(expect), "{patch}: {err}");
+        }
+
+        let doc = DOC.replace(r#"["vanilla", "mpdash_rate", {"throttled": 700}]"#, "[]");
+        let err = Scenario::from_json(&doc).unwrap_err();
+        assert!(err.contains("at least one transport policy"), "{err}");
+
+        let doc = DOC.replace(r#"{"throttled": 700}"#, r#"{"throttled": 0}"#);
+        let err = Scenario::from_json(&doc).unwrap_err();
+        assert!(err.contains("rate > 0 kbps"), "{err}");
+
+        let doc = DOC.replace(r#"{"constant": 3.0}"#, r#"{"constant": -1.0}"#);
+        let sc = Scenario::from_json(&doc).unwrap();
+        let err = sc.build().unwrap_err();
+        assert!(err.contains(">= 0 Mbps"), "{err}");
+
+        let doc = DOC.replace(r#""mean_mbps": 3.8"#, r#""mean_mbps": 0.0"#);
+        let sc = Scenario::from_json(&doc).unwrap();
+        let err = sc.build().unwrap_err();
+        assert!(err.contains("'mean_mbps' must be > 0"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_descending_bitrate_ladder() {
+        let doc = r#"{
+            "name": "bad-ladder",
+            "video": {"custom": {"levels_mbps": [2.0, 1.0], "chunk_secs": 2, "n_chunks": 10}},
+            "wifi": {"constant": 5.0},
+            "cell": {"constant": 3.0},
+            "abr": "gpac",
+            "modes": ["vanilla"]
+        }"#;
+        let sc = Scenario::from_json(doc).unwrap();
+        let err = sc.build().unwrap_err();
+        assert!(err.contains("strictly ascending"), "{err}");
+    }
+
+    #[test]
     fn custom_video_and_file_profile() {
         // Write a profile to a temp file and reference it.
         let dir = std::env::temp_dir().join("mpdash-scenario-test");
@@ -383,8 +484,14 @@ mod tests {
         let spec = mpdash_trace::io::ProfileSpec {
             name: "t".into(),
             points: vec![
-                mpdash_trace::io::ProfilePoint { at_secs: 0.0, mbps: 5.0 },
-                mpdash_trace::io::ProfilePoint { at_secs: 1.0, mbps: 2.0 },
+                mpdash_trace::io::ProfilePoint {
+                    at_secs: 0.0,
+                    mbps: 5.0,
+                },
+                mpdash_trace::io::ProfilePoint {
+                    at_secs: 1.0,
+                    mbps: 2.0,
+                },
             ],
             period_secs: Some(2.0),
         };
@@ -404,9 +511,6 @@ mod tests {
         let sc = Scenario::from_json(&doc).unwrap();
         let configs = sc.build().unwrap();
         assert_eq!(configs[0].1.video.n_levels(), 2);
-        assert_eq!(
-            configs[0].1.buffer_capacity,
-            SimDuration::from_secs(20)
-        );
+        assert_eq!(configs[0].1.buffer_capacity, SimDuration::from_secs(20));
     }
 }

@@ -20,12 +20,9 @@ fn short_video() -> Video {
 }
 
 fn run(abr: AbrKind, mode: TransportMode) -> SessionReport {
-    let cfg = SessionConfig::controlled(
-        table1::synthetic_profile_pair(3.8, 3.0, 0.10, 7),
-        abr,
-        mode,
-    )
-    .with_video(short_video());
+    let cfg =
+        SessionConfig::controlled(table1::synthetic_profile_pair(3.8, 3.0, 0.10, 7), abr, mode)
+            .with_video(short_video());
     StreamingSession::run(cfg)
 }
 

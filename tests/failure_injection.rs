@@ -4,9 +4,9 @@
 
 use mpdash::dash::abr::AbrKind;
 use mpdash::dash::video::Video;
-use mpdash::link::{BandwidthProfile, LinkConfig, PathId};
+use mpdash::link::{BandwidthProfile, FaultScript, LinkConfig, PathId};
 use mpdash::session::{SessionConfig, SessionReport, StreamingSession, TransportMode};
-use mpdash::sim::{Rate, SimDuration};
+use mpdash::sim::{Rate, SimDuration, SimTime};
 
 fn short_video(chunks: usize) -> Video {
     Video::new(
@@ -34,8 +34,8 @@ fn wifi_with_blackout(mbps: f64, from: u64, to: u64, total: u64) -> BandwidthPro
 
 fn run(wifi: BandwidthProfile, cell_mbps: f64, mode: TransportMode) -> SessionReport {
     let cell = BandwidthProfile::Constant(Rate::from_mbps_f64(cell_mbps));
-    let cfg = SessionConfig::controlled((wifi, cell), AbrKind::Festive, mode)
-        .with_video(short_video(30));
+    let cfg =
+        SessionConfig::controlled((wifi, cell), AbrKind::Festive, mode).with_video(short_video(30));
     StreamingSession::run(cfg)
 }
 
@@ -54,9 +54,7 @@ fn wifi_blackout_is_rescued_by_cellular_under_mpdash() {
         .records
         .iter()
         .filter(|r| {
-            r.path == PathId::CELLULAR
-                && r.t.as_secs_f64() >= 40.0
-                && r.t.as_secs_f64() < 60.0
+            r.path == PathId::CELLULAR && r.t.as_secs_f64() >= 40.0 && r.t.as_secs_f64() < 60.0
         })
         .map(|r| r.len)
         .sum();
@@ -81,7 +79,75 @@ fn wifi_blackout_is_rescued_by_cellular_under_mpdash() {
         4.0,
         TransportMode::mpdash_rate_based(),
     );
-    assert_eq!(mp_long.qoe.stalls, 0, "MP-DASH must survive the long outage");
+    assert_eq!(
+        mp_long.qoe.stalls, 0,
+        "MP-DASH must survive the long outage"
+    );
+}
+
+#[test]
+fn wifi_reassociation_fault_is_bridged_by_cellular_without_stalls() {
+    // The AP kicks the client at t=40 s; the radio stays dark for 15 s
+    // and the re-handshake costs another 2 s. That outage outlives the
+    // subflow's RTO budget, so MPTCP must declare the WiFi subflow
+    // failed, rescue its in-flight data over cellular, and re-establish
+    // the subflow from scratch once packets flow again — all without the
+    // player noticing.
+    let faults = FaultScript::new().disassociation(
+        SimTime::ZERO + SimDuration::from_secs(40),
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(2),
+    );
+    let cfg = SessionConfig::controlled_mbps(
+        4.5,
+        4.0,
+        AbrKind::Festive,
+        TransportMode::mpdash_rate_based(),
+    )
+    .with_video(short_video(30))
+    .with_wifi_faults(faults);
+    let r = StreamingSession::run(cfg);
+
+    assert_eq!(r.qoe.stalls, 0, "cellular must bridge the reassociation");
+    assert_eq!(r.chunks.len(), 30, "every chunk completes");
+    // The degradation counters record the failover and the revival.
+    assert!(
+        r.degradation.subflow_failures > 0,
+        "the 17 s outage must exhaust the RTO budget and fail the subflow"
+    );
+    assert!(
+        r.degradation.subflow_revivals > 0,
+        "the subflow must re-establish after reassociation"
+    );
+    assert!(
+        r.degradation.outage_bridged_chunks > 0,
+        "chunks inside the outage must ride almost entirely on cellular"
+    );
+    // Cellular actually carried payload inside the fault window.
+    let outage_cell: u64 = r
+        .records
+        .iter()
+        .filter(|p| {
+            p.path == PathId::CELLULAR && p.t.as_secs_f64() >= 40.0 && p.t.as_secs_f64() < 60.0
+        })
+        .map(|p| p.len)
+        .sum();
+    assert!(
+        outage_cell > 1_000_000,
+        "cellular carried only {outage_cell} bytes during the outage"
+    );
+    // WiFi traffic resumes after reassociation: the session is not stuck
+    // on the costly path for its remaining minute.
+    let wifi_after: u64 = r
+        .records
+        .iter()
+        .filter(|p| p.path == PathId::WIFI && p.t.as_secs_f64() >= 60.0)
+        .map(|p| p.len)
+        .sum();
+    assert!(
+        wifi_after > 1_000_000,
+        "WiFi must carry traffic again after reassociation ({wifi_after} bytes)"
+    );
 }
 
 #[test]
@@ -115,8 +181,7 @@ fn random_loss_does_not_break_sessions() {
     // 2% i.i.d. loss on both paths: QoE degrades gracefully, nothing
     // wedges, the chunk log stays complete.
     let wifi = LinkConfig::constant(3.8, SimDuration::from_millis(25)).with_loss(0.02, 97);
-    let cell =
-        LinkConfig::constant(3.0, SimDuration::from_micros(27_500)).with_loss(0.02, 98);
+    let cell = LinkConfig::constant(3.0, SimDuration::from_micros(27_500)).with_loss(0.02, 98);
     let mut cfg = SessionConfig::controlled(
         (
             BandwidthProfile::constant_mbps(3.8),

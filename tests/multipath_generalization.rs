@@ -6,8 +6,8 @@
 use mpdash::core::deadline::SchedulerParams;
 use mpdash::core::MpDashControl;
 use mpdash::link::{LinkConfig, PathId};
-use mpdash::mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerKind};
 use mpdash::mptcp::CcKind;
+use mpdash::mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerKind};
 use mpdash::sim::{Rate, SimDuration, SimTime};
 
 const TICK: SimDuration = SimDuration::from_millis(50);
@@ -20,10 +20,7 @@ fn three_path_sim(wifi_mbps: f64, lte_mbps: f64, fiveg_mbps: f64) -> MptcpSim {
                 wifi_mbps,
                 SimDuration::from_millis(20),
             )),
-            PathConfig::symmetric(LinkConfig::constant(
-                lte_mbps,
-                SimDuration::from_millis(30),
-            )),
+            PathConfig::symmetric(LinkConfig::constant(lte_mbps, SimDuration::from_millis(30))),
             PathConfig::symmetric(LinkConfig::constant(
                 fiveg_mbps,
                 SimDuration::from_millis(12),
@@ -46,11 +43,7 @@ fn to_mask(enabled: &[bool]) -> PathMask {
 
 /// Run one deadline transfer over three paths under the greedy
 /// scheduler; returns per-path byte counts and whether the deadline held.
-fn run_transfer(
-    wifi_mbps: f64,
-    size: u64,
-    deadline: SimDuration,
-) -> ([u64; 3], bool) {
+fn run_transfer(wifi_mbps: f64, size: u64, deadline: SimDuration) -> ([u64; 3], bool) {
     let mut sim = three_path_sim(wifi_mbps, 6.0, 20.0);
     // Costs: WiFi free, LTE mid, 5G dearest.
     let mut control = MpDashControl::new(
@@ -63,7 +56,9 @@ fn run_transfer(
         SchedulerParams::default().with_debounce(4),
         SimDuration::from_millis(250),
     );
-    let enabled = control.mp_dash_enable(SimTime::ZERO, size, deadline).to_vec();
+    let enabled = control
+        .mp_dash_enable(SimTime::ZERO, size, deadline)
+        .to_vec();
     sim.set_initial_mask(to_mask(&enabled));
     sim.send_app(size);
     sim.schedule_app_timer(SimTime::ZERO + TICK, TICK_ID);
@@ -88,7 +83,10 @@ fn run_transfer(
         if let Some(enabled) = control.on_progress(t, sim.delivered(), &busy) {
             sim.set_desired_mask(to_mask(&enabled));
         }
-        if matches!(outcome, mpdash::mptcp::StepOutcome::AppTimer { id: TICK_ID }) {
+        if matches!(
+            outcome,
+            mpdash::mptcp::StepOutcome::AppTimer { id: TICK_ID }
+        ) {
             sim.schedule_app_timer(t + TICK, TICK_ID);
         }
     }
@@ -127,7 +125,12 @@ fn middling_wifi_adds_only_the_mid_cost_path() {
         "5G spill too large: {} bytes",
         bytes[2]
     );
-    assert!(bytes[1] > bytes[2] * 3, "LTE {} vs 5G {}", bytes[1], bytes[2]);
+    assert!(
+        bytes[1] > bytes[2] * 3,
+        "LTE {} vs 5G {}",
+        bytes[1],
+        bytes[2]
+    );
 }
 
 #[test]

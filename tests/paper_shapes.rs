@@ -46,7 +46,10 @@ fn optimal_bounds() {
     let cell: Vec<u64> = vec![19_100_000 / 8 / 20; 18 * 20];
     assert_eq!(optimal_cellular_bytes(&wifi, &cell, 50_000_000), Some(0));
     // And infeasible inputs are reported as such.
-    assert_eq!(optimal_cellular_bytes(&wifi[..20], &cell[..20], 50_000_000), None);
+    assert_eq!(
+        optimal_cellular_bytes(&wifi[..20], &cell[..20], 50_000_000),
+        None
+    );
 }
 
 /// Figure 3 / §5.2.2's shape: plain BBA oscillates between the two levels

@@ -54,9 +54,7 @@ fn cellular_first_gates_wifi_instead() {
         "cellular-first wifi share {wifi_share:.2}"
     );
     // Same QoE either way (the policies are symmetric, §3.2).
-    assert!(
-        (wifi_first.qoe.mean_bitrate_mbps - cell_first.qoe.mean_bitrate_mbps).abs() < 0.3
-    );
+    assert!((wifi_first.qoe.mean_bitrate_mbps - cell_first.qoe.mean_bitrate_mbps).abs() < 0.3);
 }
 
 #[test]

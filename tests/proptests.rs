@@ -4,8 +4,8 @@
 use mpdash::core::deadline::{CellDecision, DeadlineScheduler, SchedulerParams};
 use mpdash::core::optimal::{optimal_min_cost, SlotItem};
 use mpdash::link::LinkConfig;
-use mpdash::mptcp::{MptcpConfig, MptcpSim, PathMask};
 use mpdash::link::PathId;
+use mpdash::mptcp::{MptcpConfig, MptcpSim, PathMask};
 use mpdash::session::{FileTransfer, FileTransferConfig, TransportMode};
 use mpdash::sim::{Rate, SimDuration, SimTime};
 use proptest::prelude::*;

@@ -17,7 +17,10 @@ fn example() -> Scenario {
 #[test]
 fn example_scenario_round_trips_into_session_configs() {
     let sc = example();
-    assert_eq!(sc.name, "paper motivating network: WiFi 3.8 Mbps + LTE 3.0 Mbps");
+    assert_eq!(
+        sc.name,
+        "paper motivating network: WiFi 3.8 Mbps + LTE 3.0 Mbps"
+    );
     assert_eq!(sc.buffer_secs, 40);
 
     let configs = sc.build().expect("example scenario builds");
@@ -56,12 +59,12 @@ fn example_scenario_runs_through_the_batch_runner() {
     assert_eq!(results.len(), 5);
     assert_eq!(results[0].label, "Baseline");
     for r in &results {
-        let report = r.report.session();
+        let report = r.session().expect("session job");
         assert_eq!(report.qoe_all.chunks, 4, "{}: all chunks fetched", r.label);
         assert!(report.duration > SimDuration::ZERO);
     }
     // WiFi-only really stays off cellular; the baseline does not.
-    let wifi_only = results.last().unwrap().report.session();
+    let wifi_only = results.last().unwrap().session().expect("session job");
     assert_eq!(wifi_only.cell_bytes, 0);
-    assert!(results[0].report.session().cell_bytes > 0);
+    assert!(results[0].session().expect("session job").cell_bytes > 0);
 }
