@@ -28,7 +28,8 @@ fn base_cfg() -> SessionConfig {
 }
 
 fn row(t: &mut Table, name: &str, r: &SessionReport) {
-    let (toggles, missed, _) = r.scheduler_stats;
+    let stats = r.scheduler_stats;
+    let (toggles, missed) = (stats.toggles, stats.missed_deadlines);
     t.row(&[
         name.into(),
         mb(r.cell_bytes),
@@ -217,7 +218,7 @@ pub fn result(quick: bool) -> ExperimentResult {
 
 /// Compute, render, persist.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("ablation", quick, result);
 }
 
 /// [`run_with`] behind the shared quick switch.

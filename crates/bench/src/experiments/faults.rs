@@ -200,7 +200,8 @@ fn fold(quick: bool, batch: Vec<BatchResult>) -> ExperimentResult {
                     min_window_cell = min_window_cell.min(bridged);
                     // Invariant 3: deadline misses stay a bounded fraction
                     // of completed transfers.
-                    let (_, missed, completed) = r.scheduler_stats;
+                    let stats = r.scheduler_stats;
+                    let (missed, completed) = (stats.missed_deadlines, stats.completed_transfers);
                     let rate = if completed == 0 {
                         0.0
                     } else {
@@ -240,7 +241,7 @@ pub fn result_with_workers(quick: bool, workers: usize) -> ExperimentResult {
 
 /// Compute, render, persist.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("faults", quick, result);
 }
 
 /// Full matrix behind the shared quick switch.

@@ -207,7 +207,7 @@ pub fn result(quick: bool) -> ExperimentResult {
 
 /// Compute, render, persist. `quick` limits the corpus.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("field", quick, result);
 }
 
 /// Full study behind the shared quick switch.

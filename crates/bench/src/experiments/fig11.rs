@@ -40,6 +40,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         sample_slot: SimDuration::from_millis(250),
         adapter_config: None,
         preference: Default::default(),
+        tracer: Default::default(),
     }
 }
 
@@ -107,7 +108,7 @@ pub fn result(quick: bool) -> ExperimentResult {
 
 /// Compute, render, persist.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("fig11", quick, result);
 }
 
 /// [`run_with`] behind the shared quick switch.

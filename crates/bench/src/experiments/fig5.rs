@@ -68,7 +68,7 @@ pub fn result(quick: bool) -> ExperimentResult {
 
 /// Compute, render, persist.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("fig5", quick, result);
 }
 
 /// [`run_with`] behind the shared quick switch.

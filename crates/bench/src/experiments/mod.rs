@@ -48,6 +48,23 @@ pub fn execute(result: &ExperimentResult) {
     }
 }
 
+/// Compute `result(quick)`, then render and persist it, reporting
+/// per-stage wall-clock on stderr as `[stage]` lines. Timing is
+/// diagnostic only: it goes to stderr, never into stdout or the
+/// artifact, so reports stay byte-stable across machines.
+pub fn run_timed(name: &str, quick: bool, result: impl FnOnce(bool) -> ExperimentResult) {
+    let t0 = std::time::Instant::now();
+    let res = result(quick);
+    let computed = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    execute(&res);
+    eprintln!(
+        "[stage] {name}: compute {:.2}s, render+persist {:.3}s",
+        computed.as_secs_f64(),
+        t1.elapsed().as_secs_f64()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use mpdash_results::ExperimentResult;

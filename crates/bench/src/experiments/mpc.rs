@@ -95,7 +95,7 @@ pub fn result(quick: bool) -> ExperimentResult {
 
 /// Compute, render, persist.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("mpc", quick, result);
 }
 
 /// [`run_with`] behind the shared quick switch.

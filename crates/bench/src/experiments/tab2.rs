@@ -53,7 +53,7 @@ pub fn result(quick: bool) -> ExperimentResult {
 
 /// Compute, render, persist.
 pub fn run_with(quick: bool) {
-    crate::experiments::execute(&result(quick));
+    crate::experiments::run_timed("tab2", quick, result);
 }
 
 /// [`run_with`] behind the shared quick switch.

@@ -25,6 +25,18 @@ use crate::multipath::MultiPathScheduler;
 use crate::predict::{Predictor, PredictorKind, ThroughputSampler};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 
+/// Lifetime statistics of a deadline scheduler instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Costly-path enable/disable flips (Algorithm 1 decisions that
+    /// changed the enabled set).
+    pub toggles: u64,
+    /// Transfers whose deadline window expired before completion.
+    pub missed_deadlines: u64,
+    /// Transfers that finished under scheduler control.
+    pub completed_transfers: u64,
+}
+
 /// Per-transfer, per-path MP-DASH control plane. See module docs.
 pub struct MpDashControl {
     sched: MultiPathScheduler,
@@ -100,14 +112,13 @@ impl MpDashControl {
         &self.enabled
     }
 
-    /// Lifetime scheduler statistics: `(toggles, missed deadlines,
-    /// completed transfers)`.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (
-            self.sched.toggles(),
-            self.sched.missed_deadlines(),
-            self.sched.completed(),
-        )
+    /// Lifetime scheduler statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            toggles: self.sched.toggles(),
+            missed_deadlines: self.sched.missed_deadlines(),
+            completed_transfers: self.sched.completed(),
+        }
     }
 
     /// `MP_DASH_ENABLE(S, D)`. Returns the enabled set to apply (only the
@@ -318,8 +329,8 @@ mod tests {
         let mut c = control();
         c.mp_dash_enable(SimTime::ZERO, MB, SimDuration::from_secs(4));
         c.on_progress(SimTime::from_secs(1), MB, &[true, true]);
-        let (_, missed, completed) = c.stats();
-        assert_eq!(missed, 0);
-        assert_eq!(completed, 1);
+        let stats = c.stats();
+        assert_eq!(stats.missed_deadlines, 0);
+        assert_eq!(stats.completed_transfers, 1);
     }
 }

@@ -31,7 +31,7 @@ pub mod multipath;
 pub mod optimal;
 pub mod predict;
 
-pub use api::MpDashControl;
+pub use api::{MpDashControl, SchedulerStats};
 pub use deadline::{CellDecision, DeadlineScheduler, SchedulerParams};
 pub use optimal::{optimal_cellular_bytes, optimal_min_cost, SlotPlan};
 pub use predict::{EwmaPredictor, HoltWinters, Predictor, PredictorKind, ThroughputSampler};

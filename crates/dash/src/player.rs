@@ -13,6 +13,7 @@
 //!   first QoE metric; every MP-DASH experiment reports zero).
 
 use crate::video::Video;
+use mpdash_obs::{TraceEvent, Tracer};
 use mpdash_sim::{SimDuration, SimTime};
 
 /// One entry of the player's event log — the §6 analysis tool's second
@@ -109,6 +110,8 @@ pub struct Player {
     chunks_downloaded: usize,
     history: Vec<ChunkRecord>,
     events: Vec<PlayerEvent>,
+    /// Observe-only mirror of the event log into the trace layer.
+    tracer: Tracer,
 }
 
 impl Player {
@@ -135,7 +138,22 @@ impl Player {
             chunks_downloaded: 0,
             history: Vec::new(),
             events: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: every buffer transition in the event log is
+    /// mirrored as a [`TraceEvent::BufferTransition`]. Observe-only.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Mirror a state transition to the trace layer with the buffer
+    /// level after it.
+    fn trace_transition(&self, at: SimTime, state: &'static str) {
+        let buffer_s = self.buffer.as_secs_f64();
+        self.tracer
+            .emit_with(at, || TraceEvent::BufferTransition { state, buffer_s });
     }
 
     /// Buffer capacity.
@@ -227,11 +245,13 @@ impl Player {
                     if self.played >= self.total_content() {
                         self.state = PlayerState::Finished;
                         self.events.push(PlayerEvent::Finished { at: dry_at });
+                        self.trace_transition(dry_at, "finished");
                     } else {
                         self.state = PlayerState::Stalled;
                         self.stalls += 1;
                         self.stall_time += dt - played_part;
                         self.events.push(PlayerEvent::Stalled { at: dry_at });
+                        self.trace_transition(dry_at, "stalled");
                     }
                 }
             }
@@ -273,15 +293,18 @@ impl Player {
             level,
             buffer: self.buffer,
         });
+        self.trace_transition(now, "chunk_buffered");
         match self.state {
             PlayerState::Startup => {
                 self.state = PlayerState::Playing;
                 self.startup_delay = Some(now.saturating_since(SimTime::ZERO));
                 self.events.push(PlayerEvent::Started { at: now });
+                self.trace_transition(now, "started");
             }
             PlayerState::Stalled if self.buffer >= self.cfg.resume_threshold => {
                 self.state = PlayerState::Playing;
                 self.events.push(PlayerEvent::Resumed { at: now });
+                self.trace_transition(now, "resumed");
             }
             _ => {}
         }

@@ -183,6 +183,19 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable snake_case name, used by trace events and the `explain`
+    /// timeline.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::BurstLoss(_) => "burst_loss",
+            FaultKind::RttSpike { .. } => "rtt_spike",
+            FaultKind::RateCollapse { .. } => "rate_collapse",
+            FaultKind::Disassociation { .. } => "disassociation",
+        }
+    }
+}
+
 /// One scheduled fault: a kind active on `[at, at + duration)` (a
 /// [`FaultKind::Disassociation`] extends the window by its
 /// reassociation delay).

@@ -22,6 +22,7 @@
 use crate::fault::{FaultScript, FaultState};
 use crate::profile::BandwidthProfile;
 use crate::shaper::TokenBucket;
+use mpdash_obs::{TraceEvent, Tracer};
 use mpdash_sim::{Prng, Rate, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -142,6 +143,13 @@ pub struct Link {
     delivered_packets: u64,
     dropped_packets: u64,
     fault_dropped_packets: u64,
+    /// Observe-only trace emission; never feeds back into the model.
+    tracer: Tracer,
+    /// Dense path index used to label trace events.
+    trace_path: usize,
+    /// Which scripted fault windows were active at the last `send`, so
+    /// activation/clearance edges are emitted exactly once.
+    fault_active: Vec<bool>,
 }
 
 impl Link {
@@ -162,6 +170,53 @@ impl Link {
             delivered_packets: 0,
             dropped_packets: 0,
             fault_dropped_packets: 0,
+            tracer: Tracer::disabled(),
+            trace_path: 0,
+            fault_active: Vec::new(),
+        }
+    }
+
+    /// Attach a tracer labelling this link's events with dense path
+    /// index `path`. Tracing is observe-only: enabling it does not
+    /// change a single delivery or drop decision.
+    pub fn set_tracer(&mut self, tracer: Tracer, path: usize) {
+        self.tracer = tracer;
+        self.trace_path = path;
+        self.fault_active = self
+            .cfg
+            .faults
+            .as_ref()
+            .map(|s| vec![false; s.events().len()])
+            .unwrap_or_default();
+    }
+
+    /// Emit activation/clearance edges for scripted fault windows whose
+    /// active state changed since the last offered packet. Runs only
+    /// when a tracer is attached.
+    fn trace_fault_edges(&mut self, now: SimTime) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let Some(script) = &self.cfg.faults else {
+            return;
+        };
+        for (i, e) in script.events().iter().enumerate() {
+            let active = e.active_at(now);
+            if active == self.fault_active[i] {
+                continue;
+            }
+            self.fault_active[i] = active;
+            let (path, kind) = (self.trace_path, e.kind.name());
+            if active {
+                self.tracer.emit_with(now, || TraceEvent::FaultActivated {
+                    path,
+                    kind,
+                    until_s: e.end().as_secs_f64(),
+                });
+            } else {
+                self.tracer
+                    .emit_with(now, || TraceEvent::FaultCleared { path, kind });
+            }
         }
     }
 
@@ -225,6 +280,7 @@ impl Link {
     /// the far end; the caller is responsible for scheduling that event.
     pub fn send(&mut self, now: SimTime, size: u64) -> SendOutcome {
         debug_assert!(size > 0, "packets must be non-empty");
+        self.trace_fault_edges(now);
 
         // 0. An active disassociation outage swallows everything — the
         //    association (or its re-handshake) isn't up, so the packet

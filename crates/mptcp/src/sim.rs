@@ -33,6 +33,7 @@ use crate::receiver::Receiver;
 use crate::scheduler::SchedulerKind;
 use crate::sender::{Sender, Transmit};
 use mpdash_link::{Link, LinkConfig, PathId, SendOutcome};
+use mpdash_obs::{TraceEvent, Tracer};
 use mpdash_sim::{EventQueue, Rate, SimDuration, SimTime};
 
 /// TCP/IP header bytes charged to the link per data packet.
@@ -138,6 +139,12 @@ pub struct MptcpSim {
     rcv: Receiver,
     /// Earliest pending RTO event per path (lazy-timer bookkeeping).
     rto_event_at: Vec<Option<SimTime>>,
+    /// Observe-only trace emission (DSS signals, subflow transitions,
+    /// cwnd/SRTT samples); never feeds back into transport state.
+    tracer: Tracer,
+    /// Per-path failure/revival counts already reported to the tracer.
+    trace_failures_seen: Vec<u64>,
+    trace_revivals_seen: Vec<u64>,
 }
 
 impl MptcpSim {
@@ -158,7 +165,19 @@ impl MptcpSim {
             snd: Sender::new(n, cfg.scheduler, cfg.cc),
             rcv: Receiver::new(n),
             rto_event_at: vec![None; n],
+            tracer: Tracer::disabled(),
+            trace_failures_seen: vec![0; n],
+            trace_revivals_seen: vec![0; n],
         }
+    }
+
+    /// Attach a tracer to the connection and all of its links. Tracing
+    /// is strictly observe-only.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.set_tracer(tracer.clone(), i);
+        }
+        self.tracer = tracer;
     }
 
     /// Current simulation time.
@@ -203,6 +222,12 @@ impl MptcpSim {
     pub fn set_desired_mask(&mut self, mask: PathMask) {
         if self.rcv.set_desired_mask(mask) {
             let now = self.now();
+            let n = self.n_paths();
+            self.tracer.emit_with(now, || TraceEvent::DssSignal {
+                mask: (0..n)
+                    .filter(|&p| mask.contains(PathId(p as u8)))
+                    .fold(0u32, |bits, p| bits | (1 << p)),
+            });
             let primary = PathId(0);
             self.queue.schedule(
                 now + self.ack_delay[0],
@@ -296,10 +321,58 @@ impl MptcpSim {
         self.snd.conn_total()
     }
 
+    /// Events popped from the connection's queue over its lifetime
+    /// (deterministic event-loop profiling).
+    pub fn events_popped(&self) -> u64 {
+        self.queue.popped()
+    }
+
+    /// High-water mark of pending events (peak queue depth).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// Emit cwnd/SRTT samples (when an ACK advanced `acked_path`) and
+    /// any subflow failure/revival transitions since the last event.
+    /// Runs only with a tracer attached.
+    fn trace_transport(&mut self, now: SimTime, acked_path: Option<PathId>) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        if let Some(path) = acked_path {
+            let cwnd = self.cwnd(path);
+            let srtt_ms = self.srtt(path).map(|d| d.as_millis_f64());
+            self.tracer.emit_with(now, || TraceEvent::PathSample {
+                path: path.index(),
+                cwnd,
+                srtt_ms,
+            });
+        }
+        for p in 0..self.n_paths() {
+            let id = PathId(p as u8);
+            let failures = self.subflow_failures(id);
+            while self.trace_failures_seen[p] < failures {
+                self.trace_failures_seen[p] += 1;
+                self.tracer
+                    .emit_with(now, || TraceEvent::SubflowFailed { path: p });
+            }
+            let revivals = self.subflow_revivals(id);
+            while self.trace_revivals_seen[p] < revivals {
+                self.trace_revivals_seen[p] += 1;
+                self.tracer
+                    .emit_with(now, || TraceEvent::SubflowRevived { path: p });
+            }
+        }
+    }
+
     /// Process the next event. `None` when the queue is empty (no
     /// transport activity pending and no application timers set).
     pub fn step(&mut self) -> Option<(SimTime, StepOutcome)> {
         let (now, ev) = self.queue.pop()?;
+        let acked_path = match &ev {
+            Event::Ack { path, .. } => Some(*path),
+            _ => None,
+        };
         let outcome = match ev {
             Event::Data {
                 path,
@@ -357,6 +430,7 @@ impl MptcpSim {
                 StepOutcome::ServerMsg { id }
             }
         };
+        self.trace_transport(now, acked_path);
         Some((now, outcome))
     }
 

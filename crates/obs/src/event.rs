@@ -1,0 +1,293 @@
+//! The cross-layer trace event taxonomy.
+//!
+//! Events are deliberately flat and numeric: paths are dense indices
+//! (0 = WiFi, 1 = cellular in the two-path sessions), sizes are bytes,
+//! durations are seconds as `f64`. That keeps the enum free of
+//! dependencies on the transport/link/dash crates (which all sit
+//! *above* this one in the dependency graph) and keeps NDJSON lines
+//! trivially machine-readable.
+
+use mpdash_results::Json;
+use mpdash_sim::SimTime;
+
+/// One structured trace event. Stamped with virtual [`SimTime`] at the
+/// emission site (the timestamp travels alongside, see
+/// [`TraceSink::record`](crate::TraceSink::record)).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The deadline scheduler toggled the costly path, with the
+    /// feasibility inputs that drove the decision (Algorithm 1).
+    SchedulerToggle {
+        /// Whether the cellular path is enabled after this decision.
+        cell_enabled: bool,
+        /// Preferred-path (WiFi) throughput estimate at decision time.
+        wifi_estimate_mbps: f64,
+        /// Bytes of the current transfer already delivered.
+        received: u64,
+        /// Total bytes of the current transfer.
+        size: u64,
+        /// The (α-shrunk) deadline window granted for the transfer.
+        window_s: f64,
+        /// Seconds elapsed since the transfer started.
+        elapsed_s: f64,
+    },
+    /// A subflow's RTO fired with an empty window: it is considered
+    /// failed and enters revival backoff.
+    SubflowFailed {
+        /// Dense path index.
+        path: usize,
+    },
+    /// A failed subflow came back (revival probe succeeded).
+    SubflowRevived {
+        /// Dense path index.
+        path: usize,
+    },
+    /// A congestion-control sample taken when an ACK advanced a subflow.
+    PathSample {
+        /// Dense path index.
+        path: usize,
+        /// Congestion window, bytes.
+        cwnd: u64,
+        /// Smoothed RTT, milliseconds (`None` until first measurement).
+        srtt_ms: Option<f64>,
+    },
+    /// The scheduler's desired path mask changed and a DSS-borne signal
+    /// was sent to the peer (the MP_DASH socket-option path in §5.1).
+    DssSignal {
+        /// New desired mask, bit `i` = path `i` enabled.
+        mask: u32,
+    },
+    /// The ABR algorithm chose a level for a chunk.
+    AbrChoice {
+        /// Chunk index.
+        chunk: usize,
+        /// Chosen bitrate level.
+        level: usize,
+        /// Throughput estimate the decision was based on.
+        estimate_mbps: f64,
+    },
+    /// A chunk fetch was admitted to the deadline scheduler
+    /// (`MP_DASH_ENABLE`).
+    DeadlineGranted {
+        /// Chunk index.
+        chunk: usize,
+        /// Chunk size, bytes.
+        size: u64,
+        /// Deadline window, seconds.
+        window_s: f64,
+    },
+    /// The adapter bypassed the deadline scheduler for a chunk (e.g.
+    /// buffer below the urgency threshold).
+    DeadlineBypassed {
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// A chunk with a deadline finished within its window.
+    DeadlineHit {
+        /// Chunk index.
+        chunk: usize,
+        /// Seconds of slack left (non-negative).
+        margin_s: f64,
+    },
+    /// A chunk with a deadline finished late.
+    DeadlineMissed {
+        /// Chunk index.
+        chunk: usize,
+        /// Seconds past the window (positive = how late).
+        overrun_s: f64,
+    },
+    /// A chunk finished downloading (always emitted, deadline or not).
+    ChunkFetched {
+        /// Chunk index.
+        chunk: usize,
+        /// Bitrate level it was fetched at.
+        level: usize,
+        /// Body size, bytes.
+        size: u64,
+        /// Virtual time the request was issued, seconds.
+        started_s: f64,
+    },
+    /// An injected link fault became active (first observed at the
+    /// link's send path).
+    FaultActivated {
+        /// Dense path index of the afflicted link.
+        path: usize,
+        /// Fault kind, e.g. `"burst_loss"`, `"disassociation"`.
+        kind: &'static str,
+        /// Virtual time the fault window ends, seconds.
+        until_s: f64,
+    },
+    /// An injected link fault's window ended.
+    FaultCleared {
+        /// Dense path index of the afflicted link.
+        path: usize,
+        /// Fault kind, e.g. `"rtt_spike"`, `"rate_collapse"`.
+        kind: &'static str,
+    },
+    /// The player's playback state changed (startup→playing, stall,
+    /// resume, finish) or a chunk landed in the buffer.
+    BufferTransition {
+        /// `"started"`, `"stalled"`, `"resumed"`, `"chunk_buffered"`,
+        /// or `"finished"`.
+        state: &'static str,
+        /// Buffered playout after the transition, seconds.
+        buffer_s: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable, snake_case discriminant name (the `kind` field of the
+    /// NDJSON encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SchedulerToggle { .. } => "scheduler_toggle",
+            TraceEvent::SubflowFailed { .. } => "subflow_failed",
+            TraceEvent::SubflowRevived { .. } => "subflow_revived",
+            TraceEvent::PathSample { .. } => "path_sample",
+            TraceEvent::DssSignal { .. } => "dss_signal",
+            TraceEvent::AbrChoice { .. } => "abr_choice",
+            TraceEvent::DeadlineGranted { .. } => "deadline_granted",
+            TraceEvent::DeadlineBypassed { .. } => "deadline_bypassed",
+            TraceEvent::DeadlineHit { .. } => "deadline_hit",
+            TraceEvent::DeadlineMissed { .. } => "deadline_missed",
+            TraceEvent::ChunkFetched { .. } => "chunk_fetched",
+            TraceEvent::FaultActivated { .. } => "fault_activated",
+            TraceEvent::FaultCleared { .. } => "fault_cleared",
+            TraceEvent::BufferTransition { .. } => "buffer_transition",
+        }
+    }
+
+    /// Deterministic JSON encoding: `{"t_s": ..., "kind": ..., fields}`.
+    /// One such object per line is the NDJSON trace format.
+    pub fn to_json(&self, t: SimTime) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("t_s".into(), Json::Float(t.as_secs_f64())),
+            ("kind".into(), Json::from(self.kind())),
+        ];
+        let mut push = |k: &str, v: Json| members.push((k.to_string(), v));
+        match self {
+            TraceEvent::SchedulerToggle {
+                cell_enabled,
+                wifi_estimate_mbps,
+                received,
+                size,
+                window_s,
+                elapsed_s,
+            } => {
+                push("cell_enabled", Json::from(*cell_enabled));
+                push("wifi_estimate_mbps", Json::Float(*wifi_estimate_mbps));
+                push("received", Json::from(*received));
+                push("size", Json::from(*size));
+                push("window_s", Json::Float(*window_s));
+                push("elapsed_s", Json::Float(*elapsed_s));
+            }
+            TraceEvent::SubflowFailed { path } | TraceEvent::SubflowRevived { path } => {
+                push("path", Json::from(*path));
+            }
+            TraceEvent::PathSample {
+                path,
+                cwnd,
+                srtt_ms,
+            } => {
+                push("path", Json::from(*path));
+                push("cwnd", Json::from(*cwnd));
+                push("srtt_ms", srtt_ms.map(Json::Float).unwrap_or(Json::Null));
+            }
+            TraceEvent::DssSignal { mask } => push("mask", Json::from(u64::from(*mask))),
+            TraceEvent::AbrChoice {
+                chunk,
+                level,
+                estimate_mbps,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("level", Json::from(*level));
+                push("estimate_mbps", Json::Float(*estimate_mbps));
+            }
+            TraceEvent::DeadlineGranted {
+                chunk,
+                size,
+                window_s,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("size", Json::from(*size));
+                push("window_s", Json::Float(*window_s));
+            }
+            TraceEvent::DeadlineBypassed { chunk } => push("chunk", Json::from(*chunk)),
+            TraceEvent::DeadlineHit { chunk, margin_s } => {
+                push("chunk", Json::from(*chunk));
+                push("margin_s", Json::Float(*margin_s));
+            }
+            TraceEvent::DeadlineMissed { chunk, overrun_s } => {
+                push("chunk", Json::from(*chunk));
+                push("overrun_s", Json::Float(*overrun_s));
+            }
+            TraceEvent::ChunkFetched {
+                chunk,
+                level,
+                size,
+                started_s,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("level", Json::from(*level));
+                push("size", Json::from(*size));
+                push("started_s", Json::Float(*started_s));
+            }
+            TraceEvent::FaultActivated {
+                path,
+                kind,
+                until_s,
+            } => {
+                push("path", Json::from(*path));
+                push("fault", Json::from(*kind));
+                push("until_s", Json::Float(*until_s));
+            }
+            TraceEvent::FaultCleared { path, kind } => {
+                push("path", Json::from(*path));
+                push("fault", Json::from(*kind));
+            }
+            TraceEvent::BufferTransition { state, buffer_s } => {
+                push("state", Json::from(*state));
+                push("buffer_s", Json::Float(*buffer_s));
+            }
+        }
+        Json::Obj(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_encoding_is_flat_and_stamped() {
+        let e = TraceEvent::DeadlineMissed {
+            chunk: 17,
+            overrun_s: 1.25,
+        };
+        let j = e.to_json(SimTime::from_millis(68_000));
+        assert_eq!(
+            j.get("kind").and_then(|k| k.as_str()),
+            Some("deadline_missed")
+        );
+        let line = j.to_string();
+        assert!(line.starts_with("{\"t_s\":68"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn every_variant_names_its_kind() {
+        let samples = [
+            TraceEvent::SubflowFailed { path: 0 },
+            TraceEvent::DssSignal { mask: 3 },
+            TraceEvent::DeadlineBypassed { chunk: 0 },
+            TraceEvent::BufferTransition {
+                state: "stalled",
+                buffer_s: 0.0,
+            },
+        ];
+        for e in &samples {
+            let j = e.to_json(SimTime::ZERO);
+            assert_eq!(j.get("kind").and_then(|k| k.as_str()), Some(e.kind()));
+        }
+    }
+}

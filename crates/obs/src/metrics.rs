@@ -1,0 +1,258 @@
+//! A small metrics registry: named counters, gauges, and log-scale
+//! histograms with **deterministic** ordering and serialization.
+//!
+//! Determinism is the design constraint everything here serves: metric
+//! names keep insertion order (no `HashMap` iteration order leaking
+//! into artifacts), histogram buckets are powers of two (no float
+//! boundary computation), and the JSON encoding reuses the byte-stable
+//! [`Json`] writer. A [`MetricsSnapshot`] can therefore live inside a
+//! session report and the experiment artifacts without breaking the
+//! batch runner's byte-identity checks.
+
+use mpdash_results::Json;
+
+/// A power-of-two histogram: bucket `i` counts observations in
+/// `[2^i, 2^(i+1))`, with 0 landing in bucket 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl LogHistogram {
+    fn observe(&mut self, value: u64) {
+        let bucket = (64 - value.max(1).leading_zeros() - 1) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+/// Mutable registry filled during a run. Lookups are linear over a
+/// small `Vec` — sessions register a dozen names, not thousands — which
+/// buys insertion-ordered, hash-free determinism.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, LogHistogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.counters.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v += n,
+            None => self.counters.push((name.to_string(), n)),
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    /// Record `value` into the named log-scale histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.iter_mut().find(|(k, _)| k == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = LogHistogram::default();
+                h.observe(value);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Freeze into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &n)| n > 0)
+                                .map(|(i, &n)| (1u64 << i, n))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram: `(bucket lower bound, count)` pairs, empty buckets
+/// elided, plus totals for mean computation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// `(2^i, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// An immutable, ordered snapshot of a [`MetricsRegistry`], suitable
+/// for embedding in reports and byte-stable artifacts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Named counters in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges in registration order.
+    pub gauges: Vec<(String, f64)>,
+    /// Named histograms in registration order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value by name (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Deterministic JSON encoding:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count", "sum", "buckets": [[lo, n], ...]}}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                Json::obj([
+                                    ("count", Json::from(h.count)),
+                                    ("sum", Json::from(h.sum)),
+                                    (
+                                        "buckets",
+                                        Json::arr(h.buckets.iter().map(|&(lo, n)| {
+                                            Json::arr([Json::from(lo), Json::from(n)])
+                                        })),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_keep_insertion_order() {
+        let mut m = MetricsRegistry::new();
+        m.inc("zebra");
+        m.inc("apple");
+        m.add("zebra", 2);
+        m.set_gauge("peak", 7.0);
+        let s = m.snapshot();
+        assert_eq!(s.counters, vec![("zebra".into(), 3), ("apple".into(), 1)]);
+        assert_eq!(s.gauge("peak"), Some(7.0));
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn log_histogram_buckets_are_powers_of_two() {
+        let mut m = MetricsRegistry::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            m.observe("chunk_ms", v);
+        }
+        let s = m.snapshot();
+        let h = &s.histograms[0].1;
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        // 0 and 1 → bucket 1<<0; 2,3 → 1<<1; 4 → 1<<2; 1000 → 1<<9.
+        assert_eq!(h.buckets, vec![(1, 2), (2, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn snapshot_json_is_byte_stable() {
+        let mut m = MetricsRegistry::new();
+        m.inc("chunks");
+        m.observe("bytes", 300_000);
+        m.set_gauge("peak_queue", 41.0);
+        let a = m.snapshot().to_json().to_pretty();
+        let b = m.snapshot().to_json().to_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"chunks\""));
+    }
+}

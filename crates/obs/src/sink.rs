@@ -1,0 +1,285 @@
+//! Trace sinks and the [`Tracer`] handle that emission sites hold.
+//!
+//! The sink contract is strictly **observe-only**: a sink sees each
+//! event exactly once, in emission order, stamped with virtual time,
+//! and has no channel back into the simulation. Sinks must be
+//! `Send + Sync` because session configs (which embed a [`Tracer`])
+//! cross threads in the parallel batch runner.
+
+use crate::event::TraceEvent;
+use mpdash_sim::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Receives trace events. Implementations must not panic on `record`:
+/// a broken observer must never take down a simulation.
+pub trait TraceSink: Send + Sync {
+    /// One event, stamped with the virtual time it was emitted at.
+    fn record(&self, t: SimTime, event: &TraceEvent);
+    /// Flush any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The no-op sink. [`Tracer::disabled`] never calls into a sink at all,
+/// so this type exists mainly to make the degenerate case nameable in
+/// tests and docs; `record` compiles to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&self, _t: SimTime, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` events.
+/// This is what `mpdash explain` uses to replay a scenario and query
+/// the decision record afterwards.
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<(SimTime, TraceEvent)>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<(SimTime, TraceEvent)> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, t: SimTime, event: &TraceEvent) {
+        let mut q = self.events.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back((t, event.clone()));
+    }
+}
+
+impl fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RingSink(cap {}, len {})", self.capacity, self.len())
+    }
+}
+
+/// Appends one JSON object per event to a file — the NDJSON trace
+/// format. Lines are written atomically under a mutex, so concurrent
+/// sessions sharing one sink interleave whole lines, never bytes.
+pub struct NdjsonSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl NdjsonSink {
+    /// Create (truncate) the trace file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(NdjsonSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl TraceSink for NdjsonSink {
+    fn record(&self, t: SimTime, event: &TraceEvent) {
+        let line = event.to_json(t).to_string();
+        let mut out = self.out.lock().unwrap();
+        // An observer must never panic the simulation; a full disk just
+        // stops the trace.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl fmt::Debug for NdjsonSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NdjsonSink")
+    }
+}
+
+/// The cheap-to-clone handle emission sites hold. Disabled tracers
+/// carry no sink: [`Tracer::emit_with`] is then a single branch and the
+/// event-construction closure is never run.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<dyn TraceSink>>);
+
+impl Tracer {
+    /// A tracer that drops everything (the default in every config).
+    pub const fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// A tracer feeding the given sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer(Some(sink))
+    }
+
+    /// Whether a sink is attached. Emission sites may use this to skip
+    /// expensive *input gathering* (not just event construction).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emit an event, constructing it only if a sink is attached.
+    #[inline]
+    pub fn emit_with(&self, t: SimTime, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.record(t, &build());
+        }
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.flush();
+        }
+    }
+
+    /// This tracer if enabled, otherwise the process-wide
+    /// environment-configured tracer (see [`Tracer::from_env`]).
+    pub fn or_env(&self) -> Tracer {
+        if self.enabled() {
+            self.clone()
+        } else {
+            Tracer::from_env()
+        }
+    }
+
+    /// The tracer selected by `MPDASH_TRACE`, resolved once per
+    /// process:
+    ///
+    /// * unset / `""` / `"0"` / `"off"` — disabled;
+    /// * `"ndjson"` — an [`NdjsonSink`] writing `trace.ndjson` under
+    ///   `MPDASH_TRACE_DIR` (default `traces/`), shared by every
+    ///   session in the process;
+    /// * `"ring"` — a process-wide [`RingSink`] (useful only to prove
+    ///   the zero-perturbation property from the outside).
+    ///
+    /// An unrecognized value or an unwritable trace file degrades to
+    /// disabled with a warning on stderr — tracing must never turn a
+    /// working run into a failing one.
+    pub fn from_env() -> Tracer {
+        static ENV_TRACER: OnceLock<Tracer> = OnceLock::new();
+        ENV_TRACER
+            .get_or_init(|| {
+                let mode = std::env::var("MPDASH_TRACE").unwrap_or_default();
+                match mode.as_str() {
+                    "" | "0" | "off" => Tracer::disabled(),
+                    "ring" => Tracer::new(Arc::new(RingSink::new(1 << 16))),
+                    "ndjson" => {
+                        let dir = std::env::var("MPDASH_TRACE_DIR")
+                            .unwrap_or_else(|_| "traces".to_string());
+                        let path = Path::new(&dir).join("trace.ndjson");
+                        match NdjsonSink::create(&path) {
+                            Ok(sink) => Tracer::new(Arc::new(sink)),
+                            Err(e) => {
+                                eprintln!(
+                                    "warning: MPDASH_TRACE=ndjson but cannot open {}: {e}; \
+                                     tracing disabled",
+                                    path.display()
+                                );
+                                Tracer::disabled()
+                            }
+                        }
+                    }
+                    other => {
+                        eprintln!(
+                            "warning: unknown MPDASH_TRACE value '{other}' \
+                             (expected off|ring|ndjson); tracing disabled"
+                        );
+                        Tracer::disabled()
+                    }
+                }
+            })
+            .clone()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Tracer(on)"),
+            None => write!(f, "Tracer(off)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(chunk: usize) -> TraceEvent {
+        TraceEvent::DeadlineBypassed { chunk }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_the_event() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit_with(SimTime::ZERO, || panic!("built an event while disabled"));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let ring = Arc::new(RingSink::new(3));
+        let t = Tracer::new(ring.clone());
+        for i in 0..5 {
+            t.emit_with(SimTime::from_secs(i as u64), || ev(i));
+        }
+        let got = ring.events();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].1, ev(2));
+        assert_eq!(got[2].1, ev(4));
+        assert_eq!(got[2].0, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn ndjson_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join(format!("mpdash-obs-test-{}", std::process::id()));
+        let path = dir.join("trace.ndjson");
+        let sink = NdjsonSink::create(&path).unwrap();
+        let t = Tracer::new(Arc::new(sink));
+        t.emit_with(SimTime::from_secs(1), || ev(0));
+        t.emit_with(SimTime::from_secs(2), || TraceEvent::SubflowFailed {
+            path: 1,
+        });
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"deadline_bypassed\""));
+        assert!(lines[1].contains("\"subflow_failed\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -188,6 +188,22 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// Wall-clock and simulator-load profile of one batch job.
+///
+/// Strictly observational: `wall` depends on the machine and worker
+/// contention and MUST never flow into artifacts (the report JSON writers
+/// don't know this type exists). The event-queue numbers are themselves
+/// deterministic but ride here, out of band, for the same reason.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobProfile {
+    /// Wall-clock time the job spent on its worker thread.
+    pub wall: std::time::Duration,
+    /// Live events popped from the simulator queue.
+    pub events_popped: u64,
+    /// Peak simulator queue depth.
+    pub peak_queue_depth: usize,
+}
+
 /// One completed job: its label and report (or the error that replaced
 /// it), at the same index the job occupied in the input list.
 #[derive(Clone, Debug)]
@@ -196,6 +212,8 @@ pub struct BatchResult {
     pub label: String,
     /// The job's report, or why there is none.
     pub report: Result<JobReport, JobError>,
+    /// Execution profile (`None` when the job panicked).
+    pub profile: Option<JobProfile>,
 }
 
 impl BatchResult {
@@ -234,6 +252,13 @@ fn run_spec(spec: &JobSpec) -> JobReport {
     }
 }
 
+fn queue_stats(report: &JobReport) -> (u64, usize) {
+    match report {
+        JobReport::Session(r) => (r.sim_profile.events_popped, r.sim_profile.peak_queue_depth),
+        JobReport::Transfer(r) => (r.sim_profile.events_popped, r.sim_profile.peak_queue_depth),
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -259,14 +284,25 @@ pub fn run_batch_with(jobs: Vec<Job>, workers: usize) -> Vec<BatchResult> {
         // AssertUnwindSafe: the closure touches only this job's spec
         // (read-only) and each run builds its state from scratch, so a
         // unwound job leaves nothing half-mutated behind.
+        let start = std::time::Instant::now();
         let report = catch_unwind(AssertUnwindSafe(|| run_spec(&job.spec))).map_err(|p| {
             JobError::Panicked {
                 message: panic_message(p.as_ref()),
             }
         });
+        let wall = start.elapsed();
+        let profile = report.as_ref().ok().map(|r| {
+            let (events_popped, peak_queue_depth) = queue_stats(r);
+            JobProfile {
+                wall,
+                events_popped,
+                peak_queue_depth,
+            }
+        });
         BatchResult {
             label: job.label.clone(),
             report,
+            profile,
         }
     })
 }
@@ -395,6 +431,7 @@ mod tests {
         assert_eq!(out[2].label, "ok1");
         assert!(out[0].session().is_ok(), "jobs before the panic survive");
         assert!(out[2].session().is_ok(), "jobs after the panic survive");
+        assert!(out[1].profile.is_none(), "panicked jobs have no profile");
         match out[1].session() {
             Err(JobError::Panicked { message }) => {
                 assert!(
@@ -404,6 +441,21 @@ mod tests {
             }
             other => panic!("expected a Panicked error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profiles_ride_along_outside_the_report() {
+        let out = run_batch_with(vec![Job::session("s", tiny_cfg(3.0))], 1);
+        let p = out[0].profile.expect("successful job has a profile");
+        assert!(p.events_popped > 0, "popped {}", p.events_popped);
+        assert!(p.peak_queue_depth > 0, "peak {}", p.peak_queue_depth);
+        // The queue stats agree with the report's own sim profile.
+        let r = out[0].session().unwrap();
+        assert_eq!(p.events_popped, r.sim_profile.events_popped);
+        assert_eq!(p.peak_queue_depth, r.sim_profile.peak_queue_depth);
+        // And none of it reaches the artifact JSON.
+        let json = r.summary_json().to_pretty();
+        assert!(!json.contains("events_popped"), "profile leaked into JSON");
     }
 
     #[test]

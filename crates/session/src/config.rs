@@ -8,6 +8,7 @@ use mpdash_dash::video::Video;
 use mpdash_energy::DeviceProfile;
 use mpdash_link::{BandwidthProfile, FaultScript, LinkConfig, TokenBucket};
 use mpdash_mptcp::{CcKind, SchedulerKind};
+use mpdash_obs::Tracer;
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::field::Location;
 
@@ -127,6 +128,11 @@ pub struct SessionConfig {
     pub adapter_config: Option<AdapterConfig>,
     /// Which interface the user prefers (§3.2).
     pub preference: PathPreference,
+    /// Structured-trace sink for the run. Disabled by default; when left
+    /// disabled, the session falls back to the process-wide
+    /// `MPDASH_TRACE` environment tracer. Strictly observe-only: the
+    /// same config with any tracer produces byte-identical reports.
+    pub tracer: Tracer,
 }
 
 impl SessionConfig {
@@ -156,6 +162,7 @@ impl SessionConfig {
             sample_slot: SimDuration::from_millis(250),
             adapter_config: None,
             preference: PathPreference::WifiFirst,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -199,6 +206,7 @@ impl SessionConfig {
             sample_slot: SimDuration::from_millis(250),
             adapter_config: None,
             preference: PathPreference::WifiFirst,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -267,6 +275,13 @@ impl SessionConfig {
     /// Same config with a fault script injected on the cellular link.
     pub fn with_cell_faults(mut self, faults: FaultScript) -> Self {
         self.cell = self.cell.with_faults(faults);
+        self
+    }
+
+    /// Same config with a structured-trace sink attached (observe-only;
+    /// see the `tracer` field).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 

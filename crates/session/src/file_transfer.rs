@@ -107,6 +107,9 @@ pub struct FileTransferReport {
     pub energy: SessionEnergy,
     /// Cellular on/off transitions by the scheduler.
     pub toggles: u64,
+    /// Simulator profile (events popped / peak queue depth); deterministic,
+    /// never serialized into artifacts.
+    pub sim_profile: crate::report::SimProfile,
 }
 
 impl FileTransferReport {
@@ -142,6 +145,7 @@ impl FileTransfer {
             scheduler: cfg.scheduler,
             cc: cfg.cc,
         });
+        sim.set_tracer(mpdash_obs::Tracer::disabled().or_env());
         let mut control = match cfg.mode {
             TransportMode::MpDash { alpha, .. } => {
                 let mut c = MpDashControl::new(
@@ -214,7 +218,11 @@ impl FileTransfer {
             cell_bytes: sim.path_bytes(PathId::CELLULAR),
             missed_deadline: duration > cfg.deadline,
             energy: session_energy(&cfg.device, &wifi_pkts, &cell_pkts, horizon),
-            toggles: control.as_ref().map(|c| c.stats().0).unwrap_or(0),
+            toggles: control.as_ref().map(|c| c.stats().toggles).unwrap_or(0),
+            sim_profile: crate::report::SimProfile {
+                events_popped: sim.events_popped(),
+                peak_queue_depth: sim.peak_queue_depth(),
+            },
         }
     }
 }

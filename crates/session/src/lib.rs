@@ -22,9 +22,11 @@ pub mod streaming;
 
 pub use batch::{
     run_batch, run_batch_with, run_sessions, run_transfers, seed_jobs, BatchResult, CustomJob, Job,
-    JobError, JobReport, JobSpec,
+    JobError, JobProfile, JobReport, JobSpec,
 };
 pub use config::{PathPreference, SessionConfig, TransportMode};
 pub use file_transfer::{FileTransfer, FileTransferConfig, FileTransferReport};
-pub use report::{ChunkLogEntry, DegradationMetrics, SessionReport};
+pub use mpdash_core::SchedulerStats;
+pub use mpdash_obs::{MetricsSnapshot, NdjsonSink, NullSink, RingSink, TraceEvent, Tracer};
+pub use report::{ChunkLogEntry, DegradationMetrics, SessionReport, SimProfile};
 pub use streaming::StreamingSession;

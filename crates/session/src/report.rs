@@ -1,12 +1,29 @@
 //! Session results: everything the benchmark harness and the analysis
 //! tool need to regenerate the paper's tables and figures.
 
+use mpdash_core::SchedulerStats;
 use mpdash_dash::player::PlayerEvent;
 use mpdash_dash::qoe::QoeSummary;
 use mpdash_energy::SessionEnergy;
 use mpdash_mptcp::PktRecord;
+use mpdash_obs::MetricsSnapshot;
 use mpdash_results::Json;
 use mpdash_sim::{SimDuration, SimTime};
+
+/// Event-loop profile of the simulation that produced a report — how
+/// much discrete-event work the run did. Fully deterministic (it counts
+/// virtual events, not wall time), but kept out of [`summary_json`]
+/// artifacts alongside the raw packet trace: it describes the engine,
+/// not the experiment.
+///
+/// [`summary_json`]: SessionReport::summary_json
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Events popped from the simulator's queue over the whole run.
+    pub events_popped: u64,
+    /// High-water mark of live (non-cancelled) scheduled events.
+    pub peak_queue_depth: usize,
+}
 
 /// One fetched chunk, as logged by the session driver.
 #[derive(Clone, Copy, Debug)]
@@ -64,14 +81,17 @@ pub struct SessionReport {
     pub chunks: Vec<ChunkLogEntry>,
     /// Raw packet receive trace.
     pub records: Vec<PktRecord>,
-    /// MP-DASH scheduler statistics: `(toggles, missed deadlines,
-    /// completed transfers)`; zeros for non-MP-DASH modes.
-    pub scheduler_stats: (u64, u64, u64),
+    /// MP-DASH scheduler statistics; all zeros for non-MP-DASH modes.
+    pub scheduler_stats: SchedulerStats,
     /// The player's event log (the §6 analysis tool's second input).
     pub player_events: Vec<PlayerEvent>,
     /// Graceful-degradation counters (deadline misses, outage-bridged
     /// chunks, subflow failovers/revivals).
     pub degradation: DegradationMetrics,
+    /// Named counters/gauges/histograms registered during the run.
+    pub metrics: MetricsSnapshot,
+    /// Discrete-event engine profile (excluded from artifacts).
+    pub sim_profile: SimProfile,
 }
 
 impl SessionReport {
@@ -141,9 +161,15 @@ impl SessionReport {
             (
                 "scheduler_stats",
                 Json::obj([
-                    ("toggles", Json::from(self.scheduler_stats.0)),
-                    ("missed_deadlines", Json::from(self.scheduler_stats.1)),
-                    ("completed", Json::from(self.scheduler_stats.2)),
+                    ("toggles", Json::from(self.scheduler_stats.toggles)),
+                    (
+                        "missed_deadlines",
+                        Json::from(self.scheduler_stats.missed_deadlines),
+                    ),
+                    (
+                        "completed",
+                        Json::from(self.scheduler_stats.completed_transfers),
+                    ),
                 ]),
             ),
             (
@@ -167,6 +193,7 @@ impl SessionReport {
                     ),
                 ]),
             ),
+            ("metrics", self.metrics.to_json()),
             (
                 "chunks",
                 Json::arr(self.chunks.iter().map(|c| {

@@ -16,7 +16,7 @@
 //!    any explicit modelling).
 
 use crate::config::{SessionConfig, TransportMode};
-use crate::report::{ChunkLogEntry, DegradationMetrics, SessionReport};
+use crate::report::{ChunkLogEntry, DegradationMetrics, SessionReport, SimProfile};
 use mpdash_core::deadline::SchedulerParams;
 use mpdash_core::MpDashControl;
 use mpdash_dash::abr::{Abr, AbrInput};
@@ -27,6 +27,7 @@ use mpdash_energy::session_energy;
 use mpdash_http::{HttpEvent, HttpLayer, RequestId};
 use mpdash_link::PathId;
 use mpdash_mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, StepOutcome};
+use mpdash_obs::{MetricsRegistry, TraceEvent, Tracer};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 
 /// Progress-tick period while a chunk is in flight (one Holt-Winters slot,
@@ -63,6 +64,11 @@ pub struct StreamingSession {
     /// increase means the subflow was re-established and the path's
     /// throughput history must be reset.
     seen_revivals: [u64; 2],
+    /// Observe-only structured trace (config tracer, or the process-wide
+    /// `MPDASH_TRACE` one when the config leaves it disabled).
+    tracer: Tracer,
+    /// Session-level counters/histograms, snapshotted into the report.
+    metrics: MetricsRegistry,
 }
 
 impl StreamingSession {
@@ -82,7 +88,9 @@ impl StreamingSession {
             scheduler: cfg.scheduler,
             cc: cfg.cc,
         };
+        let tracer = cfg.tracer.or_env();
         let mut sim = MptcpSim::new(mptcp_cfg);
+        sim.set_tracer(tracer.clone());
         if cfg.mode == TransportMode::WifiOnly {
             sim.set_initial_mask(PathMask::only(PathId::WIFI));
         }
@@ -108,7 +116,8 @@ impl StreamingSession {
             }
             _ => (None, None),
         };
-        let player = Player::new(&cfg.video, cfg.buffer_capacity);
+        let mut player = Player::new(&cfg.video, cfg.buffer_capacity);
+        player.set_tracer(tracer.clone());
         StreamingSession {
             sim,
             http: HttpLayer::new(),
@@ -121,6 +130,8 @@ impl StreamingSession {
             last_chunk_throughput: None,
             record_cursor: 0,
             seen_revivals: [0, 0],
+            tracer,
+            metrics: MetricsRegistry::new(),
             cfg,
         }
     }
@@ -150,6 +161,14 @@ impl StreamingSession {
         };
         let level = self.abr.select(&self.cfg.video, &input);
         let size = self.cfg.video.chunk_size(index, level);
+        self.tracer.emit_with(now, || TraceEvent::AbrChoice {
+            chunk: index,
+            level,
+            estimate_mbps: override_throughput
+                .or(input.last_chunk_throughput)
+                .map(|r| r.as_mbps_f64())
+                .unwrap_or(0.0),
+        });
 
         let mut deadline = None;
         if let (Some(adapter), Some(control)) = (self.adapter.as_ref(), self.control.as_mut()) {
@@ -167,10 +186,19 @@ impl StreamingSession {
                     let enabled = control.mp_dash_enable(now, size, window).to_vec();
                     self.apply_enabled(&enabled);
                     deadline = Some(window);
+                    self.metrics.inc("deadline_granted");
+                    self.tracer.emit_with(now, || TraceEvent::DeadlineGranted {
+                        chunk: index,
+                        size,
+                        window_s: window.as_secs_f64(),
+                    });
                 }
                 DeadlineDecision::Bypass => {
                     let enabled = control.mp_dash_disable().to_vec();
                     self.apply_enabled(&enabled);
+                    self.metrics.inc("deadline_bypassed");
+                    self.tracer
+                        .emit_with(now, || TraceEvent::DeadlineBypassed { chunk: index });
                 }
             }
         }
@@ -219,6 +247,33 @@ impl StreamingSession {
         ];
         if let (Some(control), Some(received)) = (self.control.as_mut(), received) {
             if let Some(enabled) = control.on_progress(now, received, &busy) {
+                // Trace the toggle with the feasibility inputs Algorithm 1
+                // used: the preferred-path estimate versus bytes left in
+                // the window.
+                let wifi_estimate_mbps = control.estimate(0).as_mbps_f64();
+                self.metrics.inc("scheduler_toggles");
+                if self.tracer.enabled() {
+                    let (size, window_s, elapsed_s) = self
+                        .current
+                        .as_ref()
+                        .map(|c| {
+                            (
+                                c.size,
+                                c.deadline.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+                                now.saturating_since(c.started).as_secs_f64(),
+                            )
+                        })
+                        .unwrap_or((0, 0.0, 0.0));
+                    let cell_enabled = enabled.get(1).copied().unwrap_or(false);
+                    self.tracer.emit_with(now, || TraceEvent::SchedulerToggle {
+                        cell_enabled,
+                        wifi_estimate_mbps,
+                        received,
+                        size,
+                        window_s,
+                        elapsed_s,
+                    });
+                }
                 self.apply_enabled(&enabled);
             }
         }
@@ -226,10 +281,38 @@ impl StreamingSession {
 
     fn finish_chunk(&mut self, now: SimTime, body_dss: (u64, u64)) {
         let cur = self.current.take().expect("completion without a chunk");
-        let dl = now.saturating_since(cur.started).as_secs_f64();
+        let fetch = now.saturating_since(cur.started);
+        let dl = fetch.as_secs_f64();
         if dl > 0.0 {
             self.last_chunk_throughput =
                 Some(Rate::from_mbps_f64(cur.size as f64 * 8.0 / dl / 1e6));
+        }
+        self.metrics.inc("chunks_fetched");
+        self.metrics
+            .observe("chunk_fetch_ms", fetch.as_millis_f64() as u64);
+        self.metrics.observe("chunk_bytes", cur.size);
+        self.tracer.emit_with(now, || TraceEvent::ChunkFetched {
+            chunk: cur.index,
+            level: cur.level,
+            size: cur.size,
+            started_s: cur.started.as_secs_f64(),
+        });
+        if let Some(window) = cur.deadline {
+            let margin = window.as_secs_f64() - dl;
+            let chunk = cur.index;
+            if margin >= 0.0 {
+                self.metrics.inc("deadline_hits");
+                self.tracer.emit_with(now, || TraceEvent::DeadlineHit {
+                    chunk,
+                    margin_s: margin,
+                });
+            } else {
+                self.metrics.inc("deadline_misses");
+                self.tracer.emit_with(now, || TraceEvent::DeadlineMissed {
+                    chunk,
+                    overrun_s: -margin,
+                });
+            }
         }
         if let Some(control) = self.control.as_mut() {
             // Final progress report completes the transfer (reverts the
@@ -367,19 +450,27 @@ impl StreamingSession {
                 outage_bridged_chunks += 1;
             }
         }
-        let scheduler_stats = self
-            .control
-            .as_ref()
-            .map(|c| c.stats())
-            .unwrap_or((0, 0, 0));
+        let scheduler_stats = self.control.as_ref().map(|c| c.stats()).unwrap_or_default();
         let degradation = DegradationMetrics {
-            deadline_misses: scheduler_stats.1,
+            deadline_misses: scheduler_stats.missed_deadlines,
             outage_bridged_chunks,
             subflow_failures: self.sim.subflow_failures(PathId::WIFI)
                 + self.sim.subflow_failures(PathId::CELLULAR),
             subflow_revivals: self.sim.subflow_revivals(PathId::WIFI)
                 + self.sim.subflow_revivals(PathId::CELLULAR),
         };
+
+        // Fold the end-of-run aggregates into the registry so the
+        // snapshot is self-contained (counters registered during the run
+        // keep their earlier positions).
+        self.metrics
+            .add("scheduler_toggle_total", scheduler_stats.toggles);
+        self.metrics
+            .add("subflow_failures", degradation.subflow_failures);
+        self.metrics
+            .add("subflow_revivals", degradation.subflow_revivals);
+        self.metrics.add("stalls", self.player.stalls());
+        self.tracer.flush();
 
         SessionReport {
             qoe: QoeSummary::from_player(&self.cfg.video, &self.player, 0.2),
@@ -393,6 +484,11 @@ impl StreamingSession {
             scheduler_stats,
             player_events: self.player.events().to_vec(),
             degradation,
+            metrics: self.metrics.snapshot(),
+            sim_profile: SimProfile {
+                events_popped: self.sim.events_popped(),
+                peak_queue_depth: self.sim.peak_queue_depth(),
+            },
         }
     }
 }
@@ -643,8 +739,11 @@ mod tests {
             scheduled > report.chunks.len() / 2,
             "only {scheduled} chunks scheduled"
         );
-        let (_, missed, completed) = report.scheduler_stats;
-        assert_eq!(missed, 0, "no deadline misses in the easy setting");
-        assert_eq!(completed as usize, scheduled);
+        let stats = report.scheduler_stats;
+        assert_eq!(
+            stats.missed_deadlines, 0,
+            "no deadline misses in the easy setting"
+        );
+        assert_eq!(stats.completed_transfers as usize, scheduled);
     }
 }

@@ -56,6 +56,11 @@ pub struct EventQueue<E> {
     now: SimTime,
     // Number of live (non-cancelled) entries, so len() is O(1) and honest.
     live: usize,
+    // Profiling counters: how much work this queue has seen. Observed
+    // only — they never influence ordering, so instrumented and plain
+    // runs are identical.
+    popped: u64,
+    peak_live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,6 +77,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             live: 0,
+            popped: 0,
+            peak_live: 0,
         }
     }
 
@@ -94,6 +101,7 @@ impl<E> EventQueue<E> {
             payload,
         });
         self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
         EventId(seq)
     }
 
@@ -128,6 +136,7 @@ impl<E> EventQueue<E> {
                 continue;
             }
             self.live -= 1;
+            self.popped += 1;
             debug_assert!(entry.at >= self.now, "event queue time went backwards");
             self.now = entry.at;
             return Some((entry.at, entry.payload));
@@ -158,6 +167,16 @@ impl<E> EventQueue<E> {
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Total live events popped over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// High-water mark of live events (peak queue depth).
+    pub fn peak_len(&self) -> usize {
+        self.peak_live
     }
 }
 
@@ -248,6 +267,22 @@ mod tests {
             popped += 1;
         }
         assert_eq!(popped, 133);
+    }
+
+    #[test]
+    fn profiling_counters_track_pops_and_peak_depth() {
+        let mut q = EventQueue::new();
+        for i in 0..4u64 {
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.peak_len(), 4);
+        let a = q.schedule(SimTime::from_secs(9), 9);
+        assert_eq!(q.peak_len(), 5);
+        q.cancel(a);
+        while q.pop().is_some() {}
+        // Cancelled events never count as popped.
+        assert_eq!(q.popped(), 4);
+        assert_eq!(q.peak_len(), 5, "peak survives draining");
     }
 
     #[test]

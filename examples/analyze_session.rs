@@ -65,9 +65,10 @@ fn main() {
         a.cell_body_bytes as f64 / (a.cell_body_bytes + a.wifi_body_bytes).max(1) as f64 * 100.0
     );
     println!("  idle gaps >0.5 s : {}", a.idle_gaps.len());
-    let (toggles, missed, completed) = report.scheduler_stats;
+    let stats = report.scheduler_stats;
     println!(
-        "  scheduler        : {toggles} toggles, {missed} missed deadlines, {completed} scheduled chunks"
+        "  scheduler        : {} toggles, {} missed deadlines, {} scheduled chunks",
+        stats.toggles, stats.missed_deadlines, stats.completed_transfers
     );
 
     // Rebuffering report from the player event log (§6's second input).

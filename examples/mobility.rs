@@ -35,6 +35,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         sample_slot: SimDuration::from_millis(250),
         adapter_config: None,
         preference: Default::default(),
+        tracer: Default::default(),
     }
 }
 

@@ -1,22 +1,88 @@
-//! The `mpdash` CLI: run a JSON scenario and print the full comparison.
+//! The `mpdash` CLI: run a JSON scenario and print the full comparison,
+//! or replay one mode with tracing on and explain it chunk by chunk.
 //!
 //! ```sh
 //! cargo run --release --bin mpdash -- scenarios/example.json
 //! cargo run --release --bin mpdash -- --chunks scenarios/example.json   # + Figure 8 bars
+//! cargo run --release --bin mpdash -- explain scenarios/example.json --chunk 40
 //! ```
 
 use mpdash::analysis::{chunk_path_splits, render_chunk_bars, ChunkInfo};
+use mpdash::explain::{explain_scenario, ExplainOptions};
 use mpdash::scenario::Scenario;
 use mpdash::session::run_batch;
 use std::process::ExitCode;
 
+/// `mpdash explain <scenario.json> [--chunk N] [--mode LABEL]`: replay
+/// one mode with a trace ring attached and print the per-chunk timeline.
+fn run_explain(args: &[String]) -> ExitCode {
+    let mut opts = ExplainOptions::default();
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chunk" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --chunk needs a chunk index");
+                    return ExitCode::from(2);
+                };
+                opts.chunk = Some(n);
+            }
+            "--mode" => {
+                let Some(label) = it.next() else {
+                    eprintln!("error: --mode needs a mode label (e.g. Rate)");
+                    return ExitCode::from(2);
+                };
+                opts.mode = Some(label.clone());
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: mpdash explain <scenario.json> [--chunk N] [--mode LABEL]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match explain_scenario(&scenario, &opts) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explain") {
+        return run_explain(&args[1..]);
+    }
     let show_chunks = args.iter().any(|a| a == "--chunks");
     let mut failed = false;
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         eprintln!("usage: mpdash [--chunks] <scenario.json>...");
+        eprintln!("       mpdash explain <scenario.json> [--chunk N] [--mode LABEL]");
         eprintln!("see scenarios/example.json for the document format");
         return ExitCode::from(2);
     }
@@ -52,6 +118,19 @@ fn main() -> ExitCode {
         // All modes run as one parallel batch; results come back in
         // declaration order, so the first is the baseline for savings.
         let results = run_batch(jobs);
+        // Execution profiles go to stderr so piped stdout stays a clean,
+        // machine-independent report.
+        for result in &results {
+            if let Some(p) = result.profile {
+                eprintln!(
+                    "[profile] {}: {:.2}s wall, {} events, peak queue {}",
+                    result.label,
+                    p.wall.as_secs_f64(),
+                    p.events_popped,
+                    p.peak_queue_depth
+                );
+            }
+        }
         // A failed job (e.g. a panic inside one mode's simulation) must
         // not take down the whole comparison: report it and keep going.
         let baseline = results.first().and_then(|r| r.session().ok()).cloned();

@@ -1,0 +1,429 @@
+//! `mpdash explain` — replay one scenario mode with tracing enabled and
+//! render a per-chunk timeline: the fetch window, the per-path byte
+//! split, the deadline margin, and any injected fault overlapping the
+//! fetch.
+//!
+//! The replay is an ordinary deterministic session run — the attached
+//! ring sink only observes, so every number printed here is exactly the
+//! number an untraced run produces.
+
+use crate::scenario::Scenario;
+use mpdash_analysis::{chunk_path_splits, ChunkInfo};
+use mpdash_link::FaultScript;
+use mpdash_session::{
+    RingSink, SessionConfig, SessionReport, StreamingSession, TraceEvent, Tracer,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// What `explain` should show.
+#[derive(Debug, Default)]
+pub struct ExplainOptions {
+    /// Restrict the timeline to one chunk index.
+    pub chunk: Option<usize>,
+    /// Replay this mode label (e.g. `Rate`). Default: the first MP-DASH
+    /// mode in the document, else the first mode.
+    pub mode: Option<String>,
+}
+
+/// How one chunk's deadline played out.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeadlineOutcome {
+    /// The adapter granted no window (low-buffer Ω bypass).
+    Bypassed,
+    /// Granted and met with this margin.
+    Hit {
+        /// The granted window, seconds.
+        window_s: f64,
+        /// Window minus fetch time (non-negative).
+        margin_s: f64,
+    },
+    /// Granted and overrun by this much.
+    Missed {
+        /// The granted window, seconds.
+        window_s: f64,
+        /// Fetch time minus window (positive).
+        overrun_s: f64,
+    },
+}
+
+/// An injected fault window overlapping a chunk's fetch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultOverlap {
+    /// Which link the fault was injected on: `"wifi"` or `"cell"`.
+    pub path: &'static str,
+    /// Fault family name (`rate_collapse`, `disassociation`, ...).
+    pub kind: &'static str,
+    /// When the fault begins, seconds.
+    pub fault_start_s: f64,
+    /// When it stops affecting the link (reassociation included).
+    pub fault_end_s: f64,
+    /// Seconds of the chunk's fetch spent under this fault.
+    pub overlap_s: f64,
+}
+
+/// One chunk's explained timeline — the structured form the renderer
+/// (and the test suite) consumes.
+#[derive(Clone, Debug)]
+pub struct ChunkExplain {
+    /// Chunk index.
+    pub index: usize,
+    /// Quality level fetched.
+    pub level: usize,
+    /// Body bytes.
+    pub size: u64,
+    /// Fetch start, seconds.
+    pub started_s: f64,
+    /// Fetch completion, seconds.
+    pub completed_s: f64,
+    /// Body bytes that rode WiFi.
+    pub wifi_bytes: u64,
+    /// Body bytes that rode cellular.
+    pub cell_bytes: u64,
+    /// Deadline verdict.
+    pub deadline: DeadlineOutcome,
+    /// Injected faults overlapping the fetch window.
+    pub faults: Vec<FaultOverlap>,
+    /// Transport-level trace lines inside the fetch window
+    /// (scheduler toggles, subflow failures/revivals), as
+    /// `(virtual seconds, description)`.
+    pub transport: Vec<(f64, String)>,
+}
+
+/// Replay the scenario's chosen mode with a ring sink attached and
+/// return the mode label, the full report, and one [`ChunkExplain`] per
+/// fetched chunk (all of them — filtering to `--chunk` happens at
+/// render time).
+pub fn explain_run(
+    scenario: &Scenario,
+    opts: &ExplainOptions,
+) -> Result<(String, SessionReport, Vec<ChunkExplain>), String> {
+    let configs = scenario.build()?;
+    let (label, cfg) = pick_mode(configs, opts.mode.as_deref())?;
+    let ring = Arc::new(RingSink::new(1 << 20));
+    let report = StreamingSession::run(cfg.with_tracer(Tracer::new(ring.clone())));
+    let chunks = explain_chunks(scenario, &report, &ring.events());
+    Ok((label, report, chunks))
+}
+
+/// Replay and render the timeline as text — the `mpdash explain`
+/// subcommand body.
+pub fn explain_scenario(scenario: &Scenario, opts: &ExplainOptions) -> Result<String, String> {
+    let (label, report, chunks) = explain_run(scenario, opts)?;
+    if let Some(want) = opts.chunk {
+        if !chunks.iter().any(|c| c.index == want) {
+            return Err(format!(
+                "chunk {want} not in this session (chunks 0..{})",
+                chunks.len()
+            ));
+        }
+    }
+    Ok(render(scenario, &label, &report, &chunks, opts.chunk))
+}
+
+fn pick_mode(
+    configs: Vec<(String, SessionConfig)>,
+    want: Option<&str>,
+) -> Result<(String, SessionConfig), String> {
+    match want {
+        Some(w) => {
+            let labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
+            configs.into_iter().find(|(l, _)| l == w).ok_or_else(|| {
+                format!("scenario has no mode labelled '{w}' (available: {labels:?})")
+            })
+        }
+        None => {
+            let idx = configs
+                .iter()
+                .position(|(_, c)| c.mode.is_mpdash())
+                .unwrap_or(0);
+            Ok(configs.into_iter().nth(idx).expect("validated non-empty"))
+        }
+    }
+}
+
+fn fault_overlaps(
+    path: &'static str,
+    script: &FaultScript,
+    started_s: f64,
+    completed_s: f64,
+) -> Vec<FaultOverlap> {
+    script
+        .events()
+        .iter()
+        .filter_map(|e| {
+            let start = e.at.as_secs_f64();
+            let end = e.end().as_secs_f64();
+            let overlap = completed_s.min(end) - started_s.max(start);
+            (overlap > 0.0).then(|| FaultOverlap {
+                path,
+                kind: e.kind.name(),
+                fault_start_s: start,
+                fault_end_s: end,
+                overlap_s: overlap,
+            })
+        })
+        .collect()
+}
+
+fn explain_chunks(
+    scenario: &Scenario,
+    report: &SessionReport,
+    events: &[(mpdash_sim::SimTime, TraceEvent)],
+) -> Vec<ChunkExplain> {
+    let infos: Vec<ChunkInfo> = report
+        .chunks
+        .iter()
+        .map(|c| ChunkInfo {
+            index: c.index,
+            level: c.level,
+            size: c.size,
+            started: c.started,
+            completed: c.completed,
+            body_dss: c.body_dss,
+        })
+        .collect();
+    let splits = chunk_path_splits(&report.records, &infos);
+    report
+        .chunks
+        .iter()
+        .zip(&splits)
+        .map(|(c, split)| {
+            let started_s = c.started.as_secs_f64();
+            let completed_s = c.completed.as_secs_f64();
+            let fetch_s = completed_s - started_s;
+            let deadline = match c.deadline {
+                None => DeadlineOutcome::Bypassed,
+                Some(w) => {
+                    let window_s = w.as_secs_f64();
+                    if fetch_s <= window_s {
+                        DeadlineOutcome::Hit {
+                            window_s,
+                            margin_s: window_s - fetch_s,
+                        }
+                    } else {
+                        DeadlineOutcome::Missed {
+                            window_s,
+                            overrun_s: fetch_s - window_s,
+                        }
+                    }
+                }
+            };
+            let mut faults = fault_overlaps("wifi", &scenario.wifi_faults, started_s, completed_s);
+            faults.extend(fault_overlaps(
+                "cell",
+                &scenario.cell_faults,
+                started_s,
+                completed_s,
+            ));
+            let transport = events
+                .iter()
+                .filter(|(t, _)| {
+                    let s = t.as_secs_f64();
+                    s >= started_s && s <= completed_s
+                })
+                .filter_map(|(t, e)| {
+                    let line = match e {
+                        TraceEvent::SchedulerToggle {
+                            cell_enabled,
+                            wifi_estimate_mbps,
+                            ..
+                        } => Some(format!(
+                            "scheduler: cellular {} (wifi estimate {wifi_estimate_mbps:.2} Mbps)",
+                            if *cell_enabled { "on" } else { "off" },
+                        )),
+                        TraceEvent::SubflowFailed { path } => {
+                            Some(format!("subflow {path} declared failed"))
+                        }
+                        TraceEvent::SubflowRevived { path } => {
+                            Some(format!("subflow {path} revived"))
+                        }
+                        _ => None,
+                    };
+                    line.map(|l| (t.as_secs_f64(), l))
+                })
+                .collect();
+            ChunkExplain {
+                index: c.index,
+                level: c.level,
+                size: c.size,
+                started_s,
+                completed_s,
+                wifi_bytes: split.wifi_bytes,
+                cell_bytes: split.cell_bytes,
+                deadline,
+                faults,
+                transport,
+            }
+        })
+        .collect()
+}
+
+fn render(
+    scenario: &Scenario,
+    label: &str,
+    report: &SessionReport,
+    chunks: &[ChunkExplain],
+    only: Option<usize>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario: {}", scenario.name);
+    let stats = report.scheduler_stats;
+    let _ = writeln!(
+        out,
+        "mode: {label} | duration {:.1}s | stalls {} | mean bitrate {:.2} Mbps",
+        report.duration.as_secs_f64(),
+        report.qoe_all.stalls,
+        report.qoe_all.mean_bitrate_mbps,
+    );
+    let _ = writeln!(
+        out,
+        "scheduler: {} toggles, {} deadlines completed, {} missed",
+        stats.toggles, stats.completed_transfers, stats.missed_deadlines,
+    );
+    let n_faults = scenario.wifi_faults.events().len() + scenario.cell_faults.events().len();
+    let _ = writeln!(out, "injected faults: {n_faults}");
+    for c in chunks {
+        if only.is_some_and(|i| i != c.index) {
+            continue;
+        }
+        let total = (c.wifi_bytes + c.cell_bytes).max(1);
+        let _ = writeln!(
+            out,
+            "chunk {:>3}: level {}, {:.2} MB, fetched {:.2}s -> {:.2}s ({:.2}s)",
+            c.index,
+            c.level,
+            c.size as f64 / 1e6,
+            c.started_s,
+            c.completed_s,
+            c.completed_s - c.started_s,
+        );
+        let _ = writeln!(
+            out,
+            "    paths: wifi {:.2} MB ({:.0}%), cell {:.2} MB ({:.0}%)",
+            c.wifi_bytes as f64 / 1e6,
+            c.wifi_bytes as f64 * 100.0 / total as f64,
+            c.cell_bytes as f64 / 1e6,
+            c.cell_bytes as f64 * 100.0 / total as f64,
+        );
+        match c.deadline {
+            DeadlineOutcome::Bypassed => {
+                let _ = writeln!(out, "    deadline: bypassed (no window granted)");
+            }
+            DeadlineOutcome::Hit { window_s, margin_s } => {
+                let _ = writeln!(
+                    out,
+                    "    deadline: window {window_s:.2}s, margin +{margin_s:.2}s (hit)"
+                );
+            }
+            DeadlineOutcome::Missed {
+                window_s,
+                overrun_s,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    deadline: window {window_s:.2}s, MISSED by {overrun_s:.2}s"
+                );
+            }
+        }
+        for f in &c.faults {
+            let _ = writeln!(
+                out,
+                "    fault: {} {} active {:.1}s-{:.1}s, overlaps fetch for {:.2}s",
+                f.path, f.kind, f.fault_start_s, f.fault_end_s, f.overlap_s,
+            );
+        }
+        for (t, line) in &c.transport {
+            let _ = writeln!(out, "    @{t:.2}s {line}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tight session built to miss deadlines inside the injected WiFi
+    /// disassociation: cellular is far too slow to hold the window alone.
+    const FAULTED: &str = r#"{
+        "name": "forced-miss",
+        "video": {"custom": {"levels_mbps": [0.8, 1.6], "chunk_secs": 2, "n_chunks": 30}},
+        "wifi": {"constant": 4.0},
+        "cell": {"constant": 0.25},
+        "abr": "festive",
+        "buffer_secs": 8,
+        "modes": ["vanilla", "mpdash_rate"],
+        "wifi_faults": [
+            {"disassociation": {"at_s": 14, "secs": 20, "reassoc_s": 2}}
+        ]
+    }"#;
+
+    #[test]
+    fn defaults_to_the_first_mpdash_mode() {
+        let sc = Scenario::from_json(FAULTED).unwrap();
+        let configs = sc.build().unwrap();
+        let (label, cfg) = pick_mode(configs, None).unwrap();
+        assert_eq!(label, "Rate");
+        assert!(cfg.mode.is_mpdash());
+        let err = pick_mode(sc.build().unwrap(), Some("Duration")).unwrap_err();
+        assert!(err.contains("no mode labelled"), "{err}");
+    }
+
+    #[test]
+    fn attributes_a_forced_deadline_miss_to_the_fault_window() {
+        let sc = Scenario::from_json(FAULTED).unwrap();
+        let (label, report, chunks) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        assert_eq!(label, "Rate");
+        assert!(
+            report.scheduler_stats.missed_deadlines > 0,
+            "the outage must force at least one deadline miss"
+        );
+        let miss = chunks
+            .iter()
+            .find(|c| matches!(c.deadline, DeadlineOutcome::Missed { .. }))
+            .expect("a missed chunk appears in the timeline");
+        assert!(
+            miss.faults
+                .iter()
+                .any(|f| f.path == "wifi" && f.kind == "disassociation" && f.overlap_s > 0.0),
+            "the missed chunk's fetch window names the injected fault: {:?}",
+            miss.faults
+        );
+        // Chunks fetched entirely before the fault carry no overlap.
+        let clean = chunks
+            .iter()
+            .find(|c| c.completed_s < 14.0)
+            .expect("an early chunk");
+        assert!(clean.faults.is_empty());
+    }
+
+    #[test]
+    fn rendered_timeline_names_paths_margin_and_fault() {
+        let sc = Scenario::from_json(FAULTED).unwrap();
+        let text = explain_scenario(&sc, &ExplainOptions::default()).unwrap();
+        assert!(text.contains("paths: wifi"), "{text}");
+        assert!(text.contains("deadline: window"), "{text}");
+        assert!(text.contains("MISSED by"), "{text}");
+        assert!(text.contains("wifi disassociation active"), "{text}");
+        // --chunk filters to one chunk block.
+        let one = explain_scenario(
+            &sc,
+            &ExplainOptions {
+                chunk: Some(3),
+                mode: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(one.matches("chunk ").count(), 1, "{one}");
+        let err = explain_scenario(
+            &sc,
+            &ExplainOptions {
+                chunk: Some(9999),
+                mode: None,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("not in this session"), "{err}");
+    }
+}

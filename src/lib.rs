@@ -43,6 +43,7 @@
 //! assert_eq!(report.qoe.stalls, 0);
 //! ```
 
+pub mod explain;
 pub mod scenario;
 
 pub use mpdash_analysis as analysis;
@@ -52,6 +53,7 @@ pub use mpdash_energy as energy;
 pub use mpdash_http as http;
 pub use mpdash_link as link;
 pub use mpdash_mptcp as mptcp;
+pub use mpdash_obs as obs;
 pub use mpdash_results as results;
 pub use mpdash_session as session;
 pub use mpdash_sim as sim;

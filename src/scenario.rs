@@ -9,10 +9,10 @@
 
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_link::{BandwidthProfile, LinkConfig};
+use mpdash_link::{BandwidthProfile, FaultScript, GilbertElliott, LinkConfig};
 use mpdash_results::Json;
 use mpdash_session::{Job, SessionConfig, TransportMode};
-use mpdash_sim::{Rate, SimDuration};
+use mpdash_sim::{Rate, SimDuration, SimTime};
 use mpdash_trace::io::ProfileSpec;
 use mpdash_trace::synth::SynthSpec;
 
@@ -193,6 +193,92 @@ pub struct Scenario {
     pub buffer_secs: u64,
     /// Transport policies to compare, in order.
     pub modes: Vec<ModeSpec>,
+    /// Faults injected on the WiFi link (empty when the document has no
+    /// `wifi_faults` array). The `explain` timeline reads these windows
+    /// back to attribute deadline misses.
+    pub wifi_faults: FaultScript,
+    /// Faults injected on the cellular link.
+    pub cell_faults: FaultScript,
+}
+
+/// Parse one externally-tagged fault entry — e.g.
+/// `{"rate_collapse": {"at_s": 20, "secs": 40, "factor": 0.15}}` — and
+/// append it to `script`. Kinds: `burst_loss`, `rtt_spike`,
+/// `rate_collapse`, `disassociation`.
+fn parse_fault(script: FaultScript, v: &Json) -> Result<FaultScript, String> {
+    let (tag, payload) = variant(v)?;
+    let at_s = num(field(payload, "at_s")?, "at_s")?;
+    let secs = num(field(payload, "secs")?, "secs")?;
+    if at_s.is_nan() || at_s < 0.0 {
+        return Err(format!("fault 'at_s' must be >= 0, got {at_s}"));
+    }
+    if secs.is_nan() || secs <= 0.0 {
+        return Err(format!("fault 'secs' must be > 0, got {secs}"));
+    }
+    let at = SimTime::ZERO + SimDuration::from_secs_f64(at_s);
+    let dur = SimDuration::from_secs_f64(secs);
+    let opt_num = |key: &str, default: f64| -> Result<f64, String> {
+        match payload.get(key) {
+            None => Ok(default),
+            Some(j) => num(j, key),
+        }
+    };
+    match tag {
+        "burst_loss" => {
+            let p_enter = opt_num("p_enter", 0.05)?;
+            let p_exit = opt_num("p_exit", 0.30)?;
+            let loss = opt_num("loss", 0.5)?;
+            let prob_ok = |p: f64| p > 0.0 && p <= 1.0;
+            if !prob_ok(p_enter) || !prob_ok(p_exit) {
+                return Err("burst_loss 'p_enter'/'p_exit' must be in (0,1]".into());
+            }
+            if !(0.0..=1.0).contains(&loss) {
+                return Err(format!("burst_loss 'loss' must be in [0,1], got {loss}"));
+            }
+            Ok(script.burst_loss(at, dur, GilbertElliott::new(p_enter, p_exit, loss)))
+        }
+        "rtt_spike" => {
+            let extra_ms = opt_num("extra_ms", 200.0)?;
+            let jitter_ms = opt_num("jitter_ms", 0.0)?;
+            if extra_ms.is_nan() || extra_ms < 0.0 || jitter_ms.is_nan() || jitter_ms < 0.0 {
+                return Err("rtt_spike 'extra_ms'/'jitter_ms' must be >= 0".into());
+            }
+            Ok(script.rtt_spike(
+                at,
+                dur,
+                SimDuration::from_secs_f64(extra_ms / 1e3),
+                SimDuration::from_secs_f64(jitter_ms / 1e3),
+            ))
+        }
+        "rate_collapse" => {
+            let factor = num(field(payload, "factor")?, "factor")?;
+            if !(factor > 0.0 && factor <= 1.0) {
+                return Err(format!(
+                    "rate_collapse 'factor' must be in (0,1], got {factor}"
+                ));
+            }
+            Ok(script.rate_collapse(at, dur, factor))
+        }
+        "disassociation" => {
+            let reassoc_s = opt_num("reassoc_s", 1.0)?;
+            if reassoc_s.is_nan() || reassoc_s < 0.0 {
+                return Err(format!("'reassoc_s' must be >= 0, got {reassoc_s}"));
+            }
+            Ok(script.disassociation(at, dur, SimDuration::from_secs_f64(reassoc_s)))
+        }
+        other => Err(format!("unknown fault kind '{other}'")),
+    }
+}
+
+fn parse_fault_list(v: Option<&Json>, key: &str) -> Result<FaultScript, String> {
+    match v {
+        None => Ok(FaultScript::new()),
+        Some(j) => j
+            .as_arr()
+            .ok_or_else(|| format!("'{key}' must be an array of fault objects"))?
+            .iter()
+            .try_fold(FaultScript::new(), parse_fault),
+    }
 }
 
 // The documents use serde-style externally-tagged enums in snake_case: a
@@ -308,6 +394,8 @@ impl Scenario {
                 .iter()
                 .map(ModeSpec::parse)
                 .collect::<Result<Vec<_>, _>>()?,
+            wifi_faults: parse_fault_list(v.get("wifi_faults"), "wifi_faults")?,
+            cell_faults: parse_fault_list(v.get("cell_faults"), "cell_faults")?,
         };
         sc.validate()?;
         Ok(sc)
@@ -374,6 +462,12 @@ impl Scenario {
             cfg.cell = cell;
             cfg.buffer_capacity = SimDuration::from_secs(self.buffer_secs);
             cfg.priors = priors;
+            if !self.wifi_faults.is_empty() {
+                cfg = cfg.with_wifi_faults(self.wifi_faults.clone());
+            }
+            if !self.cell_faults.is_empty() {
+                cfg = cfg.with_cell_faults(self.cell_faults.clone());
+            }
             out.push((mode.label(), cfg));
         }
         Ok(out)
@@ -473,6 +567,66 @@ mod tests {
         let sc = Scenario::from_json(doc).unwrap();
         let err = sc.build().unwrap_err();
         assert!(err.contains("strictly ascending"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_arrays_onto_links() {
+        let doc = DOC.replacen(
+            r#""name":"#,
+            r#""wifi_faults": [
+                {"rate_collapse": {"at_s": 20, "secs": 40, "factor": 0.15}},
+                {"disassociation": {"at_s": 90, "secs": 10, "reassoc_s": 2}}
+            ],
+            "cell_faults": [
+                {"rtt_spike": {"at_s": 5, "secs": 10, "extra_ms": 300, "jitter_ms": 50}}
+            ],
+            "name":"#,
+            1,
+        );
+        let sc = Scenario::from_json(&doc).unwrap();
+        assert_eq!(sc.wifi_faults.events().len(), 2);
+        assert_eq!(sc.cell_faults.events().len(), 1);
+        assert_eq!(sc.wifi_faults.events()[0].kind.name(), "rate_collapse");
+        // The disassociation window includes the reassociation tail.
+        assert_eq!(sc.wifi_faults.events()[1].end(), SimTime::from_secs(102));
+        let configs = sc.build().unwrap();
+        let cfg = &configs[0].1;
+        assert_eq!(
+            cfg.wifi.faults.as_ref().map(|s| s.events().len()),
+            Some(2),
+            "faults land on the built WiFi link"
+        );
+        assert_eq!(cfg.cell.faults.as_ref().map(|s| s.events().len()), Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_fault_values() {
+        for (faults, expect) in [
+            (
+                r#"[{"rate_collapse": {"at_s": 5, "secs": 10, "factor": 0.0}}]"#,
+                "'factor' must be in (0,1]",
+            ),
+            (
+                r#"[{"rate_collapse": {"at_s": 5, "secs": 0, "factor": 0.5}}]"#,
+                "'secs' must be > 0",
+            ),
+            (
+                r#"[{"burst_loss": {"at_s": 5, "secs": 10, "p_enter": 2.0}}]"#,
+                "must be in (0,1]",
+            ),
+            (
+                r#"[{"meteor_strike": {"at_s": 5, "secs": 10}}]"#,
+                "unknown fault kind",
+            ),
+        ] {
+            let doc = DOC.replacen(
+                r#""name":"#,
+                &format!(r#""wifi_faults": {faults}, "name":"#),
+                1,
+            );
+            let err = Scenario::from_json(&doc).unwrap_err();
+            assert!(err.contains(expect), "{faults}: {err}");
+        }
     }
 
     #[test]

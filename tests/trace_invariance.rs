@@ -1,0 +1,77 @@
+//! Property: tracing is strictly observe-only. Attaching any sink —
+//! in-memory ring or NDJSON file — to a streaming session changes zero
+//! bytes of its artifact JSON, across random networks, transport modes,
+//! and injected fault scripts.
+
+use mpdash::dash::abr::AbrKind;
+use mpdash::dash::video::Video;
+use mpdash::link::{FaultScript, GilbertElliott};
+use mpdash::session::{
+    NdjsonSink, RingSink, SessionConfig, StreamingSession, Tracer, TransportMode,
+};
+use mpdash::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny(wifi_mbps: f64, cell_mbps: f64, mode: TransportMode, faulted: bool) -> SessionConfig {
+    let mut cfg =
+        SessionConfig::controlled_mbps(wifi_mbps, cell_mbps, AbrKind::Festive, mode).with_video(
+            Video::new("tiny", &[0.5, 1.0, 2.0], SimDuration::from_secs(2), 8),
+        );
+    if faulted {
+        cfg = cfg.with_wifi_faults(
+            FaultScript::new()
+                .burst_loss(
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(5),
+                    GilbertElliott::new(0.05, 0.30, 0.5),
+                )
+                .rate_collapse(SimTime::from_secs(4), SimDuration::from_secs(6), 0.2),
+        );
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_sink_changes_zero_artifact_bytes(
+        wifi_mbps in 1.0f64..8.0,
+        cell_mbps in 0.5f64..6.0,
+        use_mpdash in any::<bool>(),
+        faulted in any::<bool>(),
+    ) {
+        let mode = if use_mpdash {
+            TransportMode::mpdash_rate_based()
+        } else {
+            TransportMode::Vanilla
+        };
+        let base = StreamingSession::run(tiny(wifi_mbps, cell_mbps, mode, faulted))
+            .summary_json()
+            .to_pretty();
+
+        let ring = Arc::new(RingSink::new(1024));
+        let traced = StreamingSession::run(
+            tiny(wifi_mbps, cell_mbps, mode, faulted).with_tracer(Tracer::new(ring.clone())),
+        )
+        .summary_json()
+        .to_pretty();
+        prop_assert_eq!(&base, &traced, "ring sink perturbed the artifact");
+        prop_assert!(!ring.is_empty(), "ring sink observed no events");
+
+        let dir = std::env::temp_dir().join("mpdash-trace-invariance");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t-{}-{wifi_mbps:.3}-{cell_mbps:.3}.ndjson", std::process::id()));
+        let sink = NdjsonSink::create(&path).expect("ndjson sink");
+        let traced = StreamingSession::run(
+            tiny(wifi_mbps, cell_mbps, mode, faulted).with_tracer(Tracer::new(Arc::new(sink))),
+        )
+        .summary_json()
+        .to_pretty();
+        prop_assert_eq!(&base, &traced, "ndjson sink perturbed the artifact");
+        let written = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        prop_assert!(written > 0, "ndjson sink wrote no events");
+        let _ = std::fs::remove_file(&path);
+    }
+}
