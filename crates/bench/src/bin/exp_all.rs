@@ -17,5 +17,6 @@ fn main() {
     e::mpc::run();
     e::ablation::run();
     e::faults::run();
+    e::lifecycle::run();
     e::field::run();
 }

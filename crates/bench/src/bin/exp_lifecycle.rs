@@ -1,0 +1,6 @@
+//! Runs the request-lifecycle resilience matrix (server-side faults
+//! crossed with timeout/abandon/resume policies). See
+//! `mpdash_bench::experiments::lifecycle`.
+fn main() {
+    mpdash_bench::experiments::lifecycle::run();
+}

@@ -24,6 +24,7 @@
 use crate::Table;
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
+use mpdash_http::ServerFaultScript;
 use mpdash_link::{FaultScript, GilbertElliott, PathId};
 use mpdash_results::{ExperimentResult, ScalarGroup};
 use mpdash_session::{
@@ -37,6 +38,9 @@ use mpdash_sim::{SimDuration, SimTime};
 struct FaultCase {
     name: &'static str,
     script: FaultScript,
+    /// Server-side fault script served alongside the link fault (empty
+    /// for the pure-link rows).
+    server: ServerFaultScript,
     window: (f64, f64),
 }
 
@@ -45,8 +49,11 @@ fn secs(s: u64) -> SimTime {
 }
 
 /// The four fault families, each parameterized to clearly hurt but not
-/// sever the session: a bursty 30%-mean-loss window, a 300 ms RTT storm,
-/// an 85% rate collapse, and a full disassociation with reassociation.
+/// sever the session — a bursty 30%-mean-loss window, a 300 ms RTT
+/// storm, an 85% rate collapse, and a full disassociation with
+/// reassociation — plus one combined row where a WiFi disassociation
+/// overlaps a server-side 5xx burst (the link *and* the origin misbehave
+/// at once).
 fn fault_cases() -> Vec<FaultCase> {
     vec![
         FaultCase {
@@ -56,6 +63,7 @@ fn fault_cases() -> Vec<FaultCase> {
                 SimDuration::from_secs(40),
                 GilbertElliott::new(0.05, 0.30, 0.5),
             ),
+            server: ServerFaultScript::new(),
             window: (20.0, 60.0),
         },
         FaultCase {
@@ -66,11 +74,13 @@ fn fault_cases() -> Vec<FaultCase> {
                 SimDuration::from_millis(300),
                 SimDuration::from_millis(100),
             ),
+            server: ServerFaultScript::new(),
             window: (20.0, 60.0),
         },
         FaultCase {
             name: "rate-collapse",
             script: FaultScript::new().rate_collapse(secs(20), SimDuration::from_secs(40), 0.15),
+            server: ServerFaultScript::new(),
             window: (20.0, 60.0),
         },
         FaultCase {
@@ -80,6 +90,17 @@ fn fault_cases() -> Vec<FaultCase> {
                 SimDuration::from_secs(15),
                 SimDuration::from_secs(2),
             ),
+            server: ServerFaultScript::new(),
+            window: (40.0, 57.0),
+        },
+        FaultCase {
+            name: "disassoc+5xx",
+            script: FaultScript::new().disassociation(
+                secs(40),
+                SimDuration::from_secs(15),
+                SimDuration::from_secs(2),
+            ),
+            server: ServerFaultScript::new().error_burst(secs(20), SimDuration::from_secs(8)),
             window: (40.0, 57.0),
         },
     ]
@@ -110,7 +131,8 @@ fn jobs(quick: bool) -> Vec<Job> {
         for mode in matrix_modes() {
             let cfg = SessionConfig::controlled_mbps(4.5, 4.0, AbrKind::Festive, mode)
                 .with_video(fault_video(quick))
-                .with_wifi_faults(case.script.clone());
+                .with_wifi_faults(case.script.clone())
+                .with_server_faults(case.server.clone());
             jobs.push(Job::session(format!("{}/{}", case.name, mode.label()), cfg));
         }
     }
@@ -140,7 +162,9 @@ fn fold(quick: bool, batch: Vec<BatchResult>) -> ExperimentResult {
     res.text(concat!(
         "\nEvery fault hits the WiFi link mid-session; the invariants\n",
         "checked: MP-DASH never stalls more than baseline MPTCP, cellular\n",
-        "bridges every WiFi fault window, deadline-miss rate stays bounded.",
+        "bridges every WiFi fault window, deadline-miss rate stays bounded.\n",
+        "The disassoc+5xx row overlaps a server-side error burst with the\n",
+        "link fault: every mode must retry through it without wedging.",
     ));
 
     let mut t = Table::new(&[
@@ -154,6 +178,7 @@ fn fold(quick: bool, batch: Vec<BatchResult>) -> ExperimentResult {
         "bridged",
         "failovers",
         "revivals",
+        "retries",
     ]);
     let mut next = batch.iter();
     let mut max_excess_stalls: i64 = 0;
@@ -174,7 +199,19 @@ fn fold(quick: bool, batch: Vec<BatchResult>) -> ExperimentResult {
                 format!("{}", r.degradation.outage_bridged_chunks),
                 format!("{}", r.degradation.subflow_failures),
                 format!("{}", r.degradation.subflow_revivals),
+                format!("{}", r.lifecycle.retried),
             ]);
+            // The combined row: every mode must ride out the 5xx burst by
+            // retrying (no session may wedge on a server error), and the
+            // burst must actually have been hit.
+            if !case.server.is_empty() {
+                assert!(
+                    r.lifecycle.retried > 0,
+                    "{}/{}: the 8s 5xx burst produced no retries",
+                    case.name,
+                    mode.label()
+                );
+            }
             match mode {
                 TransportMode::Vanilla => base_stalls = r.qoe.stalls,
                 TransportMode::MpDash { .. } => {

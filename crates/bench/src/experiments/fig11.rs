@@ -40,6 +40,8 @@ fn config(mode: TransportMode) -> SessionConfig {
         sample_slot: SimDuration::from_millis(250),
         adapter_config: None,
         preference: Default::default(),
+        server_faults: Default::default(),
+        lifecycle: Default::default(),
         tracer: Default::default(),
     }
 }

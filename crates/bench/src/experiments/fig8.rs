@@ -23,7 +23,7 @@ fn chunk_infos(report: &SessionReport) -> Vec<ChunkInfo> {
             size: c.size,
             started: c.started,
             completed: c.completed,
-            body_dss: c.body_dss,
+            body_dss: (c.body_dss.start, c.body_dss.end),
         })
         .collect()
 }

@@ -15,6 +15,7 @@
 //! | `exp_fig11` | Figure 11 — the mobility scenario |
 //! | `exp_tab6`  | Table 6 — HD video |
 //! | `exp_faults` | resilience matrix — fault injection on the preferred path (beyond the paper) |
+//! | `exp_lifecycle` | request-lifecycle matrix — server faults x timeout/abandon/resume policy (beyond the paper) |
 //! | `exp_all`   | everything above, in sequence |
 //!
 //! The library half hosts the trace-driven simulator behind Table 2 (the

@@ -1,4 +1,5 @@
-//! Minimal HTTP/1.1 over the simulated MPTCP connection.
+//! Minimal HTTP/1.1 over the simulated MPTCP connection, with a
+//! deadline-aware request lifecycle.
 //!
 //! DASH is plain HTTP GETs: the player requests one chunk URL at a time
 //! and the server answers with a `Content-Length`-framed body (§5.1 of the
@@ -12,20 +13,76 @@
 //!   workspace issue one request at a time, but the framing supports
 //!   pipelining and the tests exercise it).
 //!
+//! On top of the framing sit the PR 4 robustness pieces:
+//!
+//! * [`fault`] — a scripted server-side fault model (5xx bursts, stalled
+//!   response bodies, slow first byte) mirroring `mpdash-link::fault`;
+//! * [`lifecycle`] — the per-request state machine deciding when to stop
+//!   waiting: stall/deadline timeouts, mid-download abandonment with
+//!   byte-range resume, and bounded seeded retries;
+//! * request **cancellation** ([`HttpLayer::cancel`]): a small upstream
+//!   message that makes the server flush the unsent tail of the response
+//!   it is serving, truncating it cleanly at the transport's committed
+//!   boundary so the connection-level sequence space is never corrupted.
+//!
 //! The layer sits *beside* the transport rather than owning it, so the
 //! session can keep manipulating the MPTCP path mask on the same
 //! [`MptcpSim`] the HTTP layer drives.
 
 use mpdash_mptcp::MptcpSim;
-use std::collections::{HashMap, VecDeque};
+use mpdash_obs::{TraceEvent, Tracer};
+use mpdash_sim::SimTime;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+pub mod fault;
+pub mod lifecycle;
+
+pub use fault::{ServerFaultEvent, ServerFaultKind, ServerFaultScript};
+pub use lifecycle::{
+    AbortAccounting, LifecycleAction, LifecyclePolicy, LifecycleState, RequestTracker, RetryPolicy,
+};
 
 /// Upstream bytes of one GET request (request line + typical headers).
 pub const REQUEST_BYTES: u64 = 180;
 /// Downstream bytes of one response header block.
 pub const RESPONSE_HEADER_BYTES: u64 = 220;
+/// Upstream bytes of a cancellation (connection reset / range-abort
+/// signal; smaller than a full request).
+pub const CANCEL_BYTES: u64 = 60;
+/// High bit marking an upstream message as a cancellation of the
+/// request id in the low bits. Request ids start at 1 and count up, so
+/// the flag can never collide with a real id.
+pub const CANCEL_FLAG: u64 = 1 << 63;
+/// Base for application-timer ids owned by the HTTP layer (deferred
+/// server sends). Far above the session driver's small timer ids and
+/// below [`CANCEL_FLAG`].
+pub const HTTP_TIMER_BASE: u64 = 1 << 62;
 
 /// Identifier of one GET exchange.
 pub type RequestId = u64;
+
+/// A half-open range `[start, end)` of the MPTCP connection-level
+/// (data-sequence) byte stream. Replaces the bare `(u64, u64)` tuples
+/// that used to flow through the public API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DssRange {
+    /// First connection-stream byte of the range.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+impl DssRange {
+    /// Length of the range in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
 
 /// Client-visible protocol events produced as response bytes arrive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,13 +106,30 @@ pub enum HttpEvent {
         total: u64,
     },
     /// The body completed. `body_dss` is the connection-level byte range
-    /// `[start, end)` the body occupied — the key the analysis tool uses
-    /// to attribute per-path bytes to chunks.
+    /// the body occupied — the key the analysis tool uses to attribute
+    /// per-path bytes to chunks.
     Complete {
         /// Which exchange.
         id: RequestId,
         /// Connection-stream range of the body.
-        body_dss: (u64, u64),
+        body_dss: DssRange,
+    },
+    /// The server answered with a 5xx (header-only response, no body).
+    /// The lifecycle's retry policy decides when to re-request.
+    Error {
+        /// Which exchange.
+        id: RequestId,
+    },
+    /// A cancelled request finished draining: `received` body bytes
+    /// arrived before the truncation point and no more will come. The
+    /// byte-range resume can now be issued.
+    Aborted {
+        /// Which exchange.
+        id: RequestId,
+        /// Body bytes delivered for this request in total.
+        received: u64,
+        /// Connection-stream range the partial body occupied.
+        body_dss: DssRange,
     },
 }
 
@@ -68,6 +142,44 @@ struct Response {
     /// DSS offset where the body starts (known once the header is
     /// consumed).
     body_dss_start: u64,
+    /// The server answered 5xx: the "body" is absent and the exchange
+    /// ends in [`HttpEvent::Error`] when the header drains.
+    error: bool,
+    /// Set by cancellation: total response bytes (header + body) that
+    /// will actually arrive. When consumption reaches this, the
+    /// exchange ends in [`HttpEvent::Aborted`].
+    truncated: Option<u64>,
+}
+
+impl Response {
+    fn consumed(&self) -> u64 {
+        (RESPONSE_HEADER_BYTES - self.header_remaining) + self.body_received
+    }
+
+    /// Response bytes that will actually arrive (after any truncation).
+    fn wire_total(&self) -> u64 {
+        let full = RESPONSE_HEADER_BYTES + self.body_len;
+        self.truncated.map_or(full, |t| t.min(full))
+    }
+}
+
+/// Server-side record of a response being (or about to be) sent.
+#[derive(Clone, Copy, Debug)]
+struct ServerResponse {
+    /// Connection-stream offset of the response's first byte.
+    start: u64,
+    /// Bytes this response will occupy absent cancellation.
+    total: u64,
+    /// Bytes handed to the transport so far.
+    queued: u64,
+}
+
+/// Per-fault-event edge flags so activation/clearing trace events are
+/// emitted exactly once each.
+#[derive(Clone, Copy, Debug, Default)]
+struct FaultEdge {
+    activated: bool,
+    cleared: bool,
 }
 
 /// One persistent HTTP/1.1 connection: client framing + server behaviour.
@@ -75,19 +187,38 @@ struct Response {
 /// The "server" half is the response generator: when the simulator reports
 /// a [`ServerMsg`](mpdash_mptcp::StepOutcome::ServerMsg), call
 /// [`HttpLayer::on_server_msg`] and the registered resource's bytes are
-/// queued on the connection.
+/// queued on the connection — possibly delayed, stalled or replaced by a
+/// 5xx according to the attached [`ServerFaultScript`].
 pub struct HttpLayer {
     next_id: RequestId,
     /// Sizes of resources requested but not yet answered by the server.
     requested: HashMap<RequestId, u64>,
-    /// Server-side FIFO of request arrival order (responses are sent in
-    /// this order on the shared connection).
-    server_order: VecDeque<RequestId>,
+    /// Requests cancelled before they reached the server; their later
+    /// arrival must be ignored silently.
+    cancelled: HashSet<RequestId>,
     /// Client-side framing state: responses currently expected, in order.
     inflight: VecDeque<Response>,
+    /// Server-side state of responses whose bytes are not fully
+    /// delivered yet (keyed by request; removed when the client framing
+    /// finishes the exchange).
+    serving: HashMap<RequestId, ServerResponse>,
+    /// Deferred response parts (slow first byte / stalled body), keyed
+    /// by application-timer id.
+    deferred: BTreeMap<u64, (RequestId, u64)>,
+    /// Earliest virtual time the next response part may be queued —
+    /// enforces FIFO stream order even when an earlier response's parts
+    /// were deferred by a fault.
+    next_free: SimTime,
+    /// Total connection-stream bytes promised by served responses
+    /// (allocator for `ServerResponse::start`).
+    stream_planned: u64,
     /// Total connection-stream bytes the client has consumed (framing
     /// cursor; equals delivered bytes fed through `on_delivered`).
     cursor: u64,
+    next_timer: u64,
+    faults: ServerFaultScript,
+    fault_edges: Vec<FaultEdge>,
+    tracer: Tracer,
 }
 
 impl Default for HttpLayer {
@@ -97,15 +228,37 @@ impl Default for HttpLayer {
 }
 
 impl HttpLayer {
-    /// A fresh connection with no requests in flight.
+    /// A fresh connection with no requests in flight and a healthy
+    /// server.
     pub fn new() -> Self {
         HttpLayer {
             next_id: 1,
             requested: HashMap::new(),
-            server_order: VecDeque::new(),
+            cancelled: HashSet::new(),
             inflight: VecDeque::new(),
+            serving: HashMap::new(),
+            deferred: BTreeMap::new(),
+            next_free: SimTime::ZERO,
+            stream_planned: 0,
             cursor: 0,
+            next_timer: 0,
+            faults: ServerFaultScript::new(),
+            fault_edges: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a server-side fault script.
+    pub fn with_faults(mut self, faults: ServerFaultScript) -> Self {
+        self.fault_edges = vec![FaultEdge::default(); faults.events().len()];
+        self.faults = faults;
+        self
+    }
+
+    /// Attach a tracer for server-fault activation/clearing edges.
+    /// Observe-only: attaching one changes no behaviour.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Issue a GET for a resource of `size` bytes. Sends the request
@@ -120,20 +273,113 @@ impl HttpLayer {
             body_len: size,
             body_received: 0,
             body_dss_start: 0,
+            error: false,
+            truncated: None,
         });
         sim.send_request(id, REQUEST_BYTES);
         id
     }
 
-    /// The server received request `id`: queue its response bytes on the
-    /// connection (in arrival order — HTTP/1.1 pipelining).
-    pub fn on_server_msg(&mut self, sim: &mut MptcpSim, id: RequestId) {
+    /// Issue a byte-range GET for the tail `[from, total)` of a
+    /// resource — the resume after an abandonment. On the wire this is
+    /// an ordinary request whose response body is the missing tail.
+    pub fn get_range(&mut self, sim: &mut MptcpSim, total: u64, from: u64) -> RequestId {
+        debug_assert!(from <= total, "range start past resource end");
+        self.get(sim, total - from)
+    }
+
+    /// Cancel request `id`: send the abort signal upstream. When it
+    /// reaches the server, the unsent tail of the response is flushed
+    /// and the client's framing is truncated at the transport's
+    /// committed boundary; the exchange then ends in
+    /// [`HttpEvent::Aborted`] once the surviving bytes drain.
+    pub fn cancel(&mut self, sim: &mut MptcpSim, id: RequestId) {
+        debug_assert!(id < CANCEL_FLAG);
+        sim.send_request(CANCEL_FLAG | id, CANCEL_BYTES);
+    }
+
+    /// The server received upstream message `id`: either a request to
+    /// serve (queue its response bytes, subject to the fault script) or
+    /// a cancellation to apply. Returns any client-side events the
+    /// cancellation produced (an already-drained abort surfaces here).
+    pub fn on_server_msg(&mut self, sim: &mut MptcpSim, id: RequestId) -> Vec<HttpEvent> {
+        if id & CANCEL_FLAG != 0 {
+            return self.handle_cancel(sim, id & !CANCEL_FLAG);
+        }
         let Some(size) = self.requested.remove(&id) else {
-            debug_assert!(false, "server saw unknown request {id}");
-            return;
+            // A cancel overtook its own request; the exchange was
+            // already unwound when the cancel was processed.
+            let was_cancelled = self.cancelled.remove(&id);
+            debug_assert!(was_cancelled, "server saw unknown request {id}");
+            return Vec::new();
         };
-        self.server_order.push_back(id);
-        sim.send_app(RESPONSE_HEADER_BYTES + size);
+        let now = sim.now();
+        self.trace_fault_edges(now);
+
+        if self.faults.error_at(now) {
+            // 5xx: a header-only response. The client reads the status
+            // line from the same header block, so its expected body
+            // shrinks to zero and the exchange ends in an Error event.
+            if let Some(resp) = self.inflight.iter_mut().find(|r| r.id == id) {
+                resp.body_len = 0;
+                resp.error = true;
+            }
+            let start = self.stream_planned;
+            self.stream_planned += RESPONSE_HEADER_BYTES;
+            self.serving.insert(
+                id,
+                ServerResponse {
+                    start,
+                    total: RESPONSE_HEADER_BYTES,
+                    queued: 0,
+                },
+            );
+            self.queue_part(sim, id, RESPONSE_HEADER_BYTES, now);
+            return Vec::new();
+        }
+
+        let total = RESPONSE_HEADER_BYTES + size;
+        let start = self.stream_planned;
+        self.stream_planned += total;
+        self.serving.insert(
+            id,
+            ServerResponse {
+                start,
+                total,
+                queued: 0,
+            },
+        );
+        let at = now + self.faults.first_byte_delay_at(now);
+        if let Some((stall, frac)) = self.faults.stall_at(now) {
+            let first_body = ((size as f64) * frac).ceil() as u64;
+            let first = RESPONSE_HEADER_BYTES + first_body.min(size);
+            let rest = total - first;
+            self.queue_part(sim, id, first, at);
+            if rest > 0 {
+                self.queue_part(sim, id, rest, at + stall);
+            }
+        } else {
+            self.queue_part(sim, id, total, at);
+        }
+        Vec::new()
+    }
+
+    /// An application timer fired. Returns `true` if it was an HTTP
+    /// deferred-send timer (now handled); `false` means the id belongs
+    /// to someone else (the session driver's own timers).
+    pub fn on_app_timer(&mut self, sim: &mut MptcpSim, timer_id: u64) -> bool {
+        if timer_id < HTTP_TIMER_BASE {
+            return false;
+        }
+        let Some((id, bytes)) = self.deferred.remove(&timer_id) else {
+            // A part cancelled after its timer was scheduled: benign.
+            return true;
+        };
+        if let Some(sr) = self.serving.get_mut(&id) {
+            sr.queued += bytes;
+            sim.send_app(bytes);
+        }
+        true
     }
 
     /// The client's connection delivered `newly` more in-order bytes:
@@ -141,20 +387,56 @@ impl HttpLayer {
     pub fn on_delivered(&mut self, newly: u64) -> Vec<HttpEvent> {
         let mut events = Vec::new();
         let mut left = newly;
-        while left > 0 {
+        loop {
+            // Pop any front response that a cancellation truncated to
+            // exactly what has already been consumed: it is fully
+            // drained and must surface as Aborted even if no further
+            // bytes belong to it.
+            while let Some(resp) = self.inflight.front() {
+                if resp.truncated.is_some() && resp.consumed() >= resp.wire_total() {
+                    let resp = *resp;
+                    self.inflight.pop_front();
+                    self.serving.remove(&resp.id);
+                    let start = if resp.header_remaining == 0 {
+                        resp.body_dss_start
+                    } else {
+                        self.cursor
+                    };
+                    events.push(HttpEvent::Aborted {
+                        id: resp.id,
+                        received: resp.body_received,
+                        body_dss: DssRange {
+                            start,
+                            end: self.cursor,
+                        },
+                    });
+                } else {
+                    break;
+                }
+            }
+            if left == 0 {
+                break;
+            }
             let Some(resp) = self.inflight.front_mut() else {
                 debug_assert!(false, "bytes delivered with no response expected");
                 self.cursor += left;
                 break;
             };
+            let budget = resp.wire_total() - resp.consumed();
             if resp.header_remaining > 0 {
-                let eat = left.min(resp.header_remaining);
+                let eat = left.min(resp.header_remaining).min(budget);
                 resp.header_remaining -= eat;
                 left -= eat;
                 self.cursor += eat;
                 if resp.header_remaining == 0 {
                     resp.body_dss_start = self.cursor;
                     let id = resp.id;
+                    if resp.error {
+                        self.inflight.pop_front();
+                        self.serving.remove(&id);
+                        events.push(HttpEvent::Error { id });
+                        continue;
+                    }
                     let body_len = resp.body_len;
                     events.push(HttpEvent::HeaderReceived {
                         id,
@@ -166,14 +448,18 @@ impl HttpLayer {
                     if body_len == 0 {
                         events.push(HttpEvent::Complete {
                             id,
-                            body_dss: (self.cursor, self.cursor),
+                            body_dss: DssRange {
+                                start: self.cursor,
+                                end: self.cursor,
+                            },
                         });
                         self.inflight.pop_front();
+                        self.serving.remove(&id);
                     }
                 }
                 continue;
             }
-            let eat = left.min(resp.body_len - resp.body_received);
+            let eat = left.min(resp.body_len - resp.body_received).min(budget);
             resp.body_received += eat;
             left -= eat;
             self.cursor += eat;
@@ -183,12 +469,19 @@ impl HttpLayer {
                 total: resp.body_len,
             });
             if resp.body_received == resp.body_len {
+                let id = resp.id;
                 events.push(HttpEvent::Complete {
-                    id: resp.id,
-                    body_dss: (resp.body_dss_start, self.cursor),
+                    id,
+                    body_dss: DssRange {
+                        start: resp.body_dss_start,
+                        end: self.cursor,
+                    },
                 });
                 self.inflight.pop_front();
+                self.serving.remove(&id);
             }
+            // A drained truncated response is handled at the top of the
+            // next iteration.
         }
         events
     }
@@ -201,6 +494,123 @@ impl HttpLayer {
     /// Total connection-stream bytes consumed by framing so far.
     pub fn cursor(&self) -> u64 {
         self.cursor
+    }
+
+    /// Number of response parts whose sending is deferred by a fault.
+    pub fn deferred_parts(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Queue `bytes` of response `id` on the connection at `at` (or
+    /// now, if `at` is in the past), preserving FIFO stream order
+    /// behind any earlier deferred part.
+    fn queue_part(&mut self, sim: &mut MptcpSim, id: RequestId, bytes: u64, at: SimTime) {
+        let now = sim.now();
+        let at = at.max(self.next_free);
+        self.next_free = at;
+        if at <= now {
+            if let Some(sr) = self.serving.get_mut(&id) {
+                sr.queued += bytes;
+            }
+            sim.send_app(bytes);
+        } else {
+            let timer = HTTP_TIMER_BASE + self.next_timer;
+            self.next_timer += 1;
+            self.deferred.insert(timer, (id, bytes));
+            sim.schedule_app_timer(at, timer);
+        }
+    }
+
+    /// Apply a cancellation for request `id` at the server.
+    fn handle_cancel(&mut self, sim: &mut MptcpSim, id: RequestId) -> Vec<HttpEvent> {
+        let mut events = Vec::new();
+        if self.requested.remove(&id).is_some() {
+            // The cancel overtook the request: nothing is on the wire
+            // yet, so the exchange unwinds immediately.
+            self.cancelled.insert(id);
+            if let Some(pos) = self.inflight.iter().position(|r| r.id == id) {
+                let resp = self.inflight.remove(pos).expect("position just found");
+                events.push(HttpEvent::Aborted {
+                    id,
+                    received: resp.body_received,
+                    body_dss: DssRange {
+                        start: self.cursor,
+                        end: self.cursor,
+                    },
+                });
+            }
+            return events;
+        }
+        let Some(sr) = self.serving.get_mut(&id) else {
+            // The response completed before the cancel arrived; the
+            // driver already saw Complete and this cancel is stale.
+            return events;
+        };
+        // Only the most recently served response can be cancelled:
+        // every earlier response is fully consumed by the client (FIFO
+        // framing), so the transport's unassigned tail belongs entirely
+        // to this response and flushing it cannot touch other
+        // exchanges' bytes.
+        debug_assert_eq!(
+            sr.start + sr.total,
+            self.stream_planned,
+            "cancellation must target the last served response"
+        );
+        self.deferred.retain(|_, (rid, _)| *rid != id);
+        let _ = sim.flush_unsent();
+        let committed = sim.conn_total();
+        debug_assert!(committed >= sr.start);
+        let survive = committed.saturating_sub(sr.start);
+        sr.queued = survive;
+        sr.total = survive;
+        self.stream_planned = committed;
+        self.next_free = sim.now();
+        if let Some(resp) = self.inflight.iter_mut().find(|r| r.id == id) {
+            resp.truncated = Some(survive);
+            if resp.consumed() >= survive {
+                // Everything that will ever arrive already drained.
+                let resp = *resp;
+                self.inflight.retain(|r| r.id != id);
+                self.serving.remove(&id);
+                let start = if resp.header_remaining == 0 {
+                    resp.body_dss_start
+                } else {
+                    self.cursor
+                };
+                events.push(HttpEvent::Aborted {
+                    id,
+                    received: resp.body_received,
+                    body_dss: DssRange {
+                        start,
+                        end: self.cursor,
+                    },
+                });
+            }
+        }
+        events
+    }
+
+    /// Emit activation/clearing trace edges for the fault script, as
+    /// observed at serve instants. Edge bookkeeping runs whether or not
+    /// a sink is attached so internal state never depends on tracing.
+    fn trace_fault_edges(&mut self, now: SimTime) {
+        for (i, e) in self.faults.events().iter().enumerate() {
+            let edge = &mut self.fault_edges[i];
+            if e.active_at(now) && !edge.activated {
+                edge.activated = true;
+                self.tracer
+                    .emit_with(now, || TraceEvent::ServerFaultActivated {
+                        kind: e.kind.name(),
+                        until_s: e.end().as_secs_f64(),
+                    });
+            } else if now >= e.end() && edge.activated && !edge.cleared {
+                edge.cleared = true;
+                self.tracer
+                    .emit_with(now, || TraceEvent::ServerFaultCleared {
+                        kind: e.kind.name(),
+                    });
+            }
+        }
     }
 }
 
@@ -226,12 +636,20 @@ mod tests {
                 panic!("drained before completing request {id}")
             };
             match outcome {
-                StepOutcome::ServerMsg { id } => http.on_server_msg(sim, id),
+                StepOutcome::ServerMsg { id } => {
+                    events.extend(http.on_server_msg(sim, id));
+                }
+                StepOutcome::AppTimer { id } => {
+                    assert!(http.on_app_timer(sim, id), "unexpected non-HTTP timer");
+                }
                 StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
                     let evs = http.on_delivered(newly_delivered);
-                    let done = evs
-                        .iter()
-                        .any(|e| matches!(e, HttpEvent::Complete { id: i, .. } if *i == id));
+                    let done = evs.iter().any(|e| {
+                        matches!(e,
+                            HttpEvent::Complete { id: i, .. }
+                            | HttpEvent::Error { id: i }
+                            | HttpEvent::Aborted { id: i, .. } if *i == id)
+                    });
                     events.extend(evs);
                     if done {
                         return events;
@@ -257,8 +675,8 @@ mod tests {
         let Some(HttpEvent::Complete { body_dss, .. }) = events.last() else {
             panic!("no completion")
         };
-        assert_eq!(body_dss.0, RESPONSE_HEADER_BYTES);
-        assert_eq!(body_dss.1 - body_dss.0, 100_000);
+        assert_eq!(body_dss.start, RESPONSE_HEADER_BYTES);
+        assert_eq!(body_dss.len(), 100_000);
         assert_eq!(h.inflight(), 0);
     }
 
@@ -294,8 +712,8 @@ mod tests {
             panic!()
         };
         // Second body sits after the first response in the stream.
-        assert_eq!(r2.0, r1.1 + RESPONSE_HEADER_BYTES);
-        assert_eq!(r2.1 - r2.0, 70_000);
+        assert_eq!(r2.start, r1.end + RESPONSE_HEADER_BYTES);
+        assert_eq!(r2.len(), 70_000);
     }
 
     #[test]
@@ -310,7 +728,9 @@ mod tests {
                 panic!("drained early")
             };
             match outcome {
-                StepOutcome::ServerMsg { id } => h.on_server_msg(&mut s, id),
+                StepOutcome::ServerMsg { id } => {
+                    h.on_server_msg(&mut s, id);
+                }
                 StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
                     for e in h.on_delivered(newly_delivered) {
                         if let HttpEvent::Complete { id, .. } = e {
@@ -332,7 +752,8 @@ mod tests {
         let Some(HttpEvent::Complete { body_dss, .. }) = events.last() else {
             panic!("zero-byte GET must still complete")
         };
-        assert_eq!(body_dss.0, body_dss.1, "empty body range");
+        assert!(body_dss.is_empty(), "empty body range");
+        assert_eq!(h.inflight(), 0, "nothing may linger in flight");
     }
 
     #[test]
@@ -346,12 +767,14 @@ mod tests {
                 panic!("drained")
             };
             match o {
-                StepOutcome::ServerMsg { id } => h.on_server_msg(&mut s, id),
+                StepOutcome::ServerMsg { id } => {
+                    h.on_server_msg(&mut s, id);
+                }
                 StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
                     for e in h.on_delivered(newly_delivered) {
                         if let HttpEvent::Complete { id, body_dss } = e {
                             let idx = (id - ids[0]) as usize;
-                            assert_eq!(body_dss.1 - body_dss.0, 100 + idx as u64);
+                            assert_eq!(body_dss.len(), 100 + idx as u64);
                             done.push(id);
                         }
                     }
@@ -370,5 +793,281 @@ mod tests {
         // 5 MB over ~6.8 Mbps aggregate ≈ 6 s (the paper's §2.3 numbers).
         let secs = s.now().as_secs_f64();
         assert!(secs > 5.0 && secs < 8.0, "took {secs:.2}s");
+    }
+
+    #[test]
+    fn error_burst_returns_5xx_and_connection_survives() {
+        let mut s = sim();
+        let mut h = HttpLayer::new().with_faults(
+            ServerFaultScript::new().error_burst(SimTime::ZERO, SimDuration::from_secs(1)),
+        );
+        let events = fetch(&mut s, &mut h, 100_000);
+        assert!(
+            matches!(events.last(), Some(HttpEvent::Error { .. })),
+            "expected a 5xx, got {events:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, HttpEvent::HeaderReceived { .. })),
+            "an error response carries no content header"
+        );
+        assert_eq!(h.inflight(), 0);
+        // Past the burst window the same connection serves normally.
+        while s.now() < SimTime::from_secs(1) {
+            if s.step().is_none() {
+                break;
+            }
+        }
+        let events = fetch(&mut s, &mut h, 100_000);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+    }
+
+    #[test]
+    fn slow_first_byte_defers_the_whole_response() {
+        let mut fast = sim();
+        let mut hf = HttpLayer::new();
+        fetch(&mut fast, &mut hf, 50_000);
+        let baseline = fast.now();
+
+        let mut s = sim();
+        let delay = SimDuration::from_millis(800);
+        let mut h = HttpLayer::new().with_faults(ServerFaultScript::new().slow_first_byte(
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            delay,
+        ));
+        fetch(&mut s, &mut h, 50_000);
+        let slowed = s.now();
+        let extra = slowed.saturating_since(baseline);
+        assert!(
+            extra >= delay.mul_f64(0.9),
+            "first-byte delay not applied: extra {extra}"
+        );
+    }
+
+    #[test]
+    fn stalled_body_pauses_midway_then_completes() {
+        let mut s = sim();
+        let stall = SimDuration::from_secs(2);
+        let mut h = HttpLayer::new().with_faults(ServerFaultScript::new().stalled_body(
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            stall,
+            0.5,
+        ));
+        let events = fetch(&mut s, &mut h, 200_000);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+        // The transfer must take at least the stall itself.
+        assert!(s.now() >= SimTime::ZERO + stall, "stall not applied");
+    }
+
+    #[test]
+    fn cancel_mid_body_truncates_and_resume_fetches_the_tail() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let size: u64 = 400_000;
+        let id = h.get(&mut s, size);
+        let mut received;
+        let mut aborted: Option<(u64, DssRange)> = None;
+        // Drive until roughly a quarter of the body arrived, then cancel.
+        'outer: loop {
+            let Some((_, o)) = s.step() else {
+                panic!("drained")
+            };
+            match o {
+                StepOutcome::ServerMsg { id } => {
+                    h.on_server_msg(&mut s, id);
+                }
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    for e in h.on_delivered(newly_delivered) {
+                        if let HttpEvent::BodyProgress { received: r, .. } = e {
+                            received = r;
+                            if r > size / 4 {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        h.cancel(&mut s, id);
+        // Drain until the abort surfaces.
+        while aborted.is_none() {
+            let Some((_, o)) = s.step() else {
+                panic!("drained without abort")
+            };
+            match o {
+                StepOutcome::ServerMsg { id } => {
+                    for e in h.on_server_msg(&mut s, id) {
+                        if let HttpEvent::Aborted {
+                            received, body_dss, ..
+                        } = e
+                        {
+                            aborted = Some((received, body_dss));
+                        }
+                    }
+                }
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    for e in h.on_delivered(newly_delivered) {
+                        match e {
+                            HttpEvent::Aborted {
+                                received, body_dss, ..
+                            } => aborted = Some((received, body_dss)),
+                            HttpEvent::Complete { .. } => {
+                                panic!("cancelled request must not complete")
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (got, dss) = aborted.unwrap();
+        assert!(got >= received, "abort may only add in-flight bytes");
+        assert!(got < size, "cancel flushed nothing");
+        assert_eq!(dss.len(), got, "partial body range matches received");
+        assert_eq!(h.inflight(), 0);
+        // Byte-range resume for the missing tail completes and the tail
+        // body sits directly after the aborted bytes plus its header.
+        let events = fetch(&mut s, &mut h, size - got);
+        let Some(HttpEvent::Complete { body_dss, .. }) = events.last() else {
+            panic!("resume did not complete")
+        };
+        assert_eq!(body_dss.len(), size - got);
+        assert_eq!(body_dss.start, dss.end + RESPONSE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn cancel_that_overtakes_its_request_unwinds_immediately() {
+        let mut s = sim();
+        let mut h = HttpLayer::new();
+        let id = h.get(&mut s, 100_000);
+        // Cancel immediately: the (smaller) cancel message can reach the
+        // server before the request's serialization completes.
+        h.cancel(&mut s, id);
+        let mut aborted = false;
+        let mut served = 0;
+        for _ in 0..10_000 {
+            let Some((_, o)) = s.step() else { break };
+            match o {
+                StepOutcome::ServerMsg { id } => {
+                    served += 1;
+                    for e in h.on_server_msg(&mut s, id) {
+                        if matches!(e, HttpEvent::Aborted { received: 0, .. }) {
+                            aborted = true;
+                        }
+                    }
+                }
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    for e in h.on_delivered(newly_delivered) {
+                        assert!(
+                            !matches!(e, HttpEvent::Complete { .. }),
+                            "cancelled request completed"
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(served, 2, "request and cancel must both arrive");
+        assert!(aborted, "overtaking cancel must abort the exchange");
+        assert_eq!(h.inflight(), 0);
+        // The connection still works.
+        let events = fetch(&mut s, &mut h, 10_000);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+    }
+
+    #[test]
+    fn cancel_during_stalled_body_aborts_without_waiting_out_the_stall() {
+        let mut s = sim();
+        let stall = SimDuration::from_secs(30);
+        let mut h = HttpLayer::new().with_faults(ServerFaultScript::new().stalled_body(
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            stall,
+            0.25,
+        ));
+        let size: u64 = 200_000;
+        let id = h.get(&mut s, size);
+        let mut last_progress = 0u64;
+        let mut aborted_at = None;
+        let mut cancelled = false;
+        loop {
+            let Some((t, o)) = s.step() else {
+                panic!("drained")
+            };
+            match o {
+                StepOutcome::ServerMsg { id } => {
+                    for e in h.on_server_msg(&mut s, id) {
+                        if let HttpEvent::Aborted { received, .. } = e {
+                            aborted_at = Some((t, received));
+                        }
+                    }
+                }
+                StepOutcome::AppTimer { id } => {
+                    h.on_app_timer(&mut s, id);
+                }
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    for e in h.on_delivered(newly_delivered) {
+                        if let HttpEvent::BodyProgress { received, .. } = e {
+                            last_progress = received;
+                        }
+                        if let HttpEvent::Aborted { received, .. } = e {
+                            aborted_at = Some((t, received));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // First quarter arrived and the stall is in force: cancel.
+            if !cancelled && last_progress >= size / 4 {
+                h.cancel(&mut s, id);
+                cancelled = true;
+            }
+            if aborted_at.is_some() {
+                break;
+            }
+        }
+        let (t, received) = aborted_at.unwrap();
+        assert!(
+            t < SimTime::ZERO + stall,
+            "abort must not wait out the stall (aborted at {t})"
+        );
+        assert_eq!(received, last_progress);
+        // The stalled tail's deferred part was dropped with the cancel.
+        let events = fetch(&mut s, &mut h, size - received);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+    }
+
+    #[test]
+    fn server_fault_edges_are_traced_once() {
+        use mpdash_obs::RingSink;
+        use std::sync::Arc;
+        let ring = Arc::new(RingSink::new(64));
+        let mut s = sim();
+        let mut h = HttpLayer::new().with_faults(
+            ServerFaultScript::new().error_burst(SimTime::ZERO, SimDuration::from_millis(500)),
+        );
+        h.set_tracer(Tracer::new(ring.clone()));
+        fetch(&mut s, &mut h, 10_000); // inside the burst: 5xx
+        while s.now() < SimTime::from_secs(1) {
+            if s.step().is_none() {
+                break;
+            }
+        }
+        fetch(&mut s, &mut h, 10_000); // past the burst: edge clears
+        let kinds: Vec<&'static str> = ring
+            .events()
+            .iter()
+            .map(|(_, e)| e.kind())
+            .filter(|k| k.starts_with("server_fault"))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["server_fault_activated", "server_fault_cleared"]
+        );
     }
 }

@@ -354,6 +354,23 @@ impl Sender {
         self.conn_total += bytes;
     }
 
+    /// Drop every queued byte not yet assigned to a subflow (request
+    /// cancellation). Returns the number of bytes flushed.
+    ///
+    /// The connection-level sequence space stays intact: `conn_assigned`
+    /// never moves backwards, segments already mapped to subflows keep
+    /// retransmitting until acknowledged, and the next
+    /// [`Sender::push_app_data`] continues at the same DSS offset the
+    /// stream would have reached had the flushed bytes never been queued.
+    /// The receiver cannot tell a flushed tail from a tail that was never
+    /// sent — which is exactly the HTTP layer's contract: the cancelled
+    /// response simply ends at the flush point.
+    pub fn flush_unsent(&mut self) -> u64 {
+        let flushed = self.conn_total - self.conn_assigned;
+        self.conn_total = self.conn_assigned;
+        flushed
+    }
+
     /// Apply a newly signaled path mask. Returns `true` if it changed
     /// (callers re-pump on enables).
     pub fn apply_mask(&mut self, mask: PathMask) -> bool {
@@ -1016,6 +1033,39 @@ mod tests {
         assert_eq!(tx.len(), 2);
         assert_eq!(tx[0].len, MSS);
         assert_eq!(tx[1].len, 100);
+    }
+
+    #[test]
+    fn flush_unsent_drops_only_the_unassigned_tail() {
+        let mut s = two_path_sender();
+        s.apply_mask(PathMask::only(PathId::WIFI));
+        // 10 MSS fit the initial window; the rest stays queued.
+        s.push_app_data(25 * MSS);
+        let tx = s.pump(SimTime::ZERO);
+        assert_eq!(tx.len(), 10);
+        let flushed = s.flush_unsent();
+        assert_eq!(flushed, 15 * MSS);
+        assert_eq!(s.conn_total(), 10 * MSS);
+        assert_eq!(s.conn_assigned(), 10 * MSS);
+        // Nothing more to pump; in-flight data is unaffected.
+        assert!(s.pump(SimTime::ZERO).is_empty());
+        assert_eq!(s.subflow(PathId::WIFI).in_flight(), 10 * MSS);
+        // Acking the committed bytes completes the connection.
+        s.on_ack(SimTime::from_millis(50), PathId::WIFI, 10 * MSS);
+        assert!(s.all_acked());
+        // New data continues at the flush point, same DSS space.
+        s.push_app_data(MSS);
+        let tx2 = s.pump(SimTime::from_millis(50));
+        assert_eq!(tx2[0].dss, 10 * MSS, "stream continues at the cut");
+    }
+
+    #[test]
+    fn flush_unsent_with_nothing_queued_is_a_noop() {
+        let mut s = two_path_sender();
+        assert_eq!(s.flush_unsent(), 0);
+        s.push_app_data(MSS);
+        s.pump(SimTime::ZERO);
+        assert_eq!(s.flush_unsent(), 0, "fully assigned stream has no tail");
     }
 
     #[test]

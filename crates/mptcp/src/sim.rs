@@ -316,6 +316,16 @@ impl MptcpSim {
         self.snd.all_acked()
     }
 
+    /// Server-side request cancellation: drop every queued byte not yet
+    /// assigned to a subflow and return how many were flushed. Bytes
+    /// already mapped to subflows stay in flight (and keep
+    /// retransmitting) so the connection-level sequence space is never
+    /// corrupted; the stream simply ends `flushed` bytes earlier than
+    /// the application had queued.
+    pub fn flush_unsent(&mut self) -> u64 {
+        self.snd.flush_unsent()
+    }
+
     /// Total application bytes queued at the sender (lifetime).
     pub fn conn_total(&self) -> u64 {
         self.snd.conn_total()

@@ -133,6 +133,63 @@ pub enum TraceEvent {
         /// Buffered playout after the transition, seconds.
         buffer_s: f64,
     },
+    /// The request lifecycle detected a dead or doomed fetch: no
+    /// delivered bytes for the stall window, the deadline-derived
+    /// timeout elapsed, or the scheduler's feasibility estimate said the
+    /// chunk can no longer make its deadline.
+    RequestTimeout {
+        /// Chunk index.
+        chunk: usize,
+        /// What tripped: `"stall"`, `"deadline"`, or `"infeasible"`.
+        cause: &'static str,
+        /// Seconds since the fetch (first request) started.
+        after_s: f64,
+    },
+    /// The fetch was abandoned mid-download; a cancel is on its way to
+    /// the server.
+    RequestAbandoned {
+        /// Chunk index.
+        chunk: usize,
+        /// Useful body bytes the client had at the abandon decision.
+        received: u64,
+        /// Body size the fetch was aiming for.
+        size: u64,
+    },
+    /// A byte-range resume re-requested the missing tail of an
+    /// abandoned fetch.
+    RequestResumed {
+        /// Chunk index.
+        chunk: usize,
+        /// First byte of the re-requested range.
+        from: u64,
+        /// Body size the resumed fetch is aiming for (may be smaller
+        /// than the original after an ABR downshift).
+        size: u64,
+        /// Bitrate level of the resumed tail.
+        level: usize,
+    },
+    /// A server error (5xx) triggered a seeded-backoff retry.
+    RequestRetried {
+        /// Chunk index.
+        chunk: usize,
+        /// Retry attempt number (1 = first retry).
+        attempt: u64,
+        /// Backoff delay before the re-request, seconds.
+        backoff_s: f64,
+    },
+    /// An injected server-side fault window became active (first
+    /// observed when a request was served under it).
+    ServerFaultActivated {
+        /// Fault kind, e.g. `"error_burst"`, `"stalled_body"`.
+        kind: &'static str,
+        /// Virtual time the fault window ends, seconds.
+        until_s: f64,
+    },
+    /// An injected server-side fault window ended.
+    ServerFaultCleared {
+        /// Fault kind, e.g. `"slow_first_byte"`.
+        kind: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -154,6 +211,12 @@ impl TraceEvent {
             TraceEvent::FaultActivated { .. } => "fault_activated",
             TraceEvent::FaultCleared { .. } => "fault_cleared",
             TraceEvent::BufferTransition { .. } => "buffer_transition",
+            TraceEvent::RequestTimeout { .. } => "request_timeout",
+            TraceEvent::RequestAbandoned { .. } => "request_abandoned",
+            TraceEvent::RequestResumed { .. } => "request_resumed",
+            TraceEvent::RequestRetried { .. } => "request_retried",
+            TraceEvent::ServerFaultActivated { .. } => "server_fault_activated",
+            TraceEvent::ServerFaultCleared { .. } => "server_fault_cleared",
         }
     }
 
@@ -248,6 +311,51 @@ impl TraceEvent {
             TraceEvent::BufferTransition { state, buffer_s } => {
                 push("state", Json::from(*state));
                 push("buffer_s", Json::Float(*buffer_s));
+            }
+            TraceEvent::RequestTimeout {
+                chunk,
+                cause,
+                after_s,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("cause", Json::from(*cause));
+                push("after_s", Json::Float(*after_s));
+            }
+            TraceEvent::RequestAbandoned {
+                chunk,
+                received,
+                size,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("received", Json::from(*received));
+                push("size", Json::from(*size));
+            }
+            TraceEvent::RequestResumed {
+                chunk,
+                from,
+                size,
+                level,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("from", Json::from(*from));
+                push("size", Json::from(*size));
+                push("level", Json::from(*level));
+            }
+            TraceEvent::RequestRetried {
+                chunk,
+                attempt,
+                backoff_s,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("attempt", Json::from(*attempt));
+                push("backoff_s", Json::Float(*backoff_s));
+            }
+            TraceEvent::ServerFaultActivated { kind, until_s } => {
+                push("fault", Json::from(*kind));
+                push("until_s", Json::Float(*until_s));
+            }
+            TraceEvent::ServerFaultCleared { kind } => {
+                push("fault", Json::from(*kind));
             }
         }
         Json::Obj(members)

@@ -6,6 +6,7 @@ use mpdash_dash::abr::AbrKind;
 use mpdash_dash::adapter::{AdapterConfig, DeadlineMode};
 use mpdash_dash::video::Video;
 use mpdash_energy::DeviceProfile;
+use mpdash_http::{LifecyclePolicy, ServerFaultScript};
 use mpdash_link::{BandwidthProfile, FaultScript, LinkConfig, TokenBucket};
 use mpdash_mptcp::{CcKind, SchedulerKind};
 use mpdash_obs::Tracer;
@@ -128,6 +129,13 @@ pub struct SessionConfig {
     pub adapter_config: Option<AdapterConfig>,
     /// Which interface the user prefers (§3.2).
     pub preference: PathPreference,
+    /// Scripted server-side misbehaviour (5xx bursts, stalled bodies,
+    /// slow first byte). Empty by default — a healthy server.
+    pub server_faults: ServerFaultScript,
+    /// Request-lifecycle policy: stall/deadline timeouts, abandonment
+    /// with byte-range resume, seeded retries. Defaults to the
+    /// wait-forever baseline (the pre-lifecycle behaviour).
+    pub lifecycle: LifecyclePolicy,
     /// Structured-trace sink for the run. Disabled by default; when left
     /// disabled, the session falls back to the process-wide
     /// `MPDASH_TRACE` environment tracer. Strictly observe-only: the
@@ -162,6 +170,8 @@ impl SessionConfig {
             sample_slot: SimDuration::from_millis(250),
             adapter_config: None,
             preference: PathPreference::WifiFirst,
+            server_faults: ServerFaultScript::new(),
+            lifecycle: LifecyclePolicy::wait_forever(),
             tracer: Tracer::disabled(),
         }
     }
@@ -206,6 +216,8 @@ impl SessionConfig {
             sample_slot: SimDuration::from_millis(250),
             adapter_config: None,
             preference: PathPreference::WifiFirst,
+            server_faults: ServerFaultScript::new(),
+            lifecycle: LifecyclePolicy::wait_forever(),
             tracer: Tracer::disabled(),
         }
     }
@@ -213,6 +225,12 @@ impl SessionConfig {
     /// Same config with a different video.
     pub fn with_video(mut self, video: Video) -> Self {
         self.video = video;
+        self
+    }
+
+    /// Same config with a different player buffer capacity.
+    pub fn with_buffer_capacity(mut self, capacity: SimDuration) -> Self {
+        self.buffer_capacity = capacity;
         self
     }
 
@@ -275,6 +293,19 @@ impl SessionConfig {
     /// Same config with a fault script injected on the cellular link.
     pub fn with_cell_faults(mut self, faults: FaultScript) -> Self {
         self.cell = self.cell.with_faults(faults);
+        self
+    }
+
+    /// Same config with a server-side fault script (robustness runs:
+    /// 5xx bursts, stalled response bodies, slow first byte).
+    pub fn with_server_faults(mut self, faults: ServerFaultScript) -> Self {
+        self.server_faults = faults;
+        self
+    }
+
+    /// Same config with a request-lifecycle policy.
+    pub fn with_lifecycle(mut self, policy: LifecyclePolicy) -> Self {
+        self.lifecycle = policy;
         self
     }
 

@@ -5,6 +5,7 @@ use mpdash_core::SchedulerStats;
 use mpdash_dash::player::PlayerEvent;
 use mpdash_dash::qoe::QoeSummary;
 use mpdash_energy::SessionEnergy;
+use mpdash_http::DssRange;
 use mpdash_mptcp::PktRecord;
 use mpdash_obs::MetricsSnapshot;
 use mpdash_results::Json;
@@ -39,10 +40,15 @@ pub struct ChunkLogEntry {
     /// Last body byte arrival.
     pub completed: SimTime,
     /// Connection-stream range `[start, end)` of the body (for per-path
-    /// attribution).
-    pub body_dss: (u64, u64),
+    /// attribution). For a chunk delivered across several requests
+    /// (abandon + byte-range resume), this is the *final* request's
+    /// range, so its length can be smaller than `size`.
+    pub body_dss: DssRange,
     /// The MP-DASH window granted, `None` when the adapter bypassed.
     pub deadline: Option<SimDuration>,
+    /// HTTP requests it took to deliver the chunk (1 = the normal case;
+    /// more after retries or abandon/resume cycles).
+    pub requests: u32,
 }
 
 /// How gracefully the session weathered path faults: the robustness
@@ -60,6 +66,24 @@ pub struct DegradationMetrics {
     pub subflow_failures: u64,
     /// Subflow re-establishments after failure, summed over paths.
     pub subflow_revivals: u64,
+}
+
+/// Request-lifecycle counters: how often the deadline-aware machinery
+/// (PR 4) intervened, and what the interventions cost. All zeros under
+/// the wait-forever policy on a healthy server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Stall/deadline/infeasibility timeouts that fired.
+    pub timeouts: u64,
+    /// Requests abandoned mid-download (cancel sent).
+    pub abandoned: u64,
+    /// Byte-range resumes issued after an abandonment.
+    pub resumed: u64,
+    /// Requests re-issued after a server 5xx.
+    pub retried: u64,
+    /// Bytes delivered for abandoned requests after the abandonment
+    /// decision — duplicates of what the resume re-fetched.
+    pub wasted_bytes: u64,
 }
 
 /// Everything measured in one streaming session.
@@ -88,6 +112,9 @@ pub struct SessionReport {
     /// Graceful-degradation counters (deadline misses, outage-bridged
     /// chunks, subflow failovers/revivals).
     pub degradation: DegradationMetrics,
+    /// Request-lifecycle counters (timeouts, abandons, resumes,
+    /// retries, wasted bytes).
+    pub lifecycle: LifecycleStats,
     /// Named counters/gauges/histograms registered during the run.
     pub metrics: MetricsSnapshot,
     /// Discrete-event engine profile (excluded from artifacts).
@@ -193,6 +220,16 @@ impl SessionReport {
                     ),
                 ]),
             ),
+            (
+                "lifecycle",
+                Json::obj([
+                    ("timeouts", Json::from(self.lifecycle.timeouts)),
+                    ("abandoned", Json::from(self.lifecycle.abandoned)),
+                    ("resumed", Json::from(self.lifecycle.resumed)),
+                    ("retried", Json::from(self.lifecycle.retried)),
+                    ("wasted_bytes", Json::from(self.lifecycle.wasted_bytes)),
+                ]),
+            ),
             ("metrics", self.metrics.to_json()),
             (
                 "chunks",
@@ -203,6 +240,7 @@ impl SessionReport {
                         ("size", Json::from(c.size)),
                         ("started_s", Json::Float(c.started.as_secs_f64())),
                         ("completed_s", Json::Float(c.completed.as_secs_f64())),
+                        ("requests", Json::from(u64::from(c.requests))),
                         (
                             "deadline_s",
                             c.deadline

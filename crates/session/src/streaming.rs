@@ -16,7 +16,7 @@
 //!    any explicit modelling).
 
 use crate::config::{SessionConfig, TransportMode};
-use crate::report::{ChunkLogEntry, DegradationMetrics, SessionReport, SimProfile};
+use crate::report::{ChunkLogEntry, DegradationMetrics, LifecycleStats, SessionReport, SimProfile};
 use mpdash_core::deadline::SchedulerParams;
 use mpdash_core::MpDashControl;
 use mpdash_dash::abr::{Abr, AbrInput};
@@ -24,7 +24,7 @@ use mpdash_dash::adapter::{DeadlineDecision, VideoAdapter};
 use mpdash_dash::player::Player;
 use mpdash_dash::qoe::QoeSummary;
 use mpdash_energy::session_energy;
-use mpdash_http::{HttpEvent, HttpLayer, RequestId};
+use mpdash_http::{DssRange, HttpEvent, HttpLayer, LifecycleAction, RequestId, RequestTracker};
 use mpdash_link::PathId;
 use mpdash_mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, StepOutcome};
 use mpdash_obs::{MetricsRegistry, TraceEvent, Tracer};
@@ -36,15 +36,30 @@ const TICK: SimDuration = SimDuration::from_millis(50);
 
 const TICK_ID: u64 = u64::MAX - 1;
 const WAKE_ID: u64 = u64::MAX - 2;
+/// Timer for a pending lifecycle retry (seeded backoff after a 5xx).
+const RETRY_ID: u64 = u64::MAX - 3;
 
 struct CurrentChunk {
     index: usize,
     level: usize,
+    /// Total body bytes the current request plan delivers (may shrink
+    /// below the original chunk size after a downshifted resume).
     size: u64,
     started: SimTime,
     req_id: RequestId,
+    /// Useful body bytes banked across every request for this chunk.
     body_received: u64,
+    /// Bytes already banked before the current request was issued (the
+    /// byte-range offset of the in-flight request).
+    received_base: u64,
     deadline: Option<SimDuration>,
+    /// Lifecycle state machine for the chunk's requests.
+    tracker: RequestTracker,
+    /// A cancel is in flight: body progress of the doomed tail must not
+    /// count as chunk progress.
+    cancelling: bool,
+    /// HTTP requests issued for this chunk so far.
+    requests: u32,
 }
 
 /// The streaming-session driver. See module docs.
@@ -69,6 +84,8 @@ pub struct StreamingSession {
     tracer: Tracer,
     /// Session-level counters/histograms, snapshotted into the report.
     metrics: MetricsRegistry,
+    /// Request-lifecycle counters for the report.
+    lifecycle: LifecycleStats,
 }
 
 impl StreamingSession {
@@ -118,9 +135,11 @@ impl StreamingSession {
         };
         let mut player = Player::new(&cfg.video, cfg.buffer_capacity);
         player.set_tracer(tracer.clone());
+        let mut http = HttpLayer::new().with_faults(cfg.server_faults.clone());
+        http.set_tracer(tracer.clone());
         StreamingSession {
             sim,
-            http: HttpLayer::new(),
+            http,
             player,
             abr,
             adapter,
@@ -132,6 +151,7 @@ impl StreamingSession {
             seen_revivals: [0, 0],
             tracer,
             metrics: MetricsRegistry::new(),
+            lifecycle: LifecycleStats::default(),
             cfg,
         }
     }
@@ -204,6 +224,7 @@ impl StreamingSession {
         }
 
         let req_id = self.http.get(&mut self.sim, size);
+        let tracker = RequestTracker::new(self.cfg.lifecycle, index, now, size, deadline);
         self.current = Some(CurrentChunk {
             index,
             level,
@@ -211,7 +232,11 @@ impl StreamingSession {
             started: now,
             req_id,
             body_received: 0,
+            received_base: 0,
             deadline,
+            tracker,
+            cancelling: false,
+            requests: 1,
         });
         self.sim.schedule_app_timer(now + TICK, TICK_ID);
     }
@@ -279,7 +304,7 @@ impl StreamingSession {
         }
     }
 
-    fn finish_chunk(&mut self, now: SimTime, body_dss: (u64, u64)) {
+    fn finish_chunk(&mut self, now: SimTime, body_dss: DssRange) {
         let cur = self.current.take().expect("completion without a chunk");
         let fetch = now.saturating_since(cur.started);
         let dl = fetch.as_secs_f64();
@@ -331,6 +356,7 @@ impl StreamingSession {
             completed: now,
             body_dss,
             deadline: cur.deadline,
+            requests: cur.requests,
         });
         // Pace the next request on buffer space.
         if self.player.has_space() {
@@ -341,6 +367,191 @@ impl StreamingSession {
         }
     }
 
+    /// React to one client-side HTTP event (from a delivery or from a
+    /// cancel processed at the server).
+    fn handle_http_event(&mut self, t: SimTime, ev: HttpEvent) {
+        let ours = |cur: &CurrentChunk, id: RequestId| cur.req_id == id;
+        match ev {
+            HttpEvent::BodyProgress { id, received, .. } => {
+                if let Some(cur) = self.current.as_mut() {
+                    if ours(cur, id) && !cur.cancelling {
+                        cur.body_received = cur.received_base + received;
+                        cur.tracker.on_progress(t, cur.body_received);
+                    }
+                }
+            }
+            HttpEvent::Complete { id, body_dss } => {
+                let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
+                if is_ours {
+                    self.finish_chunk(t, body_dss);
+                }
+            }
+            HttpEvent::Error { id } => {
+                let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
+                if is_ours {
+                    self.on_request_error(t);
+                }
+            }
+            HttpEvent::Aborted { id, received, .. } => {
+                let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
+                if is_ours {
+                    self.on_request_aborted(t, received);
+                }
+            }
+            HttpEvent::HeaderReceived { .. } => {}
+        }
+    }
+
+    /// The current request got a 5xx: schedule the seeded-backoff retry.
+    fn on_request_error(&mut self, now: SimTime) {
+        let cur = self.current.as_mut().expect("error without a chunk");
+        self.metrics.inc("request_errors");
+        match cur.tracker.on_error(now) {
+            LifecycleAction::Retry {
+                at,
+                attempt,
+                backoff,
+            } => {
+                let chunk = cur.index;
+                self.lifecycle.retried += 1;
+                self.metrics.inc("requests_retried");
+                self.tracer.emit_with(now, || TraceEvent::RequestRetried {
+                    chunk,
+                    attempt: attempt as u64,
+                    backoff_s: backoff.as_secs_f64(),
+                });
+                self.sim.schedule_app_timer(at, RETRY_ID);
+            }
+            // on_error always answers with a retry (wait-forever retries
+            // immediately so a bounded burst can never wedge a session).
+            other => unreachable!("on_error returned {other:?}"),
+        }
+    }
+
+    /// The cancelled request drained: account the wasted tail and issue
+    /// the byte-range resume (optionally downshifted by the ABR).
+    fn on_request_aborted(&mut self, now: SimTime, request_received: u64) {
+        let cur = self.current.as_mut().expect("abort without a chunk");
+        let final_received = cur.received_base + request_received;
+        let acct = cur.tracker.on_aborted(final_received);
+        self.lifecycle.wasted_bytes += acct.wasted;
+        self.metrics.add("wasted_bytes", acct.wasted);
+        let resume_from = acct.resume_from;
+
+        // Optionally re-invoke the ABR with the partial-download state:
+        // the tail may be fetched at a lower level, scaled by the
+        // fraction of the chunk still missing.
+        if self.cfg.lifecycle.resume_downshift && cur.size > 0 {
+            let index = cur.index;
+            let input = AbrInput {
+                buffer: self.player.buffer(),
+                buffer_capacity: self.player.capacity(),
+                last_level: Some(cur.level),
+                last_chunk_throughput: self.last_chunk_throughput,
+                override_throughput: self.control.as_ref().map(|c| c.aggregate_throughput()),
+            };
+            let picked = self.abr.select(&self.cfg.video, &input);
+            let cur = self.current.as_mut().expect("abort without a chunk");
+            if picked < cur.level {
+                let remaining_frac = (cur.size - resume_from) as f64 / cur.size as f64;
+                let tail_full = self.cfg.video.chunk_size(index, picked);
+                let tail = (tail_full as f64 * remaining_frac).ceil() as u64;
+                cur.level = picked;
+                cur.size = resume_from + tail;
+            }
+        }
+
+        let cur = self.current.as_mut().expect("abort without a chunk");
+        let (index, size, level) = (cur.index, cur.size, cur.level);
+        let req_id = self.http.get_range(&mut self.sim, size, resume_from);
+        let cur = self.current.as_mut().expect("abort without a chunk");
+        cur.req_id = req_id;
+        cur.received_base = resume_from;
+        cur.body_received = resume_from;
+        cur.cancelling = false;
+        cur.requests += 1;
+        cur.tracker.on_resumed(now, size);
+        self.lifecycle.resumed += 1;
+        self.metrics.inc("requests_resumed");
+        self.tracer.emit_with(now, || TraceEvent::RequestResumed {
+            chunk: index,
+            from: resume_from,
+            size,
+            level,
+        });
+    }
+
+    /// Per-tick lifecycle decision: feed the tracker the feasibility
+    /// verdict and act on a timeout-driven abandonment.
+    fn lifecycle_poll(&mut self, now: SimTime) {
+        if self.cfg.lifecycle.is_passive() {
+            return;
+        }
+        let Some(cur) = self.current.as_ref() else {
+            return;
+        };
+        if cur.cancelling {
+            return;
+        }
+        // Feasibility: can the remaining bytes make the deadline at the
+        // current aggregate estimate? Only *deep* infeasibility (2× the
+        // remaining window) counts, and only before the deadline — past
+        // it, restarting the tail can no longer help.
+        let infeasible = match (self.control.as_ref(), cur.deadline) {
+            (Some(control), Some(window)) => {
+                let deadline_at = cur.started + window;
+                now < deadline_at && {
+                    let remaining = cur.size.saturating_sub(cur.body_received);
+                    let budget = deadline_at.saturating_since(now);
+                    control.aggregate_throughput().time_to_send(remaining) > budget * 2
+                }
+            }
+            _ => false,
+        };
+        let cur = self.current.as_mut().expect("checked above");
+        match cur.tracker.poll(now, infeasible) {
+            LifecycleAction::Abandon { cause, received } => {
+                let (chunk, size, req_id, started) = (cur.index, cur.size, cur.req_id, cur.started);
+                cur.cancelling = true;
+                self.lifecycle.timeouts += 1;
+                self.lifecycle.abandoned += 1;
+                self.metrics.inc("request_timeouts");
+                self.metrics.inc("requests_abandoned");
+                let after_s = now.saturating_since(started).as_secs_f64();
+                self.tracer.emit_with(now, || TraceEvent::RequestTimeout {
+                    chunk,
+                    cause,
+                    after_s,
+                });
+                self.tracer.emit_with(now, || TraceEvent::RequestAbandoned {
+                    chunk,
+                    received,
+                    size,
+                });
+                self.http.cancel(&mut self.sim, req_id);
+            }
+            LifecycleAction::Retry { .. } => {
+                unreachable!("poll never answers with a retry")
+            }
+            LifecycleAction::None => {}
+        }
+    }
+
+    /// The backoff timer fired: re-issue the request for the missing
+    /// range.
+    fn on_retry_fire(&mut self, now: SimTime) {
+        let Some(cur) = self.current.as_mut() else {
+            return;
+        };
+        let (size, from) = (cur.size, cur.body_received);
+        let req_id = self.http.get_range(&mut self.sim, size, from);
+        let cur = self.current.as_mut().expect("checked above");
+        cur.req_id = req_id;
+        cur.received_base = from;
+        cur.requests += 1;
+        cur.tracker.on_retry_fire(now);
+    }
+
     fn drive(&mut self) {
         self.request_next(SimTime::ZERO);
         while let Some((t, outcome)) = self.sim.step() {
@@ -348,26 +559,7 @@ impl StreamingSession {
                 StepOutcome::Transport { newly_delivered } => {
                     if newly_delivered > 0 {
                         for ev in self.http.on_delivered(newly_delivered) {
-                            match ev {
-                                HttpEvent::BodyProgress { id, received, .. } => {
-                                    if let Some(cur) = self.current.as_mut() {
-                                        if cur.req_id == id {
-                                            cur.body_received = received;
-                                        }
-                                    }
-                                }
-                                HttpEvent::Complete { id, body_dss } => {
-                                    let ours = self
-                                        .current
-                                        .as_ref()
-                                        .map(|c| c.req_id == id)
-                                        .unwrap_or(false);
-                                    if ours {
-                                        self.finish_chunk(t, body_dss);
-                                    }
-                                }
-                                HttpEvent::HeaderReceived { .. } => {}
-                            }
+                            self.handle_http_event(t, ev);
                         }
                         // Mid-download decision on fresh bytes.
                         if self.current.is_some() {
@@ -379,15 +571,24 @@ impl StreamingSession {
                     if self.current.is_some() {
                         self.player.advance_to(t);
                         self.progress_check(t);
+                        self.lifecycle_poll(t);
                         self.sim.schedule_app_timer(t + TICK, TICK_ID);
                     }
                 }
                 StepOutcome::AppTimer { id: WAKE_ID } => {
                     self.request_next(t);
                 }
-                StepOutcome::AppTimer { .. } => {}
+                StepOutcome::AppTimer { id: RETRY_ID } => {
+                    self.on_retry_fire(t);
+                }
+                StepOutcome::AppTimer { id } => {
+                    // Deferred server sends (fault-delayed response parts).
+                    self.http.on_app_timer(&mut self.sim, id);
+                }
                 StepOutcome::ServerMsg { id } => {
-                    self.http.on_server_msg(&mut self.sim, id);
+                    for ev in self.http.on_server_msg(&mut self.sim, id) {
+                        self.handle_http_event(t, ev);
+                    }
                 }
             }
             if self.player.download_complete() && self.sim.quiescent() {
@@ -436,7 +637,7 @@ impl StreamingSession {
         };
         let mut outage_bridged_chunks = 0u64;
         for c in &self.chunks {
-            let (lo, hi) = c.body_dss;
+            let (lo, hi) = (c.body_dss.start, c.body_dss.end);
             let mut pref = 0u64;
             let mut other = 0u64;
             for r in records.iter().filter(|r| r.dss >= lo && r.dss < hi) {
@@ -470,6 +671,14 @@ impl StreamingSession {
         self.metrics
             .add("subflow_revivals", degradation.subflow_revivals);
         self.metrics.add("stalls", self.player.stalls());
+        self.metrics
+            .add("lifecycle_timeouts", self.lifecycle.timeouts);
+        self.metrics
+            .add("lifecycle_abandoned", self.lifecycle.abandoned);
+        self.metrics
+            .add("lifecycle_resumed", self.lifecycle.resumed);
+        self.metrics
+            .add("lifecycle_retried", self.lifecycle.retried);
         self.tracer.flush();
 
         SessionReport {
@@ -484,6 +693,7 @@ impl StreamingSession {
             scheduler_stats,
             player_events: self.player.events().to_vec(),
             degradation,
+            lifecycle: self.lifecycle,
             metrics: self.metrics.snapshot(),
             sim_profile: SimProfile {
                 events_popped: self.sim.events_popped(),
@@ -647,12 +857,101 @@ mod tests {
         for (i, c) in report.chunks.iter().enumerate() {
             assert_eq!(c.index, i);
             assert!(c.completed > c.started);
-            assert_eq!(c.body_dss.1 - c.body_dss.0, c.size);
+            assert_eq!(c.body_dss.len(), c.size);
         }
         // Bodies are disjoint and ascending in the stream.
         for w in report.chunks.windows(2) {
-            assert!(w[1].body_dss.0 >= w[0].body_dss.1);
+            assert!(w[1].body_dss.start >= w[0].body_dss.end);
         }
+    }
+
+    #[test]
+    fn server_error_burst_is_retried_and_recovered() {
+        use mpdash_http::{LifecyclePolicy, ServerFaultScript};
+        let faults =
+            ServerFaultScript::new().error_burst(SimTime::from_secs(5), SimDuration::from_secs(2));
+        let cfg = controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+            .with_server_faults(faults)
+            .with_lifecycle(LifecyclePolicy::retry_only());
+        let report = StreamingSession::run(cfg);
+        assert_eq!(report.chunks.len(), 40, "every chunk must still arrive");
+        assert!(
+            report.lifecycle.retried > 0,
+            "a 2s error burst must force at least one retry"
+        );
+        assert!(
+            report.chunks.iter().any(|c| c.requests > 1),
+            "retried chunks must log extra requests"
+        );
+        assert_eq!(report.lifecycle.abandoned, 0, "retry-only never cancels");
+    }
+
+    #[test]
+    fn stalled_body_abandon_resume_beats_wait_forever() {
+        use mpdash_http::{LifecyclePolicy, ServerFaultScript};
+        // A response body that freezes for 30s mid-chunk: wait-forever
+        // rides the whole stall out, the deadline-aware policy cancels
+        // the doomed request and range-fetches the missing tail.
+        let faults = || {
+            ServerFaultScript::new().stalled_body(
+                SimTime::from_secs(8),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(30),
+                0.5,
+            )
+        };
+        let mk = |policy| {
+            controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+                .with_server_faults(faults())
+                .with_lifecycle(policy)
+        };
+        let wait = StreamingSession::run(mk(LifecyclePolicy::wait_forever()));
+        let resume = StreamingSession::run(mk(LifecyclePolicy::deadline_aware()));
+        assert_eq!(wait.lifecycle.abandoned, 0);
+        assert!(
+            resume.lifecycle.abandoned >= 1,
+            "the stalled body must trigger an abandonment"
+        );
+        assert_eq!(
+            resume.lifecycle.resumed, resume.lifecycle.abandoned,
+            "every abandonment must be followed by a byte-range resume"
+        );
+        assert!(
+            resume.qoe_all.stall_time <= wait.qoe_all.stall_time,
+            "resume stall {:.2}s vs wait {:.2}s",
+            resume.qoe_all.stall_time.as_secs_f64(),
+            wait.qoe_all.stall_time.as_secs_f64()
+        );
+        assert!(
+            resume.duration < wait.duration,
+            "abandon+resume must finish earlier ({:.1}s vs {:.1}s)",
+            resume.duration.as_secs_f64(),
+            wait.duration.as_secs_f64()
+        );
+        assert_eq!(resume.chunks.len(), 40, "no chunk may be lost to a cancel");
+    }
+
+    #[test]
+    fn lifecycle_runs_stay_deterministic() {
+        use mpdash_http::{LifecyclePolicy, ServerFaultScript};
+        let mk = || {
+            controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+                .with_server_faults(
+                    ServerFaultScript::new()
+                        .error_burst(SimTime::from_secs(3), SimDuration::from_secs(1))
+                        .stalled_body(
+                            SimTime::from_secs(10),
+                            SimDuration::from_secs(1),
+                            SimDuration::from_secs(30),
+                            0.3,
+                        ),
+                )
+                .with_lifecycle(LifecyclePolicy::deadline_aware())
+        };
+        let a = StreamingSession::run(mk());
+        let b = StreamingSession::run(mk());
+        assert_eq!(a.lifecycle, b.lifecycle);
+        assert_eq!(a.summary_json().to_string(), b.summary_json().to_string());
     }
 
     #[test]

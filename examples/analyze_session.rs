@@ -33,7 +33,7 @@ fn main() {
             size: c.size,
             started: c.started,
             completed: c.completed,
-            body_dss: c.body_dss,
+            body_dss: (c.body_dss.start, c.body_dss.end),
         })
         .collect();
     let splits = chunk_path_splits(&report.records, &chunks);

@@ -36,6 +36,8 @@ fn config(mode: TransportMode) -> SessionConfig {
         adapter_config: None,
         preference: Default::default(),
         tracer: Default::default(),
+        server_faults: Default::default(),
+        lifecycle: Default::default(),
     }
 }
 

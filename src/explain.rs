@@ -84,8 +84,9 @@ pub struct ChunkExplain {
     pub deadline: DeadlineOutcome,
     /// Injected faults overlapping the fetch window.
     pub faults: Vec<FaultOverlap>,
-    /// Transport-level trace lines inside the fetch window
-    /// (scheduler toggles, subflow failures/revivals), as
+    /// Transport- and lifecycle-level trace lines inside the fetch
+    /// window (scheduler toggles, subflow failures/revivals, request
+    /// timeouts/abandons/resumes/retries, server-fault windows), as
     /// `(virtual seconds, description)`.
     pub transport: Vec<(f64, String)>,
 }
@@ -180,7 +181,7 @@ fn explain_chunks(
             size: c.size,
             started: c.started,
             completed: c.completed,
-            body_dss: c.body_dss,
+            body_dss: (c.body_dss.start, c.body_dss.end),
         })
         .collect();
     let splits = chunk_path_splits(&report.records, &infos);
@@ -238,6 +239,41 @@ fn explain_chunks(
                         TraceEvent::SubflowRevived { path } => {
                             Some(format!("subflow {path} revived"))
                         }
+                        TraceEvent::RequestTimeout {
+                            chunk,
+                            cause,
+                            after_s,
+                        } if *chunk == c.index => {
+                            Some(format!("request timeout ({cause}) after {after_s:.2}s"))
+                        }
+                        TraceEvent::RequestAbandoned {
+                            chunk,
+                            received,
+                            size,
+                        } if *chunk == c.index => Some(format!(
+                            "abandoned mid-body at {received}/{size} B, cancel sent"
+                        )),
+                        TraceEvent::RequestResumed {
+                            chunk,
+                            from,
+                            size,
+                            level,
+                        } if *chunk == c.index => Some(format!(
+                            "byte-range resume from byte {from} (target {size} B, level {level})"
+                        )),
+                        TraceEvent::RequestRetried {
+                            chunk,
+                            attempt,
+                            backoff_s,
+                        } if *chunk == c.index => Some(format!(
+                            "5xx retry #{attempt} after {backoff_s:.2}s backoff"
+                        )),
+                        TraceEvent::ServerFaultActivated { kind, until_s } => {
+                            Some(format!("server fault {kind} active until {until_s:.1}s"))
+                        }
+                        TraceEvent::ServerFaultCleared { kind } => {
+                            Some(format!("server fault {kind} cleared"))
+                        }
                         _ => None,
                     };
                     line.map(|l| (t.as_secs_f64(), l))
@@ -281,7 +317,19 @@ fn render(
         "scheduler: {} toggles, {} deadlines completed, {} missed",
         stats.toggles, stats.completed_transfers, stats.missed_deadlines,
     );
-    let n_faults = scenario.wifi_faults.events().len() + scenario.cell_faults.events().len();
+    let lc = report.lifecycle;
+    let _ = writeln!(
+        out,
+        "lifecycle: {} timeouts, {} abandoned, {} resumed, {} retried, {:.1} KB wasted",
+        lc.timeouts,
+        lc.abandoned,
+        lc.resumed,
+        lc.retried,
+        lc.wasted_bytes as f64 / 1e3,
+    );
+    let n_faults = scenario.wifi_faults.events().len()
+        + scenario.cell_faults.events().len()
+        + scenario.server_faults.events().len();
     let _ = writeln!(out, "injected faults: {n_faults}");
     for c in chunks {
         if only.is_some_and(|i| i != c.index) {
@@ -358,6 +406,39 @@ mod tests {
             {"disassociation": {"at_s": 14, "secs": 20, "reassoc_s": 2}}
         ]
     }"#;
+
+    /// The origin freezes one response mid-body for 30 s; the
+    /// deadline-aware lifecycle must cancel and resume well before that.
+    const SERVER_FAULTED: &str = r#"{
+        "name": "stalled-origin",
+        "video": {"custom": {"levels_mbps": [0.58, 1.01, 1.47, 2.41, 3.94], "chunk_secs": 4, "n_chunks": 20}},
+        "wifi": {"constant": 4.5},
+        "cell": {"constant": 4.0},
+        "abr": "festive",
+        "buffer_secs": 10,
+        "modes": ["mpdash_rate"],
+        "server_faults": [
+            {"stalled_body": {"at_s": 8, "secs": 6, "stall_s": 30, "after_fraction": 0.5}}
+        ],
+        "lifecycle": "deadline_aware"
+    }"#;
+
+    #[test]
+    fn timeline_shows_timeout_abandon_resume_for_a_stalled_body() {
+        let sc = Scenario::from_json(SERVER_FAULTED).unwrap();
+        let (_, report, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        assert!(
+            report.lifecycle.abandoned >= 1,
+            "the frozen body must force an abandonment: {:?}",
+            report.lifecycle
+        );
+        let text = explain_scenario(&sc, &ExplainOptions::default()).unwrap();
+        assert!(text.contains("request timeout (stall)"), "{text}");
+        assert!(text.contains("abandoned mid-body"), "{text}");
+        assert!(text.contains("byte-range resume from byte"), "{text}");
+        assert!(text.contains("server fault stalled_body active"), "{text}");
+        assert!(text.contains("lifecycle: "), "{text}");
+    }
 
     #[test]
     fn defaults_to_the_first_mpdash_mode() {

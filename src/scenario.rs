@@ -11,7 +11,7 @@ use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
 use mpdash_link::{BandwidthProfile, FaultScript, GilbertElliott, LinkConfig};
 use mpdash_results::Json;
-use mpdash_session::{Job, SessionConfig, TransportMode};
+use mpdash_session::{Job, LifecyclePolicy, ServerFaultScript, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 use mpdash_trace::io::ProfileSpec;
 use mpdash_trace::synth::SynthSpec;
@@ -199,6 +199,13 @@ pub struct Scenario {
     pub wifi_faults: FaultScript,
     /// Faults injected on the cellular link.
     pub cell_faults: FaultScript,
+    /// Faults injected at the origin server (empty when the document has
+    /// no `server_faults` array): 5xx bursts, stalled response bodies,
+    /// slow first bytes.
+    pub server_faults: ServerFaultScript,
+    /// Request-lifecycle policy: `wait_forever` (default), `retry_only`,
+    /// or `deadline_aware`.
+    pub lifecycle: LifecyclePolicy,
 }
 
 /// Parse one externally-tagged fault entry — e.g.
@@ -267,6 +274,80 @@ fn parse_fault(script: FaultScript, v: &Json) -> Result<FaultScript, String> {
             Ok(script.disassociation(at, dur, SimDuration::from_secs_f64(reassoc_s)))
         }
         other => Err(format!("unknown fault kind '{other}'")),
+    }
+}
+
+/// Parse one externally-tagged server-fault entry — e.g.
+/// `{"stalled_body": {"at_s": 8, "secs": 6, "stall_s": 30, "after_fraction": 0.5}}`
+/// — and append it to `script`. Kinds: `error_burst`, `stalled_body`,
+/// `slow_first_byte`.
+fn parse_server_fault(script: ServerFaultScript, v: &Json) -> Result<ServerFaultScript, String> {
+    let (tag, payload) = variant(v)?;
+    let at_s = num(field(payload, "at_s")?, "at_s")?;
+    let secs = num(field(payload, "secs")?, "secs")?;
+    if at_s.is_nan() || at_s < 0.0 {
+        return Err(format!("server fault 'at_s' must be >= 0, got {at_s}"));
+    }
+    if secs.is_nan() || secs <= 0.0 {
+        return Err(format!("server fault 'secs' must be > 0, got {secs}"));
+    }
+    let at = SimTime::ZERO + SimDuration::from_secs_f64(at_s);
+    let dur = SimDuration::from_secs_f64(secs);
+    match tag {
+        "error_burst" => Ok(script.error_burst(at, dur)),
+        "stalled_body" => {
+            let stall_s = num(field(payload, "stall_s")?, "stall_s")?;
+            if stall_s.is_nan() || stall_s <= 0.0 {
+                return Err(format!("stalled_body 'stall_s' must be > 0, got {stall_s}"));
+            }
+            let frac = match payload.get("after_fraction") {
+                None => 0.5,
+                Some(j) => num(j, "after_fraction")?,
+            };
+            if !(0.0..1.0).contains(&frac) {
+                return Err(format!(
+                    "stalled_body 'after_fraction' must be in [0,1), got {frac}"
+                ));
+            }
+            Ok(script.stalled_body(at, dur, SimDuration::from_secs_f64(stall_s), frac))
+        }
+        "slow_first_byte" => {
+            let delay_s = num(field(payload, "delay_s")?, "delay_s")?;
+            if delay_s.is_nan() || delay_s <= 0.0 {
+                return Err(format!(
+                    "slow_first_byte 'delay_s' must be > 0, got {delay_s}"
+                ));
+            }
+            Ok(script.slow_first_byte(at, dur, SimDuration::from_secs_f64(delay_s)))
+        }
+        other => Err(format!("unknown server fault kind '{other}'")),
+    }
+}
+
+fn parse_server_fault_list(v: Option<&Json>) -> Result<ServerFaultScript, String> {
+    match v {
+        None => Ok(ServerFaultScript::new()),
+        Some(j) => j
+            .as_arr()
+            .ok_or("'server_faults' must be an array of fault objects")?
+            .iter()
+            .try_fold(ServerFaultScript::new(), parse_server_fault),
+    }
+}
+
+fn parse_lifecycle(v: Option<&Json>) -> Result<LifecyclePolicy, String> {
+    match v {
+        None => Ok(LifecyclePolicy::wait_forever()),
+        Some(j) => match j.as_str() {
+            Some("wait_forever") => Ok(LifecyclePolicy::wait_forever()),
+            Some("retry_only") => Ok(LifecyclePolicy::retry_only()),
+            Some("deadline_aware") => Ok(LifecyclePolicy::deadline_aware()),
+            Some(other) => Err(format!(
+                "unknown lifecycle '{other}' (expected wait_forever, retry_only, \
+                 or deadline_aware)"
+            )),
+            None => Err("'lifecycle' must be a string".into()),
+        },
     }
 }
 
@@ -396,6 +477,8 @@ impl Scenario {
                 .collect::<Result<Vec<_>, _>>()?,
             wifi_faults: parse_fault_list(v.get("wifi_faults"), "wifi_faults")?,
             cell_faults: parse_fault_list(v.get("cell_faults"), "cell_faults")?,
+            server_faults: parse_server_fault_list(v.get("server_faults"))?,
+            lifecycle: parse_lifecycle(v.get("lifecycle"))?,
         };
         sc.validate()?;
         Ok(sc)
@@ -468,6 +551,10 @@ impl Scenario {
             if !self.cell_faults.is_empty() {
                 cfg = cfg.with_cell_faults(self.cell_faults.clone());
             }
+            if !self.server_faults.is_empty() {
+                cfg = cfg.with_server_faults(self.server_faults.clone());
+            }
+            cfg = cfg.with_lifecycle(self.lifecycle);
             out.push((mode.label(), cfg));
         }
         Ok(out)
@@ -597,6 +684,85 @@ mod tests {
             "faults land on the built WiFi link"
         );
         assert_eq!(cfg.cell.faults.as_ref().map(|s| s.events().len()), Some(1));
+    }
+
+    #[test]
+    fn parses_server_faults_and_lifecycle() {
+        let doc = DOC.replacen(
+            r#""name":"#,
+            r#""server_faults": [
+                {"error_burst": {"at_s": 10, "secs": 3}},
+                {"stalled_body": {"at_s": 8, "secs": 6, "stall_s": 30, "after_fraction": 0.5}},
+                {"slow_first_byte": {"at_s": 12, "secs": 6, "delay_s": 1}}
+            ],
+            "lifecycle": "deadline_aware",
+            "name":"#,
+            1,
+        );
+        let sc = Scenario::from_json(&doc).unwrap();
+        assert_eq!(sc.server_faults.events().len(), 3);
+        // Events are sorted by activation time.
+        assert_eq!(sc.server_faults.events()[0].kind.name(), "stalled_body");
+        assert!(sc.lifecycle.abandon_resume);
+        let configs = sc.build().unwrap();
+        assert_eq!(configs[0].1.server_faults.events().len(), 3);
+        assert!(configs[0].1.lifecycle.abandon_resume);
+        // Absent keys keep the passive defaults.
+        let sc = Scenario::from_json(DOC).unwrap();
+        assert!(sc.server_faults.is_empty());
+        assert!(sc.lifecycle.is_passive());
+    }
+
+    #[test]
+    fn rejects_bad_server_fault_values() {
+        for (faults, expect) in [
+            (
+                r#"[{"error_burst": {"at_s": -1, "secs": 3}}]"#,
+                "'at_s' must be >= 0",
+            ),
+            (
+                r#"[{"error_burst": {"at_s": 1, "secs": 0}}]"#,
+                "'secs' must be > 0",
+            ),
+            (
+                r#"[{"stalled_body": {"at_s": 1, "secs": 3, "stall_s": 5, "after_fraction": 1.0}}]"#,
+                "'after_fraction' must be in [0,1)",
+            ),
+            (
+                r#"[{"stalled_body": {"at_s": 1, "secs": 3, "stall_s": 0}}]"#,
+                "'stall_s' must be > 0",
+            ),
+            (
+                r#"[{"slow_first_byte": {"at_s": 1, "secs": 3, "delay_s": 0}}]"#,
+                "'delay_s' must be > 0",
+            ),
+            (
+                r#"[{"ransomware": {"at_s": 1, "secs": 3}}]"#,
+                "unknown server fault kind",
+            ),
+        ] {
+            let doc = DOC.replacen(
+                r#""name":"#,
+                &format!(r#""server_faults": {faults}, "name":"#),
+                1,
+            );
+            let err = Scenario::from_json(&doc).unwrap_err();
+            assert!(err.contains(expect), "{faults}: {err}");
+        }
+
+        let doc = DOC.replacen(r#""name":"#, r#""lifecycle": "yolo", "name":"#, 1);
+        let err = Scenario::from_json(&doc).unwrap_err();
+        assert!(err.contains("unknown lifecycle"), "{err}");
+    }
+
+    #[test]
+    fn shipped_server_faults_scenario_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/server_faults.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = Scenario::from_json(&text).unwrap();
+        assert!(!sc.server_faults.is_empty());
+        assert!(sc.lifecycle.abandon_resume);
+        assert!(sc.build().is_ok());
     }
 
     #[test]

@@ -58,10 +58,10 @@ fn every_abr_and_mode_completes_without_stalls() {
             );
             // Chunk bodies are disjoint, ordered, and size-consistent.
             for w in r.chunks.windows(2) {
-                assert!(w[1].body_dss.0 >= w[0].body_dss.1);
+                assert!(w[1].body_dss.start >= w[0].body_dss.end);
             }
             for c in &r.chunks {
-                assert_eq!(c.body_dss.1 - c.body_dss.0, c.size);
+                assert_eq!(c.body_dss.len(), c.size);
                 assert!(c.completed > c.started);
             }
             // Energy is positive and finite.
