@@ -10,7 +10,9 @@ use mpdash_core::optimal::{optimal_min_cost, SlotItem};
 use mpdash_core::predict::{HoltWinters, Predictor};
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_link::LinkConfig;
+use mpdash_link::{
+    LinkConfig, QueueDiscipline, SharedBottleneck, SharedBottleneckConfig, SharedOutcome,
+};
 use mpdash_mptcp::{MptcpConfig, MptcpSim};
 use mpdash_session::{run_batch_with, Job, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
@@ -74,6 +76,39 @@ fn bench_mptcp_transfer(c: &mut Criterion) {
     });
 }
 
+fn bench_shared_bottleneck(c: &mut Criterion) {
+    // The fleet hot path: every packet of every client crosses a shared
+    // bottleneck twice (offer + pop_departure). 8 flows keep offering at
+    // the service times the queue itself reports, so the queue stays
+    // busy and each iteration measures one full enqueue/dequeue cycle.
+    for (name, discipline) in [
+        ("fifo", QueueDiscipline::Fifo),
+        ("fq", QueueDiscipline::FlowQueue { quantum: 1540 }),
+    ] {
+        c.bench_function(&format!("shared_bottleneck_offer_pop_{name}"), |b| {
+            let bn = SharedBottleneck::new(
+                SharedBottleneckConfig::fifo_mbps(100.0)
+                    .with_discipline(discipline)
+                    .with_capacity(1 << 20),
+            );
+            let flows: Vec<_> = (0..8).map(|_| bn.subscribe()).collect();
+            let mut now = SimTime::ZERO;
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                match bn.offer(now, flows[i % flows.len()], 1_500) {
+                    SharedOutcome::Queued { .. } => {}
+                    SharedOutcome::Dropped(_) => unreachable!("1 MiB cap never fills"),
+                }
+                let at = bn.next_departure().expect("queue is non-empty");
+                let dep = bn.pop_departure().expect("departure is due");
+                now = at;
+                black_box(dep)
+            });
+        });
+    }
+}
+
 fn bench_batch_runner(c: &mut Criterion) {
     // Sessions/sec of the experiment batch runner at different worker
     // counts: 8 tiny streaming sessions per iteration (one per job), so
@@ -111,6 +146,7 @@ criterion_group!(
     bench_holt_winters,
     bench_optimal_dp,
     bench_mptcp_transfer,
+    bench_shared_bottleneck,
     bench_batch_runner
 );
 criterion_main!(benches);

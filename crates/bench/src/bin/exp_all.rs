@@ -19,4 +19,5 @@ fn main() {
     e::faults::run();
     e::lifecycle::run();
     e::field::run();
+    e::fleet::run();
 }

@@ -1,0 +1,5 @@
+//! Runs the multi-client shared-bottleneck contention grid. See
+//! `mpdash_bench::experiments::fleet`.
+fn main() {
+    mpdash_bench::experiments::fleet::run();
+}

@@ -43,6 +43,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         server_faults: Default::default(),
         lifecycle: Default::default(),
         tracer: Default::default(),
+        start_offset: SimDuration::ZERO,
     }
 }
 

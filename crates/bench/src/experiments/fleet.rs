@@ -1,0 +1,265 @@
+//! `exp_fleet` — multi-client contention at shared bottlenecks (beyond
+//! the paper).
+//!
+//! Every other experiment gives one client a private pair of links; this
+//! one puts N streaming sessions behind one WiFi AP and one cellular
+//! sector (both [`mpdash_link::SharedBottleneck`]s whose capacity scales
+//! with the fleet so per-client shares stay scarce), crossed with:
+//!
+//! * **queue discipline** — FIFO/DropTail vs flow-queue round-robin
+//!   (the FQ-PIE spirit: per-flow isolation at the shared queue);
+//! * **transport mode** — vanilla MPTCP with its minRTT scheduler vs
+//!   MP-DASH with rate-based deadlines.
+//!
+//! The fold asserts the two fleet invariants this PR promises:
+//!
+//! 1. MP-DASH's cellular savings *survive contention*: at every fleet
+//!    size and under both disciplines, the MP-DASH fleet moves fewer
+//!    cellular bytes than the minRTT fleet;
+//! 2. flow-queuing never hurts fairness: at every size and mode, FQ's
+//!    Jain index on per-client bitrate is at least FIFO's.
+//!
+//! Each fleet replica runs as one [`mpdash_session::Job`] (a custom job
+//! returning the replica's summary JSON), so the size × discipline ×
+//! mode grid shards over `MPDASH_WORKERS` with bit-identical artifacts
+//! at any worker count.
+
+use crate::Table;
+use mpdash_dash::abr::AbrKind;
+use mpdash_dash::video::Video;
+use mpdash_fleet::{fleet_job, FleetConfig, SharedLinkSpec};
+use mpdash_link::{QueueDiscipline, SharedBottleneckConfig};
+use mpdash_results::{ExperimentResult, Json, ScalarGroup};
+use mpdash_session::{run_batch, run_batch_with, BatchResult, Job, SessionConfig, TransportMode};
+use mpdash_sim::SimDuration;
+
+/// MTU-sized DRR quantum (one full packet per round).
+const FQ_QUANTUM: u64 = 1540;
+
+/// Quick starts at 4 clients: a 2-client "fleet" is barely contended,
+/// so its fairness indices are within noise of each other and say
+/// nothing about the disciplines.
+fn fleet_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 16]
+    }
+}
+
+fn disciplines() -> [QueueDiscipline; 2] {
+    [
+        QueueDiscipline::Fifo,
+        QueueDiscipline::FlowQueue {
+            quantum: FQ_QUANTUM,
+        },
+    ]
+}
+
+/// minRTT first: the fold computes the cellular-savings invariant
+/// against it.
+fn modes() -> [TransportMode; 2] {
+    [TransportMode::Vanilla, TransportMode::mpdash_rate_based()]
+}
+
+fn mode_name(mode: &TransportMode) -> &'static str {
+    match mode {
+        TransportMode::Vanilla => "minRTT",
+        _ => "mpdash",
+    }
+}
+
+/// Same 20-chunk ladder in both shapes: shorter videos are dominated by
+/// the ABR ramp transient, whose fairness is window noise rather than a
+/// property of the queue discipline. Quick saves time on fleet sizes,
+/// not session length.
+fn fleet_video() -> Video {
+    Video::new(
+        "BBB-fleet",
+        &[0.58, 1.01, 1.47, 2.41, 3.94],
+        SimDuration::from_secs(4),
+        20,
+    )
+}
+
+/// One fleet cell of the grid. Capacity scales with the fleet — the AP
+/// gives each client ~2.5 Mbps and the sector ~0.75 Mbps, so the
+/// 3.94 Mbps top level never fits and the shared queues stay contended
+/// at every size, while WiFi keeps enough headroom that a
+/// deadline-aware scheduler *can* shed cellular traffic (with no
+/// headroom at all, deadline pressure forces cellular on for everyone
+/// and there are no savings left to measure).
+fn fleet_cfg(clients: usize, d: QueueDiscipline, mode: TransportMode) -> FleetConfig {
+    let base = SessionConfig::controlled_mbps(50.0, 30.0, AbrKind::Festive, mode)
+        .with_video(fleet_video());
+    FleetConfig::new(base, clients)
+        .with_stagger(SimDuration::from_secs(1))
+        // Heterogeneous RTTs (client k: +10k ms one-way) are what let
+        // FIFO's RTT bias show; DRR should erase it.
+        .with_rtt_skew(SimDuration::from_millis(10))
+        .with_seed(11)
+        .with_shared(SharedLinkSpec::wifi_ap(
+            SharedBottleneckConfig::fifo_mbps(2.5 * clients as f64).with_discipline(d),
+        ))
+        .with_shared(SharedLinkSpec::cell_sector(
+            SharedBottleneckConfig::fifo_mbps(0.75 * clients as f64).with_discipline(d),
+        ))
+}
+
+fn jobs(quick: bool) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &clients in &fleet_sizes(quick) {
+        for d in disciplines() {
+            for mode in modes() {
+                jobs.push(fleet_job(
+                    format!("n{clients}/{}/{}", d.label(), mode_name(&mode)),
+                    fleet_cfg(clients, d, mode),
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+fn num(j: &Json, key: &str) -> f64 {
+    j.get(key)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("fleet summary missing '{key}'"))
+}
+
+fn fold(quick: bool, batch: Vec<BatchResult>) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fleet",
+        "Fleet contention — N clients sharing an AP and a cell sector",
+    )
+    .with_quick(quick);
+    res.text(concat!(
+        "\nN sessions share one WiFi AP (2.5 Mbps/client) and one cell\n",
+        "sector (0.75 Mbps/client), FIFO vs flow-queue (DRR), minRTT vs\n",
+        "MP-DASH. Invariants: MP-DASH moves fewer cellular bytes than\n",
+        "minRTT at every size and discipline, and FQ's Jain bitrate\n",
+        "fairness is never below FIFO's at the same size and mode.",
+    ));
+
+    let mut t = Table::new(&[
+        "clients",
+        "queue",
+        "mode",
+        "bitrate",
+        "jain(bitrate)",
+        "jain(cell)",
+        "cell MB",
+        "miss rate",
+        "stalls",
+        "drops",
+    ]);
+    let mut next = batch.iter();
+    let mut worst_cell_ratio: f64 = 0.0;
+    let mut worst_jain_delta: f64 = f64::INFINITY;
+    for &clients in &fleet_sizes(quick) {
+        // jain_bitrate per (discipline, mode), indexed [d][m].
+        let mut jains = [[0.0f64; 2]; 2];
+        for (di, d) in disciplines().into_iter().enumerate() {
+            let mut minrtt_cell = 0.0f64;
+            for (mi, mode) in modes().into_iter().enumerate() {
+                let j = next.next().unwrap().value().expect("fleet job").clone();
+                let cell = num(&j, "total_cell_bytes");
+                let jain_bitrate = num(&j, "jain_bitrate");
+                jains[di][mi] = jain_bitrate;
+                let mean_bitrate: f64 = j
+                    .get("per_client")
+                    .and_then(|v| v.as_arr())
+                    .map(|rows| {
+                        rows.iter()
+                            .map(|r| num(r, "mean_bitrate_mbps"))
+                            .sum::<f64>()
+                            / rows.len().max(1) as f64
+                    })
+                    .unwrap_or(0.0);
+                let drops: f64 = j
+                    .get("bottlenecks")
+                    .and_then(|v| v.as_arr())
+                    .map(|bns| bns.iter().map(|b| num(b, "dropped_packets")).sum())
+                    .unwrap_or(0.0);
+                t.row(&[
+                    format!("{clients}"),
+                    d.label().into(),
+                    mode_name(&mode).into(),
+                    format!("{mean_bitrate:.2}"),
+                    format!("{jain_bitrate:.4}"),
+                    format!("{:.4}", num(&j, "jain_cell_bytes")),
+                    format!("{:.2}", cell / 1e6),
+                    format!("{:.3}", num(&j, "deadline_miss_rate")),
+                    format!("{}", num(&j, "total_stalls") as u64),
+                    format!("{drops}"),
+                ]);
+                match mode {
+                    TransportMode::Vanilla => minrtt_cell = cell,
+                    _ => {
+                        // Invariant 1: cellular savings survive contention.
+                        assert!(
+                            cell < minrtt_cell,
+                            "n{clients}/{}: MP-DASH cellular {cell} >= minRTT {minrtt_cell}",
+                            d.label()
+                        );
+                        worst_cell_ratio = worst_cell_ratio.max(cell / minrtt_cell.max(1.0));
+                    }
+                }
+            }
+        }
+        // Invariant 2: FQ is at least as fair as FIFO, per mode.
+        for (mi, mode) in modes().into_iter().enumerate() {
+            let (fifo, fq) = (jains[0][mi], jains[1][mi]);
+            assert!(
+                fq + 1e-9 >= fifo,
+                "n{clients}/{}: FQ jain {fq:.4} < FIFO jain {fifo:.4}",
+                mode_name(&mode)
+            );
+            worst_jain_delta = worst_jain_delta.min(fq - fifo);
+        }
+    }
+    res.table(t);
+    res.scalars(
+        ScalarGroup::new("fleet invariants")
+            .with("worst_mpdash_cell_ratio_vs_minrtt", worst_cell_ratio)
+            .with("min_fq_minus_fifo_jain_bitrate", worst_jain_delta),
+    );
+    res
+}
+
+/// Compute the fleet grid on the default worker pool.
+pub fn result(quick: bool) -> ExperimentResult {
+    fold(quick, run_batch(jobs(quick)))
+}
+
+/// Same grid on an explicit worker count — the determinism test pins
+/// both sides of its comparison with this.
+pub fn result_with_workers(quick: bool, workers: usize) -> ExperimentResult {
+    fold(quick, run_batch_with(jobs(quick), workers))
+}
+
+/// Compute, render, persist.
+pub fn run_with(quick: bool) {
+    crate::experiments::run_timed("fleet", quick, result);
+}
+
+/// Full grid behind the shared quick switch.
+pub fn run() {
+    run_with(crate::cli::quick_requested());
+}
+
+#[cfg(test)]
+mod tests {
+    /// The acceptance property: the persisted artifact is bit-identical
+    /// at any worker count (1 is the sequential reference).
+    #[test]
+    fn artifact_is_bit_identical_across_worker_counts() {
+        let seq = super::result_with_workers(true, 1);
+        let par = super::result_with_workers(true, 4);
+        assert_eq!(
+            seq.to_json().to_pretty(),
+            par.to_json().to_pretty(),
+            "exp_fleet must serialize identically at any MPDASH_WORKERS"
+        );
+    }
+}

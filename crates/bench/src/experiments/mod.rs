@@ -27,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod lifecycle;
 pub mod motivation;
 pub mod mpc;

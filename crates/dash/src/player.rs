@@ -107,6 +107,9 @@ pub struct Player {
     stalls: u64,
     stall_time: SimDuration,
     startup_delay: Option<SimDuration>,
+    /// When this session logically began (staggered fleet starts).
+    /// Startup delay is measured from here, not from the epoch.
+    origin: SimTime,
     chunks_downloaded: usize,
     history: Vec<ChunkRecord>,
     events: Vec<PlayerEvent>,
@@ -135,6 +138,7 @@ impl Player {
             stalls: 0,
             stall_time: SimDuration::ZERO,
             startup_delay: None,
+            origin: SimTime::ZERO,
             chunks_downloaded: 0,
             history: Vec::new(),
             events: Vec::new(),
@@ -146,6 +150,17 @@ impl Player {
     /// mirrored as a [`TraceEvent::BufferTransition`]. Observe-only.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Set the session's logical start time (a staggered fleet client
+    /// joins mid-simulation). Startup delay is measured from here.
+    pub fn set_origin(&mut self, origin: SimTime) {
+        self.origin = origin;
+    }
+
+    /// The session's logical start time.
+    pub fn origin(&self) -> SimTime {
+        self.origin
     }
 
     /// Mirror a state transition to the trace layer with the buffer
@@ -297,7 +312,7 @@ impl Player {
         match self.state {
             PlayerState::Startup => {
                 self.state = PlayerState::Playing;
-                self.startup_delay = Some(now.saturating_since(SimTime::ZERO));
+                self.startup_delay = Some(now.saturating_since(self.origin));
                 self.events.push(PlayerEvent::Started { at: now });
                 self.trace_transition(now, "started");
             }

@@ -1,0 +1,559 @@
+//! Multi-session co-simulation: N streaming clients sharing bottlenecks.
+//!
+//! Every experiment below this crate simulates one MP-DASH client against
+//! a private pair of links. The fleet co-simulator is the contention
+//! substrate the ROADMAP's "millions of users" north-star needs first: it
+//! interleaves N full [`StreamingSession`]s — each with its own MPTCP
+//! connection, ABR, lifecycle policy, and staggered start — on one
+//! deterministic virtual clock, with their subflows subscribed to
+//! [`SharedBottleneck`] resources (a WiFi AP, a cell sector) instead of
+//! private links.
+//!
+//! The loop is a global minimum over every bottleneck's next departure
+//! and every unfinished session's next event, with a deterministic
+//! tie-break (bottlenecks before sessions, then index order). That
+//! ordering is also the correctness condition for the bottleneck's lazy
+//! queue-discipline selection: offers reach each bottleneck in globally
+//! non-decreasing time, and departures at time `t` are processed before
+//! any session event at `t` can offer more packets.
+//!
+//! The output is a [`FleetReport`]: per-client [`SessionReport`]s plus
+//! the cross-client aggregates the fairness questions need — Jain's
+//! index on bitrate and on cellular bytes, the aggregate deadline-miss
+//! rate, and per-bottleneck conservation stats and queue-depth
+//! histograms. [`fleet_job`] wraps one replica as a batch-runner job so
+//! sharded sweeps parallelise over `MPDASH_WORKERS` with bit-identical
+//! artifacts at any worker count.
+
+use mpdash_link::{PathId, SharedBottleneck, SharedBottleneckConfig, SharedStats};
+use mpdash_obs::MetricsSnapshot;
+use mpdash_results::Json;
+use mpdash_session::{Job, JobReport, SessionConfig, SessionReport, StreamingSession};
+use mpdash_sim::{derive_seed, SimDuration, SimTime};
+
+/// One shared resource in the fleet topology: a bottleneck plus the
+/// per-client paths that subscribe to it (e.g. every client's WiFi path
+/// behind one AP).
+#[derive(Clone, Debug)]
+pub struct SharedLinkSpec {
+    /// Capacity, queue bound, and discipline of the shared resource.
+    pub config: SharedBottleneckConfig,
+    /// Which of each client's paths ride this bottleneck. Every client
+    /// subscribes each listed path, in client-major order.
+    pub paths: Vec<PathId>,
+}
+
+impl SharedLinkSpec {
+    /// A bottleneck shared by every client's WiFi path — the
+    /// one-access-point topology of the multi-client AQM studies.
+    pub fn wifi_ap(config: SharedBottleneckConfig) -> Self {
+        SharedLinkSpec {
+            config,
+            paths: vec![PathId::WIFI],
+        }
+    }
+
+    /// A bottleneck shared by every client's cellular path (one sector).
+    pub fn cell_sector(config: SharedBottleneckConfig) -> Self {
+        SharedLinkSpec {
+            config,
+            paths: vec![PathId::CELLULAR],
+        }
+    }
+}
+
+/// Configuration of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Template session configuration every client starts from.
+    pub base: SessionConfig,
+    /// Number of concurrent streaming clients.
+    pub clients: usize,
+    /// Start-time spacing: client `k` issues its first request at
+    /// `k * stagger` (staggered joins avoid the synchronized-start
+    /// artifact of all ABRs probing at once).
+    pub stagger: SimDuration,
+    /// Shared-link topology. Empty means private links per client (a
+    /// degenerate fleet, still useful as a no-contention control).
+    pub shared: Vec<SharedLinkSpec>,
+    /// Per-client propagation-delay skew: client `k`'s private links
+    /// carry `k * rtt_skew` of extra one-way delay. Heterogeneous RTTs
+    /// are what separate the queue disciplines — short-RTT flows
+    /// out-compete long-RTT flows at a FIFO queue, while per-flow DRR
+    /// serves them evenly regardless.
+    pub rtt_skew: SimDuration,
+    /// Base seed; client `k`'s links are reseeded with independent
+    /// streams derived from it.
+    pub seed: u64,
+    /// Forward the base config's tracer to exactly this client (the
+    /// `mpdash explain --client K` replay hook); every other client runs
+    /// untraced. `None` traces nobody.
+    pub trace_client: Option<usize>,
+}
+
+impl FleetConfig {
+    /// A fleet of `clients` identical sessions, 500 ms stagger, no
+    /// shared links yet (add them with [`FleetConfig::with_shared`]).
+    pub fn new(base: SessionConfig, clients: usize) -> Self {
+        FleetConfig {
+            base,
+            clients,
+            stagger: SimDuration::from_millis(500),
+            shared: Vec::new(),
+            rtt_skew: SimDuration::ZERO,
+            seed: 1,
+            trace_client: None,
+        }
+    }
+
+    /// Same fleet with a different stagger.
+    pub fn with_stagger(mut self, stagger: SimDuration) -> Self {
+        self.stagger = stagger;
+        self
+    }
+
+    /// Same fleet with an extra shared bottleneck.
+    pub fn with_shared(mut self, spec: SharedLinkSpec) -> Self {
+        self.shared.push(spec);
+        self
+    }
+
+    /// Same fleet with heterogeneous client RTTs (client `k` gains
+    /// `k * skew` of one-way delay on both private links).
+    pub fn with_rtt_skew(mut self, skew: SimDuration) -> Self {
+        self.rtt_skew = skew;
+        self
+    }
+
+    /// Same fleet with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same fleet, tracing exactly client `k` through the base config's
+    /// tracer.
+    pub fn with_trace_client(mut self, k: usize) -> Self {
+        self.trace_client = Some(k);
+        self
+    }
+}
+
+/// Aggregate view of one shared bottleneck after the run.
+#[derive(Clone, Debug)]
+pub struct BottleneckSummary {
+    /// Discipline label (`"fifo"` / `"fq"`).
+    pub discipline: &'static str,
+    /// Byte/packet conservation counters.
+    pub stats: SharedStats,
+    /// Queue-depth and queue-wait histograms recorded during the run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Everything measured across one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-client session reports, in client order.
+    pub sessions: Vec<SessionReport>,
+    /// Jain's fairness index over per-client mean bitrate.
+    pub jain_bitrate: f64,
+    /// Jain's fairness index over per-client cellular bytes.
+    pub jain_cell_bytes: f64,
+    /// Scheduler deadline misses over completed deadline transfers,
+    /// summed across clients.
+    pub deadline_miss_rate: f64,
+    /// WiFi payload bytes summed across clients.
+    pub total_wifi_bytes: u64,
+    /// Cellular payload bytes summed across clients.
+    pub total_cell_bytes: u64,
+    /// Stalls summed across clients (all-chunk accounting).
+    pub total_stalls: u64,
+    /// One summary per configured shared bottleneck, in topology order.
+    pub bottlenecks: Vec<BottleneckSummary>,
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`: 1 when all shares are
+/// equal, → 1/n under a winner-take-all allocation. An empty or
+/// all-zero allocation is vacuously fair.
+pub fn jain(values: &[f64]) -> f64 {
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if values.is_empty() || sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+impl FleetReport {
+    /// Mean of per-client mean bitrates.
+    pub fn mean_bitrate_mbps(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions
+            .iter()
+            .map(|s| s.qoe_all.mean_bitrate_mbps)
+            .sum::<f64>()
+            / self.sessions.len() as f64
+    }
+
+    /// Deterministic artifact JSON: cross-client aggregates, compact
+    /// per-client rows, and per-bottleneck conservation + histograms.
+    pub fn summary_json(&self) -> Json {
+        let per_client = self.sessions.iter().enumerate().map(|(k, s)| {
+            Json::obj([
+                ("client", Json::from(k)),
+                (
+                    "mean_bitrate_mbps",
+                    Json::Float(s.qoe_all.mean_bitrate_mbps),
+                ),
+                ("wifi_bytes", Json::from(s.wifi_bytes)),
+                ("cell_bytes", Json::from(s.cell_bytes)),
+                ("stalls", Json::from(s.qoe_all.stalls)),
+                (
+                    "startup_s",
+                    Json::Float(
+                        s.qoe_all
+                            .startup_delay
+                            .map(|d| d.as_secs_f64())
+                            .unwrap_or(0.0),
+                    ),
+                ),
+                (
+                    "deadline_misses",
+                    Json::from(s.scheduler_stats.missed_deadlines),
+                ),
+            ])
+        });
+        let bottlenecks = self.bottlenecks.iter().map(|b| {
+            Json::obj([
+                ("discipline", Json::from(b.discipline)),
+                ("offered_bytes", Json::from(b.stats.offered_bytes)),
+                ("delivered_bytes", Json::from(b.stats.delivered_bytes)),
+                ("dropped_bytes", Json::from(b.stats.dropped_bytes)),
+                ("queued_bytes", Json::from(b.stats.queued_bytes)),
+                ("dropped_packets", Json::from(b.stats.dropped_packets)),
+                ("metrics", b.metrics.to_json()),
+            ])
+        });
+        Json::obj([
+            ("clients", Json::from(self.sessions.len())),
+            ("jain_bitrate", Json::Float(self.jain_bitrate)),
+            ("jain_cell_bytes", Json::Float(self.jain_cell_bytes)),
+            ("deadline_miss_rate", Json::Float(self.deadline_miss_rate)),
+            ("total_wifi_bytes", Json::from(self.total_wifi_bytes)),
+            ("total_cell_bytes", Json::from(self.total_cell_bytes)),
+            ("total_stalls", Json::from(self.total_stalls)),
+            ("per_client", Json::arr(per_client)),
+            ("bottlenecks", Json::arr(bottlenecks)),
+        ])
+    }
+}
+
+/// Run one fleet to completion. Deterministic: a pure function of the
+/// configuration (tracing included — it is observe-only).
+pub fn run(cfg: &FleetConfig) -> FleetReport {
+    assert!(cfg.clients >= 1, "a fleet needs at least one client");
+    let mut sessions: Vec<StreamingSession> = (0..cfg.clients)
+        .map(|k| {
+            let mut sc = cfg.base.clone();
+            sc.start_offset = cfg.stagger * k as u64;
+            let skew = cfg.rtt_skew * k as u64;
+            sc.wifi.delay += skew;
+            sc.cell.delay += skew;
+            let client_seed = derive_seed(cfg.seed, k as u64);
+            sc.wifi.seed = derive_seed(client_seed, 0);
+            sc.cell.seed = derive_seed(client_seed, 1);
+            if cfg.trace_client != Some(k) {
+                sc.tracer = mpdash_obs::Tracer::disabled();
+            }
+            StreamingSession::start(sc)
+        })
+        .collect();
+
+    // Build the shared topology. Subscription happens in client-major
+    // order per bottleneck, so `route[b][flow]` maps a bottleneck's
+    // flow id back to (client, path). Must precede any stepping: a
+    // started session has only queued its first upstream request, no
+    // data-link transmit has happened yet.
+    let mut bottlenecks: Vec<SharedBottleneck> = Vec::with_capacity(cfg.shared.len());
+    let mut route: Vec<Vec<(usize, PathId)>> = Vec::with_capacity(cfg.shared.len());
+    for spec in &cfg.shared {
+        let bn = SharedBottleneck::new(spec.config);
+        let mut flows = Vec::with_capacity(cfg.clients * spec.paths.len());
+        for (k, session) in sessions.iter_mut().enumerate() {
+            for &path in &spec.paths {
+                let flow = session.attach_shared(path, &bn);
+                debug_assert_eq!(flow, flows.len(), "flows subscribe densely");
+                flows.push((k, path));
+            }
+        }
+        bottlenecks.push(bn);
+        route.push(flows);
+    }
+
+    // The fleet event loop: pop the globally earliest event. Tie-break
+    // is (time, bottleneck-before-session, index), which both makes the
+    // interleaving deterministic and guarantees departures at time t
+    // precede any new offers made at t.
+    let mut done = vec![false; cfg.clients];
+    loop {
+        let mut best: Option<(SimTime, usize, usize)> = None;
+        for (i, bn) in bottlenecks.iter().enumerate() {
+            if let Some(t) = bn.next_departure() {
+                let key = (t, 0, i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        for (k, session) in sessions.iter().enumerate() {
+            if done[k] {
+                continue;
+            }
+            if let Some(t) = session.peek_time() {
+                let key = (t, 1, k);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some((_, 0, i)) => {
+                let d = bottlenecks[i].pop_departure().expect("departure peeked");
+                let (k, path) = route[i][d.flow];
+                sessions[k].on_shared_departure(path, d.ticket, d.at);
+            }
+            Some((_, _, k)) => {
+                sessions[k].step_once();
+                if sessions[k].finished() {
+                    // A finished session is quiescent: every packet it
+                    // offered to a bottleneck has been acknowledged, so
+                    // no departure can target it anymore. Its leftover
+                    // timers are abandoned, exactly as the standalone
+                    // driver abandons them.
+                    done[k] = true;
+                }
+            }
+        }
+    }
+    assert!(
+        done.iter().all(|&d| d),
+        "fleet deadlocked: {} of {} clients unfinished",
+        done.iter().filter(|&&d| !d).count(),
+        cfg.clients
+    );
+
+    let bottlenecks: Vec<BottleneckSummary> = bottlenecks
+        .iter()
+        .zip(&cfg.shared)
+        .map(|(bn, spec)| {
+            let stats = bn.stats();
+            assert!(stats.conserved(), "bottleneck conservation: {stats:?}");
+            BottleneckSummary {
+                discipline: spec.config.discipline.label(),
+                stats,
+                metrics: bn.metrics_snapshot(),
+            }
+        })
+        .collect();
+
+    let sessions: Vec<SessionReport> = sessions.into_iter().map(|s| s.into_report()).collect();
+    let bitrates: Vec<f64> = sessions
+        .iter()
+        .map(|s| s.qoe_all.mean_bitrate_mbps)
+        .collect();
+    let cell: Vec<f64> = sessions.iter().map(|s| s.cell_bytes as f64).collect();
+    let missed: u64 = sessions
+        .iter()
+        .map(|s| s.scheduler_stats.missed_deadlines)
+        .sum();
+    let completed: u64 = sessions
+        .iter()
+        .map(|s| s.scheduler_stats.completed_transfers)
+        .sum();
+    FleetReport {
+        jain_bitrate: jain(&bitrates),
+        jain_cell_bytes: jain(&cell),
+        deadline_miss_rate: missed as f64 / completed.max(1) as f64,
+        total_wifi_bytes: sessions.iter().map(|s| s.wifi_bytes).sum(),
+        total_cell_bytes: sessions.iter().map(|s| s.cell_bytes).sum(),
+        total_stalls: sessions.iter().map(|s| s.qoe_all.stalls).sum(),
+        bottlenecks,
+        sessions,
+    }
+}
+
+/// Wrap one fleet replica as a batch-runner job. The replica's summary
+/// JSON rides back as a [`JobReport::Value`], so independent replicas
+/// shard across `MPDASH_WORKERS` through the ordinary order-preserving
+/// batch machinery.
+pub fn fleet_job(label: impl Into<String>, cfg: FleetConfig) -> Job {
+    Job::custom(label, move || {
+        JobReport::Value(Box::new(run(&cfg).summary_json()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpdash_dash::abr::AbrKind;
+    use mpdash_dash::video::Video;
+    use mpdash_link::QueueDiscipline;
+    use mpdash_session::{run_batch_with, TransportMode};
+
+    fn tiny_video() -> Video {
+        Video::new(
+            "tiny",
+            &[0.58, 1.01, 1.47, 2.41, 3.94],
+            SimDuration::from_secs(4),
+            10,
+        )
+    }
+
+    fn base(mode: TransportMode) -> SessionConfig {
+        SessionConfig::controlled_mbps(20.0, 8.0, AbrKind::Festive, mode).with_video(tiny_video())
+    }
+
+    fn ap(mbps: f64, discipline: QueueDiscipline) -> SharedLinkSpec {
+        SharedLinkSpec::wifi_ap(SharedBottleneckConfig::fifo_mbps(mbps).with_discipline(discipline))
+    }
+
+    #[test]
+    fn a_private_link_fleet_matches_standalone_sessions() {
+        // No shared links: each fleet client is an independent session,
+        // so client 0 (zero stagger, same derived seed) must reproduce
+        // the standalone run byte for byte.
+        let cfg = FleetConfig::new(base(TransportMode::Vanilla), 3);
+        let report = run(&cfg);
+        assert_eq!(report.sessions.len(), 3);
+
+        let mut alone = cfg.base.clone();
+        let client_seed = derive_seed(cfg.seed, 0);
+        alone.wifi.seed = derive_seed(client_seed, 0);
+        alone.cell.seed = derive_seed(client_seed, 1);
+        let solo = StreamingSession::run(alone);
+        assert_eq!(
+            report.sessions[0].summary_json().to_pretty(),
+            solo.summary_json().to_pretty()
+        );
+    }
+
+    #[test]
+    fn staggered_clients_measure_qoe_from_their_own_origin() {
+        let cfg = FleetConfig::new(base(TransportMode::Vanilla), 3)
+            .with_stagger(SimDuration::from_secs(2));
+        let report = run(&cfg);
+        for s in &report.sessions {
+            let startup = s.qoe_all.startup_delay.expect("all clients played");
+            // Startup is measured from each client's own join, not from
+            // the epoch — so a 2 s/4 s-late join must not inflate it.
+            assert!(
+                startup < SimDuration::from_secs(2),
+                "startup {startup:?} includes the stagger offset"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_on_a_shared_ap_is_visible_and_conserved() {
+        // Same shared topology, scarce vs generous capacity. Both the
+        // AP and the cell sector are shared — otherwise each client's
+        // private cellular path quietly absorbs the AP's scarcity. At
+        // 2 + 1 Mbps across 4 clients (~0.75 Mbps each), even FESTIVE's
+        // ramp levels no longer fit, so bitrate must drop and sessions
+        // must stretch — while every offered byte stays accounted for.
+        let mk = |wifi_mbps, cell_mbps| {
+            run(&FleetConfig::new(base(TransportMode::Vanilla), 4)
+                .with_shared(ap(wifi_mbps, QueueDiscipline::Fifo))
+                .with_shared(SharedLinkSpec::cell_sector(
+                    SharedBottleneckConfig::fifo_mbps(cell_mbps),
+                )))
+        };
+        let free = mk(100.0, 100.0);
+        let contended = mk(2.0, 1.0);
+        assert_eq!(contended.bottlenecks.len(), 2);
+        for bn in &contended.bottlenecks {
+            assert!(bn.stats.conserved());
+            assert!(bn.stats.offered_bytes > 0, "traffic rode the bottleneck");
+        }
+        assert!(
+            contended.mean_bitrate_mbps() < free.mean_bitrate_mbps(),
+            "contended {:.2} vs free {:.2}",
+            contended.mean_bitrate_mbps(),
+            free.mean_bitrate_mbps()
+        );
+        let longest = |r: &FleetReport| {
+            r.sessions
+                .iter()
+                .map(|s| s.duration)
+                .max()
+                .expect("non-empty fleet")
+        };
+        assert!(
+            longest(&contended) > longest(&free),
+            "scarcity must stretch sessions"
+        );
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let mk = || {
+            FleetConfig::new(base(TransportMode::mpdash_rate_based()), 4)
+                .with_shared(ap(14.0, QueueDiscipline::Fifo))
+                .with_seed(7)
+        };
+        let a = run(&mk()).summary_json().to_pretty();
+        let b = run(&mk()).summary_json().to_pretty();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicas_shard_identically_across_worker_counts() {
+        let jobs = |n: usize| -> Vec<Job> {
+            (0..n)
+                .map(|r| {
+                    let cfg = FleetConfig::new(base(TransportMode::Vanilla), 3)
+                        .with_shared(ap(12.0, QueueDiscipline::Fifo))
+                        .with_seed(100 + r as u64);
+                    fleet_job(format!("replica{r}"), cfg)
+                })
+                .collect()
+        };
+        let seq = run_batch_with(jobs(4), 1);
+        let par = run_batch_with(jobs(4), 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                a.value().unwrap().to_pretty(),
+                b.value().unwrap().to_pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn fq_is_no_less_fair_than_fifo_under_contention() {
+        let mk = |d| {
+            run(&FleetConfig::new(base(TransportMode::Vanilla), 4)
+                .with_shared(ap(10.0, d))
+                .with_seed(3))
+        };
+        let fifo = mk(QueueDiscipline::Fifo);
+        let fq = mk(QueueDiscipline::FlowQueue { quantum: 1540 });
+        assert!(
+            fq.jain_bitrate + 1e-9 >= fifo.jain_bitrate,
+            "fq jain {:.4} < fifo jain {:.4}",
+            fq.jain_bitrate,
+            fifo.jain_bitrate
+        );
+    }
+
+    #[test]
+    fn jain_index_basics() {
+        assert!((jain(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -33,9 +33,14 @@ pub mod link;
 pub mod path;
 pub mod profile;
 pub mod shaper;
+pub mod shared;
 
 pub use fault::{FaultEvent, FaultKind, FaultScript, GeChain, GilbertElliott};
 pub use link::{DropReason, Link, LinkConfig, SendOutcome};
 pub use path::PathId;
 pub use profile::BandwidthProfile;
 pub use shaper::TokenBucket;
+pub use shared::{
+    Departure, FlowId, FlowStats, QueueDiscipline, SharedBottleneck, SharedBottleneckConfig,
+    SharedOutcome, SharedStats, Ticket,
+};

@@ -22,6 +22,7 @@
 use crate::fault::{FaultScript, FaultState};
 use crate::profile::BandwidthProfile;
 use crate::shaper::TokenBucket;
+use crate::shared::{FlowId, SharedBottleneck, SharedOutcome};
 use mpdash_obs::{TraceEvent, Tracer};
 use mpdash_sim::{Prng, Rate, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -138,6 +139,13 @@ pub struct Link {
     /// Accepted packets still occupying the queue/server:
     /// `(serialization end, size)`. Lazily purged as time advances.
     in_system: VecDeque<(SimTime, u64)>,
+    /// High-water mark of the lazy purge clock: occupancy has been
+    /// sampled at this instant. Enforces the one-`now`-per-tick rule
+    /// (see [`Link::backlog`]).
+    purged_to: SimTime,
+    /// When attached, serialization happens at a [`SharedBottleneck`]
+    /// instead of this link's private server (see [`Link::offer_shared`]).
+    shared: Option<(SharedBottleneck, FlowId)>,
     // Lifetime counters for the analysis tool.
     delivered_bytes: u64,
     delivered_packets: u64,
@@ -166,6 +174,8 @@ impl Link {
             faults,
             busy_until: SimTime::ZERO,
             in_system: VecDeque::new(),
+            purged_to: SimTime::ZERO,
+            shared: None,
             delivered_bytes: 0,
             delivered_packets: 0,
             dropped_packets: 0,
@@ -236,15 +246,96 @@ impl Link {
     }
 
     /// Bytes currently queued or in service at `now` (after lazy purge).
+    ///
+    /// **Single-`now` rule**: within one tick, occupancy must be sampled
+    /// at exactly one instant — the arrival instant — and every decision
+    /// derived from it (drop-tail admission, accounting) must reuse that
+    /// sample. Re-sampling at a *later* instant inside the same tick
+    /// (say, a throttle-deferred service start) would see a drained
+    /// queue and let admission and accounting disagree by one tick —
+    /// harmless on a private link, but visible drift once a queue is
+    /// shared. The purge clock is monotone and remembered in
+    /// `purged_to`; a query older than it returns the already-purged
+    /// occupancy rather than resurrecting departed packets.
     pub fn backlog(&mut self, now: SimTime) -> u64 {
+        if now > self.purged_to {
+            self.purged_to = now;
+        }
+        let horizon = self.purged_to;
         while let Some(&(end, _)) = self.in_system.front() {
-            if end <= now {
+            if end <= horizon {
                 self.in_system.pop_front();
             } else {
                 break;
             }
         }
         self.in_system.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Attach this link to a [`SharedBottleneck`] as subscription
+    /// `flow`. From then on the transport must route packets through
+    /// [`Link::offer_shared`]; the private server and queue are unused.
+    pub fn attach_shared(&mut self, bottleneck: SharedBottleneck, flow: FlowId) {
+        self.shared = Some((bottleneck, flow));
+    }
+
+    /// Whether this link serializes at a shared bottleneck.
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The flow id of the shared subscription, if attached.
+    pub fn shared_flow(&self) -> Option<FlowId> {
+        self.shared.as_ref().map(|&(_, flow)| flow)
+    }
+
+    /// Offer a packet to the attached shared bottleneck at `now`.
+    ///
+    /// The link-local air-interface hazards (disassociation windows,
+    /// burst loss, i.i.d. loss) still apply first, exactly as in
+    /// [`Link::send`] steps 0–2; what moves to the shared resource is
+    /// serialization and queueing (steps 3–5), whose outcome is deferred
+    /// — the returned ticket's departure arrives later through the
+    /// co-simulation loop, and propagation delay is added by the caller
+    /// when scheduling that delivery. Rate-collapse and RTT-spike fault
+    /// kinds act on the private server/propagation stages and thus do
+    /// not apply on a shared path.
+    ///
+    /// # Panics
+    /// If no bottleneck is attached.
+    pub fn offer_shared(&mut self, now: SimTime, size: u64) -> SharedOutcome {
+        debug_assert!(size > 0, "packets must be non-empty");
+        self.trace_fault_edges(now);
+        if let Some(faults) = &self.faults {
+            if faults.disassociated_at(now) {
+                self.dropped_packets += 1;
+                self.fault_dropped_packets += 1;
+                return SharedOutcome::Dropped(DropReason::Disassociated);
+            }
+        }
+        if let Some(faults) = &mut self.faults {
+            if faults.burst_lose_packet(now) {
+                self.dropped_packets += 1;
+                self.fault_dropped_packets += 1;
+                return SharedOutcome::Dropped(DropReason::BurstLoss);
+            }
+        }
+        if self.cfg.loss > 0.0 && self.rng.next_f64() < self.cfg.loss {
+            self.dropped_packets += 1;
+            return SharedOutcome::Dropped(DropReason::RandomLoss);
+        }
+        let (bottleneck, flow) = self.shared.as_ref().expect("no shared bottleneck attached");
+        let outcome = bottleneck.offer(now, *flow, size);
+        match outcome {
+            SharedOutcome::Queued { .. } => {
+                self.delivered_bytes += size;
+                self.delivered_packets += 1;
+            }
+            SharedOutcome::Dropped(_) => {
+                self.dropped_packets += 1;
+            }
+        }
+        outcome
     }
 
     /// Total bytes accepted for delivery so far.
@@ -311,7 +402,11 @@ impl Link {
             return SendOutcome::Dropped(DropReason::RandomLoss);
         }
 
-        // 3. Drop-tail admission check against the current backlog.
+        // 3. Drop-tail admission check against the current backlog. This
+        //    is the tick's single occupancy sample (see `backlog` docs):
+        //    the throttle or a blackout below may defer service past
+        //    `now`, but admission must NOT be re-judged at that later
+        //    start or it would disagree with this sample within one tick.
         let backlog = self.backlog(now);
         if backlog + size > self.cfg.queue_capacity {
             self.dropped_packets += 1;
@@ -460,6 +555,44 @@ mod tests {
         // left the system.
         assert_eq!(l.backlog(SimTime::from_millis(30)), 3 * MSS);
         assert_eq!(l.backlog(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn backlog_purge_clock_is_monotone() {
+        let mut l = Link::new(
+            LinkConfig::constant(1.0, SimDuration::from_millis(1)).with_queue_capacity(10 * MSS),
+        );
+        for _ in 0..5 {
+            l.send(SimTime::ZERO, MSS);
+        }
+        // Purge at t=30 ms (two packets have left), then query an older
+        // instant: the sample must not resurrect departed packets, and
+        // the same tick keeps seeing one consistent occupancy.
+        assert_eq!(l.backlog(SimTime::from_millis(30)), 3 * MSS);
+        assert_eq!(l.backlog(SimTime::from_millis(10)), 3 * MSS);
+        assert_eq!(l.backlog(SimTime::from_millis(30)), 3 * MSS);
+    }
+
+    #[test]
+    fn throttled_admission_uses_the_arrival_instant_sample() {
+        // A deep throttle defers service far beyond `now`. Admission
+        // must still be judged against the occupancy at the arrival
+        // instant — not re-sampled at the deferred start (where the
+        // queue would look empty and admission would diverge from the
+        // recorded occupancy by one tick).
+        let bucket = TokenBucket::new(Rate::from_kbps(100), 1500);
+        let mut l = Link::new(
+            LinkConfig::constant(10.0, SimDuration::ZERO)
+                .with_throttle(bucket)
+                .with_queue_capacity(3 * MSS),
+        );
+        let mut admitted = 0;
+        for _ in 0..6 {
+            if matches!(l.send(SimTime::ZERO, MSS), SendOutcome::Delivered { .. }) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 3, "admission judged at the single t=0 sample");
     }
 
     #[test]

@@ -32,9 +32,10 @@ use crate::packet::{PathMask, PktRecord, MSS};
 use crate::receiver::Receiver;
 use crate::scheduler::SchedulerKind;
 use crate::sender::{Sender, Transmit};
-use mpdash_link::{Link, LinkConfig, PathId, SendOutcome};
+use mpdash_link::{Link, LinkConfig, PathId, SendOutcome, SharedBottleneck, SharedOutcome, Ticket};
 use mpdash_obs::{TraceEvent, Tracer};
 use mpdash_sim::{EventQueue, Rate, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// TCP/IP header bytes charged to the link per data packet.
 pub const HEADER_BYTES: u64 = 40;
@@ -104,6 +105,21 @@ pub enum StepOutcome {
     ServerMsg { id: u64 },
 }
 
+/// A packet handed to a [`SharedBottleneck`] and awaiting its departure.
+/// The fleet loop pops the bottleneck's departures and calls
+/// [`MptcpSim::on_shared_departure`] to turn each back into an
+/// [`Event::Data`] on this connection's queue.
+struct PendingPkt {
+    ticket: Ticket,
+    seq: u64,
+    len: u64,
+    dss: u64,
+    retx: bool,
+    syn: bool,
+    /// When the packet was offered (for queue-wait tracing).
+    offered: SimTime,
+}
+
 enum Event {
     Data {
         path: PathId,
@@ -139,6 +155,10 @@ pub struct MptcpSim {
     rcv: Receiver,
     /// Earliest pending RTO event per path (lazy-timer bookkeeping).
     rto_event_at: Vec<Option<SimTime>>,
+    /// Per-path packets currently queued inside a shared bottleneck.
+    /// Departures within one flow are FIFO under both disciplines, so a
+    /// `VecDeque` plus a ticket assertion is exact.
+    deferred: Vec<VecDeque<PendingPkt>>,
     /// Observe-only trace emission (DSS signals, subflow transitions,
     /// cwnd/SRTT samples); never feeds back into transport state.
     tracer: Tracer,
@@ -165,6 +185,7 @@ impl MptcpSim {
             snd: Sender::new(n, cfg.scheduler, cfg.cc),
             rcv: Receiver::new(n),
             rto_event_at: vec![None; n],
+            deferred: (0..n).map(|_| VecDeque::new()).collect(),
             tracer: Tracer::disabled(),
             trace_failures_seen: vec![0; n],
             trace_revivals_seen: vec![0; n],
@@ -183,6 +204,30 @@ impl MptcpSim {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Time of this connection's next pending event, if any. The fleet
+    /// loop uses this to interleave several connections on one clock.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Route `path`'s data direction through a [`SharedBottleneck`]: the
+    /// link keeps its propagation delay and fault pipeline but its
+    /// serialization/queueing moves into the shared resource. Returns
+    /// the [`mpdash_link::FlowId`] this connection's path was assigned.
+    ///
+    /// Once attached, packets on this path do not self-schedule their
+    /// delivery: the caller must watch the bottleneck's departures and
+    /// feed them back via [`MptcpSim::on_shared_departure`].
+    pub fn attach_shared(
+        &mut self,
+        path: PathId,
+        bottleneck: &SharedBottleneck,
+    ) -> mpdash_link::FlowId {
+        let flow = bottleneck.subscribe();
+        self.links[path.index()].attach_shared(bottleneck.clone(), flow);
+        flow
     }
 
     /// Number of paths.
@@ -469,7 +514,27 @@ impl MptcpSim {
     }
 
     fn transmit(&mut self, now: SimTime, t: Transmit) {
-        match self.links[t.path.index()].send(now, t.len + HEADER_BYTES) {
+        let link = &mut self.links[t.path.index()];
+        if link.is_shared() {
+            match link.offer_shared(now, t.len + HEADER_BYTES) {
+                SharedOutcome::Queued { ticket } => {
+                    self.deferred[t.path.index()].push_back(PendingPkt {
+                        ticket,
+                        seq: t.seq,
+                        len: t.len,
+                        dss: t.dss,
+                        retx: t.retx,
+                        syn: t.syn,
+                        offered: now,
+                    });
+                }
+                SharedOutcome::Dropped(_) => {
+                    // The packet vanishes; dup ACKs or the RTO recover it.
+                }
+            }
+            return;
+        }
+        match link.send(now, t.len + HEADER_BYTES) {
             SendOutcome::Delivered { at } => {
                 self.queue.schedule(
                     at,
@@ -487,6 +552,42 @@ impl MptcpSim {
                 // The packet vanishes; duplicate ACKs or the RTO recover it.
             }
         }
+    }
+
+    /// A shared bottleneck finished serving one of this connection's
+    /// packets: schedule its arrival after `path`'s propagation delay.
+    /// `ticket` must match the oldest deferred packet on `path`
+    /// (per-flow departures are FIFO under every discipline).
+    pub fn on_shared_departure(&mut self, path: PathId, ticket: Ticket, depart_at: SimTime) {
+        let pkt = self.deferred[path.index()]
+            .pop_front()
+            .expect("departure for a path with no deferred packets");
+        assert_eq!(
+            pkt.ticket, ticket,
+            "shared bottleneck departures out of order within a flow"
+        );
+        let waited = depart_at.saturating_since(pkt.offered);
+        if waited > SimDuration::ZERO {
+            let size = pkt.len + HEADER_BYTES;
+            self.tracer
+                .emit_with(depart_at, || TraceEvent::SharedQueueWait {
+                    path: path.index(),
+                    waited_s: waited.as_secs_f64(),
+                    size,
+                });
+        }
+        let arrive = depart_at + self.links[path.index()].delay();
+        self.queue.schedule(
+            arrive,
+            Event::Data {
+                path,
+                seq: pkt.seq,
+                len: pkt.len,
+                dss: pkt.dss,
+                retx: pkt.retx,
+                syn: pkt.syn,
+            },
+        );
     }
 
     /// Lazy RTO timer: make sure an event exists at (or before) the
@@ -684,6 +785,70 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Two single-path connections share one bottleneck; a miniature
+    /// fleet loop (global-min over the bottleneck's departures and both
+    /// connections' queues) drives them to completion.
+    #[test]
+    fn two_connections_share_a_bottleneck() {
+        use mpdash_link::SharedBottleneckConfig;
+
+        let mk = || {
+            // Propagation only: serialization happens in the shared queue.
+            let link = LinkConfig::constant(1000.0, SimDuration::from_millis(25));
+            MptcpSim::new(MptcpConfig {
+                paths: vec![PathConfig::symmetric(link)],
+                scheduler: SchedulerKind::MinRtt,
+                cc: CcKind::Reno,
+            })
+        };
+        let bn = SharedBottleneck::new(SharedBottleneckConfig::fifo_mbps(8.0));
+        let mut sims = [mk(), mk()];
+        let mut route = Vec::new();
+        for (i, sim) in sims.iter_mut().enumerate() {
+            let flow = sim.attach_shared(PathId(0), &bn);
+            assert_eq!(flow, i, "flows subscribe in order");
+            route.push(i);
+        }
+        let total = 400_000;
+        sims[0].send_app(total);
+        sims[1].send_app(total);
+
+        loop {
+            let mut best: Option<(SimTime, usize)> = None; // kind: 0 = bottleneck, 1+i = sim i
+            if let Some(t) = bn.next_departure() {
+                best = Some((t, 0));
+            }
+            for (i, sim) in sims.iter().enumerate() {
+                if let Some(t) = sim.peek_time() {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, 1 + i));
+                    }
+                }
+            }
+            match best {
+                None => break,
+                Some((_, 0)) => {
+                    let d = bn.pop_departure().unwrap();
+                    sims[route[d.flow]].on_shared_departure(PathId(0), d.ticket, d.at);
+                }
+                Some((_, k)) => {
+                    sims[k - 1].step();
+                }
+            }
+        }
+        for sim in &sims {
+            assert_eq!(sim.delivered(), total);
+        }
+        let stats = bn.stats();
+        assert!(stats.conserved(), "bottleneck conservation: {stats:?}");
+        assert_eq!(stats.queued_bytes, 0, "drained bottleneck holds nothing");
+        // The 8 Mbps bottleneck is the binding constraint: two competing
+        // 400 kB transfers cannot finish faster than the shared service
+        // rate allows (2 * 400 kB at 8 Mbps = 800 ms floor).
+        let end = sims.iter().map(|s| s.now()).max().unwrap();
+        assert!(end >= SimTime::from_millis(800), "finished at {end:?}");
     }
 
     #[test]

@@ -190,6 +190,17 @@ pub enum TraceEvent {
         /// Fault kind, e.g. `"slow_first_byte"`.
         kind: &'static str,
     },
+    /// A packet sat in a shared bottleneck queue before its service
+    /// started (multi-session fleets only; zero-wait departures are not
+    /// emitted).
+    SharedQueueWait {
+        /// Dense path index of the subflow the packet belongs to.
+        path: usize,
+        /// Seconds between the offer and the start of service.
+        waited_s: f64,
+        /// Wire size of the packet, bytes.
+        size: u64,
+    },
 }
 
 impl TraceEvent {
@@ -217,6 +228,7 @@ impl TraceEvent {
             TraceEvent::RequestRetried { .. } => "request_retried",
             TraceEvent::ServerFaultActivated { .. } => "server_fault_activated",
             TraceEvent::ServerFaultCleared { .. } => "server_fault_cleared",
+            TraceEvent::SharedQueueWait { .. } => "shared_queue_wait",
         }
     }
 
@@ -356,6 +368,15 @@ impl TraceEvent {
             }
             TraceEvent::ServerFaultCleared { kind } => {
                 push("fault", Json::from(*kind));
+            }
+            TraceEvent::SharedQueueWait {
+                path,
+                waited_s,
+                size,
+            } => {
+                push("path", Json::from(*path));
+                push("waited_s", Json::Float(*waited_s));
+                push("size", Json::from(*size));
             }
         }
         Json::Obj(members)

@@ -117,6 +117,9 @@ pub enum JobReport {
     Session(Box<SessionReport>),
     /// From a transfer job.
     Transfer(FileTransferReport),
+    /// An opaque JSON value from a custom job whose natural report type
+    /// lives above this crate (e.g. a fleet replica's summary).
+    Value(Box<mpdash_results::Json>),
 }
 
 impl JobReport {
@@ -125,6 +128,7 @@ impl JobReport {
         match self {
             JobReport::Session(_) => "session",
             JobReport::Transfer(_) => "transfer",
+            JobReport::Value(_) => "value",
         }
     }
 
@@ -147,6 +151,18 @@ impl JobReport {
             JobReport::Transfer(r) => Ok(r),
             other => Err(JobError::Mismatch {
                 expected: "transfer",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// The opaque JSON value, or a typed mismatch error when the job
+    /// produced a session or transfer report.
+    pub fn value(&self) -> Result<&mpdash_results::Json, JobError> {
+        match self {
+            JobReport::Value(v) => Ok(v),
+            other => Err(JobError::Mismatch {
+                expected: "value",
                 got: other.kind(),
             }),
         }
@@ -234,6 +250,15 @@ impl BatchResult {
             Err(e) => Err(e.clone()),
         }
     }
+
+    /// The opaque JSON value; errors when the job panicked or produced
+    /// another report flavor.
+    pub fn value(&self) -> Result<&mpdash_results::Json, JobError> {
+        match &self.report {
+            Ok(r) => r.value(),
+            Err(e) => Err(e.clone()),
+        }
+    }
 }
 
 /// Run `jobs` on the default worker count (`MPDASH_WORKERS` env var, else
@@ -256,6 +281,8 @@ fn queue_stats(report: &JobReport) -> (u64, usize) {
     match report {
         JobReport::Session(r) => (r.sim_profile.events_popped, r.sim_profile.peak_queue_depth),
         JobReport::Transfer(r) => (r.sim_profile.events_popped, r.sim_profile.peak_queue_depth),
+        // Opaque values carry no queue profile.
+        JobReport::Value(_) => (0, 0),
     }
 }
 

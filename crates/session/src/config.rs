@@ -141,6 +141,11 @@ pub struct SessionConfig {
     /// `MPDASH_TRACE` environment tracer. Strictly observe-only: the
     /// same config with any tracer produces byte-identical reports.
     pub tracer: Tracer,
+    /// Virtual time at which the session issues its first request
+    /// (staggered fleet starts). Zero for the standalone experiments.
+    /// QoE clocks (startup delay, session duration) measure from this
+    /// origin, not from the simulation epoch.
+    pub start_offset: SimDuration,
 }
 
 impl SessionConfig {
@@ -173,6 +178,7 @@ impl SessionConfig {
             server_faults: ServerFaultScript::new(),
             lifecycle: LifecyclePolicy::wait_forever(),
             tracer: Tracer::disabled(),
+            start_offset: SimDuration::ZERO,
         }
     }
 
@@ -219,6 +225,7 @@ impl SessionConfig {
             server_faults: ServerFaultScript::new(),
             lifecycle: LifecyclePolicy::wait_forever(),
             tracer: Tracer::disabled(),
+            start_offset: SimDuration::ZERO,
         }
     }
 
@@ -313,6 +320,12 @@ impl SessionConfig {
     /// see the `tracer` field).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Same config with a delayed first request (staggered fleet start).
+    pub fn with_start_offset(mut self, offset: SimDuration) -> Self {
+        self.start_offset = offset;
         self
     }
 

@@ -91,9 +91,25 @@ pub struct StreamingSession {
 impl StreamingSession {
     /// Run a session to completion and report.
     pub fn run(cfg: SessionConfig) -> SessionReport {
-        let mut s = Self::new(cfg);
+        let mut s = Self::start(cfg);
         s.drive();
-        s.finish()
+        s.into_report()
+    }
+
+    /// Build the session and arm its first request (immediately, or via
+    /// a wake timer at `start_offset` for staggered fleet clients). The
+    /// caller then owns the event loop: either [`StreamingSession::drive`]
+    /// to completion, or externally via [`StreamingSession::step_once`]
+    /// interleaved with other sessions.
+    pub fn start(cfg: SessionConfig) -> Self {
+        let mut s = Self::new(cfg);
+        if s.cfg.start_offset == SimDuration::ZERO {
+            s.request_next(SimTime::ZERO);
+        } else {
+            let at = SimTime::ZERO + s.cfg.start_offset;
+            s.sim.schedule_app_timer(at, WAKE_ID);
+        }
+        s
     }
 
     fn new(cfg: SessionConfig) -> Self {
@@ -135,6 +151,7 @@ impl StreamingSession {
         };
         let mut player = Player::new(&cfg.video, cfg.buffer_capacity);
         player.set_tracer(tracer.clone());
+        player.set_origin(SimTime::ZERO + cfg.start_offset);
         let mut http = HttpLayer::new().with_faults(cfg.server_faults.clone());
         http.set_tracer(tracer.clone());
         StreamingSession {
@@ -552,49 +569,87 @@ impl StreamingSession {
         cur.tracker.on_retry_fire(now);
     }
 
-    fn drive(&mut self) {
-        self.request_next(SimTime::ZERO);
-        while let Some((t, outcome)) = self.sim.step() {
-            match outcome {
-                StepOutcome::Transport { newly_delivered } => {
-                    if newly_delivered > 0 {
-                        for ev in self.http.on_delivered(newly_delivered) {
-                            self.handle_http_event(t, ev);
-                        }
-                        // Mid-download decision on fresh bytes.
-                        if self.current.is_some() {
-                            self.progress_check(t);
-                        }
-                    }
-                }
-                StepOutcome::AppTimer { id: TICK_ID } => {
-                    if self.current.is_some() {
-                        self.player.advance_to(t);
-                        self.progress_check(t);
-                        self.lifecycle_poll(t);
-                        self.sim.schedule_app_timer(t + TICK, TICK_ID);
-                    }
-                }
-                StepOutcome::AppTimer { id: WAKE_ID } => {
-                    self.request_next(t);
-                }
-                StepOutcome::AppTimer { id: RETRY_ID } => {
-                    self.on_retry_fire(t);
-                }
-                StepOutcome::AppTimer { id } => {
-                    // Deferred server sends (fault-delayed response parts).
-                    self.http.on_app_timer(&mut self.sim, id);
-                }
-                StepOutcome::ServerMsg { id } => {
-                    for ev in self.http.on_server_msg(&mut self.sim, id) {
+    /// Time of this session's next pending event, if any (fleet
+    /// interleaving).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.sim.peek_time()
+    }
+
+    /// True once every chunk is downloaded and the transport has drained.
+    /// A finished session schedules no further shared-bottleneck packets.
+    pub fn finished(&self) -> bool {
+        self.player.download_complete() && self.sim.quiescent()
+    }
+
+    /// Route one of this session's paths through a shared bottleneck.
+    /// Must be called before the first request is transmitted (i.e.
+    /// right after [`StreamingSession::start`], before any stepping).
+    pub fn attach_shared(
+        &mut self,
+        path: PathId,
+        bottleneck: &mpdash_link::SharedBottleneck,
+    ) -> mpdash_link::FlowId {
+        self.sim.attach_shared(path, bottleneck)
+    }
+
+    /// Feed back a shared-bottleneck departure for one of this session's
+    /// packets (see [`MptcpSim::on_shared_departure`]).
+    pub fn on_shared_departure(
+        &mut self,
+        path: PathId,
+        ticket: mpdash_link::Ticket,
+        depart_at: SimTime,
+    ) {
+        self.sim.on_shared_departure(path, ticket, depart_at);
+    }
+
+    /// Process one event from this session's queue; `false` when the
+    /// queue is empty.
+    pub fn step_once(&mut self) -> bool {
+        let Some((t, outcome)) = self.sim.step() else {
+            return false;
+        };
+        match outcome {
+            StepOutcome::Transport { newly_delivered } => {
+                if newly_delivered > 0 {
+                    for ev in self.http.on_delivered(newly_delivered) {
                         self.handle_http_event(t, ev);
                     }
+                    // Mid-download decision on fresh bytes.
+                    if self.current.is_some() {
+                        self.progress_check(t);
+                    }
                 }
             }
-            if self.player.download_complete() && self.sim.quiescent() {
-                break;
+            StepOutcome::AppTimer { id: TICK_ID } => {
+                if self.current.is_some() {
+                    self.player.advance_to(t);
+                    self.progress_check(t);
+                    self.lifecycle_poll(t);
+                    self.sim.schedule_app_timer(t + TICK, TICK_ID);
+                }
+            }
+            StepOutcome::AppTimer { id: WAKE_ID } => {
+                self.request_next(t);
+            }
+            StepOutcome::AppTimer { id: RETRY_ID } => {
+                self.on_retry_fire(t);
+            }
+            StepOutcome::AppTimer { id } => {
+                // Deferred server sends (fault-delayed response parts).
+                self.http.on_app_timer(&mut self.sim, id);
+            }
+            StepOutcome::ServerMsg { id } => {
+                for ev in self.http.on_server_msg(&mut self.sim, id) {
+                    self.handle_http_event(t, ev);
+                }
             }
         }
+        true
+    }
+
+    fn drive(&mut self) {
+        while !self.finished() && self.step_once() {}
         assert!(
             self.player.download_complete(),
             "session ended with {}/{} chunks",
@@ -603,14 +658,20 @@ impl StreamingSession {
         );
     }
 
-    fn finish(mut self) -> SessionReport {
+    /// Final QoE/energy/report accounting. Callers outside
+    /// [`StreamingSession::run`] (the fleet loop) must only call this
+    /// once [`StreamingSession::finished`] holds.
+    pub fn into_report(mut self) -> SessionReport {
         // Let the remaining buffer play out for final QoE accounting.
+        // All session clocks measure from the player's origin (zero for
+        // standalone runs, the stagger offset for fleet clients).
+        let origin = self.player.origin();
         let startup = self.player.startup_delay().unwrap_or(SimDuration::ZERO);
         let playout_end =
-            SimTime::ZERO + startup + self.cfg.video.total_duration() + self.player.stall_time();
+            origin + startup + self.cfg.video.total_duration() + self.player.stall_time();
         let end = playout_end.max(self.sim.now());
         self.player.advance_to(end);
-        let duration = end.saturating_since(SimTime::ZERO);
+        let duration = end.saturating_since(origin);
 
         let records = self.sim.records().to_vec();
         let wifi_pkts: Vec<(SimTime, u64)> = records

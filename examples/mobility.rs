@@ -38,6 +38,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         tracer: Default::default(),
         server_faults: Default::default(),
         lifecycle: Default::default(),
+        start_offset: SimDuration::ZERO,
     }
 }
 

@@ -35,6 +35,13 @@ fn run_explain(args: &[String]) -> ExitCode {
                 };
                 opts.mode = Some(label.clone());
             }
+            "--client" => {
+                let Some(k) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --client needs a client index");
+                    return ExitCode::from(2);
+                };
+                opts.client = Some(k);
+            }
             other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!("error: unexpected argument '{other}'");
@@ -43,7 +50,7 @@ fn run_explain(args: &[String]) -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: mpdash explain <scenario.json> [--chunk N] [--mode LABEL]");
+        eprintln!("usage: mpdash explain <scenario.json> [--chunk N] [--mode LABEL] [--client K]");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -72,6 +79,80 @@ fn run_explain(args: &[String]) -> ExitCode {
     }
 }
 
+/// Run a fleet scenario: one co-simulated fleet per mode, each as one
+/// batch job, rendered as a cross-client comparison. Returns false when
+/// any mode failed.
+fn run_fleet_scenario(scenario: &Scenario, path: &str) -> bool {
+    let jobs = match scenario.fleet_jobs() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: building {path}: {e}");
+            return false;
+        }
+    };
+    let clients = scenario.fleet.as_ref().map(|f| f.clients).unwrap_or(0);
+    println!(
+        "scenario: {} ({path}) — fleet of {clients} clients per mode",
+        scenario.name
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>13} {:>10} {:>7} {:>9}",
+        "mode", "WiFi MB", "LTE MB", "bitrate", "jain(bitrate)", "jain(LTE)", "stalls", "miss rate"
+    );
+    let results = run_batch(jobs);
+    let num = |j: &mpdash::results::Json, key: &str| -> f64 {
+        j.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    let mean_bitrate = |j: &mpdash::results::Json| -> f64 {
+        j.get("per_client")
+            .and_then(|v| v.as_arr())
+            .map(|rows| {
+                rows.iter()
+                    .map(|r| num(r, "mean_bitrate_mbps"))
+                    .sum::<f64>()
+                    / rows.len().max(1) as f64
+            })
+            .unwrap_or(0.0)
+    };
+    let mut ok = true;
+    let baseline_cell = results
+        .first()
+        .and_then(|r| r.value().ok())
+        .map(|j| num(j, "total_cell_bytes"));
+    for (i, result) in results.iter().enumerate() {
+        let j = match result.value() {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: job {}: {e}", result.label);
+                ok = false;
+                continue;
+            }
+        };
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>9.2} {:>13.4} {:>10.4} {:>7} {:>9.3}",
+            result.label,
+            num(j, "total_wifi_bytes") / 1e6,
+            num(j, "total_cell_bytes") / 1e6,
+            mean_bitrate(j),
+            num(j, "jain_bitrate"),
+            num(j, "jain_cell_bytes"),
+            num(j, "total_stalls") as u64,
+            num(j, "deadline_miss_rate"),
+        );
+        if let Some(base) = baseline_cell.filter(|_| i > 0) {
+            if base > 0.0 {
+                println!(
+                    "{:<16} cellular saving {:5.1}% across the fleet",
+                    "",
+                    (1.0 - num(j, "total_cell_bytes") / base) * 100.0,
+                );
+            }
+        }
+    }
+    println!();
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("explain") {
@@ -82,7 +163,7 @@ fn main() -> ExitCode {
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         eprintln!("usage: mpdash [--chunks] <scenario.json>...");
-        eprintln!("       mpdash explain <scenario.json> [--chunk N] [--mode LABEL]");
+        eprintln!("       mpdash explain <scenario.json> [--chunk N] [--mode LABEL] [--client K]");
         eprintln!("see scenarios/example.json for the document format");
         return ExitCode::from(2);
     }
@@ -102,6 +183,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if scenario.fleet.is_some() {
+            if !run_fleet_scenario(&scenario, path) {
+                failed = true;
+            }
+            continue;
+        }
         let jobs = match scenario.jobs() {
             Ok(j) => j,
             Err(e) => {

@@ -24,6 +24,9 @@ pub struct ExplainOptions {
     /// Replay this mode label (e.g. `Rate`). Default: the first MP-DASH
     /// mode in the document, else the first mode.
     pub mode: Option<String>,
+    /// For fleet scenarios: replay the whole fleet and explain this
+    /// client's timeline (default client 0). Requires a `fleet` key.
+    pub client: Option<usize>,
 }
 
 /// How one chunk's deadline played out.
@@ -62,6 +65,21 @@ pub struct FaultOverlap {
     pub overlap_s: f64,
 }
 
+/// Shared-bottleneck queueing experienced by one path during one
+/// chunk's fetch window (fleet replays only; private links never wait
+/// in a shared queue).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueWaitSummary {
+    /// Path index (0 = wifi, 1 = cellular).
+    pub path: usize,
+    /// Packets that waited behind other clients' traffic.
+    pub waits: u64,
+    /// Mean wait, milliseconds.
+    pub mean_ms: f64,
+    /// Worst wait, milliseconds.
+    pub max_ms: f64,
+}
+
 /// One chunk's explained timeline — the structured form the renderer
 /// (and the test suite) consumes.
 #[derive(Clone, Debug)]
@@ -89,6 +107,9 @@ pub struct ChunkExplain {
     /// timeouts/abandons/resumes/retries, server-fault windows), as
     /// `(virtual seconds, description)`.
     pub transport: Vec<(f64, String)>,
+    /// Per-path shared-queue waiting inside the fetch window,
+    /// aggregated (the raw per-packet events would flood the timeline).
+    pub queue: Vec<QueueWaitSummary>,
 }
 
 /// Replay the scenario's chosen mode with a ring sink attached and
@@ -99,12 +120,49 @@ pub fn explain_run(
     scenario: &Scenario,
     opts: &ExplainOptions,
 ) -> Result<(String, SessionReport, Vec<ChunkExplain>), String> {
+    if scenario.fleet.is_some() || opts.client.is_some() {
+        return explain_fleet_run(scenario, opts);
+    }
     let configs = scenario.build()?;
     let (label, cfg) = pick_mode(configs, opts.mode.as_deref())?;
     let ring = Arc::new(RingSink::new(1 << 20));
     let report = StreamingSession::run(cfg.with_tracer(Tracer::new(ring.clone())));
     let chunks = explain_chunks(scenario, &report, &ring.events());
     Ok((label, report, chunks))
+}
+
+/// Fleet replay: co-simulate the whole fleet with the trace ring
+/// forwarded to exactly one client, and explain that client's timeline
+/// (shared-queue waits included). All N clients run — contention is the
+/// point — but only client `K`'s events and report are kept.
+fn explain_fleet_run(
+    scenario: &Scenario,
+    opts: &ExplainOptions,
+) -> Result<(String, SessionReport, Vec<ChunkExplain>), String> {
+    let Some(fleet) = &scenario.fleet else {
+        return Err("--client requires a 'fleet' key in the scenario".into());
+    };
+    let k = opts.client.unwrap_or(0);
+    if k >= fleet.clients {
+        return Err(format!(
+            "--client {k} out of range (the fleet has {} clients)",
+            fleet.clients
+        ));
+    }
+    let configs = scenario.build()?;
+    let (label, cfg) = pick_mode(configs, opts.mode.as_deref())?;
+    let ring = Arc::new(RingSink::new(1 << 20));
+    let fc = scenario
+        .fleet_config(cfg.with_tracer(Tracer::new(ring.clone())))?
+        .with_trace_client(k);
+    let mut fleet_report = mpdash_fleet::run(&fc);
+    let report = fleet_report.sessions.swap_remove(k);
+    let chunks = explain_chunks(scenario, &report, &ring.events());
+    Ok((
+        format!("{label} (client {k}/{})", fleet.clients),
+        report,
+        chunks,
+    ))
 }
 
 /// Replay and render the timeline as text — the `mpdash explain`
@@ -279,6 +337,31 @@ fn explain_chunks(
                     line.map(|l| (t.as_secs_f64(), l))
                 })
                 .collect();
+            // Per-packet shared-queue waits inside the window, rolled
+            // up per path.
+            let mut agg: [(u64, f64, f64); 2] = [(0, 0.0, 0.0); 2];
+            for (t, e) in events {
+                let s = t.as_secs_f64();
+                if let TraceEvent::SharedQueueWait { path, waited_s, .. } = e {
+                    if s >= started_s && s <= completed_s && *path < agg.len() {
+                        let (n, sum, max) = &mut agg[*path];
+                        *n += 1;
+                        *sum += waited_s * 1e3;
+                        *max = max.max(waited_s * 1e3);
+                    }
+                }
+            }
+            let queue = agg
+                .iter()
+                .enumerate()
+                .filter(|(_, (n, _, _))| *n > 0)
+                .map(|(path, (n, sum, max))| QueueWaitSummary {
+                    path,
+                    waits: *n,
+                    mean_ms: sum / *n as f64,
+                    max_ms: *max,
+                })
+                .collect();
             ChunkExplain {
                 index: c.index,
                 level: c.level,
@@ -290,6 +373,7 @@ fn explain_chunks(
                 deadline,
                 faults,
                 transport,
+                queue,
             }
         })
         .collect()
@@ -379,6 +463,16 @@ fn render(
                 out,
                 "    fault: {} {} active {:.1}s-{:.1}s, overlaps fetch for {:.2}s",
                 f.path, f.kind, f.fault_start_s, f.fault_end_s, f.overlap_s,
+            );
+        }
+        for q in &c.queue {
+            let _ = writeln!(
+                out,
+                "    shared queue: {} {} packets waited, mean {:.1} ms, max {:.1} ms",
+                if q.path == 0 { "wifi" } else { "cell" },
+                q.waits,
+                q.mean_ms,
+                q.max_ms,
             );
         }
         for (t, line) in &c.transport {
@@ -492,7 +586,7 @@ mod tests {
             &sc,
             &ExplainOptions {
                 chunk: Some(3),
-                mode: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -501,10 +595,87 @@ mod tests {
             &sc,
             &ExplainOptions {
                 chunk: Some(9999),
-                mode: None,
+                ..Default::default()
             },
         )
         .unwrap_err();
         assert!(err.contains("not in this session"), "{err}");
+    }
+
+    /// Four clients on a deliberately scarce shared AP: the replayed
+    /// client's timeline must surface the time its packets spent queued
+    /// behind the other three.
+    const FLEET: &str = r#"{
+        "name": "fleet-explain",
+        "video": {"custom": {"levels_mbps": [0.58, 1.01, 1.47], "chunk_secs": 4, "n_chunks": 8}},
+        "wifi": {"constant": 50.0},
+        "cell": {"constant": 30.0},
+        "abr": "festive",
+        "buffer_secs": 20,
+        "modes": ["vanilla", "mpdash_rate"],
+        "fleet": {
+            "clients": 4,
+            "stagger_s": 0.5,
+            "shared": [
+                {"rate_mbps": 3.0, "discipline": "fq", "paths": ["wifi"]},
+                {"rate_mbps": 2.0, "discipline": "fifo", "paths": ["cell"]}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn fleet_replay_explains_one_client_with_shared_queue_waits() {
+        let sc = Scenario::from_json(FLEET).unwrap();
+        let (label, report, chunks) = explain_run(
+            &sc,
+            &ExplainOptions {
+                client: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(label, "Rate (client 2/4)");
+        assert_eq!(chunks.len(), 8, "every chunk of client 2 is explained");
+        assert_eq!(report.chunks.len(), 8);
+        assert!(
+            chunks.iter().any(|c| !c.queue.is_empty()),
+            "a contended fleet must show shared-queue waiting"
+        );
+        let text = explain_scenario(
+            &sc,
+            &ExplainOptions {
+                client: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(text.contains("client 2/4"), "{text}");
+        assert!(text.contains("shared queue: "), "{text}");
+        assert!(text.contains("packets waited"), "{text}");
+
+        // A fleet scenario with no --client defaults to client 0.
+        let (label, _, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        assert_eq!(label, "Rate (client 0/4)");
+
+        // Out-of-range clients and non-fleet documents are named errors.
+        let err = explain_run(
+            &sc,
+            &ExplainOptions {
+                client: Some(99),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let plain = Scenario::from_json(FAULTED).unwrap();
+        let err = explain_run(
+            &plain,
+            &ExplainOptions {
+                client: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("requires a 'fleet' key"), "{err}");
     }
 }

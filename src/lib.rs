@@ -23,6 +23,7 @@
 //! * [`results`] — typed experiment results, JSON artifacts, rendering.
 //! * [`session`] — the end-to-end experiment driver that wires everything
 //!   into a streaming session.
+//! * [`fleet`] — multi-session co-simulation over shared bottlenecks.
 //! * [`scenario`] — JSON scenario documents for the `mpdash` CLI runner.
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use mpdash_analysis as analysis;
 pub use mpdash_core as core;
 pub use mpdash_dash as dash;
 pub use mpdash_energy as energy;
+pub use mpdash_fleet as fleet;
 pub use mpdash_http as http;
 pub use mpdash_link as link;
 pub use mpdash_mptcp as mptcp;

@@ -9,7 +9,11 @@
 
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_link::{BandwidthProfile, FaultScript, GilbertElliott, LinkConfig};
+use mpdash_fleet::{fleet_job, FleetConfig, SharedLinkSpec};
+use mpdash_link::{
+    BandwidthProfile, FaultScript, GilbertElliott, LinkConfig, PathId, QueueDiscipline,
+    SharedBottleneckConfig,
+};
 use mpdash_results::Json;
 use mpdash_session::{Job, LifecyclePolicy, ServerFaultScript, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
@@ -171,6 +175,69 @@ impl ModeSpec {
     }
 }
 
+/// One shared bottleneck in a fleet topology (`fleet.shared[]`).
+#[derive(Debug)]
+pub struct SharedSpec {
+    /// Shared capacity, Mbps.
+    pub rate_mbps: f64,
+    /// Queue bound in bytes (default: the bottleneck's 128 KiB).
+    pub capacity_bytes: Option<u64>,
+    /// `fifo` (drop-tail) or `fq` (per-flow DRR).
+    pub discipline: String,
+    /// DRR quantum in bytes for `fq` (default 1540).
+    pub quantum: Option<u64>,
+    /// Which of each client's paths subscribe: `wifi` and/or `cell`.
+    pub paths: Vec<String>,
+}
+
+impl SharedSpec {
+    fn build(&self) -> SharedLinkSpec {
+        let mut config = SharedBottleneckConfig::fifo_mbps(self.rate_mbps);
+        if self.discipline == "fq" {
+            config = config.with_discipline(QueueDiscipline::FlowQueue {
+                quantum: self.quantum.unwrap_or(1540),
+            });
+        }
+        if let Some(cap) = self.capacity_bytes {
+            config = config.with_capacity(cap);
+        }
+        SharedLinkSpec {
+            config,
+            paths: self
+                .paths
+                .iter()
+                .map(|p| {
+                    if p == "wifi" {
+                        PathId::WIFI
+                    } else {
+                        PathId::CELLULAR
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Multi-client co-simulation topology (the optional `fleet` key): N
+/// copies of the session, staggered starts, subflows subscribed to
+/// shared bottlenecks instead of private links.
+#[derive(Debug)]
+pub struct FleetSpec {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Start-time spacing between consecutive clients, seconds
+    /// (default 0.5).
+    pub stagger_s: f64,
+    /// Extra one-way delay per client index, milliseconds (default 0):
+    /// client `k` adds `k * rtt_skew_ms` on both private links.
+    pub rtt_skew_ms: u64,
+    /// Base fleet seed (default 1).
+    pub seed: u64,
+    /// Shared bottlenecks; may be empty (private links, a
+    /// no-contention control fleet).
+    pub shared: Vec<SharedSpec>,
+}
+
 /// A complete scenario document.
 #[derive(Debug)]
 pub struct Scenario {
@@ -206,6 +273,57 @@ pub struct Scenario {
     /// Request-lifecycle policy: `wait_forever` (default), `retry_only`,
     /// or `deadline_aware`.
     pub lifecycle: LifecyclePolicy,
+    /// Optional multi-client fleet topology. When present the runner
+    /// co-simulates `fleet.clients` sessions per mode instead of one.
+    pub fleet: Option<FleetSpec>,
+}
+
+fn parse_shared(v: &Json) -> Result<SharedSpec, String> {
+    let opt_uint =
+        |key: &str| -> Result<Option<u64>, String> { v.get(key).map(|j| uint(j, key)).transpose() };
+    Ok(SharedSpec {
+        rate_mbps: num(field(v, "rate_mbps")?, "rate_mbps")?,
+        capacity_bytes: opt_uint("capacity_bytes")?,
+        discipline: match v.get("discipline") {
+            None => "fifo".to_string(),
+            Some(j) => string(j, "discipline")?,
+        },
+        quantum: opt_uint("quantum")?,
+        paths: field(v, "paths")?
+            .as_arr()
+            .ok_or("shared 'paths' must be an array of path names")?
+            .iter()
+            .map(|p| string(p, "paths"))
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn parse_fleet(v: Option<&Json>) -> Result<Option<FleetSpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    let opt_uint = |key: &str, default: u64| -> Result<u64, String> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(j) => uint(j, key),
+        }
+    };
+    Ok(Some(FleetSpec {
+        clients: uint(field(v, "clients")?, "clients")? as usize,
+        stagger_s: match v.get("stagger_s") {
+            None => 0.5,
+            Some(j) => num(j, "stagger_s")?,
+        },
+        rtt_skew_ms: opt_uint("rtt_skew_ms", 0)?,
+        seed: opt_uint("seed", 1)?,
+        shared: match v.get("shared") {
+            None => Vec::new(),
+            Some(j) => j
+                .as_arr()
+                .ok_or("fleet 'shared' must be an array of bottleneck objects")?
+                .iter()
+                .map(parse_shared)
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+    }))
 }
 
 /// Parse one externally-tagged fault entry — e.g.
@@ -479,6 +597,7 @@ impl Scenario {
             cell_faults: parse_fault_list(v.get("cell_faults"), "cell_faults")?,
             server_faults: parse_server_fault_list(v.get("server_faults"))?,
             lifecycle: parse_lifecycle(v.get("lifecycle"))?,
+            fleet: parse_fleet(v.get("fleet"))?,
         };
         sc.validate()?;
         Ok(sc)
@@ -504,6 +623,48 @@ impl Scenario {
                 return Err("throttled mode needs a rate > 0 kbps (use a zero-rate \
                      'cell' bandwidth for a dead path instead)"
                     .into());
+            }
+        }
+        if let Some(fleet) = &self.fleet {
+            if fleet.clients == 0 {
+                return Err("'clients' must be > 0".into());
+            }
+            if fleet.stagger_s.is_nan() || fleet.stagger_s < 0.0 {
+                return Err(format!("'stagger_s' must be >= 0, got {}", fleet.stagger_s));
+            }
+            for shared in &fleet.shared {
+                if shared.rate_mbps.is_nan() || shared.rate_mbps <= 0.0 {
+                    return Err(format!(
+                        "shared 'rate_mbps' must be > 0, got {}",
+                        shared.rate_mbps
+                    ));
+                }
+                if shared.capacity_bytes == Some(0) {
+                    return Err("shared 'capacity_bytes' must be > 0 (a zero-length \
+                         queue drops every packet and the fleet never finishes)"
+                        .into());
+                }
+                if shared.quantum == Some(0) {
+                    return Err("shared 'quantum' must be > 0".into());
+                }
+                match shared.discipline.as_str() {
+                    "fifo" | "fq" => {}
+                    other => {
+                        return Err(format!(
+                            "unknown discipline '{other}' (expected fifo or fq)"
+                        ))
+                    }
+                }
+                if shared.paths.is_empty() {
+                    return Err("a shared link needs at least one subscribing path \
+                         ('wifi' or 'cell')"
+                        .into());
+                }
+                for p in &shared.paths {
+                    if p != "wifi" && p != "cell" {
+                        return Err(format!("unknown path '{p}' (expected wifi or cell)"));
+                    }
+                }
             }
         }
         Ok(())
@@ -568,6 +729,40 @@ impl Scenario {
             .build()?
             .into_iter()
             .map(|(label, cfg)| Job::session(label, cfg))
+            .collect())
+    }
+
+    /// Wrap one built mode config in the document's fleet topology.
+    /// Errors when the document has no `fleet` key.
+    pub fn fleet_config(&self, base: SessionConfig) -> Result<FleetConfig, String> {
+        let Some(fleet) = &self.fleet else {
+            return Err("scenario has no 'fleet' key".into());
+        };
+        let mut fc = FleetConfig::new(base, fleet.clients)
+            .with_stagger(SimDuration::from_secs_f64(fleet.stagger_s))
+            .with_rtt_skew(SimDuration::from_millis(fleet.rtt_skew_ms))
+            .with_seed(fleet.seed);
+        for shared in &fleet.shared {
+            fc = fc.with_shared(shared.build());
+        }
+        Ok(fc)
+    }
+
+    /// Build the fleet configs, one per mode, in declaration order.
+    pub fn fleet_configs(&self) -> Result<Vec<(String, FleetConfig)>, String> {
+        self.build()?
+            .into_iter()
+            .map(|(label, cfg)| Ok((label, self.fleet_config(cfg)?)))
+            .collect()
+    }
+
+    /// The fleet scenario as a batch-runner job list (one fleet replica
+    /// per mode); each job returns the replica's summary JSON.
+    pub fn fleet_jobs(&self) -> Result<Vec<Job>, String> {
+        Ok(self
+            .fleet_configs()?
+            .into_iter()
+            .map(|(label, fc)| fleet_job(label, fc))
             .collect())
     }
 }
@@ -793,6 +988,91 @@ mod tests {
             let err = Scenario::from_json(&doc).unwrap_err();
             assert!(err.contains(expect), "{faults}: {err}");
         }
+    }
+
+    const FLEET_PATCH: &str = r#""fleet": {
+        "clients": 4,
+        "stagger_s": 1.0,
+        "rtt_skew_ms": 10,
+        "seed": 7,
+        "shared": [
+            {"rate_mbps": 10.0, "discipline": "fq", "quantum": 1540, "paths": ["wifi"]},
+            {"rate_mbps": 3.0, "discipline": "fifo", "paths": ["cell"]}
+        ]
+    },"#;
+
+    fn fleet_doc(patch: &str) -> String {
+        DOC.replacen(r#""name":"#, &format!("{patch} \"name\":"), 1)
+    }
+
+    #[test]
+    fn parses_a_fleet_topology() {
+        let sc = Scenario::from_json(&fleet_doc(FLEET_PATCH)).unwrap();
+        let fleet = sc.fleet.as_ref().unwrap();
+        assert_eq!(fleet.clients, 4);
+        assert_eq!(fleet.shared.len(), 2);
+        let configs = sc.fleet_configs().unwrap();
+        assert_eq!(configs.len(), 3, "one fleet per mode");
+        let fc = &configs[0].1;
+        assert_eq!(fc.clients, 4);
+        assert_eq!(fc.stagger, SimDuration::from_secs(1));
+        assert_eq!(fc.rtt_skew, SimDuration::from_millis(10));
+        assert_eq!(fc.seed, 7);
+        assert_eq!(fc.shared[0].paths, vec![mpdash_link::PathId::WIFI]);
+        assert_eq!(fc.shared[1].paths, vec![mpdash_link::PathId::CELLULAR]);
+        assert_eq!(sc.fleet_jobs().unwrap().len(), 3);
+        // Documents without the key build no fleet.
+        let plain = Scenario::from_json(DOC).unwrap();
+        assert!(plain.fleet.is_none());
+        assert!(plain
+            .fleet_configs()
+            .unwrap_err()
+            .contains("no 'fleet' key"));
+    }
+
+    #[test]
+    fn rejects_wedging_fleet_values() {
+        for (patch, expect) in [
+            (r#""fleet": {"clients": 0},"#, "'clients' must be > 0"),
+            (
+                r#""fleet": {"clients": 4, "stagger_s": -1.0},"#,
+                "'stagger_s' must be >= 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "paths": []}]},"#,
+                "at least one subscribing path",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 0.0, "paths": ["wifi"]}]},"#,
+                "'rate_mbps' must be > 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "capacity_bytes": 0, "paths": ["wifi"]}]},"#,
+                "'capacity_bytes' must be > 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "codel", "paths": ["wifi"]}]},"#,
+                "unknown discipline 'codel'",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "paths": ["starlink"]}]},"#,
+                "unknown path 'starlink'",
+            ),
+        ] {
+            let err = Scenario::from_json(&fleet_doc(patch)).unwrap_err();
+            assert!(err.contains(expect), "{patch}: {err}");
+        }
+    }
+
+    #[test]
+    fn shipped_fleet_scenario_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/fleet.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = Scenario::from_json(&text).unwrap();
+        let fleet = sc.fleet.as_ref().unwrap();
+        assert_eq!(fleet.clients, 16);
+        assert!(!fleet.shared.is_empty());
+        assert!(sc.fleet_configs().is_ok());
     }
 
     #[test]
