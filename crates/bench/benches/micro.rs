@@ -10,10 +10,12 @@ use mpdash_core::optimal::{optimal_min_cost, SlotItem};
 use mpdash_core::predict::{HoltWinters, Predictor};
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
+use mpdash_link::PathId;
 use mpdash_link::{
     LinkConfig, QueueDiscipline, SharedBottleneck, SharedBottleneckConfig, SharedOutcome,
 };
-use mpdash_mptcp::{MptcpConfig, MptcpSim};
+use mpdash_mptcp::scheduler::{seed_pick, Candidate, SchedInput, Scheduler};
+use mpdash_mptcp::{MptcpConfig, MptcpSim, SchedulerSpec, MSS};
 use mpdash_session::{run_batch_with, Job, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 use std::hint::black_box;
@@ -109,6 +111,62 @@ fn bench_shared_bottleneck(c: &mut Criterion) {
     }
 }
 
+fn bench_scheduler_pick(c: &mut Criterion) {
+    // The per-segment pick on the transport hot path: the seed's free
+    // enum-match function versus the enum-dispatched `Scheduler` trait.
+    // The trait rows must stay within 2% of the seed row (the
+    // `bench_sched --check` CI gate enforces this with wall-clock
+    // timing; these criterion rows are the human-readable trajectory).
+    let candidates = [
+        Candidate {
+            path: PathId::WIFI,
+            srtt: Some(SimDuration::from_millis(25)),
+            cwnd: 10 * MSS,
+            in_flight: 2 * MSS,
+            queue_depth: Some(48 * 1024),
+        },
+        Candidate {
+            path: PathId::CELLULAR,
+            srtt: Some(SimDuration::from_micros(27_500)),
+            cwnd: 10 * MSS,
+            in_flight: MSS,
+            queue_depth: Some(4 * 1024),
+        },
+    ];
+    c.bench_function("scheduler_pick_seed_enum_min_rtt", |b| {
+        let mut cursor = 0usize;
+        b.iter(|| {
+            black_box(seed_pick(
+                SchedulerSpec::MinRtt,
+                &mut cursor,
+                black_box(&candidates),
+            ))
+        })
+    });
+    c.bench_function("scheduler_pick_seed_enum_round_robin", |b| {
+        let mut cursor = 0usize;
+        b.iter(|| {
+            black_box(seed_pick(
+                SchedulerSpec::RoundRobin,
+                &mut cursor,
+                black_box(&candidates),
+            ))
+        })
+    });
+    for spec in SchedulerSpec::ALL {
+        c.bench_function(&format!("scheduler_pick_trait_{}", spec.label()), |b| {
+            let mut sched = spec.build();
+            b.iter(|| {
+                let input = SchedInput {
+                    candidates: black_box(&candidates),
+                    backlog: MSS,
+                };
+                black_box(sched.pick(&input))
+            })
+        });
+    }
+}
+
 fn bench_batch_runner(c: &mut Criterion) {
     // Sessions/sec of the experiment batch runner at different worker
     // counts: 8 tiny streaming sessions per iteration (one per job), so
@@ -147,6 +205,7 @@ criterion_group!(
     bench_optimal_dp,
     bench_mptcp_transfer,
     bench_shared_bottleneck,
+    bench_scheduler_pick,
     bench_batch_runner
 );
 criterion_main!(benches);

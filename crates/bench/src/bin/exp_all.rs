@@ -20,4 +20,5 @@ fn main() {
     e::lifecycle::run();
     e::field::run();
     e::fleet::run();
+    e::sched::run();
 }

@@ -1,0 +1,5 @@
+//! Runs the packet-scheduler grid (minRTT / round-robin / QAware, solo
+//! and contended fleet). See `mpdash_bench::experiments::sched`.
+fn main() {
+    mpdash_bench::experiments::sched::run();
+}

@@ -12,7 +12,7 @@ use mpdash_analysis::throughput_timeline;
 use mpdash_core::predict::PredictorKind;
 use mpdash_dash::abr::AbrKind;
 use mpdash_energy::DeviceProfile;
-use mpdash_mptcp::{CcKind, SchedulerKind};
+use mpdash_mptcp::{CcKind, SchedulerSpec};
 use mpdash_results::{ExperimentResult, ScalarGroup};
 use mpdash_session::{run_sessions, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration};
@@ -28,7 +28,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         abr: AbrKind::Festive,
         mode,
         buffer_capacity: SimDuration::from_secs(40),
-        scheduler: SchedulerKind::MinRtt,
+        scheduler: SchedulerSpec::MinRtt,
         cc: CcKind::Reno,
         device: DeviceProfile::galaxy_note(),
         priors: (

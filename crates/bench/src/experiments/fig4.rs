@@ -9,7 +9,7 @@
 
 use crate::{mb, pct, Table};
 use mpdash_dash::adapter::DeadlineMode;
-use mpdash_mptcp::SchedulerKind;
+use mpdash_mptcp::SchedulerSpec;
 use mpdash_results::ExperimentResult;
 use mpdash_session::{run_transfers, FileTransferConfig, TransportMode};
 use mpdash_sim::SimDuration;
@@ -34,7 +34,7 @@ pub fn result(quick: bool) -> ExperimentResult {
     )
     .with_quick(quick);
 
-    let schedulers = [SchedulerKind::MinRtt, SchedulerKind::RoundRobin];
+    let schedulers = [SchedulerSpec::MinRtt, SchedulerSpec::RoundRobin];
     let mut configs = Vec::new();
     for sched in schedulers {
         configs.push(
@@ -64,8 +64,9 @@ pub fn result(quick: bool) -> ExperimentResult {
 
     for sched in schedulers {
         let name = match sched {
-            SchedulerKind::MinRtt => "default (minRTT)",
-            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerSpec::MinRtt => "default (minRTT)",
+            SchedulerSpec::RoundRobin => "round-robin",
+            _ => unreachable!("fig4 reproduces the paper's two stock schedulers"),
         };
         res.text(format!("\nMPTCP scheduler: {name}"));
         let base = next.next().unwrap();

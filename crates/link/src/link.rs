@@ -289,6 +289,13 @@ impl Link {
         self.shared.as_ref().map(|&(_, flow)| flow)
     }
 
+    /// Occupancy of the attached shared bottleneck in bytes, `None` on a
+    /// private link. Read-only: the queue-aware scheduler's cross-layer
+    /// signal, safe to sample without perturbing link state.
+    pub fn shared_queue_depth(&self) -> Option<u64> {
+        self.shared.as_ref().map(|(bn, _)| bn.occupancy_bytes())
+    }
+
     /// Offer a packet to the attached shared bottleneck at `now`.
     ///
     /// The link-local air-interface hazards (disassociation windows,

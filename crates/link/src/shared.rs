@@ -369,6 +369,13 @@ impl SharedBottleneck {
         self.lock().cfg.discipline
     }
 
+    /// Bytes currently in the system (waiting plus in service) — the
+    /// cross-layer occupancy signal queue-aware schedulers read on the
+    /// pick hot path. One lock, no allocation, strictly read-only.
+    pub fn occupancy_bytes(&self) -> u64 {
+        self.lock().occupancy()
+    }
+
     /// Offer a packet from `flow` at `now`. Offers must arrive in
     /// non-decreasing `now` order (the co-simulation loop's invariant).
     pub fn offer(&self, now: SimTime, flow: FlowId, size: u64) -> SharedOutcome {

@@ -9,11 +9,13 @@
 //!   start, congestion avoidance (Reno or CUBIC, *decoupled* across
 //!   subflows exactly as the paper configures, §2.1), Jacobson RTT
 //!   estimation, fast retransmit and RTO recovery.
-//! * **Packet schedulers** ([`scheduler`]) — the two stock MPTCP schedulers
-//!   the paper evaluates: lowest-SRTT ("default") and round-robin. MP-DASH
-//!   overlays them by *skipping* masked-out subflows in the scheduling
-//!   function rather than tearing subflows down (§6: no handshake overhead,
-//!   radio stays attached).
+//! * **Packet schedulers** ([`scheduler`]) — a pluggable [`Scheduler`]
+//!   trait behind a `Copy` [`SchedulerSpec`]: the two stock MPTCP
+//!   schedulers the paper evaluates (lowest-SRTT "default" and
+//!   round-robin) plus a QAware-style queue-occupancy-weighted variant.
+//!   MP-DASH overlays all of them by *skipping* masked-out subflows in the
+//!   scheduling function rather than tearing subflows down (§6: no
+//!   handshake overhead, radio stays attached).
 //! * **Connection-level reassembly** ([`reassembly::IntervalSet`]) — data
 //!   sequence (DSS) reordering across subflows, delivering an in-order byte
 //!   stream to the application.
@@ -53,5 +55,5 @@ pub mod sim;
 
 pub use cc::CcKind;
 pub use packet::{PathMask, PktRecord, MSS};
-pub use scheduler::SchedulerKind;
+pub use scheduler::{Scheduler, SchedulerImpl, SchedulerSpec};
 pub use sim::{MptcpConfig, MptcpSim, PathConfig, StepOutcome};

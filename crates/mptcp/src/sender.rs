@@ -6,9 +6,10 @@
 //! estimation, duplicate-ACK fast retransmit with NewReno partial-ACK
 //! retransmission, and an RTO with exponential backoff. The connection
 //! stripes application bytes across subflows through the configured
-//! [`SchedulerKind`], *skipping* any subflow the current [`PathMask`]
-//! disables — that skip is the entire MP-DASH enforcement mechanism (§6 of
-//! the paper).
+//! [`Scheduler`] (built once from the config's
+//! [`crate::scheduler::SchedulerSpec`]), *skipping* any subflow the
+//! current [`PathMask`] disables — that skip is the entire MP-DASH
+//! enforcement mechanism (§6 of the paper).
 //!
 //! The sender is pure state: it never touches links or the event queue.
 //! Methods return [`Transmit`] actions that the simulator realizes, which
@@ -16,7 +17,7 @@
 
 use crate::cc::{CcKind, CongestionControl};
 use crate::packet::{PathMask, MSS};
-use crate::scheduler::{pick, Candidate, SchedulerKind};
+use crate::scheduler::{Candidate, SchedInput, Scheduler, SchedulerImpl, SchedulerSpec};
 use mpdash_link::PathId;
 use mpdash_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -287,8 +288,7 @@ impl SubflowTx {
 /// The connection-level MPTCP sender.
 pub struct Sender {
     subflows: Vec<SubflowTx>,
-    scheduler: SchedulerKind,
-    rr_cursor: usize,
+    scheduler: SchedulerImpl,
     /// Total application bytes requested for transmission.
     conn_total: u64,
     /// Next DSS offset to assign (bytes already mapped to subflows).
@@ -299,15 +299,14 @@ pub struct Sender {
 
 impl Sender {
     /// A sender with `n_paths` subflows, all enabled.
-    pub fn new(n_paths: usize, scheduler: SchedulerKind, cc: CcKind) -> Self {
+    pub fn new(n_paths: usize, scheduler: SchedulerSpec, cc: CcKind) -> Self {
         assert!(n_paths >= 1, "need at least one path");
         assert!(n_paths <= 32, "PathMask supports up to 32 paths");
         Sender {
             subflows: (0..n_paths)
                 .map(|i| SubflowTx::new(PathId(i as u8), cc))
                 .collect(),
-            scheduler,
-            rr_cursor: 0,
+            scheduler: scheduler.build(),
             conn_total: 0,
             conn_assigned: 0,
             mask: PathMask::ALL,
@@ -379,9 +378,26 @@ impl Sender {
         changed
     }
 
+    /// The configured scheduler's spec (diagnostics, trace attribution).
+    pub fn scheduler_spec(&self) -> SchedulerSpec {
+        self.scheduler.spec()
+    }
+
+    /// [`Sender::pump_with`] on a connection with no shared-bottleneck
+    /// attachments (every path's queue depth unknown).
+    pub fn pump(&mut self, now: SimTime) -> Vec<Transmit> {
+        self.pump_with(now, &[])
+    }
+
     /// Assign as much pending data as window space and the mask allow.
     /// Returns the transmissions to realize, in order.
-    pub fn pump(&mut self, now: SimTime) -> Vec<Transmit> {
+    ///
+    /// `shared_depth[path]` is the occupancy of the path's shared
+    /// bottleneck queue, sampled by the simulator (the sender is pure
+    /// state and never touches links itself); `None` — or a missing
+    /// entry — means the path has no shared attachment. Queue-aware
+    /// schedulers fold it into every pick; the others ignore it.
+    pub fn pump_with(&mut self, now: SimTime, shared_depth: &[Option<u64>]) -> Vec<Transmit> {
         // Idle window validation first: a subflow that has been silent for
         // an RTO with nothing in flight must not blast a stale window.
         // Failed subflows are probed again after a cooldown — the path
@@ -417,9 +433,16 @@ impl Sender {
                 .map(|sf| Candidate {
                     path: sf.path,
                     srtt: sf.srtt,
+                    cwnd: sf.cwnd(),
+                    in_flight: sf.in_flight(),
+                    queue_depth: shared_depth.get(sf.path.index()).copied().flatten(),
                 })
                 .collect();
-            let Some(path) = pick(self.scheduler, &mut self.rr_cursor, &candidates) else {
+            let input = SchedInput {
+                candidates: &candidates,
+                backlog: remaining,
+            };
+            let Some(path) = self.scheduler.pick(&input) else {
                 break;
             };
             let sf = &mut self.subflows[path.index()];
@@ -671,7 +694,7 @@ mod tests {
     use super::*;
 
     fn two_path_sender() -> Sender {
-        Sender::new(2, SchedulerKind::MinRtt, CcKind::Reno)
+        Sender::new(2, SchedulerSpec::MinRtt, CcKind::Reno)
     }
 
     #[test]
@@ -1018,7 +1041,7 @@ mod tests {
 
     #[test]
     fn round_robin_alternates_paths() {
-        let mut s = Sender::new(2, SchedulerKind::RoundRobin, CcKind::Reno);
+        let mut s = Sender::new(2, SchedulerSpec::RoundRobin, CcKind::Reno);
         s.push_app_data(4 * MSS);
         let tx = s.pump(SimTime::ZERO);
         let paths: Vec<PathId> = tx.iter().map(|t| t.path).collect();

@@ -30,7 +30,7 @@
 use crate::cc::CcKind;
 use crate::packet::{PathMask, PktRecord, MSS};
 use crate::receiver::Receiver;
-use crate::scheduler::SchedulerKind;
+use crate::scheduler::SchedulerSpec;
 use crate::sender::{Sender, Transmit};
 use mpdash_link::{Link, LinkConfig, PathId, SendOutcome, SharedBottleneck, SharedOutcome, Ticket};
 use mpdash_obs::{TraceEvent, Tracer};
@@ -63,8 +63,8 @@ impl PathConfig {
 pub struct MptcpConfig {
     /// One entry per path; index is the [`PathId`].
     pub paths: Vec<PathConfig>,
-    /// Which stock MPTCP packet scheduler distributes segments.
-    pub scheduler: SchedulerKind,
+    /// Which packet scheduler distributes segments (see [`crate::scheduler`]).
+    pub scheduler: SchedulerSpec,
     /// Congestion control used by every subflow (decoupled).
     pub cc: CcKind,
 }
@@ -75,13 +75,13 @@ impl MptcpConfig {
     pub fn two_path(wifi: LinkConfig, cellular: LinkConfig) -> Self {
         MptcpConfig {
             paths: vec![PathConfig::symmetric(wifi), PathConfig::symmetric(cellular)],
-            scheduler: SchedulerKind::MinRtt,
+            scheduler: SchedulerSpec::MinRtt,
             cc: CcKind::Reno,
         }
     }
 
     /// Same configuration with a different packet scheduler.
-    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+    pub fn with_scheduler(mut self, s: SchedulerSpec) -> Self {
         self.scheduler = s;
         self
     }
@@ -504,8 +504,29 @@ impl MptcpSim {
     }
 
     fn pump(&mut self, now: SimTime) {
-        let actions = self.snd.pump(now);
+        // Cross-layer signal for queue-aware schedulers: sample each
+        // path's shared-bottleneck occupancy once per pump and hand it to
+        // the sender (which is pure state and never touches links). The
+        // sample is read-only, so schedulers that ignore it stay
+        // byte-identical with or without shared attachments.
+        let depths: Vec<Option<u64>> = self.links.iter().map(|l| l.shared_queue_depth()).collect();
+        let actions = self.snd.pump_with(now, &depths);
         for t in actions {
+            if self.tracer.enabled() {
+                // Every pump transmit is one scheduler decision (retx and
+                // reinjections travel other code paths), so attribute it:
+                // the chosen path plus the SRTT/queue-depth inputs that
+                // won the pick.
+                let sf = self.snd.subflow(t.path);
+                let srtt_ms = sf.srtt().map(|s| s.as_secs_f64() * 1e3);
+                let queue_bytes = depths.get(t.path.index()).copied().flatten();
+                self.tracer.emit_with(now, || TraceEvent::SchedulerPick {
+                    path: t.path.index(),
+                    len: t.len,
+                    srtt_ms,
+                    queue_bytes,
+                });
+            }
             self.transmit(now, t);
         }
         for p in 0..self.links.len() {
@@ -799,7 +820,7 @@ mod tests {
             let link = LinkConfig::constant(1000.0, SimDuration::from_millis(25));
             MptcpSim::new(MptcpConfig {
                 paths: vec![PathConfig::symmetric(link)],
-                scheduler: SchedulerKind::MinRtt,
+                scheduler: SchedulerSpec::MinRtt,
                 cc: CcKind::Reno,
             })
         };

@@ -1,0 +1,142 @@
+//! Property tests pinning the trait-dispatched schedulers to the seed
+//! enum dispatcher (`seed_pick`, kept verbatim as the reference).
+//!
+//! * `MinRtt` is stateless: it must agree with the seed on *every*
+//!   decision of *any* candidate-set sequence.
+//! * `RoundRobin` rotation was re-keyed off the last-picked path (the
+//!   seed's position cursor skews when the candidate set churns), so the
+//!   equivalence claim is scoped to stable candidate sets — plus a
+//!   fairness property the seed cursor violates and the fix guarantees:
+//!   never pick the same path twice in a row while another candidate
+//!   has window space.
+//! * `QAware` with no queue signal anywhere must order exactly like
+//!   `MinRtt`, tie-breaks included.
+//!
+//! Decision sequences are generated as flat vectors (the in-tree
+//! proptest shim has no tuple strategies): per step, 4 membership bits
+//! and 4 SRTT draws, with `srtt_us == 0` meaning "no sample yet".
+
+use mpdash_link::PathId;
+use mpdash_mptcp::scheduler::{seed_pick, Candidate, SchedInput, Scheduler, SchedulerSpec};
+use mpdash_mptcp::MSS;
+use mpdash_sim::SimDuration;
+use proptest::prelude::*;
+
+const PATHS: usize = 4;
+
+/// A candidate set from one step's membership bits and SRTT draws.
+fn cands(present: &[bool], srtt_us: &[u32]) -> Vec<Candidate> {
+    present
+        .iter()
+        .zip(srtt_us)
+        .enumerate()
+        .filter(|(_, (&p, _))| p)
+        .map(|(i, (_, &us))| Candidate {
+            path: PathId(i as u8),
+            srtt: (us > 0).then(|| SimDuration::from_micros(us as u64)),
+            cwnd: 10 * MSS,
+            in_flight: 0,
+            queue_depth: None,
+        })
+        .collect()
+}
+
+/// Split flat draws into per-step candidate sets.
+fn steps(present: &[bool], srtt_us: &[u32]) -> Vec<Vec<Candidate>> {
+    present
+        .chunks_exact(PATHS)
+        .zip(srtt_us.chunks_exact(PATHS))
+        .map(|(p, s)| cands(p, s))
+        .collect()
+}
+
+fn input(c: &[Candidate]) -> SchedInput<'_> {
+    SchedInput {
+        candidates: c,
+        backlog: MSS,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// MinRtt through the trait is decision-for-decision the seed enum,
+    /// over arbitrary churning candidate sets.
+    #[test]
+    fn min_rtt_trait_matches_seed_on_any_sequence(
+        present in prop::collection::vec(any::<bool>(), PATHS..40 * PATHS),
+        srtt_us in prop::collection::vec(0u32..500_000, 40 * PATHS..40 * PATHS + 1),
+    ) {
+        let mut sched = SchedulerSpec::MinRtt.build();
+        let mut cursor = 0usize;
+        for c in steps(&present, &srtt_us) {
+            prop_assert_eq!(
+                sched.pick(&input(&c)),
+                seed_pick(SchedulerSpec::MinRtt, &mut cursor, &c)
+            );
+        }
+    }
+
+    /// RoundRobin through the trait matches the seed enum on stable
+    /// candidate sets (where the seed cursor is well-behaved).
+    #[test]
+    fn round_robin_trait_matches_seed_on_stable_sets(
+        present in prop::collection::vec(any::<bool>(), PATHS..PATHS + 1),
+        srtt_us in prop::collection::vec(0u32..500_000, PATHS..PATHS + 1),
+        picks in 1usize..30,
+    ) {
+        let c = cands(&present, &srtt_us);
+        let mut sched = SchedulerSpec::RoundRobin.build();
+        let mut cursor = 0usize;
+        for _ in 0..picks {
+            prop_assert_eq!(
+                sched.pick(&input(&c)),
+                seed_pick(SchedulerSpec::RoundRobin, &mut cursor, &c)
+            );
+        }
+    }
+
+    /// The rotation-skew fix: over arbitrary churn, the keyed rotation
+    /// never assigns two consecutive segments to one path while a
+    /// different path also had window space both times.
+    #[test]
+    fn round_robin_never_repeats_while_alternatives_exist(
+        present in prop::collection::vec(any::<bool>(), 2 * PATHS..60 * PATHS),
+        srtt_us in prop::collection::vec(0u32..500_000, 60 * PATHS..60 * PATHS + 1),
+    ) {
+        let mut sched = SchedulerSpec::RoundRobin.build();
+        let mut prev: Option<(PathId, Vec<PathId>)> = None;
+        for c in steps(&present, &srtt_us) {
+            let Some(pick) = sched.pick(&input(&c)) else { continue };
+            let paths: Vec<PathId> = c.iter().map(|x| x.path).collect();
+            prop_assert!(paths.contains(&pick), "picked a non-candidate");
+            if let Some((last, last_paths)) = &prev {
+                let alternative_both_times = paths
+                    .iter()
+                    .any(|p| p != last && last_paths.contains(p));
+                if *last == pick {
+                    prop_assert!(
+                        !alternative_both_times,
+                        "picked {:?} twice with an alternative available",
+                        pick
+                    );
+                }
+            }
+            prev = Some((pick, paths));
+        }
+    }
+
+    /// QAware with no shared queues anywhere degenerates to exactly the
+    /// minRTT ordering, decision for decision.
+    #[test]
+    fn qaware_without_queues_is_min_rtt(
+        present in prop::collection::vec(any::<bool>(), PATHS..40 * PATHS),
+        srtt_us in prop::collection::vec(0u32..500_000, 40 * PATHS..40 * PATHS + 1),
+    ) {
+        let mut qaware = SchedulerSpec::QAware.build();
+        let mut minrtt = SchedulerSpec::MinRtt.build();
+        for c in steps(&present, &srtt_us) {
+            prop_assert_eq!(qaware.pick(&input(&c)), minrtt.pick(&input(&c)));
+        }
+    }
+}

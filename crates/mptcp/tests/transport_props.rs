@@ -2,7 +2,7 @@
 //! enforcement, and scheduler equivalence under adversarial conditions.
 
 use mpdash_link::{BandwidthProfile, LinkConfig, PathId};
-use mpdash_mptcp::{CcKind, MptcpConfig, MptcpSim, PathMask, SchedulerKind};
+use mpdash_mptcp::{CcKind, MptcpConfig, MptcpSim, PathMask, SchedulerSpec};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -39,7 +39,7 @@ proptest! {
         let cell = LinkConfig::constant(2.5, SimDuration::from_millis(35))
             .with_loss(loss_pm as f64 / 1000.0, seed ^ 77);
         let cfg = MptcpConfig::two_path(wifi, cell)
-            .with_scheduler(if sched_rr { SchedulerKind::RoundRobin } else { SchedulerKind::MinRtt })
+            .with_scheduler(if sched_rr { SchedulerSpec::RoundRobin } else { SchedulerSpec::MinRtt })
             .with_cc(if cubic { CcKind::Cubic } else { CcKind::Reno });
         let mut sim = MptcpSim::new(cfg);
         download(&mut sim, bytes);

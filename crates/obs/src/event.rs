@@ -201,6 +201,21 @@ pub enum TraceEvent {
         /// Wire size of the packet, bytes.
         size: u64,
     },
+    /// The packet scheduler assigned one new segment to a subflow, with
+    /// the inputs that won the pick (one event per scheduled segment;
+    /// retransmissions and reinjections are not scheduler decisions).
+    SchedulerPick {
+        /// Dense path index the segment was assigned to.
+        path: usize,
+        /// Segment payload length, bytes.
+        len: u64,
+        /// The chosen path's smoothed RTT at decision time, milliseconds
+        /// (`None` before the first sample).
+        srtt_ms: Option<f64>,
+        /// The chosen path's shared-bottleneck occupancy at decision
+        /// time, bytes (`None` on private links).
+        queue_bytes: Option<u64>,
+    },
 }
 
 impl TraceEvent {
@@ -229,6 +244,7 @@ impl TraceEvent {
             TraceEvent::ServerFaultActivated { .. } => "server_fault_activated",
             TraceEvent::ServerFaultCleared { .. } => "server_fault_cleared",
             TraceEvent::SharedQueueWait { .. } => "shared_queue_wait",
+            TraceEvent::SchedulerPick { .. } => "scheduler_pick",
         }
     }
 
@@ -377,6 +393,20 @@ impl TraceEvent {
                 push("path", Json::from(*path));
                 push("waited_s", Json::Float(*waited_s));
                 push("size", Json::from(*size));
+            }
+            TraceEvent::SchedulerPick {
+                path,
+                len,
+                srtt_ms,
+                queue_bytes,
+            } => {
+                push("path", Json::from(*path));
+                push("len", Json::from(*len));
+                push("srtt_ms", srtt_ms.map(Json::Float).unwrap_or(Json::Null));
+                push(
+                    "queue_bytes",
+                    queue_bytes.map(Json::from).unwrap_or(Json::Null),
+                );
             }
         }
         Json::Obj(members)

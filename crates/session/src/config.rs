@@ -8,7 +8,7 @@ use mpdash_dash::video::Video;
 use mpdash_energy::DeviceProfile;
 use mpdash_http::{LifecyclePolicy, ServerFaultScript};
 use mpdash_link::{BandwidthProfile, FaultScript, LinkConfig, TokenBucket};
-use mpdash_mptcp::{CcKind, SchedulerKind};
+use mpdash_mptcp::{CcKind, SchedulerSpec};
 use mpdash_obs::Tracer;
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::field::Location;
@@ -108,7 +108,7 @@ pub struct SessionConfig {
     /// Player buffer capacity.
     pub buffer_capacity: SimDuration,
     /// MPTCP packet scheduler.
-    pub scheduler: SchedulerKind,
+    pub scheduler: SchedulerSpec,
     /// Per-subflow congestion control.
     pub cc: CcKind,
     /// Device for energy replay.
@@ -166,7 +166,7 @@ impl SessionConfig {
             abr,
             mode,
             buffer_capacity: SimDuration::from_secs(40),
-            scheduler: SchedulerKind::MinRtt,
+            scheduler: SchedulerSpec::MinRtt,
             cc: CcKind::Reno,
             device: DeviceProfile::galaxy_note(),
             priors,
@@ -210,7 +210,7 @@ impl SessionConfig {
             abr,
             mode,
             buffer_capacity: SimDuration::from_secs(40),
-            scheduler: SchedulerKind::MinRtt,
+            scheduler: SchedulerSpec::MinRtt,
             cc: CcKind::Reno,
             device: DeviceProfile::galaxy_note(),
             priors: (
@@ -242,7 +242,7 @@ impl SessionConfig {
     }
 
     /// Same config with a different MPTCP packet scheduler.
-    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+    pub fn with_scheduler(mut self, s: SchedulerSpec) -> Self {
         self.scheduler = s;
         self
     }

@@ -17,7 +17,7 @@ use mpdash_core::MpDashControl;
 use mpdash_energy::{session_energy, DeviceProfile, SessionEnergy};
 use mpdash_link::{LinkConfig, PathId, TokenBucket};
 use mpdash_mptcp::{
-    CcKind, MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerKind, StepOutcome,
+    CcKind, MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerSpec, StepOutcome,
 };
 use mpdash_sim::{Rate, SimDuration, SimTime};
 
@@ -43,7 +43,7 @@ pub struct FileTransferConfig {
     /// file transfers have an explicit window).
     pub mode: TransportMode,
     /// MPTCP packet scheduler.
-    pub scheduler: SchedulerKind,
+    pub scheduler: SchedulerSpec,
     /// Subflow congestion control.
     pub cc: CcKind,
     /// Device for energy replay.
@@ -62,7 +62,7 @@ impl FileTransferConfig {
             size: 5_000_000,
             deadline: SimDuration::from_secs(10),
             mode,
-            scheduler: SchedulerKind::MinRtt,
+            scheduler: SchedulerSpec::MinRtt,
             cc: CcKind::Reno,
             device: DeviceProfile::galaxy_note(),
             priors: (
@@ -85,7 +85,7 @@ impl FileTransferConfig {
     }
 
     /// Same config with another packet scheduler.
-    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+    pub fn with_scheduler(mut self, s: SchedulerSpec) -> Self {
         self.scheduler = s;
         self
     }
@@ -309,10 +309,10 @@ mod tests {
     #[test]
     fn round_robin_scheduler_also_benefits() {
         let b = FileTransfer::run(
-            base(TransportMode::Vanilla).with_scheduler(SchedulerKind::RoundRobin),
+            base(TransportMode::Vanilla).with_scheduler(SchedulerSpec::RoundRobin),
         );
         let m = FileTransfer::run(
-            base(TransportMode::mpdash_rate_based()).with_scheduler(SchedulerKind::RoundRobin),
+            base(TransportMode::mpdash_rate_based()).with_scheduler(SchedulerSpec::RoundRobin),
         );
         assert!(!m.missed_deadline);
         assert!(m.cell_bytes < b.cell_bytes / 2);

@@ -11,7 +11,7 @@ use mpdash::core::predict::PredictorKind;
 use mpdash::dash::abr::AbrKind;
 use mpdash::dash::video::Video;
 use mpdash::energy::DeviceProfile;
-use mpdash::mptcp::{CcKind, SchedulerKind};
+use mpdash::mptcp::{CcKind, SchedulerSpec};
 use mpdash::session::{SessionConfig, StreamingSession, TransportMode};
 use mpdash::sim::{Rate, SimDuration};
 use mpdash::trace::mobility::MobilityWalk;
@@ -26,7 +26,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         abr: AbrKind::Festive,
         mode,
         buffer_capacity: SimDuration::from_secs(40),
-        scheduler: SchedulerKind::MinRtt,
+        scheduler: SchedulerSpec::MinRtt,
         cc: CcKind::Reno,
         device: DeviceProfile::galaxy_note(),
         priors: (Rate::from_mbps_f64(3.0), Rate::from_mbps_f64(5.0)),

@@ -80,6 +80,26 @@ pub struct QueueWaitSummary {
     pub max_ms: f64,
 }
 
+/// Scheduler decisions that routed segments onto one path during one
+/// chunk's fetch window, with the mean inputs the scheduler saw at pick
+/// time (the raw per-segment `SchedulerPick` events would flood the
+/// timeline, so they are rolled up per path).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchedulerPickSummary {
+    /// Path index (0 = wifi, 1 = cellular).
+    pub path: usize,
+    /// Segments the scheduler assigned to this path.
+    pub picks: u64,
+    /// Bytes those segments carried.
+    pub bytes: u64,
+    /// Mean SRTT the scheduler saw when picking this path, milliseconds
+    /// (`None` until the path has an RTT sample).
+    pub mean_srtt_ms: Option<f64>,
+    /// Mean shared-bottleneck queue depth seen at pick time, bytes
+    /// (`None` on private links, which expose no queue signal).
+    pub mean_queue_bytes: Option<f64>,
+}
+
 /// One chunk's explained timeline — the structured form the renderer
 /// (and the test suite) consumes.
 #[derive(Clone, Debug)]
@@ -110,6 +130,10 @@ pub struct ChunkExplain {
     /// Per-path shared-queue waiting inside the fetch window,
     /// aggregated (the raw per-packet events would flood the timeline).
     pub queue: Vec<QueueWaitSummary>,
+    /// Per-path scheduler-pick attribution inside the fetch window:
+    /// which paths the packet scheduler chose and the SRTT/queue-depth
+    /// inputs it chose them on.
+    pub picks: Vec<SchedulerPickSummary>,
 }
 
 /// Replay the scenario's chosen mode with a ring sink attached and
@@ -362,6 +386,47 @@ fn explain_chunks(
                     max_ms: *max,
                 })
                 .collect();
+            // Scheduler decisions inside the window, rolled up per path:
+            // (picks, bytes, srtt sum/count, queue-depth sum/count).
+            let mut pick_agg: [(u64, u64, f64, u64, f64, u64); 2] = Default::default();
+            for (t, e) in events {
+                let s = t.as_secs_f64();
+                if let TraceEvent::SchedulerPick {
+                    path,
+                    len,
+                    srtt_ms,
+                    queue_bytes,
+                } = e
+                {
+                    if s >= started_s && s <= completed_s && *path < pick_agg.len() {
+                        let (n, bytes, srtt_sum, srtt_n, q_sum, q_n) = &mut pick_agg[*path];
+                        *n += 1;
+                        *bytes += len;
+                        if let Some(srtt) = srtt_ms {
+                            *srtt_sum += srtt;
+                            *srtt_n += 1;
+                        }
+                        if let Some(q) = queue_bytes {
+                            *q_sum += *q as f64;
+                            *q_n += 1;
+                        }
+                    }
+                }
+            }
+            let picks = pick_agg
+                .iter()
+                .enumerate()
+                .filter(|(_, (n, ..))| *n > 0)
+                .map(
+                    |(path, (n, bytes, srtt_sum, srtt_n, q_sum, q_n))| SchedulerPickSummary {
+                        path,
+                        picks: *n,
+                        bytes: *bytes,
+                        mean_srtt_ms: (*srtt_n > 0).then(|| srtt_sum / *srtt_n as f64),
+                        mean_queue_bytes: (*q_n > 0).then(|| q_sum / *q_n as f64),
+                    },
+                )
+                .collect();
             ChunkExplain {
                 index: c.index,
                 level: c.level,
@@ -374,6 +439,7 @@ fn explain_chunks(
                 faults,
                 transport,
                 queue,
+                picks,
             }
         })
         .collect()
@@ -463,6 +529,23 @@ fn render(
                 out,
                 "    fault: {} {} active {:.1}s-{:.1}s, overlaps fetch for {:.2}s",
                 f.path, f.kind, f.fault_start_s, f.fault_end_s, f.overlap_s,
+            );
+        }
+        for p in &c.picks {
+            let srtt = match p.mean_srtt_ms {
+                Some(ms) => format!("srtt {ms:.1} ms"),
+                None => "srtt unsampled".to_string(),
+            };
+            let queue = match p.mean_queue_bytes {
+                Some(b) => format!("shared queue {:.1} KB", b / 1e3),
+                None => "no shared queue".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    sched pick: {} {} segs ({:.2} MB), mean inputs: {srtt}, {queue}",
+                if p.path == 0 { "wifi" } else { "cell" },
+                p.picks,
+                p.bytes as f64 / 1e6,
             );
         }
         for q in &c.queue {
@@ -581,6 +664,9 @@ mod tests {
         assert!(text.contains("deadline: window"), "{text}");
         assert!(text.contains("MISSED by"), "{text}");
         assert!(text.contains("wifi disassociation active"), "{text}");
+        // Private links: pick attribution shows SRTT but no queue signal.
+        assert!(text.contains("sched pick: wifi"), "{text}");
+        assert!(text.contains("no shared queue"), "{text}");
         // --chunk filters to one chunk block.
         let one = explain_scenario(
             &sc,
@@ -652,6 +738,15 @@ mod tests {
         assert!(text.contains("client 2/4"), "{text}");
         assert!(text.contains("shared queue: "), "{text}");
         assert!(text.contains("packets waited"), "{text}");
+        // On a shared AP the pick attribution carries the queue-depth
+        // input the scheduler saw.
+        let picked = chunks.iter().flat_map(|c| c.picks.iter());
+        assert!(
+            picked.clone().any(|p| p.mean_queue_bytes.is_some()),
+            "shared-bottleneck paths expose queue depth at pick time"
+        );
+        assert!(picked.clone().any(|p| p.mean_srtt_ms.is_some()));
+        assert!(text.contains("sched pick: "), "{text}");
 
         // A fleet scenario with no --client defaults to client 0.
         let (label, _, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();

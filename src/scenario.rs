@@ -14,6 +14,7 @@ use mpdash_link::{
     BandwidthProfile, FaultScript, GilbertElliott, LinkConfig, PathId, QueueDiscipline,
     SharedBottleneckConfig,
 };
+use mpdash_mptcp::SchedulerSpec;
 use mpdash_results::Json;
 use mpdash_session::{Job, LifecyclePolicy, ServerFaultScript, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
@@ -143,9 +144,9 @@ impl VideoSpec {
     }
 }
 
-/// A transport policy to compare.
+/// Which transport policy a mode entry runs.
 #[derive(Debug)]
-pub enum ModeSpec {
+pub enum ModeKind {
     /// Vanilla MPTCP.
     Vanilla,
     /// Single-path WiFi.
@@ -158,20 +159,36 @@ pub enum ModeSpec {
     Throttled(u64),
 }
 
+/// A transport policy to compare, with an optional per-mode MPTCP
+/// packet-scheduler override.
+#[derive(Debug)]
+pub struct ModeSpec {
+    /// The transport policy.
+    pub kind: ModeKind,
+    /// Packet scheduler: `min_rtt` (the default when absent),
+    /// `round_robin`, or `qaware`.
+    pub scheduler: Option<SchedulerSpec>,
+}
+
 impl ModeSpec {
     fn build(&self) -> TransportMode {
-        match self {
-            ModeSpec::Vanilla => TransportMode::Vanilla,
-            ModeSpec::WifiOnly => TransportMode::WifiOnly,
-            ModeSpec::MpdashRate => TransportMode::mpdash_rate_based(),
-            ModeSpec::MpdashDuration => TransportMode::mpdash_duration_based(),
-            ModeSpec::Throttled(kbps) => TransportMode::Throttled { kbps: *kbps },
+        match self.kind {
+            ModeKind::Vanilla => TransportMode::Vanilla,
+            ModeKind::WifiOnly => TransportMode::WifiOnly,
+            ModeKind::MpdashRate => TransportMode::mpdash_rate_based(),
+            ModeKind::MpdashDuration => TransportMode::mpdash_duration_based(),
+            ModeKind::Throttled(kbps) => TransportMode::Throttled { kbps },
         }
     }
 
-    /// Display label.
+    /// Display label; a non-default scheduler is suffixed so grid rows
+    /// stay distinguishable (e.g. `Rate+qaware`).
     pub fn label(&self) -> String {
-        self.build().label()
+        let base = self.build().label();
+        match self.scheduler {
+            None => base,
+            Some(s) => format!("{base}+{}", s.label()),
+        }
     }
 }
 
@@ -549,22 +566,52 @@ impl VideoSpec {
     }
 }
 
-impl ModeSpec {
+impl ModeKind {
     fn parse(v: &Json) -> Result<Self, String> {
         if let Some(tag) = v.as_str() {
             return match tag {
-                "vanilla" => Ok(ModeSpec::Vanilla),
-                "wifi_only" => Ok(ModeSpec::WifiOnly),
-                "mpdash_rate" => Ok(ModeSpec::MpdashRate),
-                "mpdash_duration" => Ok(ModeSpec::MpdashDuration),
+                "vanilla" => Ok(ModeKind::Vanilla),
+                "wifi_only" => Ok(ModeKind::WifiOnly),
+                "mpdash_rate" => Ok(ModeKind::MpdashRate),
+                "mpdash_duration" => Ok(ModeKind::MpdashDuration),
                 other => Err(format!("unknown mode '{other}'")),
             };
         }
         let (tag, payload) = variant(v)?;
         match tag {
-            "throttled" => Ok(ModeSpec::Throttled(uint(payload, "throttled")?)),
+            "throttled" => Ok(ModeKind::Throttled(uint(payload, "throttled")?)),
             other => Err(format!("unknown mode '{other}'")),
         }
+    }
+}
+
+impl ModeSpec {
+    fn parse(v: &Json) -> Result<Self, String> {
+        // The long form `{"mode": ..., "scheduler": "..."}` wraps any
+        // short-form mode with a packet-scheduler override; the short
+        // forms ("vanilla", {"throttled": 700}) stay valid unchanged.
+        if let Some(mode) = v.get("mode") {
+            let scheduler = match v.get("scheduler") {
+                None => None,
+                Some(j) => {
+                    let name = string(j, "scheduler")?;
+                    Some(SchedulerSpec::parse(&name).ok_or_else(|| {
+                        format!(
+                            "unknown scheduler '{name}' (expected min_rtt, \
+                             round_robin, or qaware)"
+                        )
+                    })?)
+                }
+            };
+            return Ok(ModeSpec {
+                kind: ModeKind::parse(mode)?,
+                scheduler,
+            });
+        }
+        Ok(ModeSpec {
+            kind: ModeKind::parse(v)?,
+            scheduler: None,
+        })
     }
 }
 
@@ -619,7 +666,7 @@ impl Scenario {
             return Err("'modes' must list at least one transport policy".into());
         }
         for mode in &self.modes {
-            if let ModeSpec::Throttled(0) = mode {
+            if let ModeKind::Throttled(0) = mode.kind {
                 return Err("throttled mode needs a rate > 0 kbps (use a zero-rate \
                      'cell' bandwidth for a dead path instead)"
                     .into());
@@ -716,6 +763,9 @@ impl Scenario {
                 cfg = cfg.with_server_faults(self.server_faults.clone());
             }
             cfg = cfg.with_lifecycle(self.lifecycle);
+            if let Some(sched) = mode.scheduler {
+                cfg = cfg.with_scheduler(sched);
+            }
             out.push((mode.label(), cfg));
         }
         Ok(out)
@@ -834,6 +884,52 @@ mod tests {
         let sc = Scenario::from_json(&doc).unwrap();
         let err = sc.build().unwrap_err();
         assert!(err.contains("'mean_mbps' must be > 0"), "{err}");
+    }
+
+    #[test]
+    fn per_mode_scheduler_key_parses_and_applies() {
+        let doc = DOC.replace(
+            r#"["vanilla", "mpdash_rate", {"throttled": 700}]"#,
+            r#"["vanilla",
+               {"mode": "mpdash_rate", "scheduler": "qaware"},
+               {"mode": {"throttled": 700}, "scheduler": "round_robin"},
+               {"mode": "vanilla"}]"#,
+        );
+        let sc = Scenario::from_json(&doc).unwrap();
+        assert_eq!(sc.modes[0].scheduler, None);
+        assert_eq!(sc.modes[1].scheduler, Some(SchedulerSpec::QAware));
+        assert_eq!(sc.modes[2].scheduler, Some(SchedulerSpec::RoundRobin));
+        assert_eq!(sc.modes[3].scheduler, None, "long form without the key");
+        let configs = sc.build().unwrap();
+        assert_eq!(configs[0].1.scheduler, SchedulerSpec::MinRtt, "default");
+        assert_eq!(configs[1].1.scheduler, SchedulerSpec::QAware);
+        assert_eq!(configs[2].1.scheduler, SchedulerSpec::RoundRobin);
+        // Labels stay distinguishable per grid row.
+        assert_eq!(configs[0].0, "Baseline");
+        assert_eq!(configs[1].0, "Rate+qaware");
+        assert_eq!(configs[2].0, "Throttle700k+round_robin");
+        assert_eq!(configs[3].0, "Baseline");
+    }
+
+    #[test]
+    fn rejects_an_unknown_scheduler_name() {
+        let doc = DOC.replace(
+            r#""mpdash_rate""#,
+            r#"{"mode": "mpdash_rate", "scheduler": "lowest_latency_first"}"#,
+        );
+        let err = Scenario::from_json(&doc).unwrap_err();
+        assert!(
+            err.contains("unknown scheduler 'lowest_latency_first'")
+                && err.contains("min_rtt, round_robin, or qaware"),
+            "{err}"
+        );
+
+        let doc = DOC.replace(
+            r#""mpdash_rate""#,
+            r#"{"mode": "mpdash_rate", "scheduler": 3}"#,
+        );
+        let err = Scenario::from_json(&doc).unwrap_err();
+        assert!(err.contains("'scheduler' must be a string"), "{err}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use mpdash::core::deadline::SchedulerParams;
 use mpdash::core::MpDashControl;
 use mpdash::link::{LinkConfig, PathId};
 use mpdash::mptcp::CcKind;
-use mpdash::mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerKind};
+use mpdash::mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, SchedulerSpec};
 use mpdash::sim::{Rate, SimDuration, SimTime};
 
 const TICK: SimDuration = SimDuration::from_millis(50);
@@ -26,7 +26,7 @@ fn three_path_sim(wifi_mbps: f64, lte_mbps: f64, fiveg_mbps: f64) -> MptcpSim {
                 SimDuration::from_millis(12),
             )),
         ],
-        scheduler: SchedulerKind::MinRtt,
+        scheduler: SchedulerSpec::MinRtt,
         cc: CcKind::Reno,
     })
 }
