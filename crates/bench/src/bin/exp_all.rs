@@ -21,4 +21,5 @@ fn main() {
     e::field::run();
     e::fleet::run();
     e::sched::run();
+    e::origin::run();
 }

@@ -1,0 +1,6 @@
+//! Runs the multi-origin serving grid (blackholed primary vs circuit
+//! breakers, hedged failover, and the shared edge cache). See
+//! `mpdash_bench::experiments::origin`.
+fn main() {
+    mpdash_bench::experiments::origin::run();
+}

@@ -42,6 +42,8 @@ fn config(mode: TransportMode) -> SessionConfig {
         preference: Default::default(),
         server_faults: Default::default(),
         lifecycle: Default::default(),
+        origins: None,
+        cache: None,
         tracer: Default::default(),
         start_offset: SimDuration::ZERO,
     }

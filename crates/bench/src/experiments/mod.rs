@@ -31,6 +31,7 @@ pub mod fleet;
 pub mod lifecycle;
 pub mod motivation;
 pub mod mpc;
+pub mod origin;
 pub mod sched;
 pub mod tab2;
 pub mod tab4;

@@ -28,7 +28,9 @@
 use mpdash_link::{PathId, SharedBottleneck, SharedBottleneckConfig, SharedStats};
 use mpdash_obs::MetricsSnapshot;
 use mpdash_results::Json;
-use mpdash_session::{Job, JobReport, SessionConfig, SessionReport, StreamingSession};
+use mpdash_session::{
+    CacheStats, Job, JobReport, SessionConfig, SessionReport, SharedSegmentCache, StreamingSession,
+};
 use mpdash_sim::{derive_seed, SimDuration, SimTime};
 
 /// One shared resource in the fleet topology: a bottleneck plus the
@@ -62,6 +64,34 @@ impl SharedLinkSpec {
     }
 }
 
+/// Shared segment-cache spec. [`run`] builds one *fresh* cache per
+/// fleet run from this spec — rather than storing a live handle in the
+/// config — so `run` stays a pure function of its configuration (a
+/// stored handle would leak warm state between runs).
+#[derive(Clone, Copy, Debug)]
+pub struct FleetCacheSpec {
+    /// Cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Modeled delivery delay of a cache hit (the cheap edge fetch).
+    pub edge_delay: SimDuration,
+}
+
+impl FleetCacheSpec {
+    /// A cache of `capacity_bytes` with the default 5 ms edge delay.
+    pub fn new(capacity_bytes: u64) -> Self {
+        FleetCacheSpec {
+            capacity_bytes,
+            edge_delay: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Same spec with a different edge-hit delay.
+    pub fn with_edge_delay(mut self, delay: SimDuration) -> Self {
+        self.edge_delay = delay;
+        self
+    }
+}
+
 /// Configuration of one fleet run.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -89,6 +119,9 @@ pub struct FleetConfig {
     /// `mpdash explain --client K` replay hook); every other client runs
     /// untraced. `None` traces nobody.
     pub trace_client: Option<usize>,
+    /// Shared segment cache every client fetches through. `None` means
+    /// no cache (every chunk is an origin fetch).
+    pub cache: Option<FleetCacheSpec>,
 }
 
 impl FleetConfig {
@@ -103,6 +136,7 @@ impl FleetConfig {
             rtt_skew: SimDuration::ZERO,
             seed: 1,
             trace_client: None,
+            cache: None,
         }
     }
 
@@ -135,6 +169,12 @@ impl FleetConfig {
     /// tracer.
     pub fn with_trace_client(mut self, k: usize) -> Self {
         self.trace_client = Some(k);
+        self
+    }
+
+    /// Same fleet with a shared segment cache in front of the origins.
+    pub fn with_cache(mut self, spec: FleetCacheSpec) -> Self {
+        self.cache = Some(spec);
         self
     }
 }
@@ -170,6 +210,11 @@ pub struct FleetReport {
     pub total_stalls: u64,
     /// One summary per configured shared bottleneck, in topology order.
     pub bottlenecks: Vec<BottleneckSummary>,
+    /// Global shared-cache counters at the end of the run, `None` when
+    /// the fleet ran cacheless. Lives here and not in the per-session
+    /// reports: the global hit/miss/eviction totals depend on how the
+    /// fleet interleaved the clients, which no single session observes.
+    pub cache: Option<CacheStats>,
 }
 
 /// Jain's fairness index `(Σx)² / (n·Σx²)`: 1 when all shares are
@@ -236,6 +281,17 @@ impl FleetReport {
                 ("metrics", b.metrics.to_json()),
             ])
         });
+        let cache = match &self.cache {
+            Some(c) => Json::obj([
+                ("hits", Json::from(c.hits)),
+                ("misses", Json::from(c.misses)),
+                ("evictions", Json::from(c.evictions)),
+                ("insertions", Json::from(c.insertions)),
+                ("resident_bytes", Json::from(c.resident_bytes)),
+                ("hit_ratio", Json::Float(c.hit_ratio())),
+            ]),
+            None => Json::Null,
+        };
         Json::obj([
             ("clients", Json::from(self.sessions.len())),
             ("jain_bitrate", Json::Float(self.jain_bitrate)),
@@ -244,6 +300,7 @@ impl FleetReport {
             ("total_wifi_bytes", Json::from(self.total_wifi_bytes)),
             ("total_cell_bytes", Json::from(self.total_cell_bytes)),
             ("total_stalls", Json::from(self.total_stalls)),
+            ("cache", cache),
             ("per_client", Json::arr(per_client)),
             ("bottlenecks", Json::arr(bottlenecks)),
         ])
@@ -254,6 +311,9 @@ impl FleetReport {
 /// configuration (tracing included — it is observe-only).
 pub fn run(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.clients >= 1, "a fleet needs at least one client");
+    let cache = cfg
+        .cache
+        .map(|spec| SharedSegmentCache::new(spec.capacity_bytes).with_edge_delay(spec.edge_delay));
     let mut sessions: Vec<StreamingSession> = (0..cfg.clients)
         .map(|k| {
             let mut sc = cfg.base.clone();
@@ -264,6 +324,13 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
             let client_seed = derive_seed(cfg.seed, k as u64);
             sc.wifi.seed = derive_seed(client_seed, 0);
             sc.cell.seed = derive_seed(client_seed, 1);
+            // Per-client retry jitter: derive an independent lifecycle
+            // seed so a shared fault burst does not make every client
+            // back off in lockstep and re-stampede the server together.
+            sc.lifecycle = sc.lifecycle.with_seed(derive_seed(client_seed, 2));
+            if let Some(cache) = cache.as_ref() {
+                sc.cache = Some(cache.clone());
+            }
             if cfg.trace_client != Some(k) {
                 sc.tracer = mpdash_obs::Tracer::disabled();
             }
@@ -381,6 +448,7 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
         total_cell_bytes: sessions.iter().map(|s| s.cell_bytes).sum(),
         total_stalls: sessions.iter().map(|s| s.qoe_all.stalls).sum(),
         bottlenecks,
+        cache: cache.map(|c| c.stats()),
         sessions,
     }
 }
@@ -433,6 +501,7 @@ mod tests {
         let client_seed = derive_seed(cfg.seed, 0);
         alone.wifi.seed = derive_seed(client_seed, 0);
         alone.cell.seed = derive_seed(client_seed, 1);
+        alone.lifecycle = alone.lifecycle.with_seed(derive_seed(client_seed, 2));
         let solo = StreamingSession::run(alone);
         assert_eq!(
             report.sessions[0].summary_json().to_pretty(),
@@ -547,6 +616,92 @@ mod tests {
             fq.jain_bitrate,
             fifo.jain_bitrate
         );
+    }
+
+    #[test]
+    fn shared_fault_burst_retries_desynchronize_across_clients() {
+        use mpdash_obs::{RingSink, TraceEvent, Tracer};
+        use mpdash_session::{LifecyclePolicy, ServerFaultScript};
+        use std::sync::Arc;
+        // Same fleet twice, tracing a different client each time: fleet
+        // runs are deterministic and tracing is observe-only, so the
+        // two runs are faithful per-client views of one fleet.
+        let backoffs = |client: usize| -> Vec<f64> {
+            let ring = Arc::new(RingSink::new(1 << 16));
+            let base = base(TransportMode::mpdash_rate_based())
+                .with_server_faults(
+                    ServerFaultScript::new()
+                        .error_burst(SimTime::from_secs(5), SimDuration::from_secs(2)),
+                )
+                .with_lifecycle(LifecyclePolicy::retry_only())
+                .with_tracer(Tracer::new(ring.clone()));
+            let cfg = FleetConfig::new(base, 2)
+                .with_stagger(SimDuration::ZERO)
+                .with_trace_client(client);
+            run(&cfg);
+            ring.events()
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    TraceEvent::RequestRetried { backoff_s, .. } => Some(*backoff_s),
+                    _ => None,
+                })
+                .collect()
+        };
+        let c0 = backoffs(0);
+        let c1 = backoffs(1);
+        assert!(
+            !c0.is_empty() && !c1.is_empty(),
+            "the shared burst must force retries on both clients"
+        );
+        assert_ne!(
+            c0, c1,
+            "per-client lifecycle seeds must desynchronize retry backoffs"
+        );
+    }
+
+    #[test]
+    fn shared_cache_hit_ratio_is_monotone_in_fleet_size() {
+        let report = |clients: usize| {
+            run(&FleetConfig::new(base(TransportMode::Vanilla), clients)
+                .with_cache(FleetCacheSpec::new(256 * 1024 * 1024)))
+        };
+        let ratio = |r: &FleetReport| {
+            let c = r.cache.expect("cache configured");
+            // The global counters must reconcile with the per-session
+            // views — the cache serves only these clients.
+            let hits: u64 = r.sessions.iter().map(|s| s.origin.cache_hits).sum();
+            let misses: u64 = r.sessions.iter().map(|s| s.origin.cache_misses).sum();
+            assert_eq!((c.hits, c.misses), (hits, misses));
+            c.hit_ratio()
+        };
+        let r1 = report(1);
+        let r2 = report(2);
+        let r4 = report(4);
+        let (h1, h2, h4) = (ratio(&r1), ratio(&r2), ratio(&r4));
+        assert_eq!(h1, 0.0, "a lone client never hits its own cold cache");
+        assert!(
+            h2 > 0.0,
+            "the second client must reuse the first one's inserts"
+        );
+        assert!(
+            h1 <= h2 && h2 <= h4,
+            "hit ratio must be monotone in fleet size: {h1:.3} {h2:.3} {h4:.3}"
+        );
+    }
+
+    #[test]
+    fn cached_fleet_runs_are_pure_functions_of_config() {
+        // The cache spec (not a live handle) is what FleetConfig holds:
+        // two runs of the same config must not leak warm-cache state
+        // into each other.
+        let mk = || {
+            FleetConfig::new(base(TransportMode::Vanilla), 3)
+                .with_cache(FleetCacheSpec::new(64 * 1024 * 1024))
+                .with_seed(9)
+        };
+        let a = run(&mk()).summary_json().to_pretty();
+        let b = run(&mk()).summary_json().to_pretty();
+        assert_eq!(a, b);
     }
 
     #[test]

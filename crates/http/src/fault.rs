@@ -22,6 +22,13 @@
 //! * **Slow first byte** — a response whose service starts inside the
 //!   window is queued only after `delay` (time-to-first-byte
 //!   inflation).
+//! * **Blackhole** — the origin goes completely dark: a request served
+//!   inside the window gets no bytes at all until the window closes
+//!   (the response is deferred to the window's end, as if the origin
+//!   recovered and flushed its backlog). This is the whole-origin
+//!   outage the multi-origin failover machinery exists for: a
+//!   wait-forever client rides it out, a circuit-breaking client
+//!   abandons and fetches the range from a healthy origin instead.
 //!
 //! Windows are half-open `[at, at + duration)` against the *service*
 //! instant (when the request reaches the server), are kept sorted by
@@ -53,6 +60,9 @@ pub enum ServerFaultKind {
         /// Time-to-first-byte inflation.
         delay: SimDuration,
     },
+    /// The origin answers nothing until the window closes: responses
+    /// starting inside it are deferred to the window's end.
+    Blackhole,
 }
 
 impl ServerFaultKind {
@@ -63,6 +73,7 @@ impl ServerFaultKind {
             ServerFaultKind::ErrorBurst => "error_burst",
             ServerFaultKind::StalledBody { .. } => "stalled_body",
             ServerFaultKind::SlowFirstByte { .. } => "slow_first_byte",
+            ServerFaultKind::Blackhole => "blackhole",
         }
     }
 }
@@ -164,6 +175,16 @@ impl ServerFaultScript {
         })
     }
 
+    /// Add a blackhole window: requests served inside it get no bytes
+    /// until the window closes.
+    pub fn blackhole(self, at: SimTime, duration: SimDuration) -> Self {
+        self.with_event(ServerFaultEvent {
+            at,
+            duration,
+            kind: ServerFaultKind::Blackhole,
+        })
+    }
+
     /// The ordered event timeline.
     pub fn events(&self) -> &[ServerFaultEvent] {
         &self.events
@@ -182,13 +203,16 @@ impl ServerFaultScript {
     }
 
     /// Total time-to-first-byte inflation for a response starting at
-    /// `t` (active slow-first-byte delays sum).
+    /// `t`: active slow-first-byte delays sum, and an active blackhole
+    /// contributes the remainder of its window (no byte leaves the
+    /// origin before the outage clears).
     pub fn first_byte_delay_at(&self, t: SimTime) -> SimDuration {
         self.events
             .iter()
             .filter(|e| e.active_at(t))
             .filter_map(|e| match e.kind {
                 ServerFaultKind::SlowFirstByte { delay } => Some(delay),
+                ServerFaultKind::Blackhole => Some(e.end().saturating_since(t)),
                 _ => None,
             })
             .fold(SimDuration::ZERO, |acc, d| acc + d)
@@ -272,6 +296,28 @@ mod tests {
     }
 
     #[test]
+    fn blackhole_defers_to_the_window_end() {
+        let s = ServerFaultScript::new()
+            .blackhole(SimTime::from_secs(10), SimDuration::from_secs(20))
+            .slow_first_byte(
+                SimTime::from_secs(10),
+                SimDuration::from_secs(20),
+                SimDuration::from_secs(1),
+            );
+        // Mid-window: the remainder of the outage plus the overlapping
+        // slow-first-byte delay.
+        assert_eq!(
+            s.first_byte_delay_at(SimTime::from_secs(18)),
+            SimDuration::from_secs(12 + 1)
+        );
+        // Outside the window the origin is healthy again.
+        assert_eq!(
+            s.first_byte_delay_at(SimTime::from_secs(30)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
     fn kind_names_are_stable() {
         assert_eq!(ServerFaultKind::ErrorBurst.name(), "error_burst");
         assert_eq!(
@@ -289,5 +335,6 @@ mod tests {
             .name(),
             "slow_first_byte"
         );
+        assert_eq!(ServerFaultKind::Blackhole.name(), "blackhole");
     }
 }

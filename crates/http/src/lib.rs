@@ -31,16 +31,20 @@
 
 use mpdash_mptcp::MptcpSim;
 use mpdash_obs::{TraceEvent, Tracer};
-use mpdash_sim::SimTime;
+use mpdash_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+pub mod cache;
 pub mod fault;
 pub mod lifecycle;
+pub mod origin;
 
+pub use cache::{CacheStats, SegmentKey, SharedSegmentCache};
 pub use fault::{ServerFaultEvent, ServerFaultKind, ServerFaultScript};
 pub use lifecycle::{
     AbortAccounting, LifecycleAction, LifecyclePolicy, LifecycleState, RequestTracker, RetryPolicy,
 };
+pub use origin::{BreakerState, HealthTransition, OriginPool, OriginPoolConfig, OriginSpec};
 
 /// Upstream bytes of one GET request (request line + typical headers).
 pub const REQUEST_BYTES: u64 = 180;
@@ -182,6 +186,16 @@ struct FaultEdge {
     cleared: bool,
 }
 
+/// Where a request's response comes from — decided at `get` time,
+/// applied at serve time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Route {
+    /// Pool origin `i`: that origin's fault script + RTT penalty.
+    Origin(usize),
+    /// The edge cache: no faults, just this first-byte delay.
+    Edge(SimDuration),
+}
+
 /// One persistent HTTP/1.1 connection: client framing + server behaviour.
 ///
 /// The "server" half is the response generator: when the simulator reports
@@ -218,6 +232,13 @@ pub struct HttpLayer {
     next_timer: u64,
     faults: ServerFaultScript,
     fault_edges: Vec<FaultEdge>,
+    /// Per-origin serve-time behaviour (fault script + RTT penalty)
+    /// when a pool is attached; requests without a [`Route`] use the
+    /// legacy single-script `faults`.
+    origins: Vec<(ServerFaultScript, SimDuration)>,
+    origin_edges: Vec<Vec<FaultEdge>>,
+    /// Routing decision per unanswered request.
+    routes: HashMap<RequestId, Route>,
     tracer: Tracer,
 }
 
@@ -244,6 +265,9 @@ impl HttpLayer {
             next_timer: 0,
             faults: ServerFaultScript::new(),
             fault_edges: Vec::new(),
+            origins: Vec::new(),
+            origin_edges: Vec::new(),
+            routes: HashMap::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -252,6 +276,22 @@ impl HttpLayer {
     pub fn with_faults(mut self, faults: ServerFaultScript) -> Self {
         self.fault_edges = vec![FaultEdge::default(); faults.events().len()];
         self.faults = faults;
+        self
+    }
+
+    /// Attach the serve-time half of an origin pool: each origin's
+    /// fault script and RTT penalty, applied to requests issued through
+    /// [`HttpLayer::get_from`]. Health tracking and routing live in
+    /// [`OriginPool`], owned by the caller.
+    pub fn with_origins(mut self, origins: &[OriginSpec]) -> Self {
+        self.origin_edges = origins
+            .iter()
+            .map(|o| vec![FaultEdge::default(); o.faults.events().len()])
+            .collect();
+        self.origins = origins
+            .iter()
+            .map(|o| (o.faults.clone(), o.rtt_penalty))
+            .collect();
         self
     }
 
@@ -288,6 +328,41 @@ impl HttpLayer {
         self.get(sim, total - from)
     }
 
+    /// Issue a GET routed to pool origin `origin`: served under that
+    /// origin's fault script and RTT penalty.
+    pub fn get_from(&mut self, sim: &mut MptcpSim, size: u64, origin: usize) -> RequestId {
+        debug_assert!(origin < self.origins.len(), "unknown origin {origin}");
+        let id = self.get(sim, size);
+        self.routes.insert(id, Route::Origin(origin));
+        id
+    }
+
+    /// Issue a byte-range GET for `[from, total)` routed to pool origin
+    /// `origin` — the failover resume and the hedge request.
+    pub fn get_range_from(
+        &mut self,
+        sim: &mut MptcpSim,
+        total: u64,
+        from: u64,
+        origin: usize,
+    ) -> RequestId {
+        debug_assert!(from <= total, "range start past resource end");
+        self.get_from(sim, total - from, origin)
+    }
+
+    /// Issue a GET served by the edge cache: a healthy response after
+    /// `edge_delay`, untouched by any origin fault script.
+    pub fn get_edge(
+        &mut self,
+        sim: &mut MptcpSim,
+        size: u64,
+        edge_delay: SimDuration,
+    ) -> RequestId {
+        let id = self.get(sim, size);
+        self.routes.insert(id, Route::Edge(edge_delay));
+        id
+    }
+
     /// Cancel request `id`: send the abort signal upstream. When it
     /// reaches the server, the unsent tail of the response is flushed
     /// and the client's framing is truncated at the transport's
@@ -314,9 +389,36 @@ impl HttpLayer {
             return Vec::new();
         };
         let now = sim.now();
-        self.trace_fault_edges(now);
+        // Resolve the serve-time behaviour for this request's route:
+        // whether it 5xxes, its first-byte delay (fault + RTT penalty),
+        // and any mid-body stall.
+        let (is_error, first_delay, stall) = match self.routes.remove(&id) {
+            Some(Route::Edge(delay)) => (false, delay, None),
+            Some(Route::Origin(i)) => {
+                Self::trace_edges(
+                    &self.tracer,
+                    &self.origins[i].0,
+                    &mut self.origin_edges[i],
+                    now,
+                );
+                let (script, penalty) = &self.origins[i];
+                (
+                    script.error_at(now),
+                    script.first_byte_delay_at(now) + *penalty,
+                    script.stall_at(now),
+                )
+            }
+            None => {
+                Self::trace_edges(&self.tracer, &self.faults, &mut self.fault_edges, now);
+                (
+                    self.faults.error_at(now),
+                    self.faults.first_byte_delay_at(now),
+                    self.faults.stall_at(now),
+                )
+            }
+        };
 
-        if self.faults.error_at(now) {
+        if is_error {
             // 5xx: a header-only response. The client reads the status
             // line from the same header block, so its expected body
             // shrinks to zero and the exchange ends in an Error event.
@@ -349,8 +451,8 @@ impl HttpLayer {
                 queued: 0,
             },
         );
-        let at = now + self.faults.first_byte_delay_at(now);
-        if let Some((stall, frac)) = self.faults.stall_at(now) {
+        let at = now + first_delay;
+        if let Some((stall, frac)) = stall {
             let first_body = ((size as f64) * frac).ceil() as u64;
             let first = RESPONSE_HEADER_BYTES + first_body.min(size);
             let rest = total - first;
@@ -528,6 +630,7 @@ impl HttpLayer {
             // The cancel overtook the request: nothing is on the wire
             // yet, so the exchange unwinds immediately.
             self.cancelled.insert(id);
+            self.routes.remove(&id);
             if let Some(pos) = self.inflight.iter().position(|r| r.id == id) {
                 let resp = self.inflight.remove(pos).expect("position just found");
                 events.push(HttpEvent::Aborted {
@@ -590,25 +693,30 @@ impl HttpLayer {
         events
     }
 
-    /// Emit activation/clearing trace edges for the fault script, as
+    /// Emit activation/clearing trace edges for one fault script, as
     /// observed at serve instants. Edge bookkeeping runs whether or not
     /// a sink is attached so internal state never depends on tracing.
-    fn trace_fault_edges(&mut self, now: SimTime) {
-        for (i, e) in self.faults.events().iter().enumerate() {
-            let edge = &mut self.fault_edges[i];
+    /// An associated fn over split borrows: the caller holds the script
+    /// and its edge flags from disjoint fields.
+    fn trace_edges(
+        tracer: &Tracer,
+        faults: &ServerFaultScript,
+        fault_edges: &mut [FaultEdge],
+        now: SimTime,
+    ) {
+        for (i, e) in faults.events().iter().enumerate() {
+            let edge = &mut fault_edges[i];
             if e.active_at(now) && !edge.activated {
                 edge.activated = true;
-                self.tracer
-                    .emit_with(now, || TraceEvent::ServerFaultActivated {
-                        kind: e.kind.name(),
-                        until_s: e.end().as_secs_f64(),
-                    });
+                tracer.emit_with(now, || TraceEvent::ServerFaultActivated {
+                    kind: e.kind.name(),
+                    until_s: e.end().as_secs_f64(),
+                });
             } else if now >= e.end() && edge.activated && !edge.cleared {
                 edge.cleared = true;
-                self.tracer
-                    .emit_with(now, || TraceEvent::ServerFaultCleared {
-                        kind: e.kind.name(),
-                    });
+                tracer.emit_with(now, || TraceEvent::ServerFaultCleared {
+                    kind: e.kind.name(),
+                });
             }
         }
     }
@@ -1040,6 +1148,147 @@ mod tests {
         // The stalled tail's deferred part was dropped with the cancel.
         let events = fetch(&mut s, &mut h, size - received);
         assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+    }
+
+    /// Drive an already-issued request to its terminal event.
+    fn drive(sim: &mut MptcpSim, http: &mut HttpLayer, id: RequestId) -> Vec<HttpEvent> {
+        let mut events = Vec::new();
+        loop {
+            let Some((_, outcome)) = sim.step() else {
+                panic!("drained before finishing request {id}")
+            };
+            let evs = match outcome {
+                StepOutcome::ServerMsg { id } => http.on_server_msg(sim, id),
+                StepOutcome::AppTimer { id } => {
+                    http.on_app_timer(sim, id);
+                    Vec::new()
+                }
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    http.on_delivered(newly_delivered)
+                }
+                _ => Vec::new(),
+            };
+            let done = evs.iter().any(|e| {
+                matches!(e,
+                    HttpEvent::Complete { id: i, .. }
+                    | HttpEvent::Error { id: i }
+                    | HttpEvent::Aborted { id: i, .. } if *i == id)
+            });
+            events.extend(evs);
+            if done {
+                return events;
+            }
+        }
+    }
+
+    #[test]
+    fn requests_route_to_their_own_origin_script() {
+        let origins = [
+            OriginSpec::new("healthy"),
+            OriginSpec::new("erroring").with_faults(
+                ServerFaultScript::new().error_burst(SimTime::ZERO, SimDuration::from_secs(600)),
+            ),
+        ];
+        let mut s = sim();
+        let mut h = HttpLayer::new().with_origins(&origins);
+        let a = h.get_from(&mut s, 20_000, 0);
+        let events = drive(&mut s, &mut h, a);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+        let b = h.get_from(&mut s, 20_000, 1);
+        let events = drive(&mut s, &mut h, b);
+        assert!(
+            matches!(events.last(), Some(HttpEvent::Error { .. })),
+            "origin 1's burst must 5xx its requests: {events:?}"
+        );
+    }
+
+    #[test]
+    fn rtt_penalty_defers_an_origin_response() {
+        let mut fast = sim();
+        let mut hf = HttpLayer::new().with_origins(&[OriginSpec::new("near")]);
+        let id = hf.get_from(&mut fast, 50_000, 0);
+        drive(&mut fast, &mut hf, id);
+        let baseline = fast.now();
+
+        let penalty = SimDuration::from_millis(300);
+        let mut s = sim();
+        let mut h =
+            HttpLayer::new().with_origins(&[OriginSpec::new("far").with_rtt_penalty(penalty)]);
+        let id = h.get_from(&mut s, 50_000, 0);
+        drive(&mut s, &mut h, id);
+        let extra = s.now().saturating_since(baseline);
+        assert!(
+            extra >= penalty.mul_f64(0.9),
+            "rtt penalty not applied: extra {extra}"
+        );
+    }
+
+    #[test]
+    fn edge_fetch_bypasses_origin_faults() {
+        let origins = [OriginSpec::new("dark").with_faults(
+            ServerFaultScript::new().blackhole(SimTime::ZERO, SimDuration::from_secs(600)),
+        )];
+        let mut s = sim();
+        let mut h = HttpLayer::new().with_origins(&origins);
+        let id = h.get_edge(&mut s, 50_000, SimDuration::from_millis(5));
+        let events = drive(&mut s, &mut h, id);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+        assert!(
+            s.now() < SimTime::from_secs(10),
+            "edge hit must not wait out the origin blackhole (now {})",
+            s.now()
+        );
+    }
+
+    #[test]
+    fn blackholed_request_cancels_cleanly_and_failover_streams_immediately() {
+        let origins = [
+            OriginSpec::new("dark").with_faults(
+                ServerFaultScript::new().blackhole(SimTime::ZERO, SimDuration::from_secs(120)),
+            ),
+            OriginSpec::new("healthy"),
+        ];
+        let mut s = sim();
+        let mut h = HttpLayer::new().with_origins(&origins);
+        let size: u64 = 100_000;
+        let dark = h.get_from(&mut s, size, 0);
+        // Step until the request reaches the dark origin (stepping past
+        // that point would jump the clock to the 120 s deferral timer —
+        // the only other scheduled event), then fail over: cancel the
+        // wedged exchange and re-request from origin 1. The cancel drops
+        // the deferred (blackholed) response parts and resets stream
+        // order, so the failover is not queued behind the outage window.
+        loop {
+            let (_, o) = s.step().expect("request must reach the origin");
+            match o {
+                StepOutcome::ServerMsg { id } if id == dark => {
+                    h.on_server_msg(&mut s, id);
+                    break;
+                }
+                StepOutcome::Transport { newly_delivered } if newly_delivered > 0 => {
+                    h.on_delivered(newly_delivered);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            h.deferred_parts() > 0,
+            "the blackhole deferred the response"
+        );
+        h.cancel(&mut s, dark);
+        let aborted = drive(&mut s, &mut h, dark);
+        let Some(HttpEvent::Aborted { received, .. }) = aborted.last() else {
+            panic!("wedged request must abort, got {aborted:?}")
+        };
+        assert_eq!(*received, 0, "a blackholed response delivered nothing");
+        let retry = h.get_from(&mut s, size, 1);
+        let events = drive(&mut s, &mut h, retry);
+        assert!(matches!(events.last(), Some(HttpEvent::Complete { .. })));
+        assert!(
+            s.now() < SimTime::from_secs(10),
+            "failover fetch must not inherit the blackhole deferral (now {})",
+            s.now()
+        );
     }
 
     #[test]

@@ -201,6 +201,50 @@ pub enum TraceEvent {
         /// Wire size of the packet, bytes.
         size: u64,
     },
+    /// The origin pool routed a chunk fetch to an origin.
+    OriginRouted {
+        /// Chunk index.
+        chunk: usize,
+        /// Dense origin index inside the pool.
+        origin: usize,
+        /// Why this routing happened: `"initial"`, `"retry"`,
+        /// `"resume"`, or `"hedge"`.
+        reason: &'static str,
+    },
+    /// A per-origin circuit breaker changed state.
+    OriginHealth {
+        /// Dense origin index inside the pool.
+        origin: usize,
+        /// New breaker state: `"closed"`, `"open"`, or `"half_open"`.
+        state: &'static str,
+        /// Consecutive-failure streak at the transition.
+        failures: u64,
+    },
+    /// A hedged fetch launched (`winner` absent) or resolved (`winner`
+    /// present; exactly one resolution per launch).
+    Hedge {
+        /// Chunk index.
+        chunk: usize,
+        /// Origin the primary fetch was on.
+        origin: usize,
+        /// Origin the hedge raced on.
+        hedge_origin: usize,
+        /// `"primary"` or `"hedge"` once the race resolves.
+        winner: Option<&'static str>,
+        /// Loser's delivered body bytes, accounted as waste.
+        wasted: u64,
+    },
+    /// A shared segment-cache interaction for a chunk fetch.
+    Cache {
+        /// Chunk index.
+        chunk: usize,
+        /// Bitrate level of the segment.
+        level: usize,
+        /// `"hit"`, `"miss"`, or `"insert"`.
+        outcome: &'static str,
+        /// Segment body bytes involved.
+        bytes: u64,
+    },
     /// The packet scheduler assigned one new segment to a subflow, with
     /// the inputs that won the pick (one event per scheduled segment;
     /// retransmissions and reinjections are not scheduler decisions).
@@ -244,6 +288,10 @@ impl TraceEvent {
             TraceEvent::ServerFaultActivated { .. } => "server_fault_activated",
             TraceEvent::ServerFaultCleared { .. } => "server_fault_cleared",
             TraceEvent::SharedQueueWait { .. } => "shared_queue_wait",
+            TraceEvent::OriginRouted { .. } => "origin_routed",
+            TraceEvent::OriginHealth { .. } => "origin_health",
+            TraceEvent::Hedge { .. } => "hedge",
+            TraceEvent::Cache { .. } => "cache",
             TraceEvent::SchedulerPick { .. } => "scheduler_pick",
         }
     }
@@ -394,6 +442,48 @@ impl TraceEvent {
                 push("waited_s", Json::Float(*waited_s));
                 push("size", Json::from(*size));
             }
+            TraceEvent::OriginRouted {
+                chunk,
+                origin,
+                reason,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("origin", Json::from(*origin));
+                push("reason", Json::from(*reason));
+            }
+            TraceEvent::OriginHealth {
+                origin,
+                state,
+                failures,
+            } => {
+                push("origin", Json::from(*origin));
+                push("state", Json::from(*state));
+                push("failures", Json::from(*failures));
+            }
+            TraceEvent::Hedge {
+                chunk,
+                origin,
+                hedge_origin,
+                winner,
+                wasted,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("origin", Json::from(*origin));
+                push("hedge_origin", Json::from(*hedge_origin));
+                push("winner", winner.map(Json::from).unwrap_or(Json::Null));
+                push("wasted", Json::from(*wasted));
+            }
+            TraceEvent::Cache {
+                chunk,
+                level,
+                outcome,
+                bytes,
+            } => {
+                push("chunk", Json::from(*chunk));
+                push("level", Json::from(*level));
+                push("outcome", Json::from(*outcome));
+                push("bytes", Json::from(*bytes));
+            }
             TraceEvent::SchedulerPick {
                 path,
                 len,
@@ -442,6 +532,29 @@ mod tests {
             TraceEvent::BufferTransition {
                 state: "stalled",
                 buffer_s: 0.0,
+            },
+            TraceEvent::OriginRouted {
+                chunk: 2,
+                origin: 1,
+                reason: "resume",
+            },
+            TraceEvent::OriginHealth {
+                origin: 0,
+                state: "open",
+                failures: 2,
+            },
+            TraceEvent::Hedge {
+                chunk: 3,
+                origin: 0,
+                hedge_origin: 1,
+                winner: Some("hedge"),
+                wasted: 4_096,
+            },
+            TraceEvent::Cache {
+                chunk: 4,
+                level: 1,
+                outcome: "hit",
+                bytes: 800_000,
             },
         ];
         for e in &samples {

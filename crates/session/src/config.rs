@@ -6,7 +6,7 @@ use mpdash_dash::abr::AbrKind;
 use mpdash_dash::adapter::{AdapterConfig, DeadlineMode};
 use mpdash_dash::video::Video;
 use mpdash_energy::DeviceProfile;
-use mpdash_http::{LifecyclePolicy, ServerFaultScript};
+use mpdash_http::{LifecyclePolicy, OriginPoolConfig, ServerFaultScript, SharedSegmentCache};
 use mpdash_link::{BandwidthProfile, FaultScript, LinkConfig, TokenBucket};
 use mpdash_mptcp::{CcKind, SchedulerSpec};
 use mpdash_obs::Tracer;
@@ -136,6 +136,15 @@ pub struct SessionConfig {
     /// with byte-range resume, seeded retries. Defaults to the
     /// wait-forever baseline (the pre-lifecycle behaviour).
     pub lifecycle: LifecyclePolicy,
+    /// Multi-origin serving pool: per-origin fault scripts, RTT
+    /// penalties, circuit breakers, and the hedging policy. `None`
+    /// (default) keeps the legacy single implicit origin driven by
+    /// `server_faults`.
+    pub origins: Option<OriginPoolConfig>,
+    /// Shared segment cache in front of the origins; hits are served as
+    /// cheap edge fetches. `None` (default) disables the cache tier.
+    /// Fleet runs pass one handle to every client.
+    pub cache: Option<SharedSegmentCache>,
     /// Structured-trace sink for the run. Disabled by default; when left
     /// disabled, the session falls back to the process-wide
     /// `MPDASH_TRACE` environment tracer. Strictly observe-only: the
@@ -177,6 +186,8 @@ impl SessionConfig {
             preference: PathPreference::WifiFirst,
             server_faults: ServerFaultScript::new(),
             lifecycle: LifecyclePolicy::wait_forever(),
+            origins: None,
+            cache: None,
             tracer: Tracer::disabled(),
             start_offset: SimDuration::ZERO,
         }
@@ -224,6 +235,8 @@ impl SessionConfig {
             preference: PathPreference::WifiFirst,
             server_faults: ServerFaultScript::new(),
             lifecycle: LifecyclePolicy::wait_forever(),
+            origins: None,
+            cache: None,
             tracer: Tracer::disabled(),
             start_offset: SimDuration::ZERO,
         }
@@ -313,6 +326,19 @@ impl SessionConfig {
     /// Same config with a request-lifecycle policy.
     pub fn with_lifecycle(mut self, policy: LifecyclePolicy) -> Self {
         self.lifecycle = policy;
+        self
+    }
+
+    /// Same config with a multi-origin pool (robustness runs: origin
+    /// blackholes, circuit-breaking failover, hedged fetches).
+    pub fn with_origins(mut self, pool: OriginPoolConfig) -> Self {
+        self.origins = Some(pool);
+        self
+    }
+
+    /// Same config with a shared segment cache in front of the origins.
+    pub fn with_cache(mut self, cache: SharedSegmentCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 

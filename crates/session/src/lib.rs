@@ -27,7 +27,12 @@ pub use batch::{
 pub use config::{PathPreference, SessionConfig, TransportMode};
 pub use file_transfer::{FileTransfer, FileTransferConfig, FileTransferReport};
 pub use mpdash_core::SchedulerStats;
-pub use mpdash_http::{LifecyclePolicy, RetryPolicy, ServerFaultScript};
+pub use mpdash_http::{
+    BreakerState, CacheStats, LifecyclePolicy, OriginPool, OriginPoolConfig, OriginSpec,
+    RetryPolicy, ServerFaultScript, SharedSegmentCache,
+};
 pub use mpdash_obs::{MetricsSnapshot, NdjsonSink, NullSink, RingSink, TraceEvent, Tracer};
-pub use report::{ChunkLogEntry, DegradationMetrics, LifecycleStats, SessionReport, SimProfile};
+pub use report::{
+    ChunkLogEntry, DegradationMetrics, LifecycleStats, OriginStats, SessionReport, SimProfile,
+};
 pub use streaming::StreamingSession;

@@ -86,6 +86,34 @@ pub struct LifecycleStats {
     pub wasted_bytes: u64,
 }
 
+/// Multi-origin serving counters: how the origin pool, the hedging
+/// policy, and the segment cache behaved. All zeros when the session
+/// runs without a pool or cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OriginStats {
+    /// Requests the pool routed to an origin (initial, retries,
+    /// resumes, hedges; cache hits bypass the pool and do not count).
+    pub routed: u64,
+    /// Resumes or retries that landed on a different origin than the
+    /// request they replaced — the circuit-breaking failover in action.
+    pub failovers: u64,
+    /// Circuit-breaker transitions into Open, summed over origins.
+    pub breaker_opens: u64,
+    /// Hedge races launched (progress stalled past the hedge quantile
+    /// of the deadline budget with a second origin available).
+    pub hedges: u64,
+    /// Hedge races the primary request won (the cancel was stale).
+    pub hedge_wins_primary: u64,
+    /// Hedge races the hedge request won (the primary aborted).
+    pub hedge_wins_hedge: u64,
+    /// Segment-cache hits served as edge fetches by this session.
+    pub cache_hits: u64,
+    /// Segment-cache misses that fell through to an origin fetch.
+    pub cache_misses: u64,
+    /// Full segments this session inserted into the cache.
+    pub cache_insertions: u64,
+}
+
 /// Everything measured in one streaming session.
 #[derive(Clone, Debug)]
 pub struct SessionReport {
@@ -115,6 +143,9 @@ pub struct SessionReport {
     /// Request-lifecycle counters (timeouts, abandons, resumes,
     /// retries, wasted bytes).
     pub lifecycle: LifecycleStats,
+    /// Multi-origin serving counters (routing, breakers, hedges,
+    /// cache).
+    pub origin: OriginStats,
     /// Named counters/gauges/histograms registered during the run.
     pub metrics: MetricsSnapshot,
     /// Discrete-event engine profile (excluded from artifacts).
@@ -228,6 +259,23 @@ impl SessionReport {
                     ("resumed", Json::from(self.lifecycle.resumed)),
                     ("retried", Json::from(self.lifecycle.retried)),
                     ("wasted_bytes", Json::from(self.lifecycle.wasted_bytes)),
+                ]),
+            ),
+            (
+                "origin",
+                Json::obj([
+                    ("routed", Json::from(self.origin.routed)),
+                    ("failovers", Json::from(self.origin.failovers)),
+                    ("breaker_opens", Json::from(self.origin.breaker_opens)),
+                    ("hedges", Json::from(self.origin.hedges)),
+                    (
+                        "hedge_wins_primary",
+                        Json::from(self.origin.hedge_wins_primary),
+                    ),
+                    ("hedge_wins_hedge", Json::from(self.origin.hedge_wins_hedge)),
+                    ("cache_hits", Json::from(self.origin.cache_hits)),
+                    ("cache_misses", Json::from(self.origin.cache_misses)),
+                    ("cache_insertions", Json::from(self.origin.cache_insertions)),
                 ]),
             ),
             ("metrics", self.metrics.to_json()),

@@ -16,7 +16,9 @@
 //!    any explicit modelling).
 
 use crate::config::{SessionConfig, TransportMode};
-use crate::report::{ChunkLogEntry, DegradationMetrics, LifecycleStats, SessionReport, SimProfile};
+use crate::report::{
+    ChunkLogEntry, DegradationMetrics, LifecycleStats, OriginStats, SessionReport, SimProfile,
+};
 use mpdash_core::deadline::SchedulerParams;
 use mpdash_core::MpDashControl;
 use mpdash_dash::abr::{Abr, AbrInput};
@@ -24,7 +26,10 @@ use mpdash_dash::adapter::{DeadlineDecision, VideoAdapter};
 use mpdash_dash::player::Player;
 use mpdash_dash::qoe::QoeSummary;
 use mpdash_energy::session_energy;
-use mpdash_http::{DssRange, HttpEvent, HttpLayer, LifecycleAction, RequestId, RequestTracker};
+use mpdash_http::{
+    BreakerState, DssRange, HealthTransition, HttpEvent, HttpLayer, LifecycleAction, OriginPool,
+    RequestId, RequestTracker, SharedSegmentCache,
+};
 use mpdash_link::PathId;
 use mpdash_mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, StepOutcome};
 use mpdash_obs::{MetricsRegistry, TraceEvent, Tracer};
@@ -38,6 +43,24 @@ const TICK_ID: u64 = u64::MAX - 1;
 const WAKE_ID: u64 = u64::MAX - 2;
 /// Timer for a pending lifecycle retry (seeded backoff after a 5xx).
 const RETRY_ID: u64 = u64::MAX - 3;
+
+/// A live hedge race: the primary request has been cancelled and the
+/// missing byte range re-requested from a second origin. Connection
+/// stream order guarantees the primary's terminal event (Aborted, or
+/// Complete when the cancel was stale) arrives before the hedge's, so
+/// the race resolves deterministically with exactly one winner.
+struct HedgeRace {
+    /// Origin the primary request was served from.
+    primary_origin: usize,
+    /// Origin racing the missing tail.
+    hedge_origin: usize,
+    /// The hedge's request id.
+    hedge_req: RequestId,
+    /// Banked body bytes when the hedge launched — the byte-range start
+    /// of the hedge request; anything the primary delivers past it is a
+    /// duplicate.
+    hedge_base: u64,
+}
 
 struct CurrentChunk {
     index: usize,
@@ -60,6 +83,16 @@ struct CurrentChunk {
     cancelling: bool,
     /// HTTP requests issued for this chunk so far.
     requests: u32,
+    /// Pool origin serving the current request (`None` for cache-hit
+    /// edge fetches and for poolless legacy sessions).
+    origin: Option<usize>,
+    /// The current request is a cache-hit edge fetch.
+    from_cache: bool,
+    /// Last instant the chunk banked new body bytes (request issue time
+    /// until the first byte) — drives the hedge trigger.
+    last_progress: SimTime,
+    /// A hedge race is in flight for this chunk.
+    hedge: Option<HedgeRace>,
 }
 
 /// The streaming-session driver. See module docs.
@@ -86,6 +119,15 @@ pub struct StreamingSession {
     metrics: MetricsRegistry,
     /// Request-lifecycle counters for the report.
     lifecycle: LifecycleStats,
+    /// Health-tracked origin pool (`None` = legacy single origin).
+    pool: Option<OriginPool>,
+    /// Shared segment cache handle (`None` = no cache tier).
+    cache: Option<SharedSegmentCache>,
+    /// Multi-origin serving counters for the report.
+    origin_stats: OriginStats,
+    /// Hedge losers whose cancel is draining; their terminal event
+    /// accounts the duplicate bytes as waste.
+    pending_losers: Vec<RequestId>,
 }
 
 impl StreamingSession {
@@ -153,6 +195,11 @@ impl StreamingSession {
         player.set_tracer(tracer.clone());
         player.set_origin(SimTime::ZERO + cfg.start_offset);
         let mut http = HttpLayer::new().with_faults(cfg.server_faults.clone());
+        let pool = cfg.origins.clone().map(OriginPool::new);
+        if let Some(p) = pool.as_ref() {
+            http = http.with_origins(&p.config().origins);
+        }
+        let cache = cfg.cache.clone();
         http.set_tracer(tracer.clone());
         StreamingSession {
             sim,
@@ -169,7 +216,59 @@ impl StreamingSession {
             tracer,
             metrics: MetricsRegistry::new(),
             lifecycle: LifecycleStats::default(),
+            pool,
+            cache,
+            origin_stats: OriginStats::default(),
+            pending_losers: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Emit breaker transitions to the trace and count trips.
+    fn emit_health(&mut self, now: SimTime, transitions: &[HealthTransition]) {
+        for tr in transitions {
+            if tr.state == BreakerState::Open {
+                self.origin_stats.breaker_opens += 1;
+                self.metrics.inc("breaker_opens");
+            }
+            let (origin, state, failures) = (tr.origin, tr.state.name(), u64::from(tr.failures));
+            self.tracer.emit_with(now, || TraceEvent::OriginHealth {
+                origin,
+                state,
+                failures,
+            });
+        }
+    }
+
+    /// Pick an origin through the pool, tracing any breaker promotion
+    /// and the routing decision. `None` without a pool (legacy single
+    /// origin).
+    fn route_origin(&mut self, now: SimTime, chunk: usize, reason: &'static str) -> Option<usize> {
+        let (origin, transitions) = self.pool.as_mut()?.route(now);
+        self.emit_health(now, &transitions);
+        self.origin_stats.routed += 1;
+        self.metrics.inc("origin_routed");
+        self.tracer.emit_with(now, || TraceEvent::OriginRouted {
+            chunk,
+            origin,
+            reason,
+        });
+        Some(origin)
+    }
+
+    /// Record `origin`'s request outcome with its breaker.
+    fn origin_outcome(&mut self, now: SimTime, origin: Option<usize>, success: bool) {
+        let Some(origin) = origin else { return };
+        let Some(pool) = self.pool.as_mut() else {
+            return;
+        };
+        let tr = if success {
+            pool.on_success(origin)
+        } else {
+            pool.on_failure(origin, now)
+        };
+        if let Some(tr) = tr {
+            self.emit_health(now, &[tr]);
         }
     }
 
@@ -240,7 +339,47 @@ impl StreamingSession {
             }
         }
 
-        let req_id = self.http.get(&mut self.sim, size);
+        // Serve from the shared segment cache when the full chunk is
+        // hot; otherwise route through the origin pool (or the legacy
+        // single origin).
+        let cached = self.cache.as_ref().and_then(|c| c.lookup((index, level)));
+        let (req_id, origin, from_cache) = match cached {
+            Some(bytes) => {
+                debug_assert_eq!(bytes, size, "a cached segment must match the origin bytes");
+                self.origin_stats.cache_hits += 1;
+                self.metrics.inc("cache_hits");
+                self.tracer.emit_with(now, || TraceEvent::Cache {
+                    chunk: index,
+                    level,
+                    outcome: "hit",
+                    bytes,
+                });
+                let delay = self
+                    .cache
+                    .as_ref()
+                    .expect("hit implies a cache")
+                    .edge_delay();
+                (self.http.get_edge(&mut self.sim, size, delay), None, true)
+            }
+            None => {
+                if self.cache.is_some() {
+                    self.origin_stats.cache_misses += 1;
+                    self.metrics.inc("cache_misses");
+                    self.tracer.emit_with(now, || TraceEvent::Cache {
+                        chunk: index,
+                        level,
+                        outcome: "miss",
+                        bytes: size,
+                    });
+                }
+                let origin = self.route_origin(now, index, "initial");
+                let req_id = match origin {
+                    Some(i) => self.http.get_from(&mut self.sim, size, i),
+                    None => self.http.get(&mut self.sim, size),
+                };
+                (req_id, origin, false)
+            }
+        };
         let tracker = RequestTracker::new(self.cfg.lifecycle, index, now, size, deadline);
         self.current = Some(CurrentChunk {
             index,
@@ -254,6 +393,10 @@ impl StreamingSession {
             tracker,
             cancelling: false,
             requests: 1,
+            origin,
+            from_cache,
+            last_progress: now,
+            hedge: None,
         });
         self.sim.schedule_app_timer(now + TICK, TICK_ID);
     }
@@ -323,6 +466,25 @@ impl StreamingSession {
 
     fn finish_chunk(&mut self, now: SimTime, body_dss: DssRange) {
         let cur = self.current.take().expect("completion without a chunk");
+        self.origin_outcome(now, cur.origin, true);
+        // Bank the finished segment in the shared cache — but only a
+        // clean full-chunk fetch: a downshift-mixed body (resume at a
+        // lower level) is not the segment any other client would ask
+        // for.
+        if let Some(cache) = self.cache.as_ref() {
+            if !cur.from_cache && cur.size == self.cfg.video.chunk_size(cur.index, cur.level) {
+                cache.insert((cur.index, cur.level), cur.size);
+                self.origin_stats.cache_insertions += 1;
+                self.metrics.inc("cache_insertions");
+                let (chunk, level, bytes) = (cur.index, cur.level, cur.size);
+                self.tracer.emit_with(now, || TraceEvent::Cache {
+                    chunk,
+                    level,
+                    outcome: "insert",
+                    bytes,
+                });
+            }
+        }
         let fetch = now.saturating_since(cur.started);
         let dl = fetch.as_secs_f64();
         if dl > 0.0 {
@@ -393,34 +555,76 @@ impl StreamingSession {
                 if let Some(cur) = self.current.as_mut() {
                     if ours(cur, id) && !cur.cancelling {
                         cur.body_received = cur.received_base + received;
+                        cur.last_progress = t;
                         cur.tracker.on_progress(t, cur.body_received);
                     }
                 }
             }
             HttpEvent::Complete { id, body_dss } => {
+                if self.settle_loser(id, body_dss.len()) {
+                    return;
+                }
                 let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
                 if is_ours {
+                    // A live hedge race means the cancel was stale and
+                    // the primary won; retire the loser first.
+                    self.on_hedge_primary_won(t);
                     self.finish_chunk(t, body_dss);
                 }
             }
             HttpEvent::Error { id } => {
+                if self.settle_loser(id, 0) {
+                    return;
+                }
                 let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
                 if is_ours {
-                    self.on_request_error(t);
+                    let racing = self.current.as_ref().is_some_and(|c| c.hedge.is_some());
+                    if racing {
+                        // The primary 5xxed mid-race: the hedge wins
+                        // with nothing wasted (a 5xx has no body).
+                        self.on_hedge_won(t, 0);
+                    } else {
+                        self.on_request_error(t);
+                    }
                 }
             }
             HttpEvent::Aborted { id, received, .. } => {
+                if self.settle_loser(id, received) {
+                    return;
+                }
                 let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
                 if is_ours {
-                    self.on_request_aborted(t, received);
+                    let racing = self.current.as_ref().is_some_and(|c| c.hedge.is_some());
+                    if racing {
+                        self.on_hedge_won(t, received);
+                    } else {
+                        self.on_request_aborted(t, received);
+                    }
                 }
             }
             HttpEvent::HeaderReceived { .. } => {}
         }
     }
 
+    /// If `id` is a retired hedge loser, account its delivered bytes as
+    /// waste and drop it. Returns `true` when the event was the
+    /// loser's and is now fully settled.
+    fn settle_loser(&mut self, id: RequestId, delivered: u64) -> bool {
+        let Some(pos) = self.pending_losers.iter().position(|&l| l == id) else {
+            return false;
+        };
+        self.pending_losers.remove(pos);
+        // Everything the loser delivered duplicates bytes the winner
+        // already provided.
+        self.lifecycle.wasted_bytes += delivered;
+        self.metrics.add("wasted_bytes", delivered);
+        true
+    }
+
     /// The current request got a 5xx: schedule the seeded-backoff retry.
     fn on_request_error(&mut self, now: SimTime) {
+        let origin = self.current.as_ref().expect("error without a chunk").origin;
+        self.origin_outcome(now, origin, false);
         let cur = self.current.as_mut().expect("error without a chunk");
         self.metrics.inc("request_errors");
         match cur.tracker.on_error(now) {
@@ -446,8 +650,14 @@ impl StreamingSession {
     }
 
     /// The cancelled request drained: account the wasted tail and issue
-    /// the byte-range resume (optionally downshifted by the ABR).
+    /// the byte-range resume (optionally downshifted by the ABR) —
+    /// routed by the pool, so the tail lands on a different origin when
+    /// the abandoned one's breaker is Open.
     fn on_request_aborted(&mut self, now: SimTime, request_received: u64) {
+        // An abandonment is evidence against the origin that served the
+        // doomed request (cache-hit edge fetches have no origin).
+        let origin = self.current.as_ref().expect("abort without a chunk").origin;
+        self.origin_outcome(now, origin, false);
         let cur = self.current.as_mut().expect("abort without a chunk");
         let final_received = cur.received_base + request_received;
         let acct = cur.tracker.on_aborted(final_received);
@@ -479,14 +689,29 @@ impl StreamingSession {
         }
 
         let cur = self.current.as_mut().expect("abort without a chunk");
-        let (index, size, level) = (cur.index, cur.size, cur.level);
-        let req_id = self.http.get_range(&mut self.sim, size, resume_from);
+        let (index, size, level, prev_origin) = (cur.index, cur.size, cur.level, cur.origin);
+        let new_origin = self.route_origin(now, index, "resume");
+        let req_id = match new_origin {
+            Some(i) => self
+                .http
+                .get_range_from(&mut self.sim, size, resume_from, i),
+            None => self.http.get_range(&mut self.sim, size, resume_from),
+        };
+        if let (Some(prev), Some(new)) = (prev_origin, new_origin) {
+            if prev != new {
+                self.origin_stats.failovers += 1;
+                self.metrics.inc("origin_failovers");
+            }
+        }
         let cur = self.current.as_mut().expect("abort without a chunk");
         cur.req_id = req_id;
         cur.received_base = resume_from;
         cur.body_received = resume_from;
         cur.cancelling = false;
         cur.requests += 1;
+        cur.origin = new_origin;
+        cur.from_cache = false;
+        cur.last_progress = now;
         cur.tracker.on_resumed(now, size);
         self.lifecycle.resumed += 1;
         self.metrics.inc("requests_resumed");
@@ -555,18 +780,164 @@ impl StreamingSession {
     }
 
     /// The backoff timer fired: re-issue the request for the missing
-    /// range.
+    /// range, routed by the pool (a tripped breaker steers the retry to
+    /// a different origin).
     fn on_retry_fire(&mut self, now: SimTime) {
-        let Some(cur) = self.current.as_mut() else {
+        let Some(cur) = self.current.as_ref() else {
             return;
         };
-        let (size, from) = (cur.size, cur.body_received);
-        let req_id = self.http.get_range(&mut self.sim, size, from);
+        let (index, size, from, prev_origin) = (cur.index, cur.size, cur.body_received, cur.origin);
+        let new_origin = self.route_origin(now, index, "retry");
+        let req_id = match new_origin {
+            Some(i) => self.http.get_range_from(&mut self.sim, size, from, i),
+            None => self.http.get_range(&mut self.sim, size, from),
+        };
+        if let (Some(prev), Some(new)) = (prev_origin, new_origin) {
+            if prev != new {
+                self.origin_stats.failovers += 1;
+                self.metrics.inc("origin_failovers");
+            }
+        }
         let cur = self.current.as_mut().expect("checked above");
         cur.req_id = req_id;
         cur.received_base = from;
         cur.requests += 1;
+        cur.origin = new_origin;
+        cur.from_cache = false;
+        cur.last_progress = now;
         cur.tracker.on_retry_fire(now);
+    }
+
+    /// Deterministic hedge trigger, polled on the progress tick: when a
+    /// deadline-granted origin fetch has banked no new bytes for the
+    /// configured quantile of its deadline budget and a second origin
+    /// is available, cancel the wedged request and race the missing
+    /// byte range from the other origin. On the single FIFO connection
+    /// the "race" is a cancel-then-reissue: the upstream cancel is
+    /// processed before the hedge GET, so the hedge never queues behind
+    /// the wedged response's bytes, and the primary's terminal event
+    /// resolves the race before the hedge's can arrive.
+    fn hedge_poll(&mut self, now: SimTime) {
+        let Some(cur) = self.current.as_ref() else {
+            return;
+        };
+        if cur.cancelling || cur.hedge.is_some() || cur.from_cache {
+            return;
+        }
+        let (Some(primary), Some(window)) = (cur.origin, cur.deadline) else {
+            return;
+        };
+        let idle = now.saturating_since(cur.last_progress);
+        let (chunk, size, req_id, from) = (cur.index, cur.size, cur.req_id, cur.body_received);
+        let Some(pool) = self.pool.as_mut() else {
+            return;
+        };
+        if !pool.config().hedge_due(window, idle) {
+            return;
+        }
+        // The stall is evidence against the serving origin — count it
+        // before picking the hedge target so a repeat offender trips.
+        let fail = pool.on_failure(primary, now);
+        let (target, mut transitions) = pool.hedge_target(now, primary);
+        if let Some(tr) = fail {
+            transitions.insert(0, tr);
+        }
+        self.emit_health(now, &transitions);
+        let Some(hedge_origin) = target else {
+            // No healthy second origin: ride the primary out (the
+            // lifecycle policy may still abandon it).
+            return;
+        };
+        // Cancel first: upstream FIFO applies the cancel before the
+        // hedge GET reaches the server.
+        self.http.cancel(&mut self.sim, req_id);
+        let hedge_req = self
+            .http
+            .get_range_from(&mut self.sim, size, from, hedge_origin);
+        self.origin_stats.routed += 1;
+        self.origin_stats.hedges += 1;
+        self.metrics.inc("origin_routed");
+        self.metrics.inc("hedges");
+        self.tracer.emit_with(now, || TraceEvent::OriginRouted {
+            chunk,
+            origin: hedge_origin,
+            reason: "hedge",
+        });
+        self.tracer.emit_with(now, || TraceEvent::Hedge {
+            chunk,
+            origin: primary,
+            hedge_origin,
+            winner: None,
+            wasted: 0,
+        });
+        let cur = self.current.as_mut().expect("checked above");
+        cur.cancelling = true;
+        cur.requests += 1;
+        cur.hedge = Some(HedgeRace {
+            primary_origin: primary,
+            hedge_origin,
+            hedge_req,
+            hedge_base: from,
+        });
+    }
+
+    /// The primary's Aborted arrived while a hedge race was live: the
+    /// hedge wins. Account the primary's duplicate tail and promote the
+    /// hedge request to the current fetch, like a byte-range resume.
+    fn on_hedge_won(&mut self, now: SimTime, request_received: u64) {
+        let cur = self.current.as_mut().expect("hedge without a chunk");
+        let race = cur.hedge.take().expect("caller checked the race");
+        let final_received = cur.received_base + request_received;
+        let wasted = final_received.saturating_sub(race.hedge_base);
+        cur.req_id = race.hedge_req;
+        cur.origin = Some(race.hedge_origin);
+        cur.received_base = race.hedge_base;
+        cur.body_received = race.hedge_base;
+        cur.cancelling = false;
+        cur.from_cache = false;
+        cur.last_progress = now;
+        let size = cur.size;
+        cur.tracker.on_resumed(now, size);
+        let (chunk, primary, hedge_origin) = (cur.index, race.primary_origin, race.hedge_origin);
+        self.lifecycle.wasted_bytes += wasted;
+        self.metrics.add("wasted_bytes", wasted);
+        self.origin_stats.hedge_wins_hedge += 1;
+        self.metrics.inc("hedge_wins_hedge");
+        self.tracer.emit_with(now, || TraceEvent::Hedge {
+            chunk,
+            origin: primary,
+            hedge_origin,
+            winner: Some("hedge"),
+            wasted,
+        });
+    }
+
+    /// The primary's Complete arrived while a hedge race was live: the
+    /// cancel was stale and the primary won. Cancel the losing hedge
+    /// *before* the caller's `finish_chunk` issues the next chunk's GET
+    /// (upstream FIFO then applies the cancel while the hedge is still
+    /// the last-served response); its drained bytes settle as waste
+    /// later.
+    fn on_hedge_primary_won(&mut self, now: SimTime) {
+        let Some(cur) = self.current.as_mut() else {
+            return;
+        };
+        let Some(race) = cur.hedge.take() else {
+            return;
+        };
+        cur.cancelling = false;
+        let chunk = cur.index;
+        self.http.cancel(&mut self.sim, race.hedge_req);
+        self.pending_losers.push(race.hedge_req);
+        self.origin_stats.hedge_wins_primary += 1;
+        self.metrics.inc("hedge_wins_primary");
+        self.tracer.emit_with(now, || TraceEvent::Hedge {
+            chunk,
+            origin: race.primary_origin,
+            hedge_origin: race.hedge_origin,
+            winner: Some("primary"),
+            wasted: 0,
+        });
     }
 
     /// Time of this session's next pending event, if any (fleet
@@ -625,6 +996,7 @@ impl StreamingSession {
                 if self.current.is_some() {
                     self.player.advance_to(t);
                     self.progress_check(t);
+                    self.hedge_poll(t);
                     self.lifecycle_poll(t);
                     self.sim.schedule_app_timer(t + TICK, TICK_ID);
                 }
@@ -755,6 +1127,7 @@ impl StreamingSession {
             player_events: self.player.events().to_vec(),
             degradation,
             lifecycle: self.lifecycle,
+            origin: self.origin_stats,
             metrics: self.metrics.snapshot(),
             sim_profile: SimProfile {
                 events_popped: self.sim.events_popped(),
@@ -1105,5 +1478,146 @@ mod tests {
             "no deadline misses in the easy setting"
         );
         assert_eq!(stats.completed_transfers as usize, scheduled);
+    }
+
+    /// Three origins: the primary is cheap but blackholed mid-run, the
+    /// backups carry small RTT penalties and stay healthy.
+    fn dark_primary_pool() -> mpdash_http::OriginPoolConfig {
+        use mpdash_http::{OriginPoolConfig, OriginSpec, ServerFaultScript};
+        OriginPoolConfig::new(vec![
+            OriginSpec::new("primary").with_faults(
+                ServerFaultScript::new()
+                    .blackhole(SimTime::from_secs(20), SimDuration::from_secs(80)),
+            ),
+            OriginSpec::new("backup-a").with_rtt_penalty(SimDuration::from_millis(20)),
+            OriginSpec::new("backup-b").with_rtt_penalty(SimDuration::from_millis(40)),
+        ])
+    }
+
+    #[test]
+    fn healthy_pool_routes_everything_without_intervening() {
+        use mpdash_http::{OriginPoolConfig, OriginSpec};
+        let pool = OriginPoolConfig::new(vec![
+            OriginSpec::new("a"),
+            OriginSpec::new("b").with_rtt_penalty(SimDuration::from_millis(25)),
+        ]);
+        let cfg =
+            controlled(AbrKind::Festive, TransportMode::mpdash_rate_based()).with_origins(pool);
+        let report = StreamingSession::run(cfg);
+        assert_eq!(report.chunks.len(), 40);
+        assert_eq!(report.origin.routed, 40, "one routed request per chunk");
+        assert_eq!(report.origin.failovers, 0);
+        assert_eq!(report.origin.breaker_opens, 0);
+        assert_eq!(report.origin.hedges, 0);
+        assert_eq!(report.qoe.stalls, 0);
+    }
+
+    #[test]
+    fn blackholed_primary_trips_breaker_and_fails_over() {
+        use mpdash_http::LifecyclePolicy;
+        let cfg = controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+            .with_origins(dark_primary_pool())
+            .with_lifecycle(LifecyclePolicy::deadline_aware());
+        let report = StreamingSession::run(cfg);
+        assert_eq!(report.chunks.len(), 40, "failover must deliver every chunk");
+        assert!(
+            report.origin.breaker_opens >= 1,
+            "repeated stalls on the dark origin must open its breaker"
+        );
+        assert!(
+            report.origin.failovers >= 1,
+            "at least one resume must land on a backup origin"
+        );
+        assert!(
+            report.lifecycle.abandoned >= 1,
+            "the blackhole must trigger abandonment"
+        );
+        // The backups keep the session moving: the 80s outage must not
+        // translate into 80s of wall time.
+        assert!(
+            report.duration < SimDuration::from_secs(60 + 40 * 4),
+            "failover session took {:.1}s",
+            report.duration.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn hedged_fetch_escapes_the_blackhole_with_one_winner_per_race() {
+        use mpdash_http::LifecyclePolicy;
+        // Wait-forever lifecycle isolates the hedge: hedging is the only
+        // escape hatch from the dark origin.
+        let cfg = controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+            .with_origins(dark_primary_pool().with_hedge_quantile(0.5))
+            .with_lifecycle(LifecyclePolicy::wait_forever());
+        let report = StreamingSession::run(cfg);
+        assert_eq!(report.chunks.len(), 40, "hedging must deliver every chunk");
+        assert!(
+            report.origin.hedges >= 1,
+            "the blackholed primary must trigger a hedge race"
+        );
+        assert_eq!(
+            report.origin.hedges,
+            report.origin.hedge_wins_primary + report.origin.hedge_wins_hedge,
+            "every hedge race must resolve to exactly one winner"
+        );
+        assert!(
+            report.origin.hedge_wins_hedge >= 1,
+            "a blackholed primary cannot win its race"
+        );
+        assert_eq!(
+            report.lifecycle.abandoned, 0,
+            "wait-forever never abandons; the hedge path must not count as one"
+        );
+    }
+
+    #[test]
+    fn shared_cache_serves_the_second_session_from_the_edge() {
+        use mpdash_http::SharedSegmentCache;
+        let cache = SharedSegmentCache::new(256 * 1024 * 1024);
+        let mk = || {
+            controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+                .with_cache(cache.clone())
+        };
+        let first = StreamingSession::run(mk());
+        assert_eq!(first.origin.cache_hits, 0, "a cold cache cannot hit");
+        assert!(
+            first.origin.cache_insertions > 0,
+            "completed chunks must populate the cache"
+        );
+        let second = StreamingSession::run(mk());
+        assert!(
+            second.origin.cache_hits > 0,
+            "the warmed cache must serve repeat chunks ({} misses)",
+            second.origin.cache_misses
+        );
+        assert_eq!(
+            second.origin.cache_hits + second.origin.cache_misses,
+            second.chunks.len() as u64,
+            "every chunk request consults the cache exactly once"
+        );
+        assert_eq!(second.chunks.len(), 40);
+        assert_eq!(second.qoe.stalls, 0);
+        // Cached bytes are byte-identical to origin bytes: sizes in the
+        // chunk log always match the manifest.
+        let video = short_video();
+        for c in &second.chunks {
+            assert_eq!(c.size, video.chunk_size(c.index, c.level));
+        }
+    }
+
+    #[test]
+    fn pool_and_cache_runs_stay_deterministic() {
+        use mpdash_http::{LifecyclePolicy, SharedSegmentCache};
+        let mk = || {
+            controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+                .with_origins(dark_primary_pool().with_hedge_quantile(0.6))
+                .with_lifecycle(LifecyclePolicy::deadline_aware())
+                .with_cache(SharedSegmentCache::new(64 * 1024 * 1024))
+        };
+        let a = StreamingSession::run(mk());
+        let b = StreamingSession::run(mk());
+        assert_eq!(a.origin, b.origin);
+        assert_eq!(a.lifecycle, b.lifecycle);
+        assert_eq!(a.summary_json().to_string(), b.summary_json().to_string());
     }
 }

@@ -38,6 +38,8 @@ fn config(mode: TransportMode) -> SessionConfig {
         tracer: Default::default(),
         server_faults: Default::default(),
         lifecycle: Default::default(),
+        origins: None,
+        cache: None,
         start_offset: SimDuration::ZERO,
     }
 }

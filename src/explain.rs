@@ -225,6 +225,17 @@ fn pick_mode(
     }
 }
 
+/// Human name for an origin index: the pool id when the scenario
+/// declares one, else the bare index (legacy single-origin runs).
+fn origin_name(scenario: &Scenario, origin: usize) -> String {
+    scenario
+        .origins
+        .as_ref()
+        .and_then(|o| o.pool.get(origin))
+        .map(|o| o.id.clone())
+        .unwrap_or_else(|| format!("#{origin}"))
+}
+
 fn fault_overlaps(
     path: &'static str,
     script: &FaultScript,
@@ -356,6 +367,54 @@ fn explain_chunks(
                         TraceEvent::ServerFaultCleared { kind } => {
                             Some(format!("server fault {kind} cleared"))
                         }
+                        TraceEvent::OriginRouted {
+                            chunk,
+                            origin,
+                            reason,
+                        } if *chunk == c.index => Some(format!(
+                            "routed to origin {} ({reason})",
+                            origin_name(scenario, *origin)
+                        )),
+                        TraceEvent::OriginHealth {
+                            origin,
+                            state,
+                            failures,
+                        } => Some(format!(
+                            "origin {} breaker -> {state} ({failures} consecutive failures)",
+                            origin_name(scenario, *origin)
+                        )),
+                        TraceEvent::Hedge {
+                            chunk,
+                            origin,
+                            hedge_origin,
+                            winner,
+                            wasted,
+                        } if *chunk == c.index => Some(match winner {
+                            None => format!(
+                                "hedge launched: racing origin {} against stalled {}",
+                                origin_name(scenario, *hedge_origin),
+                                origin_name(scenario, *origin),
+                            ),
+                            Some(w) => format!(
+                                "hedge resolved: {w} won ({} vs {}), {wasted} B wasted",
+                                origin_name(scenario, *origin),
+                                origin_name(scenario, *hedge_origin),
+                            ),
+                        }),
+                        TraceEvent::Cache {
+                            chunk,
+                            level,
+                            outcome,
+                            bytes,
+                        } if *chunk == c.index => Some(match *outcome {
+                            "hit" => {
+                                format!("cache hit: level {level} served from the edge ({bytes} B)")
+                            }
+                            "miss" => {
+                                format!("cache miss: level {level} falls through to an origin")
+                            }
+                            _ => format!("cache insert: level {level} now resident ({bytes} B)"),
+                        }),
                         _ => None,
                     };
                     line.map(|l| (t.as_secs_f64(), l))
@@ -476,6 +535,21 @@ fn render(
         lc.resumed,
         lc.retried,
         lc.wasted_bytes as f64 / 1e3,
+    );
+    let og = report.origin;
+    let _ = writeln!(
+        out,
+        "origins: {} routed, {} failovers, {} breaker opens, {} hedges \
+         ({} primary / {} hedge wins), cache {} hits / {} misses / {} inserts",
+        og.routed,
+        og.failovers,
+        og.breaker_opens,
+        og.hedges,
+        og.hedge_wins_primary,
+        og.hedge_wins_hedge,
+        og.cache_hits,
+        og.cache_misses,
+        og.cache_insertions,
     );
     let n_faults = scenario.wifi_faults.events().len()
         + scenario.cell_faults.events().len()
@@ -615,6 +689,53 @@ mod tests {
         assert!(text.contains("byte-range resume from byte"), "{text}");
         assert!(text.contains("server fault stalled_body active"), "{text}");
         assert!(text.contains("lifecycle: "), "{text}");
+    }
+
+    /// The primary origin blackholes mid-run; the pool's breakers and
+    /// the hedge policy steer traffic to the named backup, and an edge
+    /// cache fronts everything.
+    const MULTI_ORIGIN: &str = r#"{
+        "name": "dark-primary",
+        "video": {"custom": {"levels_mbps": [0.58, 1.01, 1.47, 2.41, 3.94], "chunk_secs": 4, "n_chunks": 25}},
+        "wifi": {"constant": 4.5},
+        "cell": {"constant": 4.0},
+        "abr": "festive",
+        "buffer_secs": 10,
+        "modes": ["mpdash_rate"],
+        "lifecycle": "deadline_aware",
+        "origins": {
+            "hedge_quantile": 0.5,
+            "pool": [
+                {"id": "primary", "faults": [{"blackhole": {"at_s": 20, "secs": 60}}]},
+                {"id": "backup", "rtt_penalty_ms": 20}
+            ]
+        },
+        "cache": {"capacity_mb": 64}
+    }"#;
+
+    #[test]
+    fn timeline_attributes_origin_routing_hedges_and_cache() {
+        let sc = Scenario::from_json(MULTI_ORIGIN).unwrap();
+        let (_, report, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        assert!(
+            report.origin.breaker_opens >= 1,
+            "the blackhole must trip the primary's breaker: {:?}",
+            report.origin
+        );
+        let text = explain_scenario(&sc, &ExplainOptions::default()).unwrap();
+        // Every chunk names the origin that served it, by pool id.
+        assert!(
+            text.contains("routed to origin primary (initial)"),
+            "{text}"
+        );
+        assert!(text.contains("breaker -> open"), "{text}");
+        assert!(text.contains("routed to origin backup"), "{text}");
+        // A cold cache misses, then completed chunks populate it.
+        assert!(text.contains("cache miss: level"), "{text}");
+        assert!(text.contains("cache insert: level"), "{text}");
+        // The header rolls up the pool counters.
+        assert!(text.contains("origins: "), "{text}");
+        assert!(text.contains("breaker opens"), "{text}");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use mpdash_dash::abr::AbrKind;
 use mpdash_dash::video::Video;
-use mpdash_fleet::{fleet_job, FleetConfig, SharedLinkSpec};
+use mpdash_fleet::{fleet_job, FleetCacheSpec, FleetConfig, SharedLinkSpec};
+use mpdash_http::{OriginPoolConfig, OriginSpec};
 use mpdash_link::{
     BandwidthProfile, FaultScript, GilbertElliott, LinkConfig, PathId, QueueDiscipline,
     SharedBottleneckConfig,
@@ -255,6 +256,79 @@ pub struct FleetSpec {
     pub shared: Vec<SharedSpec>,
 }
 
+/// One origin in a multi-origin pool (`origins.pool[]`).
+#[derive(Debug)]
+pub struct OriginEntrySpec {
+    /// Human-readable origin id; must be unique within the pool.
+    pub id: String,
+    /// Extra first-byte delay this origin adds, milliseconds
+    /// (default 0) — models its longer network path.
+    pub rtt_penalty_ms: u64,
+    /// Server faults scripted on this origin only (same entry format as
+    /// the top-level `server_faults`). Empty when absent.
+    pub faults: ServerFaultScript,
+}
+
+/// Multi-origin serving policy (the optional `origins` key): a pool of
+/// health-tracked origins with circuit breakers, optional hedging, and
+/// per-origin fault scripts.
+#[derive(Debug)]
+pub struct OriginsSpec {
+    /// The pool, in priority order.
+    pub pool: Vec<OriginEntrySpec>,
+    /// Hedge when a deadline-granted request has stalled for this
+    /// fraction of its deadline budget, in `(0, 1]`. Absent disables
+    /// hedging.
+    pub hedge_quantile: Option<f64>,
+    /// Consecutive failures that trip a breaker Open (default 2).
+    pub failure_threshold: Option<u64>,
+}
+
+impl OriginsSpec {
+    fn build(&self) -> OriginPoolConfig {
+        let specs = self
+            .pool
+            .iter()
+            .map(|o| {
+                let mut s = OriginSpec::new(o.id.clone())
+                    .with_rtt_penalty(SimDuration::from_millis(o.rtt_penalty_ms));
+                if !o.faults.is_empty() {
+                    s = s.with_faults(o.faults.clone());
+                }
+                s
+            })
+            .collect();
+        let mut cfg = OriginPoolConfig::new(specs);
+        if let Some(q) = self.hedge_quantile {
+            cfg = cfg.with_hedge_quantile(q);
+        }
+        if let Some(t) = self.failure_threshold {
+            cfg = cfg.with_failure_threshold(t as u32);
+        }
+        cfg
+    }
+}
+
+/// Shared segment cache in front of the origins (the optional `cache`
+/// key).
+#[derive(Debug)]
+pub struct CacheSpec {
+    /// Cache capacity, megabytes.
+    pub capacity_mb: f64,
+    /// Modeled delivery delay of a cache hit, milliseconds (default 5).
+    pub edge_delay_ms: u64,
+}
+
+impl CacheSpec {
+    fn capacity_bytes(&self) -> u64 {
+        (self.capacity_mb * (1 << 20) as f64) as u64
+    }
+
+    fn edge_delay(&self) -> SimDuration {
+        SimDuration::from_millis(self.edge_delay_ms)
+    }
+}
+
 /// A complete scenario document.
 #[derive(Debug)]
 pub struct Scenario {
@@ -293,6 +367,15 @@ pub struct Scenario {
     /// Optional multi-client fleet topology. When present the runner
     /// co-simulates `fleet.clients` sessions per mode instead of one.
     pub fleet: Option<FleetSpec>,
+    /// Optional multi-origin pool. When present every mode fetches
+    /// through the pool's routing, breakers, and hedging instead of the
+    /// single implicit origin; the top-level `server_faults` still
+    /// apply to that implicit origin only, so per-origin faults go on
+    /// the pool entries.
+    pub origins: Option<OriginsSpec>,
+    /// Optional shared segment cache in front of the origins. In fleet
+    /// runs every client shares one cache built fresh per run.
+    pub cache: Option<CacheSpec>,
 }
 
 fn parse_shared(v: &Json) -> Result<SharedSpec, String> {
@@ -415,7 +498,7 @@ fn parse_fault(script: FaultScript, v: &Json) -> Result<FaultScript, String> {
 /// Parse one externally-tagged server-fault entry — e.g.
 /// `{"stalled_body": {"at_s": 8, "secs": 6, "stall_s": 30, "after_fraction": 0.5}}`
 /// — and append it to `script`. Kinds: `error_burst`, `stalled_body`,
-/// `slow_first_byte`.
+/// `slow_first_byte`, `blackhole`.
 fn parse_server_fault(script: ServerFaultScript, v: &Json) -> Result<ServerFaultScript, String> {
     let (tag, payload) = variant(v)?;
     let at_s = num(field(payload, "at_s")?, "at_s")?;
@@ -430,6 +513,7 @@ fn parse_server_fault(script: ServerFaultScript, v: &Json) -> Result<ServerFault
     let dur = SimDuration::from_secs_f64(secs);
     match tag {
         "error_burst" => Ok(script.error_burst(at, dur)),
+        "blackhole" => Ok(script.blackhole(at, dur)),
         "stalled_body" => {
             let stall_s = num(field(payload, "stall_s")?, "stall_s")?;
             if stall_s.is_nan() || stall_s <= 0.0 {
@@ -468,6 +552,47 @@ fn parse_server_fault_list(v: Option<&Json>) -> Result<ServerFaultScript, String
             .iter()
             .try_fold(ServerFaultScript::new(), parse_server_fault),
     }
+}
+
+fn parse_origins(v: Option<&Json>) -> Result<Option<OriginsSpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    let pool = field(v, "pool")?
+        .as_arr()
+        .ok_or("'origins.pool' must be an array of origin objects")?
+        .iter()
+        .map(|o| {
+            Ok(OriginEntrySpec {
+                id: string(field(o, "id")?, "id")?,
+                rtt_penalty_ms: match o.get("rtt_penalty_ms") {
+                    None => 0,
+                    Some(j) => uint(j, "rtt_penalty_ms")?,
+                },
+                faults: parse_server_fault_list(o.get("faults"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Some(OriginsSpec {
+        pool,
+        hedge_quantile: v
+            .get("hedge_quantile")
+            .map(|j| num(j, "hedge_quantile"))
+            .transpose()?,
+        failure_threshold: v
+            .get("failure_threshold")
+            .map(|j| uint(j, "failure_threshold"))
+            .transpose()?,
+    }))
+}
+
+fn parse_cache(v: Option<&Json>) -> Result<Option<CacheSpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    Ok(Some(CacheSpec {
+        capacity_mb: num(field(v, "capacity_mb")?, "capacity_mb")?,
+        edge_delay_ms: match v.get("edge_delay_ms") {
+            None => 5,
+            Some(j) => uint(j, "edge_delay_ms")?,
+        },
+    }))
 }
 
 fn parse_lifecycle(v: Option<&Json>) -> Result<LifecyclePolicy, String> {
@@ -645,6 +770,8 @@ impl Scenario {
             server_faults: parse_server_fault_list(v.get("server_faults"))?,
             lifecycle: parse_lifecycle(v.get("lifecycle"))?,
             fleet: parse_fleet(v.get("fleet"))?,
+            origins: parse_origins(v.get("origins"))?,
+            cache: parse_cache(v.get("cache"))?,
         };
         sc.validate()?;
         Ok(sc)
@@ -714,6 +841,44 @@ impl Scenario {
                 }
             }
         }
+        if let Some(origins) = &self.origins {
+            if origins.pool.is_empty() {
+                return Err("'origins.pool' must list at least one origin \
+                     (drop the 'origins' key for the implicit single origin)"
+                    .into());
+            }
+            for (i, a) in origins.pool.iter().enumerate() {
+                if origins.pool[..i].iter().any(|b| b.id == a.id) {
+                    return Err(format!(
+                        "duplicate origin id '{}' (pool ids must be unique so \
+                         explain/trace attribution stays unambiguous)",
+                        a.id
+                    ));
+                }
+            }
+            if let Some(q) = origins.hedge_quantile {
+                if !(q > 0.0 && q <= 1.0) {
+                    return Err(format!(
+                        "'hedge_quantile' must be in (0,1] (0 would hedge \
+                         instantly, >1 can never fire before the deadline), got {q}"
+                    ));
+                }
+            }
+            if origins.failure_threshold == Some(0) {
+                return Err("'failure_threshold' must be > 0 (a zero threshold \
+                     would trip every breaker on sight)"
+                    .into());
+            }
+        }
+        if let Some(cache) = &self.cache {
+            if cache.capacity_mb.is_nan() || cache.capacity_mb <= 0.0 {
+                return Err(format!(
+                    "'capacity_mb' must be > 0 (drop the 'cache' key to run \
+                     uncached), got {}",
+                    cache.capacity_mb
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -763,6 +928,17 @@ impl Scenario {
                 cfg = cfg.with_server_faults(self.server_faults.clone());
             }
             cfg = cfg.with_lifecycle(self.lifecycle);
+            if let Some(origins) = &self.origins {
+                cfg = cfg.with_origins(origins.build());
+            }
+            if let Some(cache) = &self.cache {
+                // A fresh cache per mode: compared policies must not
+                // warm each other's working set.
+                cfg = cfg.with_cache(
+                    mpdash_session::SharedSegmentCache::new(cache.capacity_bytes())
+                        .with_edge_delay(cache.edge_delay()),
+                );
+            }
             if let Some(sched) = mode.scheduler {
                 cfg = cfg.with_scheduler(sched);
             }
@@ -784,14 +960,24 @@ impl Scenario {
 
     /// Wrap one built mode config in the document's fleet topology.
     /// Errors when the document has no `fleet` key.
-    pub fn fleet_config(&self, base: SessionConfig) -> Result<FleetConfig, String> {
+    pub fn fleet_config(&self, mut base: SessionConfig) -> Result<FleetConfig, String> {
         let Some(fleet) = &self.fleet else {
             return Err("scenario has no 'fleet' key".into());
         };
+        // In a fleet the cache is per *run*, not per mode config: hand
+        // the fleet the spec and drop the session-level handle, so two
+        // runs of the same FleetConfig never share warm state.
+        let cache = self.cache.as_ref().map(|c| {
+            base.cache = None;
+            FleetCacheSpec::new(c.capacity_bytes()).with_edge_delay(c.edge_delay())
+        });
         let mut fc = FleetConfig::new(base, fleet.clients)
             .with_stagger(SimDuration::from_secs_f64(fleet.stagger_s))
             .with_rtt_skew(SimDuration::from_millis(fleet.rtt_skew_ms))
             .with_seed(fleet.seed);
+        if let Some(cache) = cache {
+            fc = fc.with_cache(cache);
+        }
         for shared in &fleet.shared {
             fc = fc.with_shared(shared.build());
         }
@@ -1169,6 +1355,118 @@ mod tests {
         assert_eq!(fleet.clients, 16);
         assert!(!fleet.shared.is_empty());
         assert!(sc.fleet_configs().is_ok());
+    }
+
+    const ORIGINS_PATCH: &str = r#""origins": {
+        "hedge_quantile": 0.5,
+        "failure_threshold": 3,
+        "pool": [
+            {"id": "primary", "faults": [{"error_burst": {"at_s": 10, "secs": 3}}]},
+            {"id": "backup", "rtt_penalty_ms": 30}
+        ]
+    },
+    "cache": {"capacity_mb": 64, "edge_delay_ms": 8},"#;
+
+    #[test]
+    fn parses_origins_and_cache_onto_sessions() {
+        let doc = fleet_doc(ORIGINS_PATCH);
+        let sc = Scenario::from_json(&doc).unwrap();
+        let origins = sc.origins.as_ref().unwrap();
+        assert_eq!(origins.pool.len(), 2);
+        assert_eq!(origins.hedge_quantile, Some(0.5));
+        let configs = sc.build().unwrap();
+        let pool = configs[0].1.origins.as_ref().unwrap();
+        assert_eq!(pool.origins.len(), 2);
+        assert_eq!(pool.origins[0].id, "primary");
+        assert_eq!(pool.origins[0].faults.events().len(), 1);
+        assert_eq!(
+            pool.origins[1].rtt_penalty,
+            SimDuration::from_millis(30),
+            "the backup's RTT penalty survives the build"
+        );
+        assert_eq!(pool.failure_threshold, 3);
+        assert_eq!(pool.hedge_quantile, Some(0.5));
+        let cache = configs[0].1.cache.as_ref().unwrap();
+        assert_eq!(cache.capacity_bytes(), 64 << 20);
+        assert_eq!(cache.edge_delay(), SimDuration::from_millis(8));
+        // Documents without the keys keep the single implicit origin.
+        let plain = Scenario::from_json(DOC).unwrap();
+        assert!(plain.origins.is_none() && plain.cache.is_none());
+        assert!(plain.build().unwrap()[0].1.origins.is_none());
+    }
+
+    #[test]
+    fn fleet_builds_share_one_cache_spec_not_a_live_handle() {
+        let doc = fleet_doc(&format!("{FLEET_PATCH} {ORIGINS_PATCH}"));
+        let sc = Scenario::from_json(&doc).unwrap();
+        let configs = sc.fleet_configs().unwrap();
+        let fc = &configs[0].1;
+        let spec = fc.cache.expect("fleet inherits the cache key");
+        assert_eq!(spec.capacity_bytes, 64 << 20);
+        assert_eq!(spec.edge_delay, SimDuration::from_millis(8));
+        assert!(
+            fc.base.cache.is_none(),
+            "the session-level handle must be stripped so each fleet run \
+             builds a fresh cache"
+        );
+        assert!(fc.base.origins.is_some(), "the pool rides into the fleet");
+    }
+
+    #[test]
+    fn rejects_bad_origins_and_cache_values() {
+        for (patch, expect) in [
+            (
+                r#""origins": {"pool": []},"#,
+                "'origins.pool' must list at least one origin",
+            ),
+            (
+                r#""origins": {"pool": [{"id": "a"}, {"id": "a"}]},"#,
+                "duplicate origin id 'a'",
+            ),
+            (
+                r#""origins": {"hedge_quantile": 0.0, "pool": [{"id": "a"}]},"#,
+                "'hedge_quantile' must be in (0,1]",
+            ),
+            (
+                r#""origins": {"hedge_quantile": 1.5, "pool": [{"id": "a"}]},"#,
+                "'hedge_quantile' must be in (0,1]",
+            ),
+            (
+                r#""origins": {"failure_threshold": 0, "pool": [{"id": "a"}]},"#,
+                "'failure_threshold' must be > 0",
+            ),
+            (
+                r#""origins": {"pool": [{"rtt_penalty_ms": 5}]},"#,
+                "missing field 'id'",
+            ),
+            (
+                r#""cache": {"capacity_mb": 0},"#,
+                "'capacity_mb' must be > 0",
+            ),
+            (
+                r#""cache": {"capacity_mb": -3.5},"#,
+                "'capacity_mb' must be > 0",
+            ),
+            (
+                r#""cache": {"edge_delay_ms": 5},"#,
+                "missing field 'capacity_mb'",
+            ),
+        ] {
+            let err = Scenario::from_json(&fleet_doc(patch)).unwrap_err();
+            assert!(err.contains(expect), "{patch}: {err}");
+        }
+    }
+
+    #[test]
+    fn shipped_origins_scenario_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/origins.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = Scenario::from_json(&text).unwrap();
+        let origins = sc.origins.as_ref().unwrap();
+        assert!(origins.pool.len() >= 2);
+        assert!(origins.hedge_quantile.is_some());
+        assert!(sc.cache.is_some());
+        assert!(sc.build().is_ok());
     }
 
     #[test]
