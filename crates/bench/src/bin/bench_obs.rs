@@ -1,0 +1,127 @@
+//! `bench_obs` — the telemetry-overhead artifact.
+//!
+//! Emits `results/BENCH_obs.json` with two figures tracked across PRs:
+//!
+//! * nanoseconds per epoch-rollup event — counter bumps and histogram
+//!   observations into an [`EpochSeries`] at a realistic mix, best-of-N
+//!   wall-clock over millions of events so the number is the steady
+//!   hot-path cost rather than a cold sample;
+//! * sessions/sec of the 16-client contended fleet from `bench_sched`,
+//!   run twice: telemetry off (the seed path) and telemetry on at a
+//!   1-second epoch (every client, bottleneck, and the fleet loop all
+//!   rolling up).
+//!
+//! `--check` additionally gates the observability PR's acceptance
+//! criterion: enabling telemetry must cost no more than 3% of fleet
+//! wall-clock (plus a small jitter floor so a descheduled trial cannot
+//! flake CI). Both sides are best-of-N minima, so the comparison is
+//! floor against floor.
+
+use mpdash_bench::cli::quick_requested;
+use mpdash_fleet::FleetConfig;
+use mpdash_obs::{EpochSeries, TelemetrySpec};
+use mpdash_results::{write_artifact, ExperimentResult, ScalarGroup};
+use mpdash_sim::SimTime;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROLLUP_TRIALS: usize = 7;
+const FLEET_TRIALS: usize = 5;
+
+/// Best-of-[`ROLLUP_TRIALS`] nanoseconds per rollup event. The mix is
+/// four counter bumps and one histogram observation per simulated
+/// event-ish step, walking virtual time forward so the epoch cursor
+/// moves the way a real session drives it (mostly same-epoch hits with
+/// a periodic append).
+fn rollup_ns_per_event(events: u64) -> f64 {
+    let names = ["delivered_bytes", "deadline_hits", "chunks", "switches"];
+    let mut best = f64::INFINITY;
+    for _ in 0..ROLLUP_TRIALS {
+        let mut series = EpochSeries::new(TelemetrySpec::seconds(1.0));
+        let mut t_ms: u64 = 0;
+        let start = Instant::now();
+        for i in 0..events {
+            let t = SimTime::from_millis(t_ms);
+            let name = names[(i % 4) as usize];
+            series.add(t, black_box(name), black_box(i & 0xffff));
+            if i % 4 == 0 {
+                series.observe(t, "queue_depth", black_box(i & 0x3ff));
+            }
+            t_ms += 3; // ~333 events/epoch before the next cell appends
+        }
+        black_box(&series);
+        best = best.min(start.elapsed().as_nanos() as f64 / events as f64);
+    }
+    best
+}
+
+/// Best-of-[`FLEET_TRIALS`] wall-clock seconds for one fleet run.
+fn fleet_best_s(cfg: &FleetConfig, trials: usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut sessions = 0;
+    for _ in 0..trials {
+        let cfg = cfg.clone();
+        let start = Instant::now();
+        let report = mpdash_fleet::run(&cfg);
+        best = best.min(start.elapsed().as_secs_f64());
+        sessions = report.sessions.len();
+    }
+    (best, sessions)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let quick = quick_requested();
+    let rollup_events: u64 = if quick { 400_000 } else { 4_000_000 };
+    let fleet_trials = if quick { 3 } else { FLEET_TRIALS };
+
+    let rollup_ns = rollup_ns_per_event(rollup_events);
+
+    let base = mpdash_bench::experiments::sched::bench_fleet_config();
+    let on_cfg = base.clone().with_telemetry(TelemetrySpec::seconds(1.0));
+    // Off first, on second: if anything leaks across runs (allocator
+    // warm-up, frequency scaling settling), it favours the off side and
+    // the 3% gate stays honest.
+    let (off_s, sessions) = fleet_best_s(&base, fleet_trials);
+    let (on_s, _) = fleet_best_s(&on_cfg, fleet_trials);
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+
+    let mut res = ExperimentResult::new(
+        "BENCH_obs",
+        "Telemetry overhead — epoch rollup cost and fleet throughput on vs off",
+    );
+    res.text(format!(
+        "\nrollup: {rollup_ns:.1} ns/event over {rollup_events} events (best-of-{ROLLUP_TRIALS})\n\
+         fleet:  {sessions} sessions, telemetry off {off_s:.3}s, on {on_s:.3}s \
+         ({overhead_pct:+.2}% wall-clock)",
+    ));
+    res.scalars(
+        ScalarGroup::new(format!("epoch rollup (best-of-{ROLLUP_TRIALS})"))
+            .with("ns_per_event", rollup_ns)
+            .with("events", rollup_events as f64),
+    );
+    res.scalars(
+        ScalarGroup::new(format!(
+            "16-client contended fleet (best-of-{fleet_trials})"
+        ))
+        .with("telemetry_off_wall_s", off_s)
+        .with("telemetry_on_wall_s", on_s)
+        .with("overhead_pct", overhead_pct)
+        .with("sessions_per_sec_off", sessions as f64 / off_s)
+        .with("sessions_per_sec_on", sessions as f64 / on_s),
+    );
+    println!("{}", res.render());
+    let path = write_artifact(&res).expect("artifact write");
+    println!("[artifact] {}", path.display());
+
+    if check {
+        // The overhead gate: 3% plus a 5 ms jitter floor so scheduler
+        // noise on a short quick-mode run cannot flake the CI job.
+        assert!(
+            on_s <= off_s * 1.03 + 0.005,
+            "telemetry on {on_s:.3}s exceeds 3% over telemetry off {off_s:.3}s \
+             ({overhead_pct:+.2}%)"
+        );
+        println!("[check] telemetry overhead within 3% of the off path");
+    }
+}

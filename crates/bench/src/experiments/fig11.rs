@@ -45,6 +45,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         origins: None,
         cache: None,
         tracer: Default::default(),
+        telemetry: None,
         start_offset: SimDuration::ZERO,
     }
 }

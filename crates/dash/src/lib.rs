@@ -49,5 +49,5 @@ pub use abr::{Abr, AbrCategory, AbrInput, AbrKind};
 pub use adapter::{AdapterConfig, DeadlineDecision, DeadlineMode, VideoAdapter};
 pub use manifest::{Manifest, Representation};
 pub use player::{Player, PlayerConfig, PlayerEvent, PlayerState};
-pub use qoe::QoeSummary;
+pub use qoe::{QoeScore, QoeSummary};
 pub use video::{ChunkRef, Video};

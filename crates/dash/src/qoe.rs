@@ -75,6 +75,118 @@ impl QoeSummary {
     }
 }
 
+/// Normalized QoE score in the style of the PIE/FQ-PIE streaming-quality
+/// analysis: the three time-resolved signals that paper evaluates AQM
+/// disciplines by (rebuffer ratio, mean bitrate, switch rate), folded
+/// into one composite in `[0, 100]`.
+///
+/// The composite is
+/// `100 · clamp(bitrate/max − rebuffer_ratio − 0.25 · switches/chunks, 0, 1)`:
+/// full marks for streaming the top rung with no stalls, a one-to-one
+/// penalty for the fraction of wall time spent rebuffering (the
+/// dominant QoE factor in every streaming study), and a quarter-weight
+/// penalty per switch-per-chunk (switches annoy but don't halt
+/// playback). All inputs are ratios, so scores are comparable across
+/// sessions, epochs, and fleets of different sizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QoeScore {
+    /// Stalled time / (played + stalled) time, in `[0, 1]`.
+    pub rebuffer_ratio: f64,
+    /// Mean nominal bitrate of the counted chunks, Mbps.
+    pub mean_bitrate_mbps: f64,
+    /// Level switches per minute of session time.
+    pub switch_rate_per_min: f64,
+    /// The composite score in `[0, 100]` (0 when nothing played).
+    pub composite: f64,
+}
+
+impl QoeScore {
+    fn build(
+        rebuffer_ratio: f64,
+        mean_bitrate_mbps: f64,
+        switches: u64,
+        chunks: u64,
+        duration: SimDuration,
+        max_bitrate_mbps: f64,
+    ) -> Self {
+        let minutes = duration.as_secs_f64() / 60.0;
+        let switch_frac = switches as f64 / chunks.max(1) as f64;
+        let bitrate_frac = if max_bitrate_mbps > 0.0 {
+            mean_bitrate_mbps / max_bitrate_mbps
+        } else {
+            0.0
+        };
+        let composite = if chunks == 0 {
+            0.0
+        } else {
+            100.0 * (bitrate_frac - rebuffer_ratio - 0.25 * switch_frac).clamp(0.0, 1.0)
+        };
+        QoeScore {
+            rebuffer_ratio,
+            mean_bitrate_mbps,
+            switch_rate_per_min: if minutes > 0.0 {
+                switches as f64 / minutes
+            } else {
+                0.0
+            },
+            composite,
+        }
+    }
+
+    /// Whole-session score from a [`QoeSummary`]. `duration` is the
+    /// session's virtual span (first request to last event) and
+    /// `max_bitrate_mbps` the ladder's top rung, which anchors the
+    /// bitrate term.
+    pub fn compute(summary: &QoeSummary, duration: SimDuration, max_bitrate_mbps: f64) -> Self {
+        let total = duration.as_secs_f64();
+        let rebuffer = if total > 0.0 {
+            (summary.stall_time.as_secs_f64() / total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        QoeScore::build(
+            rebuffer,
+            summary.mean_bitrate_mbps,
+            summary.switches,
+            summary.chunks as u64,
+            duration,
+            max_bitrate_mbps,
+        )
+    }
+
+    /// Per-epoch score from telemetry counters: chunk completions,
+    /// their summed nominal bitrate (kbps), level switches, and stalled
+    /// milliseconds inside one epoch of width `epoch`.
+    pub fn from_epoch(
+        chunks: u64,
+        bitrate_kbps_sum: u64,
+        switches: u64,
+        stall_ms: u64,
+        epoch: SimDuration,
+        max_bitrate_mbps: f64,
+    ) -> Self {
+        let epoch_ms = epoch.as_millis_f64();
+        let rebuffer = if epoch_ms > 0.0 {
+            (stall_ms as f64 / epoch_ms).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mean_bitrate_mbps = if chunks > 0 {
+            bitrate_kbps_sum as f64 / chunks as f64 / 1000.0
+        } else {
+            0.0
+        };
+        QoeScore::build(
+            rebuffer,
+            mean_bitrate_mbps,
+            switches,
+            chunks,
+            epoch,
+            max_bitrate_mbps,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +246,43 @@ mod tests {
         let q = QoeSummary::from_player(&v, &p, 0.2);
         assert_eq!(q.chunks, 0);
         assert_eq!(q.mean_bitrate_mbps, 0.0);
+    }
+
+    #[test]
+    fn perfect_session_scores_one_hundred() {
+        let (v, p) = run_levels(&[4, 4, 4, 4]);
+        let q = QoeSummary::from_player(&v, &p, 0.0);
+        let s = QoeScore::compute(&q, SimDuration::from_secs(16), 3.94);
+        assert_eq!(s.composite, 100.0);
+        assert_eq!(s.rebuffer_ratio, 0.0);
+        assert_eq!(s.switch_rate_per_min, 0.0);
+    }
+
+    #[test]
+    fn rebuffering_and_switching_cost_points() {
+        let (v, p) = run_levels(&[4, 3, 4, 3]);
+        let q = QoeSummary::from_player(&v, &p, 0.0);
+        // 3 switches over 4 chunks; mean bitrate (2·3.94 + 2·2.41)/4.
+        let s = QoeScore::compute(&q, SimDuration::from_secs(60), 3.94);
+        let bitrate_frac = ((3.94 + 2.41) / 2.0) / 3.94;
+        let want = 100.0 * (bitrate_frac - 0.25 * 3.0 / 4.0);
+        assert!((s.composite - want).abs() < 1e-9);
+        assert!((s.switch_rate_per_min - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_score_matches_session_score_on_uniform_signals() {
+        // One chunk at 1000 kbps, no switches, 500 ms stalled in a 2 s
+        // epoch: rebuffer ratio 0.25, bitrate frac 0.5 of a 2 Mbps top.
+        let s = QoeScore::from_epoch(1, 1000, 0, 500, SimDuration::from_secs(2), 2.0);
+        assert!((s.rebuffer_ratio - 0.25).abs() < 1e-9);
+        assert!((s.mean_bitrate_mbps - 1.0).abs() < 1e-9);
+        assert!((s.composite - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_epoch_scores_zero() {
+        let s = QoeScore::from_epoch(0, 0, 0, 0, SimDuration::from_secs(2), 2.0);
+        assert_eq!(s.composite, 0.0);
     }
 }

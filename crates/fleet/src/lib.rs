@@ -26,7 +26,7 @@
 //! artifacts at any worker count.
 
 use mpdash_link::{PathId, SharedBottleneck, SharedBottleneckConfig, SharedStats};
-use mpdash_obs::MetricsSnapshot;
+use mpdash_obs::{telemetry_from_env, EpochSeries, MetricsSnapshot, TelemetrySpec};
 use mpdash_results::Json;
 use mpdash_session::{
     CacheStats, Job, JobReport, SessionConfig, SessionReport, SharedSegmentCache, StreamingSession,
@@ -122,6 +122,14 @@ pub struct FleetConfig {
     /// Shared segment cache every client fetches through. `None` means
     /// no cache (every chunk is an origin fetch).
     pub cache: Option<FleetCacheSpec>,
+    /// Epoch telemetry for every client, every shared bottleneck, and
+    /// the fleet loop itself. `None` falls back to `MPDASH_TELEMETRY`.
+    /// Observe-only: artifacts are byte-identical either way.
+    pub telemetry: Option<TelemetrySpec>,
+    /// Measure wall-clock time per fleet-loop phase (peek/pop/step).
+    /// Nondeterministic by nature, so it rides in
+    /// [`FleetReport::wall_profile`] and never in artifact JSON.
+    pub wall_profile: bool,
 }
 
 impl FleetConfig {
@@ -137,6 +145,8 @@ impl FleetConfig {
             seed: 1,
             trace_client: None,
             cache: None,
+            telemetry: None,
+            wall_profile: false,
         }
     }
 
@@ -177,6 +187,18 @@ impl FleetConfig {
         self.cache = Some(spec);
         self
     }
+
+    /// Same fleet with epoch telemetry on every client and bottleneck.
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
+        self
+    }
+
+    /// Same fleet with wall-clock phase profiling of the event loop.
+    pub fn with_wall_profile(mut self) -> Self {
+        self.wall_profile = true;
+        self
+    }
 }
 
 /// Aggregate view of one shared bottleneck after the run.
@@ -188,6 +210,76 @@ pub struct BottleneckSummary {
     pub stats: SharedStats,
     /// Queue-depth and queue-wait histograms recorded during the run.
     pub metrics: MetricsSnapshot,
+    /// Per-epoch offered/delivered/dropped bytes and queue-depth
+    /// histograms, when telemetry is on. Kept per-bottleneck (not
+    /// merged fleet-wide) so two bottlenecks' `queue_depth_bytes`
+    /// series stay distinguishable.
+    pub epochs: Option<EpochSeries>,
+}
+
+/// Deterministic span accounting of the fleet event loop: how the
+/// peek/pop/step interleave spent its virtual time. Pure counts of
+/// loop decisions, so identical at any `MPDASH_WORKERS` and with
+/// telemetry on or off.
+#[derive(Clone, Debug, Default)]
+pub struct FleetProfile {
+    /// Iterations of the global-minimum scan (one per event, plus the
+    /// final empty scan that ends the loop).
+    pub loop_iterations: u64,
+    /// Bottleneck departures popped.
+    pub departures_popped: u64,
+    /// Session events stepped.
+    pub session_steps: u64,
+    /// Per-epoch `loop_steps` / `loop_departures` counters, when
+    /// telemetry is on — the "steps per epoch" view the profiler
+    /// renders.
+    pub epochs: Option<EpochSeries>,
+}
+
+impl FleetProfile {
+    /// Deterministic JSON view (the epoch series included).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("loop_iterations", Json::from(self.loop_iterations)),
+            ("departures_popped", Json::from(self.departures_popped)),
+            ("session_steps", Json::from(self.session_steps)),
+            (
+                "epochs",
+                self.epochs
+                    .as_ref()
+                    .map(|e| e.to_json())
+                    .unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+/// Wall-clock self-profile of the fleet loop, split by phase.
+/// Nondeterministic (it measures the host machine), so it is reported
+/// beside — never inside — deterministic artifacts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetWallProfile {
+    /// Nanoseconds spent scanning for the globally earliest event.
+    pub peek_ns: u64,
+    /// Nanoseconds spent popping bottleneck departures.
+    pub pop_ns: u64,
+    /// Nanoseconds spent stepping sessions.
+    pub step_ns: u64,
+}
+
+impl FleetWallProfile {
+    /// JSON view, in nanoseconds per phase plus the total.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("peek_ns", Json::from(self.peek_ns)),
+            ("pop_ns", Json::from(self.pop_ns)),
+            ("step_ns", Json::from(self.step_ns)),
+            (
+                "total_ns",
+                Json::from(self.peek_ns + self.pop_ns + self.step_ns),
+            ),
+        ])
+    }
 }
 
 /// Everything measured across one fleet run.
@@ -215,6 +307,17 @@ pub struct FleetReport {
     /// reports: the global hit/miss/eviction totals depend on how the
     /// fleet interleaved the clients, which no single session observes.
     pub cache: Option<CacheStats>,
+    /// Fleet-wide epoch series: every client's session series merged in
+    /// client order. Merge is associative and commutative, so this is
+    /// bit-identical however the fleet was sharded. `None` when
+    /// telemetry is off. Excluded from [`FleetReport::summary_json`],
+    /// preserving artifact byte-identity with telemetry on vs off.
+    pub epochs: Option<EpochSeries>,
+    /// Deterministic loop-span accounting (also artifact-excluded).
+    pub profile: FleetProfile,
+    /// Wall-clock phase profile, present when
+    /// [`FleetConfig::wall_profile`] was set.
+    pub wall_profile: Option<FleetWallProfile>,
 }
 
 /// Jain's fairness index `(Σx)² / (n·Σx²)`: 1 when all shares are
@@ -268,6 +371,7 @@ impl FleetReport {
                     "deadline_misses",
                     Json::from(s.scheduler_stats.missed_deadlines),
                 ),
+                ("qoe_composite", Json::Float(s.qoe_score.composite)),
             ])
         });
         let bottlenecks = self.bottlenecks.iter().map(|b| {
@@ -311,6 +415,12 @@ impl FleetReport {
 /// configuration (tracing included — it is observe-only).
 pub fn run(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.clients >= 1, "a fleet needs at least one client");
+    // One resolution for the whole fleet: clients, bottlenecks, and the
+    // loop profiler all observe on the same epoch grid (or not at all).
+    let telemetry = cfg
+        .telemetry
+        .or(cfg.base.telemetry)
+        .or_else(telemetry_from_env);
     let cache = cfg
         .cache
         .map(|spec| SharedSegmentCache::new(spec.capacity_bytes).with_edge_delay(spec.edge_delay));
@@ -318,6 +428,7 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
         .map(|k| {
             let mut sc = cfg.base.clone();
             sc.start_offset = cfg.stagger * k as u64;
+            sc.telemetry = telemetry;
             let skew = cfg.rtt_skew * k as u64;
             sc.wifi.delay += skew;
             sc.cell.delay += skew;
@@ -347,6 +458,9 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
     let mut route: Vec<Vec<(usize, PathId)>> = Vec::with_capacity(cfg.shared.len());
     for spec in &cfg.shared {
         let bn = SharedBottleneck::new(spec.config);
+        if let Some(t) = telemetry {
+            bn.enable_telemetry(t);
+        }
         let mut flows = Vec::with_capacity(cfg.clients * spec.paths.len());
         for (k, session) in sessions.iter_mut().enumerate() {
             for &path in &spec.paths {
@@ -364,6 +478,23 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
     // interleaving deterministic and guarantees departures at time t
     // precede any new offers made at t.
     let mut done = vec![false; cfg.clients];
+    let mut profile = FleetProfile {
+        epochs: telemetry.map(EpochSeries::new),
+        ..FleetProfile::default()
+    };
+    let mut wall = cfg.wall_profile.then(FleetWallProfile::default);
+    let mut mark = wall.map(|_| std::time::Instant::now());
+    // Charge elapsed wall time to one phase and re-arm the stopwatch.
+    // A no-op (never branches on wall time) unless wall_profile is set,
+    // so profiling cannot perturb the deterministic interleave.
+    let mut charge = move |wall: &mut Option<FleetWallProfile>,
+                           pick: fn(&mut FleetWallProfile) -> &mut u64| {
+        if let (Some(w), Some(m)) = (wall.as_mut(), mark.as_mut()) {
+            let now = std::time::Instant::now();
+            *pick(w) += now.duration_since(*m).as_nanos() as u64;
+            *m = now;
+        }
+    };
     loop {
         let mut best: Option<(SimTime, usize, usize)> = None;
         for (i, bn) in bottlenecks.iter().enumerate() {
@@ -385,15 +516,26 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
                 }
             }
         }
+        charge(&mut wall, |w| &mut w.peek_ns);
+        profile.loop_iterations += 1;
         match best {
             None => break,
-            Some((_, 0, i)) => {
+            Some((t, 0, i)) => {
                 let d = bottlenecks[i].pop_departure().expect("departure peeked");
                 let (k, path) = route[i][d.flow];
                 sessions[k].on_shared_departure(path, d.ticket, d.at);
+                profile.departures_popped += 1;
+                if let Some(e) = profile.epochs.as_mut() {
+                    e.inc(t, "loop_departures");
+                }
+                charge(&mut wall, |w| &mut w.pop_ns);
             }
-            Some((_, _, k)) => {
+            Some((t, _, k)) => {
                 sessions[k].step_once();
+                profile.session_steps += 1;
+                if let Some(e) = profile.epochs.as_mut() {
+                    e.inc(t, "loop_steps");
+                }
                 if sessions[k].finished() {
                     // A finished session is quiescent: every packet it
                     // offered to a bottleneck has been acknowledged, so
@@ -402,6 +544,7 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
                     // driver abandons them.
                     done[k] = true;
                 }
+                charge(&mut wall, |w| &mut w.step_ns);
             }
         }
     }
@@ -422,11 +565,25 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
                 discipline: spec.config.discipline.label(),
                 stats,
                 metrics: bn.metrics_snapshot(),
+                epochs: bn.epoch_series(),
             }
         })
         .collect();
 
     let sessions: Vec<SessionReport> = sessions.into_iter().map(|s| s.into_report()).collect();
+    // Fleet-wide series: fold every client's series in client order.
+    // merge() is associative + commutative, so any other fold order —
+    // e.g. shard-local partial merges under MPDASH_WORKERS — yields the
+    // same bytes.
+    let epochs = telemetry.map(|spec| {
+        let mut all = EpochSeries::new(spec);
+        for s in &sessions {
+            if let Some(e) = &s.epochs {
+                all.merge(e);
+            }
+        }
+        all
+    });
     let bitrates: Vec<f64> = sessions
         .iter()
         .map(|s| s.qoe_all.mean_bitrate_mbps)
@@ -449,6 +606,9 @@ pub fn run(cfg: &FleetConfig) -> FleetReport {
         total_stalls: sessions.iter().map(|s| s.qoe_all.stalls).sum(),
         bottlenecks,
         cache: cache.map(|c| c.stats()),
+        epochs,
+        profile,
+        wall_profile: wall,
         sessions,
     }
 }
@@ -702,6 +862,56 @@ mod tests {
         let a = run(&mk()).summary_json().to_pretty();
         let b = run(&mk()).summary_json().to_pretty();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_telemetry_is_observe_only_and_merges_client_series() {
+        let mk = |telemetry: bool| {
+            let mut cfg = FleetConfig::new(base(TransportMode::mpdash_rate_based()), 3)
+                .with_shared(ap(12.0, QueueDiscipline::Fifo))
+                .with_seed(11);
+            if telemetry {
+                cfg = cfg
+                    .with_telemetry(TelemetrySpec::seconds(2.0))
+                    .with_wall_profile();
+            }
+            run(&cfg)
+        };
+        let off = mk(false);
+        let on = mk(true);
+        // The artifact invariant: telemetry and wall profiling change
+        // no observable byte of the summary.
+        assert_eq!(
+            off.summary_json().to_pretty(),
+            on.summary_json().to_pretty()
+        );
+        assert!(off.epochs.is_none() && off.profile.epochs.is_none());
+        assert!(off.wall_profile.is_none() && on.wall_profile.is_some());
+
+        // The merged fleet series reconciles with the summed reports.
+        let fleet = on.epochs.as_ref().expect("telemetry on");
+        assert_eq!(fleet.counter_total("wifi_bytes"), on.total_wifi_bytes);
+        assert_eq!(fleet.counter_total("cell_bytes"), on.total_cell_bytes);
+        let chunk_sum: u64 = on.sessions.iter().map(|s| s.chunks.len() as u64).sum();
+        assert_eq!(fleet.counter_total("chunks"), chunk_sum);
+
+        // Loop accounting: every event was either a pop or a step, and
+        // the epoch view re-adds to the same totals.
+        let p = &on.profile;
+        assert_eq!(p.loop_iterations, p.departures_popped + p.session_steps + 1);
+        let loop_epochs = p.epochs.as_ref().expect("telemetry on");
+        assert_eq!(
+            loop_epochs.counter_total("loop_departures"),
+            p.departures_popped
+        );
+        assert_eq!(loop_epochs.counter_total("loop_steps"), p.session_steps);
+
+        // The shared AP recorded its own epoch series.
+        let bn = on.bottlenecks[0].epochs.as_ref().expect("telemetry on");
+        assert_eq!(
+            bn.counter_total("shared_delivered_bytes"),
+            on.bottlenecks[0].stats.delivered_bytes
+        );
     }
 
     #[test]

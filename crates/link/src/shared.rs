@@ -34,7 +34,7 @@
 //! are integer/byte arithmetic on virtual time: bit-deterministic.
 
 use crate::link::DropReason;
-use mpdash_obs::{MetricsRegistry, MetricsSnapshot};
+use mpdash_obs::{EpochSeries, MetricsRegistry, MetricsSnapshot, TelemetrySpec};
 use mpdash_sim::{Rate, SimTime};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -240,6 +240,8 @@ struct Inner {
     dropped_bytes: u64,
     dropped_packets: u64,
     metrics: MetricsRegistry,
+    /// Epoch rollups over virtual time (telemetry; observe-only).
+    series: Option<EpochSeries>,
 }
 
 impl Inner {
@@ -344,6 +346,7 @@ impl SharedBottleneck {
                 dropped_bytes: 0,
                 dropped_packets: 0,
                 metrics: MetricsRegistry::new(),
+                series: None,
             })),
         }
     }
@@ -392,6 +395,9 @@ impl SharedBottleneck {
             let fl = &mut g.flows[flow].stats;
             fl.dropped_bytes += size;
             fl.dropped_packets += 1;
+            if let Some(series) = &mut g.series {
+                series.add(now, "shared_dropped_bytes", size);
+            }
             return SharedOutcome::Dropped(DropReason::QueueOverflow);
         }
 
@@ -425,6 +431,10 @@ impl SharedBottleneck {
         }
         let depth = g.occupancy();
         g.metrics.observe("queue_depth_bytes", depth);
+        if let Some(series) = &mut g.series {
+            series.observe(now, "queue_depth_bytes", depth);
+            series.add(now, "shared_offered_bytes", size);
+        }
         SharedOutcome::Queued { ticket }
     }
 
@@ -449,6 +459,14 @@ impl SharedBottleneck {
         }
         g.metrics
             .observe("queue_wait_ms", waited.as_millis_f64() as u64);
+        if let Some(series) = &mut g.series {
+            series.observe(
+                done.depart_at,
+                "queue_wait_ms",
+                waited.as_millis_f64() as u64,
+            );
+            series.add(done.depart_at, "shared_delivered_bytes", done.size);
+        }
         // The server runs on: next packet starts exactly at this
         // departure instant.
         if let Some((flow, pkt)) = g.dequeue_next() {
@@ -484,6 +502,19 @@ impl SharedBottleneck {
     /// `queue_wait_ms` histograms.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.lock().metrics.snapshot()
+    }
+
+    /// Start rolling queue signals (`queue_depth_bytes`, `queue_wait_ms`
+    /// histograms; offered/delivered/dropped byte counters) into fixed
+    /// virtual-time epochs. Observe-only: enabling telemetry changes no
+    /// scheduling decision and no artifact byte.
+    pub fn enable_telemetry(&self, spec: TelemetrySpec) {
+        self.lock().series = Some(EpochSeries::new(spec));
+    }
+
+    /// Clone of the epoch rollups, if telemetry is enabled.
+    pub fn epoch_series(&self) -> Option<EpochSeries> {
+        self.lock().series.clone()
     }
 }
 

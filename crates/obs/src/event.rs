@@ -234,6 +234,16 @@ pub enum TraceEvent {
         /// Loser's delivered body bytes, accounted as waste.
         wasted: u64,
     },
+    /// A losing hedge request finished draining after its race resolved
+    /// (primary wins only — a hedge win accounts its waste inside the
+    /// resolution event). Separate from [`TraceEvent::Hedge`] because
+    /// the drain can outlive the chunk that raced.
+    HedgeLoserSettled {
+        /// Chunk index the race was fetching.
+        chunk: usize,
+        /// Body bytes the loser delivered, accounted as waste.
+        wasted: u64,
+    },
     /// A shared segment-cache interaction for a chunk fetch.
     Cache {
         /// Chunk index.
@@ -291,6 +301,7 @@ impl TraceEvent {
             TraceEvent::OriginRouted { .. } => "origin_routed",
             TraceEvent::OriginHealth { .. } => "origin_health",
             TraceEvent::Hedge { .. } => "hedge",
+            TraceEvent::HedgeLoserSettled { .. } => "hedge_loser_settled",
             TraceEvent::Cache { .. } => "cache",
             TraceEvent::SchedulerPick { .. } => "scheduler_pick",
         }
@@ -473,6 +484,10 @@ impl TraceEvent {
                 push("winner", winner.map(Json::from).unwrap_or(Json::Null));
                 push("wasted", Json::from(*wasted));
             }
+            TraceEvent::HedgeLoserSettled { chunk, wasted } => {
+                push("chunk", Json::from(*chunk));
+                push("wasted", Json::from(*wasted));
+            }
             TraceEvent::Cache {
                 chunk,
                 level,
@@ -549,6 +564,10 @@ mod tests {
                 hedge_origin: 1,
                 winner: Some("hedge"),
                 wasted: 4_096,
+            },
+            TraceEvent::HedgeLoserSettled {
+                chunk: 3,
+                wasted: 2_048,
             },
             TraceEvent::Cache {
                 chunk: 4,

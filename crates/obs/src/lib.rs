@@ -18,6 +18,9 @@
 //! * [`MetricsRegistry`] / [`MetricsSnapshot`] — named counters, gauges
 //!   and log-scale histograms with deterministic (insertion) ordering,
 //!   snapshotted into session reports and JSON artifacts.
+//! * [`EpochSeries`] / [`TelemetrySpec`] — fixed virtual-time epoch
+//!   rollups whose `merge` is associative and commutative to the bit,
+//!   so shard-local series combine identically at any `MPDASH_WORKERS`.
 //!
 //! Every timestamp is [`mpdash_sim::SimTime`] — virtual, not wall-clock
 //! — so enabling any sink changes **zero bytes** of any artifact: the
@@ -26,7 +29,9 @@
 pub mod event;
 pub mod metrics;
 pub mod sink;
+pub mod timeseries;
 
 pub use event::TraceEvent;
-pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{NdjsonSink, NullSink, RingSink, TraceSink, Tracer};
+pub use timeseries::{telemetry_from_env, EpochCell, EpochSeries, TelemetrySpec};

@@ -21,7 +21,8 @@ pub struct LogHistogram {
 }
 
 impl LogHistogram {
-    fn observe(&mut self, value: u64) {
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
         let bucket = (64 - value.max(1).leading_zeros() - 1) as usize;
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
@@ -29,6 +30,48 @@ impl LogHistogram {
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Fold `other` into `self`. Bucket counts and totals are `u64`
+    /// sums, so merging is associative and commutative down to the bit
+    /// — the property the epoch-rollup shard merge relies on. (`sum`
+    /// saturates; at the saturation boundary order could matter, but a
+    /// simulation would overflow virtual time long before 2^64 bytes.)
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Freeze into `(bucket lower bound, count)` pairs with empty
+    /// buckets elided.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (1u64 << i, n))
+                .collect(),
+        }
     }
 }
 
@@ -98,22 +141,7 @@ impl MetricsRegistry {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(name, h)| {
-                    (
-                        name.clone(),
-                        HistogramSnapshot {
-                            count: h.count,
-                            sum: h.sum,
-                            buckets: h
-                                .buckets
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, &n)| n > 0)
-                                .map(|(i, &n)| (1u64 << i, n))
-                                .collect(),
-                        },
-                    )
-                })
+                .map(|(name, h)| (name.clone(), h.snapshot()))
                 .collect(),
         }
     }

@@ -11,7 +11,7 @@ use mpdash_sim::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -85,13 +85,38 @@ impl fmt::Debug for RingSink {
 }
 
 /// Appends one JSON object per event to a file — the NDJSON trace
-/// format. Lines are written atomically under a mutex, so concurrent
+/// format. Lines are appended atomically under a mutex, so concurrent
 /// sessions sharing one sink interleave whole lines, never bytes.
+///
+/// Writes are batched in an internal line buffer that reaches the file
+/// only when it exceeds [`NdjsonSink::FLUSH_THRESHOLD`], on an explicit
+/// [`flush`](TraceSink::flush), or on drop — the drop guard runs even
+/// when the thread is unwinding from a panic, so a crashed run leaves a
+/// trace truncated at a line boundary, not mid-buffer.
 pub struct NdjsonSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<LineBuffer>,
+}
+
+struct LineBuffer {
+    file: File,
+    buf: String,
+}
+
+impl LineBuffer {
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            // An observer must never panic the simulation; a full disk
+            // just stops the trace.
+            let _ = self.file.write_all(self.buf.as_bytes());
+            self.buf.clear();
+        }
+    }
 }
 
 impl NdjsonSink {
+    /// Buffered bytes beyond which `record` writes through to the file.
+    pub const FLUSH_THRESHOLD: usize = 64 * 1024;
+
     /// Create (truncate) the trace file at `path`, creating parent
     /// directories as needed.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
@@ -102,7 +127,10 @@ impl NdjsonSink {
             }
         }
         Ok(NdjsonSink {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            out: Mutex::new(LineBuffer {
+                file: File::create(path)?,
+                buf: String::new(),
+            }),
         })
     }
 }
@@ -111,13 +139,26 @@ impl TraceSink for NdjsonSink {
     fn record(&self, t: SimTime, event: &TraceEvent) {
         let line = event.to_json(t).to_string();
         let mut out = self.out.lock().unwrap();
-        // An observer must never panic the simulation; a full disk just
-        // stops the trace.
-        let _ = writeln!(out, "{line}");
+        out.buf.push_str(&line);
+        out.buf.push('\n');
+        if out.buf.len() >= Self::FLUSH_THRESHOLD {
+            out.flush();
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        self.out.lock().unwrap().flush();
+    }
+}
+
+impl Drop for NdjsonSink {
+    fn drop(&mut self) {
+        // Recover the buffer even if a panicking recorder poisoned the
+        // lock: whole lines are still whole lines.
+        match self.out.get_mut() {
+            Ok(out) => out.flush(),
+            Err(poisoned) => poisoned.into_inner().flush(),
+        }
     }
 }
 
@@ -280,6 +321,22 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"deadline_bypassed\""));
         assert!(lines[1].contains("\"subflow_failed\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ndjson_sink_flushes_buffered_lines_on_drop() {
+        let dir = std::env::temp_dir().join(format!("mpdash-obs-drop-{}", std::process::id()));
+        let path = dir.join("trace.ndjson");
+        {
+            let sink = NdjsonSink::create(&path).unwrap();
+            sink.record(SimTime::from_secs(1), &ev(7));
+            // Below the flush threshold: nothing on disk yet.
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        } // drop guard flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"deadline_bypassed\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

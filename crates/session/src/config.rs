@@ -9,7 +9,7 @@ use mpdash_energy::DeviceProfile;
 use mpdash_http::{LifecyclePolicy, OriginPoolConfig, ServerFaultScript, SharedSegmentCache};
 use mpdash_link::{BandwidthProfile, FaultScript, LinkConfig, TokenBucket};
 use mpdash_mptcp::{CcKind, SchedulerSpec};
-use mpdash_obs::Tracer;
+use mpdash_obs::{TelemetrySpec, Tracer};
 use mpdash_sim::{Rate, SimDuration};
 use mpdash_trace::field::Location;
 
@@ -150,6 +150,12 @@ pub struct SessionConfig {
     /// `MPDASH_TRACE` environment tracer. Strictly observe-only: the
     /// same config with any tracer produces byte-identical reports.
     pub tracer: Tracer,
+    /// Epoch telemetry: roll session signals into fixed virtual-time
+    /// epochs (see `mpdash_obs::EpochSeries`). `None` (default) falls
+    /// back to the process-wide `MPDASH_TELEMETRY` environment spec.
+    /// Strictly observe-only: the same config with telemetry on or off
+    /// produces byte-identical reports and artifacts.
+    pub telemetry: Option<TelemetrySpec>,
     /// Virtual time at which the session issues its first request
     /// (staggered fleet starts). Zero for the standalone experiments.
     /// QoE clocks (startup delay, session duration) measure from this
@@ -189,6 +195,7 @@ impl SessionConfig {
             origins: None,
             cache: None,
             tracer: Tracer::disabled(),
+            telemetry: None,
             start_offset: SimDuration::ZERO,
         }
     }
@@ -238,6 +245,7 @@ impl SessionConfig {
             origins: None,
             cache: None,
             tracer: Tracer::disabled(),
+            telemetry: None,
             start_offset: SimDuration::ZERO,
         }
     }
@@ -346,6 +354,13 @@ impl SessionConfig {
     /// see the `tracer` field).
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Same config with epoch telemetry enabled (observe-only; see the
+    /// `telemetry` field).
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
         self
     }
 

@@ -3,11 +3,11 @@
 
 use mpdash_core::SchedulerStats;
 use mpdash_dash::player::PlayerEvent;
-use mpdash_dash::qoe::QoeSummary;
+use mpdash_dash::qoe::{QoeScore, QoeSummary};
 use mpdash_energy::SessionEnergy;
 use mpdash_http::DssRange;
 use mpdash_mptcp::PktRecord;
-use mpdash_obs::MetricsSnapshot;
+use mpdash_obs::{EpochSeries, MetricsSnapshot};
 use mpdash_results::Json;
 use mpdash_sim::{SimDuration, SimTime};
 
@@ -148,6 +148,18 @@ pub struct SessionReport {
     pub origin: OriginStats,
     /// Named counters/gauges/histograms registered during the run.
     pub metrics: MetricsSnapshot,
+    /// Normalized QoE score (rebuffer ratio, bitrate, switch rate,
+    /// composite) over the steady-state suffix. Computed from the
+    /// player alone, so it is identical whether telemetry is on or off.
+    pub qoe_score: QoeScore,
+    /// Epoch telemetry rollups, when enabled (config `telemetry` field
+    /// or `MPDASH_TELEMETRY`). **Excluded from [`summary_json`]**: the
+    /// same config must serialize byte-identically with telemetry on or
+    /// off, so epoch series travel beside artifacts (the `timeline`
+    /// NDJSON export), never inside them.
+    ///
+    /// [`summary_json`]: SessionReport::summary_json
+    pub epochs: Option<EpochSeries>,
     /// Discrete-event engine profile (excluded from artifacts).
     pub sim_profile: SimProfile,
 }
@@ -210,6 +222,21 @@ impl SessionReport {
         Json::obj([
             ("qoe", qoe_json(&self.qoe)),
             ("qoe_all", qoe_json(&self.qoe_all)),
+            (
+                "qoe_score",
+                Json::obj([
+                    ("rebuffer_ratio", Json::Float(self.qoe_score.rebuffer_ratio)),
+                    (
+                        "mean_bitrate_mbps",
+                        Json::Float(self.qoe_score.mean_bitrate_mbps),
+                    ),
+                    (
+                        "switch_rate_per_min",
+                        Json::Float(self.qoe_score.switch_rate_per_min),
+                    ),
+                    ("composite", Json::Float(self.qoe_score.composite)),
+                ]),
+            ),
             ("wifi_bytes", Json::from(self.wifi_bytes)),
             ("cell_bytes", Json::from(self.cell_bytes)),
             ("energy_j", Json::Float(self.energy.total_j())),

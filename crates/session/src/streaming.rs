@@ -24,6 +24,7 @@ use mpdash_core::MpDashControl;
 use mpdash_dash::abr::{Abr, AbrInput};
 use mpdash_dash::adapter::{DeadlineDecision, VideoAdapter};
 use mpdash_dash::player::Player;
+use mpdash_dash::qoe::QoeScore;
 use mpdash_dash::qoe::QoeSummary;
 use mpdash_energy::session_energy;
 use mpdash_http::{
@@ -32,7 +33,7 @@ use mpdash_http::{
 };
 use mpdash_link::PathId;
 use mpdash_mptcp::{MptcpConfig, MptcpSim, PathConfig, PathMask, StepOutcome};
-use mpdash_obs::{MetricsRegistry, TraceEvent, Tracer};
+use mpdash_obs::{telemetry_from_env, EpochSeries, MetricsRegistry, TraceEvent, Tracer};
 use mpdash_sim::{Rate, SimDuration, SimTime};
 
 /// Progress-tick period while a chunk is in flight (one Holt-Winters slot,
@@ -43,6 +44,28 @@ const TICK_ID: u64 = u64::MAX - 1;
 const WAKE_ID: u64 = u64::MAX - 2;
 /// Timer for a pending lifecycle retry (seeded backoff after a 5xx).
 const RETRY_ID: u64 = u64::MAX - 3;
+
+/// Epoch-telemetry state: the session's rollup series plus the
+/// last-sampled cumulative values the 50 ms tick turns into per-epoch
+/// deltas (per-path bytes, stalled time). Strictly observe-only — it
+/// reads simulation state, never steers it.
+struct SessionTelemetry {
+    series: EpochSeries,
+    last_wifi_bytes: u64,
+    last_cell_bytes: u64,
+    last_stall_ms: u64,
+}
+
+impl SessionTelemetry {
+    fn new(series: EpochSeries) -> Self {
+        SessionTelemetry {
+            series,
+            last_wifi_bytes: 0,
+            last_cell_bytes: 0,
+            last_stall_ms: 0,
+        }
+    }
+}
 
 /// A live hedge race: the primary request has been cancelled and the
 /// missing byte range re-requested from a second origin. Connection
@@ -117,6 +140,9 @@ pub struct StreamingSession {
     tracer: Tracer,
     /// Session-level counters/histograms, snapshotted into the report.
     metrics: MetricsRegistry,
+    /// Epoch telemetry rollups (config `telemetry`, or the process-wide
+    /// `MPDASH_TELEMETRY` spec when the config leaves it unset).
+    telemetry: Option<SessionTelemetry>,
     /// Request-lifecycle counters for the report.
     lifecycle: LifecycleStats,
     /// Health-tracked origin pool (`None` = legacy single origin).
@@ -125,9 +151,9 @@ pub struct StreamingSession {
     cache: Option<SharedSegmentCache>,
     /// Multi-origin serving counters for the report.
     origin_stats: OriginStats,
-    /// Hedge losers whose cancel is draining; their terminal event
-    /// accounts the duplicate bytes as waste.
-    pending_losers: Vec<RequestId>,
+    /// Hedge losers whose cancel is draining, with the chunk they raced
+    /// for; their terminal event accounts the duplicate bytes as waste.
+    pending_losers: Vec<(RequestId, usize)>,
 }
 
 impl StreamingSession {
@@ -215,6 +241,10 @@ impl StreamingSession {
             seen_revivals: [0, 0],
             tracer,
             metrics: MetricsRegistry::new(),
+            telemetry: cfg
+                .telemetry
+                .or_else(telemetry_from_env)
+                .map(|spec| SessionTelemetry::new(EpochSeries::new(spec))),
             lifecycle: LifecycleStats::default(),
             pool,
             cache,
@@ -224,12 +254,55 @@ impl StreamingSession {
         }
     }
 
+    /// Add `n` to a telemetry counter in `now`'s epoch (no-op with
+    /// telemetry off).
+    fn ts_add(&mut self, now: SimTime, name: &str, n: u64) {
+        if let Some(ts) = self.telemetry.as_mut() {
+            ts.series.add(now, name, n);
+        }
+    }
+
+    /// Increment a telemetry counter in `now`'s epoch.
+    fn ts_inc(&mut self, now: SimTime, name: &str) {
+        self.ts_add(now, name, 1);
+    }
+
+    /// Sample cumulative signals into the epoch series: per-path byte
+    /// and stalled-time deltas since the last sample, plus the current
+    /// buffer level. Runs on the 50 ms progress tick and once more at
+    /// session end, so per-epoch byte counters sum exactly to the
+    /// report's per-path totals.
+    fn telemetry_tick(&mut self, now: SimTime) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let wifi = self.sim.path_bytes(PathId::WIFI);
+        let cell = self.sim.path_bytes(PathId::CELLULAR);
+        let stall_ms = self.player.stall_time().as_millis_f64() as u64;
+        let buffer_ms = self.player.buffer().as_millis_f64() as u64;
+        let ts = self.telemetry.as_mut().expect("checked above");
+        if wifi > ts.last_wifi_bytes {
+            ts.series.add(now, "wifi_bytes", wifi - ts.last_wifi_bytes);
+            ts.last_wifi_bytes = wifi;
+        }
+        if cell > ts.last_cell_bytes {
+            ts.series.add(now, "cell_bytes", cell - ts.last_cell_bytes);
+            ts.last_cell_bytes = cell;
+        }
+        if stall_ms > ts.last_stall_ms {
+            ts.series.add(now, "stall_ms", stall_ms - ts.last_stall_ms);
+            ts.last_stall_ms = stall_ms;
+        }
+        ts.series.observe(now, "buffer_ms", buffer_ms);
+    }
+
     /// Emit breaker transitions to the trace and count trips.
     fn emit_health(&mut self, now: SimTime, transitions: &[HealthTransition]) {
         for tr in transitions {
             if tr.state == BreakerState::Open {
                 self.origin_stats.breaker_opens += 1;
                 self.metrics.inc("breaker_opens");
+                self.ts_inc(now, "breaker_opens");
             }
             let (origin, state, failures) = (tr.origin, tr.state.name(), u64::from(tr.failures));
             self.tracer.emit_with(now, || TraceEvent::OriginHealth {
@@ -348,6 +421,7 @@ impl StreamingSession {
                 debug_assert_eq!(bytes, size, "a cached segment must match the origin bytes");
                 self.origin_stats.cache_hits += 1;
                 self.metrics.inc("cache_hits");
+                self.ts_inc(now, "cache_hits");
                 self.tracer.emit_with(now, || TraceEvent::Cache {
                     chunk: index,
                     level,
@@ -365,6 +439,7 @@ impl StreamingSession {
                 if self.cache.is_some() {
                     self.origin_stats.cache_misses += 1;
                     self.metrics.inc("cache_misses");
+                    self.ts_inc(now, "cache_misses");
                     self.tracer.emit_with(now, || TraceEvent::Cache {
                         chunk: index,
                         level,
@@ -495,6 +570,15 @@ impl StreamingSession {
         self.metrics
             .observe("chunk_fetch_ms", fetch.as_millis_f64() as u64);
         self.metrics.observe("chunk_bytes", cur.size);
+        self.ts_inc(now, "chunks");
+        self.ts_add(
+            now,
+            "chunk_bitrate_kbps",
+            self.cfg.video.bitrate(cur.level).as_bps() / 1000,
+        );
+        if self.chunks.last().is_some_and(|p| p.level != cur.level) {
+            self.ts_inc(now, "switches");
+        }
         self.tracer.emit_with(now, || TraceEvent::ChunkFetched {
             chunk: cur.index,
             level: cur.level,
@@ -506,12 +590,14 @@ impl StreamingSession {
             let chunk = cur.index;
             if margin >= 0.0 {
                 self.metrics.inc("deadline_hits");
+                self.ts_inc(now, "deadline_hits");
                 self.tracer.emit_with(now, || TraceEvent::DeadlineHit {
                     chunk,
                     margin_s: margin,
                 });
             } else {
                 self.metrics.inc("deadline_misses");
+                self.ts_inc(now, "deadline_misses");
                 self.tracer.emit_with(now, || TraceEvent::DeadlineMissed {
                     chunk,
                     overrun_s: -margin,
@@ -561,7 +647,7 @@ impl StreamingSession {
                 }
             }
             HttpEvent::Complete { id, body_dss } => {
-                if self.settle_loser(id, body_dss.len()) {
+                if self.settle_loser(t, id, body_dss.len()) {
                     return;
                 }
                 let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
@@ -573,7 +659,7 @@ impl StreamingSession {
                 }
             }
             HttpEvent::Error { id } => {
-                if self.settle_loser(id, 0) {
+                if self.settle_loser(t, id, 0) {
                     return;
                 }
                 let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
@@ -589,7 +675,7 @@ impl StreamingSession {
                 }
             }
             HttpEvent::Aborted { id, received, .. } => {
-                if self.settle_loser(id, received) {
+                if self.settle_loser(t, id, received) {
                     return;
                 }
                 let is_ours = self.current.as_ref().map(|c| ours(c, id)).unwrap_or(false);
@@ -609,15 +695,21 @@ impl StreamingSession {
     /// If `id` is a retired hedge loser, account its delivered bytes as
     /// waste and drop it. Returns `true` when the event was the
     /// loser's and is now fully settled.
-    fn settle_loser(&mut self, id: RequestId, delivered: u64) -> bool {
-        let Some(pos) = self.pending_losers.iter().position(|&l| l == id) else {
+    fn settle_loser(&mut self, now: SimTime, id: RequestId, delivered: u64) -> bool {
+        let Some(pos) = self.pending_losers.iter().position(|&(l, _)| l == id) else {
             return false;
         };
-        self.pending_losers.remove(pos);
+        let (_, chunk) = self.pending_losers.remove(pos);
         // Everything the loser delivered duplicates bytes the winner
         // already provided.
         self.lifecycle.wasted_bytes += delivered;
         self.metrics.add("wasted_bytes", delivered);
+        self.ts_add(now, "wasted_bytes", delivered);
+        self.tracer
+            .emit_with(now, || TraceEvent::HedgeLoserSettled {
+                chunk,
+                wasted: delivered,
+            });
         true
     }
 
@@ -636,6 +728,7 @@ impl StreamingSession {
                 let chunk = cur.index;
                 self.lifecycle.retried += 1;
                 self.metrics.inc("requests_retried");
+                self.ts_inc(now, "retries");
                 self.tracer.emit_with(now, || TraceEvent::RequestRetried {
                     chunk,
                     attempt: attempt as u64,
@@ -663,6 +756,10 @@ impl StreamingSession {
         let acct = cur.tracker.on_aborted(final_received);
         self.lifecycle.wasted_bytes += acct.wasted;
         self.metrics.add("wasted_bytes", acct.wasted);
+        // Field access, not `ts_add`: `cur` keeps `self.current` borrowed.
+        if let Some(ts) = self.telemetry.as_mut() {
+            ts.series.add(now, "wasted_bytes", acct.wasted);
+        }
         let resume_from = acct.resume_from;
 
         // Optionally re-invoke the ABR with the partial-download state:
@@ -715,6 +812,7 @@ impl StreamingSession {
         cur.tracker.on_resumed(now, size);
         self.lifecycle.resumed += 1;
         self.metrics.inc("requests_resumed");
+        self.ts_inc(now, "resumes");
         self.tracer.emit_with(now, || TraceEvent::RequestResumed {
             chunk: index,
             from: resume_from,
@@ -759,6 +857,7 @@ impl StreamingSession {
                 self.lifecycle.abandoned += 1;
                 self.metrics.inc("request_timeouts");
                 self.metrics.inc("requests_abandoned");
+                self.ts_inc(now, "timeouts");
                 let after_s = now.saturating_since(started).as_secs_f64();
                 self.tracer.emit_with(now, || TraceEvent::RequestTimeout {
                     chunk,
@@ -858,6 +957,7 @@ impl StreamingSession {
         self.origin_stats.hedges += 1;
         self.metrics.inc("origin_routed");
         self.metrics.inc("hedges");
+        self.ts_inc(now, "hedges");
         self.tracer.emit_with(now, || TraceEvent::OriginRouted {
             chunk,
             origin: hedge_origin,
@@ -903,6 +1003,7 @@ impl StreamingSession {
         self.metrics.add("wasted_bytes", wasted);
         self.origin_stats.hedge_wins_hedge += 1;
         self.metrics.inc("hedge_wins_hedge");
+        self.ts_add(now, "wasted_bytes", wasted);
         self.tracer.emit_with(now, || TraceEvent::Hedge {
             chunk,
             origin: primary,
@@ -928,7 +1029,7 @@ impl StreamingSession {
         cur.cancelling = false;
         let chunk = cur.index;
         self.http.cancel(&mut self.sim, race.hedge_req);
-        self.pending_losers.push(race.hedge_req);
+        self.pending_losers.push((race.hedge_req, chunk));
         self.origin_stats.hedge_wins_primary += 1;
         self.metrics.inc("hedge_wins_primary");
         self.tracer.emit_with(now, || TraceEvent::Hedge {
@@ -998,6 +1099,7 @@ impl StreamingSession {
                     self.progress_check(t);
                     self.hedge_poll(t);
                     self.lifecycle_poll(t);
+                    self.telemetry_tick(t);
                     self.sim.schedule_app_timer(t + TICK, TICK_ID);
                 }
             }
@@ -1044,6 +1146,9 @@ impl StreamingSession {
         let end = playout_end.max(self.sim.now());
         self.player.advance_to(end);
         let duration = end.saturating_since(origin);
+        // Final telemetry sample: flush the remaining per-path byte and
+        // stall deltas so epoch totals match the report's exactly.
+        self.telemetry_tick(end);
 
         let records = self.sim.records().to_vec();
         let wifi_pkts: Vec<(SimTime, u64)> = records
@@ -1114,9 +1219,18 @@ impl StreamingSession {
             .add("lifecycle_retried", self.lifecycle.retried);
         self.tracer.flush();
 
+        let qoe = QoeSummary::from_player(&self.cfg.video, &self.player, 0.2);
+        let top_rung_mbps = self
+            .cfg
+            .video
+            .bitrate(self.cfg.video.n_levels() - 1)
+            .as_mbps_f64();
+        let qoe_score = QoeScore::compute(&qoe, duration, top_rung_mbps);
         SessionReport {
-            qoe: QoeSummary::from_player(&self.cfg.video, &self.player, 0.2),
+            qoe,
             qoe_all: QoeSummary::from_player(&self.cfg.video, &self.player, 0.0),
+            qoe_score,
+            epochs: self.telemetry.map(|ts| ts.series),
             wifi_bytes: self.sim.path_bytes(PathId::WIFI),
             cell_bytes: self.sim.path_bytes(PathId::CELLULAR),
             energy,
@@ -1267,6 +1381,34 @@ mod tests {
             "bitrate {:.2} should be limited by wifi",
             report.qoe.mean_bitrate_mbps
         );
+    }
+
+    #[test]
+    fn telemetry_is_observe_only_and_epoch_totals_match_the_report() {
+        use mpdash_obs::TelemetrySpec;
+        let mk = || {
+            controlled(AbrKind::Festive, TransportMode::mpdash_rate_based())
+                .with_video(short_video())
+        };
+        let off = StreamingSession::run(mk());
+        let on = StreamingSession::run(mk().with_telemetry(TelemetrySpec::seconds(2.0)));
+        // The PR 3 invariant, extended: telemetry on vs off changes
+        // zero artifact bytes.
+        assert_eq!(
+            off.summary_json().to_pretty(),
+            on.summary_json().to_pretty(),
+            "telemetry perturbed the artifact"
+        );
+        assert!(off.epochs.is_none());
+        let series = on.epochs.expect("telemetry was enabled");
+        // Per-epoch deltas sum exactly to the whole-session totals.
+        assert_eq!(series.counter_total("wifi_bytes"), on.wifi_bytes);
+        assert_eq!(series.counter_total("cell_bytes"), on.cell_bytes);
+        assert_eq!(series.counter_total("chunks"), on.qoe_all.chunks as u64);
+        assert!(series.n_epochs() > 1, "a session spans several epochs");
+        // The composite QoE score is telemetry-independent.
+        assert_eq!(off.qoe_score, on.qoe_score);
+        assert!(on.qoe_score.composite > 0.0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         lifecycle: Default::default(),
         origins: None,
         cache: None,
+        telemetry: None,
         start_offset: SimDuration::ZERO,
     }
 }

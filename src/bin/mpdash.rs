@@ -11,6 +11,7 @@ use mpdash::analysis::{chunk_path_splits, render_chunk_bars, ChunkInfo};
 use mpdash::explain::{explain_scenario, ExplainOptions};
 use mpdash::scenario::Scenario;
 use mpdash::session::run_batch;
+use mpdash::timeline::{timeline_scenario, TimelineOptions};
 use std::process::ExitCode;
 
 /// `mpdash explain <scenario.json> [--chunk N] [--mode LABEL]`: replay
@@ -70,6 +71,53 @@ fn run_explain(args: &[String]) -> ExitCode {
     match explain_scenario(&scenario, &opts) {
         Ok(report) => {
             print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `mpdash timeline <scenario.json> [--quick]`: run the fleet per mode
+/// with epoch telemetry forced on and render fleet-wide time series.
+fn run_timeline(args: &[String]) -> ExitCode {
+    let mut opts = TimelineOptions::default();
+    let mut path = None;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: mpdash timeline <scenario.json> [--quick]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match timeline_scenario(&scenario, &opts) {
+        Ok(out) => {
+            print!("{}", out.rendered);
+            println!("\nndjson: {}", out.ndjson_path.display());
+            println!("profile: {}", out.profile_path.display());
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -158,12 +206,16 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("explain") {
         return run_explain(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("timeline") {
+        return run_timeline(&args[1..]);
+    }
     let show_chunks = args.iter().any(|a| a == "--chunks");
     let mut failed = false;
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         eprintln!("usage: mpdash [--chunks] <scenario.json>...");
         eprintln!("       mpdash explain <scenario.json> [--chunk N] [--mode LABEL] [--client K]");
+        eprintln!("       mpdash timeline <scenario.json> [--quick]");
         eprintln!("see scenarios/example.json for the document format");
         return ExitCode::from(2);
     }

@@ -134,6 +134,10 @@ pub struct ChunkExplain {
     /// which paths the packet scheduler chose and the SRTT/queue-depth
     /// inputs it chose them on.
     pub picks: Vec<SchedulerPickSummary>,
+    /// Bytes the losing side of an origin hedge race had already
+    /// delivered for this chunk when the race resolved — the per-chunk
+    /// attribution of the pool's duplicated-work cost.
+    pub hedge_wasted: u64,
 }
 
 /// Replay the scenario's chosen mode with a ring sink attached and
@@ -401,6 +405,9 @@ fn explain_chunks(
                                 origin_name(scenario, *hedge_origin),
                             ),
                         }),
+                        TraceEvent::HedgeLoserSettled { chunk, wasted } if *chunk == c.index => {
+                            Some(format!("hedge loser drained: {wasted} B duplicated"))
+                        }
                         TraceEvent::Cache {
                             chunk,
                             level,
@@ -486,6 +493,24 @@ fn explain_chunks(
                     },
                 )
                 .collect();
+            // Hedge-loser waste: resolved races carry the hedge-win
+            // overlap; a primary win's loser settles separately when
+            // its cancelled body finishes draining.
+            let hedge_wasted = events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    TraceEvent::Hedge {
+                        chunk,
+                        winner: Some(_),
+                        wasted,
+                        ..
+                    } if *chunk == c.index => Some(*wasted),
+                    TraceEvent::HedgeLoserSettled { chunk, wasted } if *chunk == c.index => {
+                        Some(*wasted)
+                    }
+                    _ => None,
+                })
+                .sum();
             ChunkExplain {
                 index: c.index,
                 level: c.level,
@@ -499,6 +524,7 @@ fn explain_chunks(
                 transport,
                 queue,
                 picks,
+                hedge_wasted,
             }
         })
         .collect()
@@ -551,6 +577,22 @@ fn render(
         og.cache_misses,
         og.cache_insertions,
     );
+    // Hedge-loser waste, attributed chunk by chunk: the duplicated
+    // bytes the pool paid for its tail-latency insurance.
+    let total_hedge_wasted: u64 = chunks.iter().map(|c| c.hedge_wasted).sum();
+    if total_hedge_wasted > 0 {
+        let per_chunk: Vec<String> = chunks
+            .iter()
+            .filter(|c| c.hedge_wasted > 0)
+            .map(|c| format!("chunk {}: {:.1} KB", c.index, c.hedge_wasted as f64 / 1e3))
+            .collect();
+        let _ = writeln!(
+            out,
+            "origins: hedge losers wasted {:.1} KB ({})",
+            total_hedge_wasted as f64 / 1e3,
+            per_chunk.join(", "),
+        );
+    }
     let n_faults = scenario.wifi_faults.events().len()
         + scenario.cell_faults.events().len()
         + scenario.server_faults.events().len();
@@ -716,7 +758,7 @@ mod tests {
     #[test]
     fn timeline_attributes_origin_routing_hedges_and_cache() {
         let sc = Scenario::from_json(MULTI_ORIGIN).unwrap();
-        let (_, report, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        let (_, report, chunks) = explain_run(&sc, &ExplainOptions::default()).unwrap();
         assert!(
             report.origin.breaker_opens >= 1,
             "the blackhole must trip the primary's breaker: {:?}",
@@ -736,6 +778,72 @@ mod tests {
         // The header rolls up the pool counters.
         assert!(text.contains("origins: "), "{text}");
         assert!(text.contains("breaker opens"), "{text}");
+        // Hedge-loser waste is attributed per chunk whenever a resolved
+        // race left duplicated bytes behind.
+        let wasted: u64 = chunks.iter().map(|c| c.hedge_wasted).sum();
+        if wasted > 0 {
+            assert!(text.contains("hedge losers wasted"), "{text}");
+            let attributed = chunks
+                .iter()
+                .find(|c| c.hedge_wasted > 0)
+                .expect("nonzero total implies a nonzero chunk");
+            assert!(
+                text.contains(&format!("chunk {}:", attributed.index)),
+                "{text}"
+            );
+        } else {
+            assert!(!text.contains("hedge losers wasted"), "{text}");
+        }
+    }
+
+    /// The primary stalls briefly mid-body: hedges launch, and whichever
+    /// side loses has already delivered duplicate bytes — the waste the
+    /// origins summary must attribute chunk by chunk.
+    const HEDGED: &str = r#"{
+        "name": "hedged-primary",
+        "video": {"custom": {"levels_mbps": [0.58, 1.01, 1.47, 2.41, 3.94], "chunk_secs": 4, "n_chunks": 25}},
+        "wifi": {"constant": 4.5},
+        "cell": {"constant": 4.0},
+        "abr": "festive",
+        "buffer_secs": 10,
+        "modes": ["mpdash_rate"],
+        "lifecycle": "wait_forever",
+        "origins": {
+            "hedge_quantile": 0.5,
+            "pool": [
+                {"id": "primary", "faults": [{"stalled_body": {"at_s": 15, "secs": 40, "stall_s": 3, "after_fraction": 0.5}}]},
+                {"id": "backup", "rtt_penalty_ms": 20}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn attributes_hedge_loser_waste_per_chunk() {
+        let sc = Scenario::from_json(HEDGED).unwrap();
+        let (_, report, chunks) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        assert!(report.origin.hedges >= 1, "{:?}", report.origin);
+        let wasted: u64 = chunks.iter().map(|c| c.hedge_wasted).sum();
+        assert!(
+            wasted > 0,
+            "a resolved race with a recovering loser must leave duplicate bytes"
+        );
+        assert!(
+            wasted <= report.lifecycle.wasted_bytes,
+            "per-chunk attribution cannot exceed the session's waste ledger \
+             ({wasted} > {})",
+            report.lifecycle.wasted_bytes
+        );
+        let text = explain_scenario(&sc, &ExplainOptions::default()).unwrap();
+        assert!(text.contains("hedge losers wasted"), "{text}");
+        let attributed = chunks.iter().find(|c| c.hedge_wasted > 0).unwrap();
+        assert!(
+            text.contains(&format!(
+                "chunk {}: {:.1} KB",
+                attributed.index,
+                attributed.hedge_wasted as f64 / 1e3
+            )),
+            "{text}"
+        );
     }
 
     #[test]

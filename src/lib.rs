@@ -46,6 +46,7 @@
 
 pub mod explain;
 pub mod scenario;
+pub mod timeline;
 
 pub use mpdash_analysis as analysis;
 pub use mpdash_core as core;

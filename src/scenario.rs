@@ -16,6 +16,7 @@ use mpdash_link::{
     SharedBottleneckConfig,
 };
 use mpdash_mptcp::SchedulerSpec;
+use mpdash_obs::TelemetrySpec;
 use mpdash_results::Json;
 use mpdash_session::{Job, LifecyclePolicy, ServerFaultScript, SessionConfig, TransportMode};
 use mpdash_sim::{Rate, SimDuration, SimTime};
@@ -376,6 +377,12 @@ pub struct Scenario {
     /// Optional shared segment cache in front of the origins. In fleet
     /// runs every client shares one cache built fresh per run.
     pub cache: Option<CacheSpec>,
+    /// Optional epoch telemetry (`{"telemetry": {"epoch_s": 2.0}}`):
+    /// every session, shared bottleneck, and fleet loop rolls its
+    /// counters into fixed virtual-time epochs. Observe-only — the
+    /// `exp_*` artifacts are byte-identical with or without it; the
+    /// series feed `mpdash timeline`.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 fn parse_shared(v: &Json) -> Result<SharedSpec, String> {
@@ -595,6 +602,17 @@ fn parse_cache(v: Option<&Json>) -> Result<Option<CacheSpec>, String> {
     }))
 }
 
+fn parse_telemetry(v: Option<&Json>) -> Result<Option<TelemetrySpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    let epoch_s = num(field(v, "epoch_s")?, "epoch_s")?;
+    if !epoch_s.is_finite() || epoch_s <= 0.0 {
+        return Err(format!(
+            "telemetry 'epoch_s' must be a positive number, got {epoch_s}"
+        ));
+    }
+    Ok(Some(TelemetrySpec::seconds(epoch_s)))
+}
+
 fn parse_lifecycle(v: Option<&Json>) -> Result<LifecyclePolicy, String> {
     match v {
         None => Ok(LifecyclePolicy::wait_forever()),
@@ -772,6 +790,7 @@ impl Scenario {
             fleet: parse_fleet(v.get("fleet"))?,
             origins: parse_origins(v.get("origins"))?,
             cache: parse_cache(v.get("cache"))?,
+            telemetry: parse_telemetry(v.get("telemetry"))?,
         };
         sc.validate()?;
         Ok(sc)
@@ -941,6 +960,9 @@ impl Scenario {
             }
             if let Some(sched) = mode.scheduler {
                 cfg = cfg.with_scheduler(sched);
+            }
+            if let Some(t) = self.telemetry {
+                cfg = cfg.with_telemetry(t);
             }
             out.push((mode.label(), cfg));
         }
@@ -1310,6 +1332,26 @@ mod tests {
             .fleet_configs()
             .unwrap_err()
             .contains("no 'fleet' key"));
+    }
+
+    #[test]
+    fn parses_the_telemetry_key_into_every_config() {
+        let doc = fleet_doc(&format!(
+            r#""telemetry": {{"epoch_s": 2.0}}, {FLEET_PATCH}"#
+        ));
+        let sc = Scenario::from_json(&doc).unwrap();
+        let spec = sc.telemetry.expect("telemetry parsed");
+        assert_eq!(spec.epoch, SimDuration::from_secs(2));
+        for (_, cfg) in sc.build().unwrap() {
+            assert_eq!(cfg.telemetry, Some(spec));
+        }
+        for (_, fc) in sc.fleet_configs().unwrap() {
+            assert_eq!(fc.base.telemetry, Some(spec));
+        }
+        // Absent key → no telemetry; bad epoch rejected.
+        assert!(Scenario::from_json(DOC).unwrap().telemetry.is_none());
+        let err = Scenario::from_json(&fleet_doc(r#""telemetry": {"epoch_s": 0.0},"#)).unwrap_err();
+        assert!(err.contains("'epoch_s' must be a positive number"), "{err}");
     }
 
     #[test]
