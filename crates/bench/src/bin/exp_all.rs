@@ -22,4 +22,5 @@ fn main() {
     e::fleet::run();
     e::sched::run();
     e::origin::run();
+    e::churn::run();
 }

@@ -1,0 +1,6 @@
+//! Runs the fleet churn / fault-domain / overload-shedding grid with
+//! the runtime invariant watchdog armed. See
+//! `mpdash_bench::experiments::churn`.
+fn main() {
+    mpdash_bench::experiments::churn::run();
+}

@@ -47,6 +47,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         tracer: Default::default(),
         telemetry: None,
         start_offset: SimDuration::ZERO,
+        max_watch: None,
     }
 }
 

@@ -111,6 +111,8 @@ pub struct Player {
     /// Startup delay is measured from here, not from the epoch.
     origin: SimTime,
     chunks_downloaded: usize,
+    /// Viewer left mid-stream: content ends at `chunks_downloaded`.
+    departed: bool,
     history: Vec<ChunkRecord>,
     events: Vec<PlayerEvent>,
     /// Observe-only mirror of the event log into the trace layer.
@@ -140,6 +142,7 @@ impl Player {
             startup_delay: None,
             origin: SimTime::ZERO,
             chunks_downloaded: 0,
+            departed: false,
             history: Vec::new(),
             events: Vec::new(),
             tracer: Tracer::disabled(),
@@ -277,8 +280,20 @@ impl Player {
         }
     }
 
+    /// The viewer departed mid-stream: content now ends at whatever has
+    /// been downloaded, so draining the remaining buffer transitions to
+    /// `Finished` rather than counting a phantom stall at the tail.
+    pub fn depart(&mut self) {
+        self.departed = true;
+    }
+
     fn total_content(&self) -> SimDuration {
-        self.chunk_duration * self.n_chunks as u64
+        let chunks = if self.departed {
+            self.chunks_downloaded
+        } else {
+            self.n_chunks
+        };
+        self.chunk_duration * chunks as u64
     }
 
     /// A chunk finished downloading at `now`: add its playout duration to

@@ -403,6 +403,24 @@ impl OriginPool {
             h.probing = true;
         }
     }
+
+    /// Breaker-state sanity probe for the runtime watchdog: a handful
+    /// of integer comparisons over the state machine's own invariants.
+    /// `Err` carries a static description of the first inconsistency.
+    pub fn sanity(&self) -> Result<(), &'static str> {
+        for h in &self.health {
+            if h.probing && h.state != BreakerState::HalfOpen {
+                return Err("probe outstanding outside the half-open state");
+            }
+            if h.state == BreakerState::Open && h.opens == 0 {
+                return Err("open breaker that never tripped");
+            }
+            if h.state == BreakerState::Closed && h.streak >= self.cfg.failure_threshold.max(1) {
+                return Err("closed breaker at or past its failure threshold");
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -529,6 +547,87 @@ mod tests {
         }
         let (target, _) = pool.hedge_target(SimTime::ZERO, 0);
         assert_eq!(target, None, "hedging onto an open breaker is refused");
+    }
+
+    #[test]
+    fn hedge_target_rides_the_half_open_probe_deterministically() {
+        // The hedge trigger racing a breaker's Half-Open probe window:
+        // hedging may *be* the probe (one per origin), but a second
+        // hedge while the probe is outstanding must be refused — the
+        // single-probe rule holds no matter which code path routes.
+        let mut pool = OriginPool::new(three_origin_cfg());
+        let t0 = SimTime::from_secs(10);
+        // Trip both alternatives; only the primary (0) stays closed.
+        for o in [1, 2] {
+            pool.on_failure(o, t0);
+            pool.on_failure(o, t0);
+        }
+        let (none, _) = pool.hedge_target(t0, 0);
+        assert_eq!(none, None, "open breakers are not hedge material");
+        // Past the backoff window, the hedge call itself promotes the
+        // lapsed breaker to Half-Open and launches the probe.
+        let later = t0 + SimDuration::from_secs(3);
+        let (probe, transitions) = pool.hedge_target(later, 0);
+        assert_eq!(probe, Some(1), "the hedge is the half-open probe");
+        assert!(transitions
+            .iter()
+            .any(|tr| tr.origin == 1 && tr.state == BreakerState::HalfOpen));
+        assert_eq!(pool.state(1), BreakerState::HalfOpen);
+        // While that probe is outstanding, origin 1 is off the table;
+        // origin 2 (also lapsed to Half-Open) absorbs the next hedge,
+        // and once both probes are in flight nothing is left.
+        let (second, _) = pool.hedge_target(later, 0);
+        assert_eq!(second, Some(2), "next hedge takes the other probe slot");
+        let (third, _) = pool.hedge_target(later, 0);
+        assert_eq!(third, None, "one probe per half-open origin, no piling on");
+        pool.sanity().expect("mid-probe state is self-consistent");
+        // Probe outcomes resolve the race deterministically: a win
+        // closes the breaker, a loss re-opens it with a longer window.
+        assert!(pool.on_success(1).is_some());
+        assert_eq!(pool.state(1), BreakerState::Closed);
+        let tr = pool.on_failure(2, later).expect("failed probe re-trips");
+        assert_eq!(tr.state, BreakerState::Open);
+        pool.sanity().expect("resolved state is self-consistent");
+        // The same sequence replayed is bit-identical.
+        let replay = || {
+            let mut p = OriginPool::new(three_origin_cfg());
+            for o in [1, 2] {
+                p.on_failure(o, t0);
+                p.on_failure(o, t0);
+            }
+            let mut picks = Vec::new();
+            for _ in 0..3 {
+                picks.push(p.hedge_target(later, 0).0);
+            }
+            picks
+        };
+        assert_eq!(replay(), replay());
+    }
+
+    #[test]
+    fn sanity_accepts_every_reachable_state() {
+        let mut pool = OriginPool::new(three_origin_cfg());
+        pool.sanity().expect("fresh pool");
+        pool.on_failure(0, SimTime::ZERO);
+        pool.sanity().expect("closed with a sub-threshold streak");
+        pool.on_failure(0, SimTime::ZERO);
+        pool.sanity().expect("open");
+        for o in [1, 2] {
+            pool.on_failure(o, SimTime::ZERO);
+            pool.on_failure(o, SimTime::ZERO);
+        }
+        // Every window lapses by t=5 (2 s base + <= 500 ms jitter), so
+        // routing promotes all three to Half-Open and launches the
+        // cheapest one's probe.
+        let (pick, _) = pool.route(SimTime::from_secs(5));
+        assert_eq!(pick, 0);
+        pool.sanity().expect("half-open with a probe in flight");
+        // Hand-corrupt a probe flag: the watchdog probe must notice.
+        pool.health[0].state = BreakerState::Closed;
+        assert_eq!(
+            pool.sanity(),
+            Err("probe outstanding outside the half-open state")
+        );
     }
 
     #[test]

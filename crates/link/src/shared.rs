@@ -482,6 +482,24 @@ impl SharedBottleneck {
         })
     }
 
+    /// Cheap whole-bottleneck conservation counters for the runtime
+    /// watchdog: unlike [`SharedBottleneck::stats`] this never builds
+    /// the per-flow vector — one lock, eight copies, no allocation —
+    /// so the fleet loop can probe it every iteration.
+    pub fn conservation_counters(&self) -> mpdash_obs::ConservationCounters {
+        let g = self.lock();
+        mpdash_obs::ConservationCounters {
+            offered_bytes: g.offered_bytes,
+            delivered_bytes: g.delivered_bytes,
+            dropped_bytes: g.dropped_bytes,
+            queued_bytes: g.occupancy(),
+            offered_packets: g.offered_packets,
+            delivered_packets: g.delivered_packets,
+            dropped_packets: g.dropped_packets,
+            queued_packets: g.waiting_packets + u64::from(g.in_service.is_some()),
+        }
+    }
+
     /// Conservation counters (see [`SharedStats`]).
     pub fn stats(&self) -> SharedStats {
         let g = self.lock();
@@ -671,6 +689,27 @@ mod tests {
         assert!(s.delivered_packets > 0);
         let per_flow_offered: u64 = s.per_flow.iter().map(|f| f.offered_bytes).sum();
         assert_eq!(per_flow_offered, s.offered_bytes);
+    }
+
+    #[test]
+    fn cheap_conservation_probe_matches_the_full_stats() {
+        let b =
+            SharedBottleneck::new(SharedBottleneckConfig::fifo_mbps(4.0).with_capacity(4 * MSS));
+        let f = b.subscribe();
+        for i in 0..8u64 {
+            b.offer(t(i), f, MSS);
+            while b.next_departure().is_some_and(|d| d <= t(i)) {
+                b.pop_departure().unwrap();
+            }
+        }
+        let probe = b.conservation_counters();
+        let full = b.stats();
+        assert!(probe.conserved());
+        assert_eq!(probe.offered_bytes, full.offered_bytes);
+        assert_eq!(probe.delivered_bytes, full.delivered_bytes);
+        assert_eq!(probe.dropped_bytes, full.dropped_bytes);
+        assert_eq!(probe.queued_bytes, full.queued_bytes);
+        assert_eq!(probe.queued_packets, full.queued_packets);
     }
 
     #[test]

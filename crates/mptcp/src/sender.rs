@@ -37,6 +37,12 @@ const MAX_CONSECUTIVE_RTOS: u32 = 6;
 /// (MPTCP re-establishes subflows when paths come back; we model that as
 /// a state reset after a cooldown).
 const REVIVAL_COOLDOWN: SimDuration = SimDuration::from_secs(10);
+/// Reconnect-probe cooldown after a *link-down* failure. The interface
+/// dropped on an otherwise healthy path — reassociation is usually
+/// seconds away, so probe quickly and at a fixed interval instead of
+/// inheriting the RTO-exhaustion exponential backoff. A probe that dies
+/// on a still-dark interface costs one segment, reinjected immediately.
+const LINKDOWN_RETRY: SimDuration = SimDuration::from_secs(2);
 
 /// A segment-transmission instruction for the simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -589,20 +595,7 @@ impl Sender {
             // outstanding DSS range elsewhere. It may be revived after a
             // cooldown (see `pump`); repeated failures back the probing
             // off exponentially.
-            sf.failed = true;
-            sf.failures += 1;
-            sf.rto_deadline = None;
-            sf.last_activity = now;
-            sf.revival_backoff = (sf.revival_backoff * 2).min(SimDuration::from_secs(120));
-            let ranges: Vec<(u64, u64)> = sf.segs.iter().map(|s| (s.dss, s.len)).collect();
-            sf.segs.clear();
-            sf.snd_una = sf.snd_nxt;
-            for (dss, len) in ranges {
-                if let Some(t) = self.reinject(now, path, dss, len) {
-                    out.push(t);
-                }
-            }
-            return out;
+            return self.fail_subflow(now, path);
         }
 
         let in_flight = sf.in_flight();
@@ -631,6 +624,62 @@ impl Sender {
                 }
             }
         }
+        out
+    }
+
+    /// Abandon `path` now: mark it failed (revivable after its backed-off
+    /// cooldown), clear its outstanding segments, and reinject every
+    /// cleared DSS range on the surviving paths. Callers must have
+    /// verified a rescue target exists.
+    fn fail_subflow(&mut self, now: SimTime, path: PathId) -> Vec<Transmit> {
+        let sf = &mut self.subflows[path.index()];
+        sf.failed = true;
+        sf.failures += 1;
+        sf.rto_deadline = None;
+        sf.last_activity = now;
+        sf.revival_backoff = (sf.revival_backoff * 2).min(SimDuration::from_secs(120));
+        let ranges: Vec<(u64, u64)> = sf.segs.iter().map(|s| (s.dss, s.len)).collect();
+        sf.segs.clear();
+        sf.snd_una = sf.snd_nxt;
+        let mut out = Vec::new();
+        for (dss, len) in ranges {
+            if let Some(t) = self.reinject(now, path, dss, len) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Link-down signal for `path` (the interface reported the
+    /// association gone — e.g. a WiFi disassociation swallowed a
+    /// transmit). Real stacks learn this synchronously from the kernel
+    /// rather than waiting out an RTO backoff chain, so model it the
+    /// same way: immediately declare the subflow failed and reinject its
+    /// outstanding data on the surviving paths. Single-path connections
+    /// keep the plain RTO behavior — abandoning the only path would
+    /// strand the data (and the revival probe is the reconnect).
+    ///
+    /// Unlike an RTO-exhaustion failure — where the path's health is
+    /// unknown and probing backs off exponentially — a link-down names
+    /// its cause: the interface dropped on an otherwise healthy path,
+    /// and reassociation is typically quick. So the revival probe uses
+    /// the short fixed [`LINKDOWN_RETRY`] cooldown; a probe swallowed by
+    /// a still-dark interface just lands back here and costs one
+    /// immediately-reinjected segment.
+    pub fn on_link_down(&mut self, now: SimTime, path: PathId) -> Vec<Transmit> {
+        let idx = path.index();
+        if self.subflows[idx].failed {
+            return Vec::new();
+        }
+        let has_rescue_target = self
+            .subflows
+            .iter()
+            .any(|o| o.path != path && !o.failed && self.mask.contains(o.path));
+        if !has_rescue_target {
+            return Vec::new();
+        }
+        let out = self.fail_subflow(now, path);
+        self.subflows[idx].revival_backoff = LINKDOWN_RETRY;
         out
     }
 

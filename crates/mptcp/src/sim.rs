@@ -32,7 +32,9 @@ use crate::packet::{PathMask, PktRecord, MSS};
 use crate::receiver::Receiver;
 use crate::scheduler::SchedulerSpec;
 use crate::sender::{Sender, Transmit};
-use mpdash_link::{Link, LinkConfig, PathId, SendOutcome, SharedBottleneck, SharedOutcome, Ticket};
+use mpdash_link::{
+    DropReason, Link, LinkConfig, PathId, SendOutcome, SharedBottleneck, SharedOutcome, Ticket,
+};
 use mpdash_obs::{TraceEvent, Tracer};
 use mpdash_sim::{EventQueue, Rate, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -549,8 +551,10 @@ impl MptcpSim {
                         offered: now,
                     });
                 }
-                SharedOutcome::Dropped(_) => {
-                    // The packet vanishes; dup ACKs or the RTO recover it.
+                SharedOutcome::Dropped(reason) => {
+                    // The packet vanishes; dup ACKs or the RTO recover it
+                    // — except a disassociation, which fails over now.
+                    self.on_drop(now, t.path, reason);
                 }
             }
             return;
@@ -569,9 +573,29 @@ impl MptcpSim {
                     },
                 );
             }
-            SendOutcome::Dropped(_) => {
-                // The packet vanishes; duplicate ACKs or the RTO recover it.
+            SendOutcome::Dropped(reason) => {
+                // The packet vanishes; duplicate ACKs or the RTO recover
+                // it — except a disassociation, which fails over now.
+                self.on_drop(now, t.path, reason);
             }
+        }
+    }
+
+    /// A transmit on `path` was dropped for `reason`. Queue drops and
+    /// wire loss are recovered by dup ACKs / the RTO as usual, but a
+    /// disassociation is an interface-down signal the sending host sees
+    /// synchronously: fail the subflow over to its live siblings
+    /// immediately instead of waiting out the RTO backoff chain.
+    fn on_drop(&mut self, now: SimTime, path: PathId, reason: DropReason) {
+        if reason != DropReason::Disassociated {
+            return;
+        }
+        let rescues = self.snd.on_link_down(now, path);
+        for r in rescues {
+            self.transmit(now, r);
+        }
+        for p in 0..self.links.len() {
+            self.ensure_rto(PathId(p as u8));
         }
     }
 

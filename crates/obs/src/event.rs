@@ -270,6 +270,25 @@ pub enum TraceEvent {
         /// time, bytes (`None` on private links).
         queue_bytes: Option<u64>,
     },
+    /// A churning client reached its viewing duration and departed:
+    /// no further chunks will be requested and the session finalizes a
+    /// partial report once its transport drains.
+    SessionDeparted {
+        /// Seconds of content downloaded when the viewer left.
+        watched_s: f64,
+        /// Chunks downloaded before departing.
+        chunks: u64,
+    },
+    /// The fleet overload policy refused an arriving session (admission
+    /// cap reached, or the shared queue already past its threshold).
+    SessionShed {
+        /// Client index inside the fleet.
+        client: usize,
+        /// Active (admitted, unfinished) sessions at the decision.
+        active: u64,
+        /// Deepest shared-bottleneck occupancy at the decision, bytes.
+        queue_bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -304,6 +323,8 @@ impl TraceEvent {
             TraceEvent::HedgeLoserSettled { .. } => "hedge_loser_settled",
             TraceEvent::Cache { .. } => "cache",
             TraceEvent::SchedulerPick { .. } => "scheduler_pick",
+            TraceEvent::SessionDeparted { .. } => "session_departed",
+            TraceEvent::SessionShed { .. } => "session_shed",
         }
     }
 
@@ -513,6 +534,19 @@ impl TraceEvent {
                     queue_bytes.map(Json::from).unwrap_or(Json::Null),
                 );
             }
+            TraceEvent::SessionDeparted { watched_s, chunks } => {
+                push("watched_s", Json::Float(*watched_s));
+                push("chunks", Json::from(*chunks));
+            }
+            TraceEvent::SessionShed {
+                client,
+                active,
+                queue_bytes,
+            } => {
+                push("client", Json::from(*client));
+                push("active", Json::from(*active));
+                push("queue_bytes", Json::from(*queue_bytes));
+            }
         }
         Json::Obj(members)
     }
@@ -574,6 +608,15 @@ mod tests {
                 level: 1,
                 outcome: "hit",
                 bytes: 800_000,
+            },
+            TraceEvent::SessionDeparted {
+                watched_s: 48.0,
+                chunks: 12,
+            },
+            TraceEvent::SessionShed {
+                client: 7,
+                active: 9,
+                queue_bytes: 131_072,
             },
         ];
         for e in &samples {

@@ -21,6 +21,10 @@
 //! * [`EpochSeries`] / [`TelemetrySpec`] — fixed virtual-time epoch
 //!   rollups whose `merge` is associative and commutative to the bit,
 //!   so shard-local series combine identically at any `MPDASH_WORKERS`.
+//! * [`Watchdog`] / [`InvariantViolation`] — the always-cheap runtime
+//!   invariant checker the fleet loop arms on every iteration (byte
+//!   conservation, monotone virtual time, breaker sanity, one hedge
+//!   winner per race), turning silent corruption into typed errors.
 //!
 //! Every timestamp is [`mpdash_sim::SimTime`] — virtual, not wall-clock
 //! — so enabling any sink changes **zero bytes** of any artifact: the
@@ -30,8 +34,10 @@ pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod timeseries;
+pub mod watchdog;
 
 pub use event::TraceEvent;
 pub use metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{NdjsonSink, NullSink, RingSink, TraceSink, Tracer};
 pub use timeseries::{telemetry_from_env, EpochCell, EpochSeries, TelemetrySpec};
+pub use watchdog::{ConservationCounters, InvariantViolation, Watchdog};

@@ -1,0 +1,314 @@
+//! Runtime invariant watchdog: always-cheap checks the fleet loop runs
+//! on every iteration, turning latent simulator corruption into typed,
+//! deterministic errors at the instant it appears.
+//!
+//! The co-simulation's correctness rests on a handful of structural
+//! invariants that ordinary assertions only examine at end of run (or
+//! only in debug builds): every byte offered to a shared bottleneck is
+//! delivered, dropped, or still queued; the global-minimum event scan
+//! never moves virtual time backwards; a circuit breaker's probe flag
+//! only exists in the Half-Open state; and every hedge race resolves to
+//! exactly one winner. A long churning fleet run that silently violated
+//! any of these would still *finish* — with subtly wrong artifacts.
+//! [`Watchdog`] makes the violation loud instead: each check is a few
+//! integer comparisons (no allocation, no locking beyond what the
+//! caller already holds), so it can run inside every loop iteration,
+//! and a failure surfaces as an [`InvariantViolation`] whose contents
+//! are a pure function of the simulation state — bit-identical at any
+//! `MPDASH_WORKERS`.
+//!
+//! The watchdog is strictly observe-only: it never mutates simulation
+//! state, so arming it changes zero bytes of any artifact.
+
+use mpdash_sim::SimTime;
+use std::fmt;
+
+/// Cheap whole-bottleneck counter snapshot for conservation checks.
+/// Unlike the full per-flow stats, building one is a handful of copies
+/// — no allocation — so the fleet loop can probe it every iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConservationCounters {
+    /// Bytes offered across all flows.
+    pub offered_bytes: u64,
+    /// Bytes that departed the server.
+    pub delivered_bytes: u64,
+    /// Bytes drop-tailed on arrival.
+    pub dropped_bytes: u64,
+    /// Bytes still in the system (queued + in service).
+    pub queued_bytes: u64,
+    /// Packets offered.
+    pub offered_packets: u64,
+    /// Packets departed.
+    pub delivered_packets: u64,
+    /// Packets drop-tailed.
+    pub dropped_packets: u64,
+    /// Packets still in the system.
+    pub queued_packets: u64,
+}
+
+impl ConservationCounters {
+    /// Byte and packet conservation: everything offered is accounted
+    /// for as delivered, dropped, or still queued.
+    pub fn conserved(&self) -> bool {
+        self.offered_bytes == self.delivered_bytes + self.dropped_bytes + self.queued_bytes
+            && self.offered_packets
+                == self.delivered_packets + self.dropped_packets + self.queued_packets
+    }
+}
+
+/// One violated runtime invariant. Deterministic: the payload is a pure
+/// function of simulation state at the failing check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvariantViolation {
+    /// A shared bottleneck's counters no longer balance.
+    ByteConservation {
+        /// Topology index of the bottleneck.
+        bottleneck: usize,
+        /// The unbalanced counters.
+        counters: ConservationCounters,
+    },
+    /// The event loop picked an event earlier than one it already
+    /// processed — virtual time went backwards.
+    TimeRegression {
+        /// The previously processed event time, seconds.
+        prev_s: f64,
+        /// The regressing event time, seconds.
+        next_s: f64,
+    },
+    /// A session resolved more hedge races than it launched.
+    HedgeAccounting {
+        /// Client index inside the fleet.
+        client: usize,
+        /// Hedge races launched.
+        hedges: u64,
+        /// Races the primary won.
+        wins_primary: u64,
+        /// Races the hedge won.
+        wins_hedge: u64,
+    },
+    /// An origin pool's breaker state machine is inconsistent.
+    BreakerState {
+        /// Client index inside the fleet.
+        client: usize,
+        /// What was inconsistent.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::ByteConservation {
+                bottleneck,
+                counters,
+            } => write!(
+                f,
+                "bottleneck {bottleneck} lost bytes: offered {} != delivered {} + dropped {} + queued {}",
+                counters.offered_bytes,
+                counters.delivered_bytes,
+                counters.dropped_bytes,
+                counters.queued_bytes
+            ),
+            InvariantViolation::TimeRegression { prev_s, next_s } => write!(
+                f,
+                "virtual time regressed: {next_s:.6}s after {prev_s:.6}s"
+            ),
+            InvariantViolation::HedgeAccounting {
+                client,
+                hedges,
+                wins_primary,
+                wins_hedge,
+            } => write!(
+                f,
+                "client {client} resolved more hedge races than it launched: \
+                 {hedges} hedges vs {wins_primary} primary + {wins_hedge} hedge wins"
+            ),
+            InvariantViolation::BreakerState { client, detail } => {
+                write!(f, "client {client} breaker state insane: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// The runtime checker. One instance per fleet run; every check either
+/// passes (and bumps the check counter) or returns the typed violation.
+#[derive(Clone, Debug, Default)]
+pub struct Watchdog {
+    last_time: Option<SimTime>,
+    checks: u64,
+}
+
+impl Watchdog {
+    /// A fresh watchdog with no time watermark.
+    pub fn new() -> Self {
+        Watchdog::default()
+    }
+
+    /// Checks performed so far (all of them passing — a failing check
+    /// aborts the run through its `Err`).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// The event loop is about to process an event at `now`: virtual
+    /// time must be non-decreasing.
+    pub fn check_time(&mut self, now: SimTime) -> Result<(), InvariantViolation> {
+        self.checks += 1;
+        if let Some(prev) = self.last_time {
+            if now < prev {
+                return Err(InvariantViolation::TimeRegression {
+                    prev_s: prev.as_secs_f64(),
+                    next_s: now.as_secs_f64(),
+                });
+            }
+        }
+        self.last_time = Some(now);
+        Ok(())
+    }
+
+    /// Byte/packet conservation of bottleneck `bottleneck`.
+    pub fn check_conservation(
+        &mut self,
+        bottleneck: usize,
+        counters: ConservationCounters,
+    ) -> Result<(), InvariantViolation> {
+        self.checks += 1;
+        if counters.conserved() {
+            Ok(())
+        } else {
+            Err(InvariantViolation::ByteConservation {
+                bottleneck,
+                counters,
+            })
+        }
+    }
+
+    /// Hedge accounting for one client: mid-run, resolved races can
+    /// never exceed launched races (they match exactly once the session
+    /// finishes and every race has resolved).
+    pub fn check_hedges(
+        &mut self,
+        client: usize,
+        hedges: u64,
+        wins_primary: u64,
+        wins_hedge: u64,
+    ) -> Result<(), InvariantViolation> {
+        self.checks += 1;
+        if wins_primary + wins_hedge <= hedges {
+            Ok(())
+        } else {
+            Err(InvariantViolation::HedgeAccounting {
+                client,
+                hedges,
+                wins_primary,
+                wins_hedge,
+            })
+        }
+    }
+
+    /// Breaker-state sanity for one client, as probed by its origin
+    /// pool (`Ok(())` from sessions without a pool).
+    pub fn check_breakers(
+        &mut self,
+        client: usize,
+        probe: Result<(), &'static str>,
+    ) -> Result<(), InvariantViolation> {
+        self.checks += 1;
+        probe.map_err(|detail| InvariantViolation::BreakerState { client, detail })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced() -> ConservationCounters {
+        ConservationCounters {
+            offered_bytes: 100,
+            delivered_bytes: 60,
+            dropped_bytes: 10,
+            queued_bytes: 30,
+            offered_packets: 10,
+            delivered_packets: 6,
+            dropped_packets: 1,
+            queued_packets: 3,
+        }
+    }
+
+    #[test]
+    fn monotone_time_passes_and_regression_is_caught() {
+        let mut w = Watchdog::new();
+        assert!(w.check_time(SimTime::from_millis(5)).is_ok());
+        assert!(
+            w.check_time(SimTime::from_millis(5)).is_ok(),
+            "ties are fine"
+        );
+        assert!(w.check_time(SimTime::from_millis(9)).is_ok());
+        let err = w.check_time(SimTime::from_millis(8)).unwrap_err();
+        assert!(matches!(err, InvariantViolation::TimeRegression { .. }));
+        assert_eq!(w.checks(), 4);
+    }
+
+    #[test]
+    fn conservation_imbalance_is_typed_with_its_counters() {
+        let mut w = Watchdog::new();
+        assert!(w.check_conservation(0, balanced()).is_ok());
+        let mut bad = balanced();
+        bad.delivered_bytes += 1;
+        match w.check_conservation(1, bad) {
+            Err(InvariantViolation::ByteConservation {
+                bottleneck,
+                counters,
+            }) => {
+                assert_eq!(bottleneck, 1);
+                assert_eq!(counters, bad);
+            }
+            other => panic!("expected a conservation violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hedge_wins_may_trail_but_never_exceed_launches() {
+        let mut w = Watchdog::new();
+        assert!(w.check_hedges(0, 3, 1, 1).is_ok(), "one race still live");
+        assert!(w.check_hedges(0, 3, 2, 1).is_ok(), "all resolved");
+        assert!(w.check_hedges(0, 3, 2, 2).is_err(), "phantom winner");
+    }
+
+    #[test]
+    fn breaker_probe_failures_carry_the_client_and_detail() {
+        let mut w = Watchdog::new();
+        assert!(w.check_breakers(4, Ok(())).is_ok());
+        let err = w
+            .check_breakers(4, Err("probe outside half-open"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::BreakerState {
+                client: 4,
+                detail: "probe outside half-open"
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("client 4") && msg.contains("probe outside half-open"));
+    }
+
+    #[test]
+    fn violations_render_readable_messages() {
+        let v = InvariantViolation::ByteConservation {
+            bottleneck: 0,
+            counters: ConservationCounters {
+                offered_bytes: 10,
+                ..ConservationCounters::default()
+            },
+        };
+        assert!(v.to_string().contains("bottleneck 0 lost bytes"));
+        let t = InvariantViolation::TimeRegression {
+            prev_s: 2.0,
+            next_s: 1.0,
+        };
+        assert!(t.to_string().contains("regressed"));
+    }
+}

@@ -161,6 +161,12 @@ pub struct SessionConfig {
     /// QoE clocks (startup delay, session duration) measure from this
     /// origin, not from the simulation epoch.
     pub start_offset: SimDuration,
+    /// Viewing-duration cap: once this much virtual time has elapsed
+    /// since the session's origin, no further chunks are requested —
+    /// the viewer closes the tab and the session finalizes a clean
+    /// partial report (churning fleets draw this per client). `None`
+    /// (default) watches the whole video.
+    pub max_watch: Option<SimDuration>,
 }
 
 impl SessionConfig {
@@ -197,6 +203,7 @@ impl SessionConfig {
             tracer: Tracer::disabled(),
             telemetry: None,
             start_offset: SimDuration::ZERO,
+            max_watch: None,
         }
     }
 
@@ -247,6 +254,7 @@ impl SessionConfig {
             tracer: Tracer::disabled(),
             telemetry: None,
             start_offset: SimDuration::ZERO,
+            max_watch: None,
         }
     }
 
@@ -367,6 +375,14 @@ impl SessionConfig {
     /// Same config with a delayed first request (staggered fleet start).
     pub fn with_start_offset(mut self, offset: SimDuration) -> Self {
         self.start_offset = offset;
+        self
+    }
+
+    /// Same config with a bounded viewing duration: the session departs
+    /// (stops requesting chunks) once it has watched this long, even if
+    /// the video has chapters left. Fleet churn draws these per client.
+    pub fn with_max_watch(mut self, limit: SimDuration) -> Self {
+        self.max_watch = Some(limit);
         self
     }
 

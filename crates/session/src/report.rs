@@ -152,6 +152,10 @@ pub struct SessionReport {
     /// composite) over the steady-state suffix. Computed from the
     /// player alone, so it is identical whether telemetry is on or off.
     pub qoe_score: QoeScore,
+    /// The viewer departed before the video ended (churn `max_watch`
+    /// elapsed or the fleet shed the session on admission): the chunk
+    /// log and playout accounting cover only the content fetched.
+    pub departed: bool,
     /// Epoch telemetry rollups, when enabled (config `telemetry` field
     /// or `MPDASH_TELEMETRY`). **Excluded from [`summary_json`]**: the
     /// same config must serialize byte-identically with telemetry on or
@@ -243,6 +247,7 @@ impl SessionReport {
             ("energy_wifi_j", Json::Float(self.energy.wifi.total_j())),
             ("energy_lte_j", Json::Float(self.energy.lte.total_j())),
             ("duration_s", Json::Float(self.duration.as_secs_f64())),
+            ("departed", Json::Bool(self.departed)),
             (
                 "scheduler_stats",
                 Json::obj([

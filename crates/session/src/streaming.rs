@@ -154,6 +154,10 @@ pub struct StreamingSession {
     /// Hedge losers whose cancel is draining, with the chunk they raced
     /// for; their terminal event accounts the duplicate bytes as waste.
     pending_losers: Vec<(RequestId, usize)>,
+    /// The viewer left (churn `max_watch` elapsed, or the fleet shed the
+    /// session on admission): no further chunks are requested and the
+    /// report accounts only the content actually fetched.
+    departed: bool,
 }
 
 impl StreamingSession {
@@ -250,6 +254,7 @@ impl StreamingSession {
             cache,
             origin_stats: OriginStats::default(),
             pending_losers: Vec::new(),
+            departed: false,
             cfg,
         }
     }
@@ -356,6 +361,22 @@ impl StreamingSession {
     }
 
     fn request_next(&mut self, now: SimTime) {
+        if self.departed {
+            return;
+        }
+        // Churn: the viewer closes the player once their drawn viewing
+        // duration elapses, even with chapters left. Checked before each
+        // request so the first chunk is always fetched (a positive limit
+        // cannot have elapsed at the session origin) and in-flight bytes
+        // drain normally.
+        if let Some(limit) = self.cfg.max_watch {
+            if now.saturating_since(self.player.origin()) >= limit
+                && self.player.chunks_downloaded() > 0
+            {
+                self.depart(now);
+                return;
+            }
+        }
         let Some(index) = self.player.next_chunk_index() else {
             return;
         };
@@ -1047,10 +1068,56 @@ impl StreamingSession {
         self.sim.peek_time()
     }
 
-    /// True once every chunk is downloaded and the transport has drained.
-    /// A finished session schedules no further shared-bottleneck packets.
+    /// True once every chunk is downloaded (or the viewer departed) and
+    /// the transport has drained. A finished session schedules no
+    /// further shared-bottleneck packets.
     pub fn finished(&self) -> bool {
-        self.player.download_complete() && self.sim.quiescent()
+        (self.player.download_complete() || self.departed) && self.sim.quiescent()
+    }
+
+    /// The viewer left before the video ended (churn or shedding).
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Viewer departure: stop requesting chunks, let in-flight transport
+    /// drain, and finalize a partial report.
+    fn depart(&mut self, now: SimTime) {
+        self.departed = true;
+        self.player.depart();
+        let watched = now.saturating_since(self.player.origin());
+        let chunks = self.player.chunks_downloaded() as u64;
+        self.metrics.inc("departed");
+        self.ts_inc(now, "departures");
+        self.tracer.emit_with(now, || TraceEvent::SessionDeparted {
+            watched_s: watched.as_secs_f64(),
+            chunks,
+        });
+    }
+
+    /// Admission-control shedding (fleet overload policy): the session
+    /// is turned away before its first request. It finalizes an empty
+    /// report — zero chunks, zero bytes — without ever being stepped.
+    pub fn mark_shed(&mut self) {
+        self.departed = true;
+        self.player.depart();
+        self.metrics.inc("shed");
+    }
+
+    /// Hedge accounting counters for the runtime watchdog:
+    /// `(hedges, wins_primary, wins_hedge)`.
+    pub fn hedge_accounting(&self) -> (u64, u64, u64) {
+        (
+            self.origin_stats.hedges,
+            self.origin_stats.hedge_wins_primary,
+            self.origin_stats.hedge_wins_hedge,
+        )
+    }
+
+    /// Breaker-state sanity probe for the runtime watchdog (`Ok(())`
+    /// for poolless sessions).
+    pub fn breaker_sanity(&self) -> Result<(), &'static str> {
+        self.pool.as_ref().map_or(Ok(()), |p| p.sanity())
     }
 
     /// Route one of this session's paths through a shared bottleneck.
@@ -1125,7 +1192,7 @@ impl StreamingSession {
     fn drive(&mut self) {
         while !self.finished() && self.step_once() {}
         assert!(
-            self.player.download_complete(),
+            self.player.download_complete() || self.departed,
             "session ended with {}/{} chunks",
             self.player.chunks_downloaded(),
             self.cfg.video.n_chunks()
@@ -1141,8 +1208,17 @@ impl StreamingSession {
         // standalone runs, the stagger offset for fleet clients).
         let origin = self.player.origin();
         let startup = self.player.startup_delay().unwrap_or(SimDuration::ZERO);
-        let playout_end =
-            origin + startup + self.cfg.video.total_duration() + self.player.stall_time();
+        // Departed viewers only play out the content they fetched; full
+        // sessions play out the whole video.
+        let content = if self.departed {
+            self.cfg
+                .video
+                .chunk_duration()
+                .mul_f64(self.player.chunks_downloaded() as f64)
+        } else {
+            self.cfg.video.total_duration()
+        };
+        let playout_end = origin + startup + content + self.player.stall_time();
         let end = playout_end.max(self.sim.now());
         self.player.advance_to(end);
         let duration = end.saturating_since(origin);
@@ -1242,6 +1318,7 @@ impl StreamingSession {
             degradation,
             lifecycle: self.lifecycle,
             origin: self.origin_stats,
+            departed: self.departed,
             metrics: self.metrics.snapshot(),
             sim_profile: SimProfile {
                 events_popped: self.sim.events_popped(),

@@ -42,6 +42,7 @@ fn config(mode: TransportMode) -> SessionConfig {
         cache: None,
         telemetry: None,
         start_offset: SimDuration::ZERO,
+        max_watch: None,
     }
 }
 

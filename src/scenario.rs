@@ -237,6 +237,91 @@ impl SharedSpec {
     }
 }
 
+/// Seeded fleet churn (`fleet.churn`): deterministic exponential
+/// inter-arrivals and viewing-time departures replace the fixed
+/// stagger, so sessions arrive, watch for a drawn duration, and leave
+/// with a clean partial report.
+#[derive(Debug)]
+pub struct ChurnSpec {
+    /// Mean gap between consecutive arrivals, seconds.
+    pub mean_interarrival_s: f64,
+    /// Mean viewing time before the viewer closes the tab, seconds.
+    pub mean_watch_s: f64,
+    /// Floor on drawn viewing times, seconds (default: the fleet
+    /// crate's one-chunk floor).
+    pub min_watch_s: Option<f64>,
+}
+
+impl ChurnSpec {
+    fn build(&self) -> mpdash_fleet::ChurnSpec {
+        let mut spec = mpdash_fleet::ChurnSpec::new(
+            SimDuration::from_secs_f64(self.mean_interarrival_s),
+            SimDuration::from_secs_f64(self.mean_watch_s),
+        );
+        if let Some(floor) = self.min_watch_s {
+            spec = spec.with_min_watch(SimDuration::from_secs_f64(floor));
+        }
+        spec
+    }
+}
+
+/// One correlated fault domain (`fleet.fault_domains[]`): a set of
+/// client indices sharing wifi/cell/server fault scripts — a regional
+/// AP outage, a sector brown-out, a bad origin shard — composed with
+/// whatever per-client faults the base session already carries.
+#[derive(Debug)]
+pub struct FaultDomainSpec {
+    /// Domain label for traces and reports.
+    pub label: String,
+    /// Client indices the scripts apply to.
+    pub members: Vec<usize>,
+    /// Faults on every member's WiFi link (same entry format as the
+    /// top-level `wifi_faults`).
+    pub wifi_faults: FaultScript,
+    /// Faults on every member's cellular link.
+    pub cell_faults: FaultScript,
+    /// Server faults on every member's origin.
+    pub server_faults: ServerFaultScript,
+}
+
+impl FaultDomainSpec {
+    fn build(&self) -> mpdash_fleet::FaultDomainSpec {
+        let mut spec = mpdash_fleet::FaultDomainSpec::new(self.label.clone(), self.members.clone());
+        if !self.wifi_faults.is_empty() {
+            spec = spec.with_wifi(self.wifi_faults.clone());
+        }
+        if !self.cell_faults.is_empty() {
+            spec = spec.with_cell(self.cell_faults.clone());
+        }
+        if !self.server_faults.is_empty() {
+            spec = spec.with_server(self.server_faults.clone());
+        }
+        spec
+    }
+}
+
+/// Overload protection (`fleet.overload`): arrivals past `max_active`
+/// concurrent sessions are shed deterministically (newest first) and
+/// reported as shed rather than admitted to collapse the shared queues.
+#[derive(Debug)]
+pub struct OverloadSpec {
+    /// Admission cap on concurrently active sessions.
+    pub max_active: usize,
+    /// Also shed when the shared queues' total backlog exceeds this
+    /// many bytes (absent: cap on concurrency alone).
+    pub queue_threshold_bytes: Option<u64>,
+}
+
+impl OverloadSpec {
+    fn build(&self) -> mpdash_fleet::OverloadPolicy {
+        let mut policy = mpdash_fleet::OverloadPolicy::max_active(self.max_active);
+        if let Some(bytes) = self.queue_threshold_bytes {
+            policy = policy.with_queue_threshold(bytes);
+        }
+        policy
+    }
+}
+
 /// Multi-client co-simulation topology (the optional `fleet` key): N
 /// copies of the session, staggered starts, subflows subscribed to
 /// shared bottlenecks instead of private links.
@@ -255,6 +340,16 @@ pub struct FleetSpec {
     /// Shared bottlenecks; may be empty (private links, a
     /// no-contention control fleet).
     pub shared: Vec<SharedSpec>,
+    /// Seeded arrivals/departures; when present the fixed `stagger_s`
+    /// is superseded by the churn plan.
+    pub churn: Option<ChurnSpec>,
+    /// Correlated fault domains; may be empty.
+    pub fault_domains: Vec<FaultDomainSpec>,
+    /// Overload shedding; absent admits every arrival.
+    pub overload: Option<OverloadSpec>,
+    /// Arm (or disarm) the runtime invariant watchdog for this fleet;
+    /// absent keeps the fleet crate's default.
+    pub watchdog: Option<bool>,
 }
 
 /// One origin in a multi-origin pool (`origins.pool[]`).
@@ -405,6 +500,44 @@ fn parse_shared(v: &Json) -> Result<SharedSpec, String> {
     })
 }
 
+fn parse_churn(v: Option<&Json>) -> Result<Option<ChurnSpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    Ok(Some(ChurnSpec {
+        mean_interarrival_s: num(field(v, "mean_interarrival_s")?, "mean_interarrival_s")?,
+        mean_watch_s: num(field(v, "mean_watch_s")?, "mean_watch_s")?,
+        min_watch_s: v
+            .get("min_watch_s")
+            .map(|j| num(j, "min_watch_s"))
+            .transpose()?,
+    }))
+}
+
+fn parse_fault_domain(v: &Json) -> Result<FaultDomainSpec, String> {
+    Ok(FaultDomainSpec {
+        label: string(field(v, "label")?, "label")?,
+        members: field(v, "members")?
+            .as_arr()
+            .ok_or("fault domain 'members' must be an array of client indices")?
+            .iter()
+            .map(|m| uint(m, "members").map(|u| u as usize))
+            .collect::<Result<Vec<_>, _>>()?,
+        wifi_faults: parse_fault_list(v.get("wifi_faults"), "wifi_faults")?,
+        cell_faults: parse_fault_list(v.get("cell_faults"), "cell_faults")?,
+        server_faults: parse_server_fault_list(v.get("server_faults"))?,
+    })
+}
+
+fn parse_overload(v: Option<&Json>) -> Result<Option<OverloadSpec>, String> {
+    let Some(v) = v else { return Ok(None) };
+    Ok(Some(OverloadSpec {
+        max_active: uint(field(v, "max_active")?, "max_active")? as usize,
+        queue_threshold_bytes: v
+            .get("queue_threshold_bytes")
+            .map(|j| uint(j, "queue_threshold_bytes"))
+            .transpose()?,
+    }))
+}
+
 fn parse_fleet(v: Option<&Json>) -> Result<Option<FleetSpec>, String> {
     let Some(v) = v else { return Ok(None) };
     let opt_uint = |key: &str, default: u64| -> Result<u64, String> {
@@ -429,6 +562,21 @@ fn parse_fleet(v: Option<&Json>) -> Result<Option<FleetSpec>, String> {
                 .iter()
                 .map(parse_shared)
                 .collect::<Result<Vec<_>, _>>()?,
+        },
+        churn: parse_churn(v.get("churn"))?,
+        fault_domains: match v.get("fault_domains") {
+            None => Vec::new(),
+            Some(j) => j
+                .as_arr()
+                .ok_or("fleet 'fault_domains' must be an array of domain objects")?
+                .iter()
+                .map(parse_fault_domain)
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        overload: parse_overload(v.get("overload"))?,
+        watchdog: match v.get("watchdog") {
+            None => None,
+            Some(j) => Some(j.as_bool().ok_or("fleet 'watchdog' must be a boolean")?),
         },
     }))
 }
@@ -825,6 +973,68 @@ impl Scenario {
             if fleet.stagger_s.is_nan() || fleet.stagger_s < 0.0 {
                 return Err(format!("'stagger_s' must be >= 0, got {}", fleet.stagger_s));
             }
+            if let Some(churn) = &fleet.churn {
+                let positive = |what: &str, v: f64| -> Result<(), String> {
+                    if v.is_finite() && v > 0.0 {
+                        Ok(())
+                    } else {
+                        Err(format!("'churn.{what}' must be a positive number, got {v}"))
+                    }
+                };
+                positive("mean_interarrival_s", churn.mean_interarrival_s)?;
+                positive("mean_watch_s", churn.mean_watch_s)?;
+                if let Some(floor) = churn.min_watch_s {
+                    if !(floor.is_finite() && floor >= 0.0) {
+                        return Err(format!("'churn.min_watch_s' must be >= 0, got {floor}"));
+                    }
+                }
+            }
+            for domain in &fleet.fault_domains {
+                if domain.members.is_empty() {
+                    return Err(format!(
+                        "fault domain '{}' needs at least one member index",
+                        domain.label
+                    ));
+                }
+                for (i, &m) in domain.members.iter().enumerate() {
+                    if m >= fleet.clients {
+                        return Err(format!(
+                            "fault domain '{}' member {m} is out of range (the fleet \
+                             has {} clients, indices 0..{})",
+                            domain.label,
+                            fleet.clients,
+                            fleet.clients - 1
+                        ));
+                    }
+                    if domain.members[..i].contains(&m) {
+                        return Err(format!(
+                            "fault domain '{}' lists member {m} twice (its scripts \
+                             would compose onto the client once per listing)",
+                            domain.label
+                        ));
+                    }
+                }
+                if domain.wifi_faults.is_empty()
+                    && domain.cell_faults.is_empty()
+                    && domain.server_faults.is_empty()
+                {
+                    return Err(format!(
+                        "fault domain '{}' has no fault scripts (add wifi_faults, \
+                         cell_faults, or server_faults — or drop the domain)",
+                        domain.label
+                    ));
+                }
+            }
+            if let Some(overload) = &fleet.overload {
+                if overload.max_active == 0 {
+                    return Err("'overload.max_active' must be > 0 (a zero cap sheds \
+                         every session; drop the 'overload' key to admit everyone)"
+                        .into());
+                }
+                if overload.queue_threshold_bytes == Some(0) {
+                    return Err("'overload.queue_threshold_bytes' must be > 0".into());
+                }
+            }
             for shared in &fleet.shared {
                 if shared.rate_mbps.is_nan() || shared.rate_mbps <= 0.0 {
                     return Err(format!(
@@ -1002,6 +1212,18 @@ impl Scenario {
         }
         for shared in &fleet.shared {
             fc = fc.with_shared(shared.build());
+        }
+        if let Some(churn) = &fleet.churn {
+            fc = fc.with_churn(churn.build());
+        }
+        for domain in &fleet.fault_domains {
+            fc = fc.with_fault_domain(domain.build());
+        }
+        if let Some(overload) = &fleet.overload {
+            fc = fc.with_overload(overload.build());
+        }
+        if let Some(watchdog) = fleet.watchdog {
+            fc = fc.with_watchdog(watchdog);
         }
         Ok(fc)
     }
@@ -1354,6 +1576,54 @@ mod tests {
         assert!(err.contains("'epoch_s' must be a positive number"), "{err}");
     }
 
+    const CHURN_PATCH: &str = r#""fleet": {
+        "clients": 8,
+        "seed": 23,
+        "watchdog": true,
+        "churn": {"mean_interarrival_s": 6.0, "mean_watch_s": 30.0, "min_watch_s": 4.0},
+        "fault_domains": [
+            {"label": "region", "members": [0, 1, 2, 3],
+             "wifi_faults": [{"disassociation": {"at_s": 30, "secs": 3, "reassoc_s": 1}}]}
+        ],
+        "overload": {"max_active": 4, "queue_threshold_bytes": 262144},
+        "shared": [
+            {"rate_mbps": 4.8, "paths": ["wifi"]},
+            {"rate_mbps": 3.0, "paths": ["cell"]}
+        ]
+    },"#;
+
+    #[test]
+    fn parses_churn_domains_and_overload_onto_the_fleet() {
+        let sc = Scenario::from_json(&fleet_doc(CHURN_PATCH)).unwrap();
+        let fleet = sc.fleet.as_ref().unwrap();
+        let churn = fleet.churn.as_ref().unwrap();
+        assert_eq!(churn.mean_interarrival_s, 6.0);
+        assert_eq!(fleet.fault_domains.len(), 1);
+        assert_eq!(fleet.fault_domains[0].members, vec![0, 1, 2, 3]);
+        assert_eq!(fleet.overload.as_ref().unwrap().max_active, 4);
+
+        let configs = sc.fleet_configs().unwrap();
+        let fc = &configs[0].1;
+        let built = fc.churn.expect("churn forwarded");
+        assert_eq!(built.mean_interarrival, SimDuration::from_secs(6));
+        assert_eq!(built.mean_watch, SimDuration::from_secs(30));
+        assert_eq!(built.min_watch, SimDuration::from_secs(4));
+        assert_eq!(fc.fault_domains.len(), 1);
+        assert_eq!(fc.fault_domains[0].label, "region");
+        assert_eq!(fc.fault_domains[0].wifi.events().len(), 1);
+        assert!(fc.fault_domains[0].cell.is_empty());
+        let overload = fc.overload.expect("overload forwarded");
+        assert_eq!(overload.max_active, 4);
+        assert_eq!(overload.queue_threshold_bytes, 262144);
+        assert_eq!(fc.watchdog, Some(true));
+
+        // Documents without the keys keep the plain staggered fleet.
+        let plain = Scenario::from_json(&fleet_doc(FLEET_PATCH)).unwrap();
+        let fc = &plain.fleet_configs().unwrap()[0].1;
+        assert!(fc.churn.is_none() && fc.fault_domains.is_empty());
+        assert!(fc.overload.is_none() && fc.watchdog.is_none());
+    }
+
     #[test]
     fn rejects_wedging_fleet_values() {
         for (patch, expect) in [
@@ -1361,6 +1631,56 @@ mod tests {
             (
                 r#""fleet": {"clients": 4, "stagger_s": -1.0},"#,
                 "'stagger_s' must be >= 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "rtt_skew_ms": -5},"#,
+                "'rtt_skew_ms' must be a non-negative integer",
+            ),
+            (
+                r#""fleet": {"clients": 4, "churn": {"mean_interarrival_s": 0.0, "mean_watch_s": 30}},"#,
+                "'churn.mean_interarrival_s' must be a positive number",
+            ),
+            (
+                r#""fleet": {"clients": 4, "churn": {"mean_interarrival_s": 6, "mean_watch_s": -2.0}},"#,
+                "'churn.mean_watch_s' must be a positive number",
+            ),
+            (
+                r#""fleet": {"clients": 4, "churn": {"mean_interarrival_s": 6, "mean_watch_s": 30, "min_watch_s": -1.0}},"#,
+                "'churn.min_watch_s' must be >= 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "churn": {"mean_watch_s": 30}},"#,
+                "missing field 'mean_interarrival_s'",
+            ),
+            (
+                r#""fleet": {"clients": 4, "fault_domains": [{"label": "r", "members": []}]},"#,
+                "needs at least one member index",
+            ),
+            (
+                r#""fleet": {"clients": 4, "fault_domains": [{"label": "r", "members": [7],
+                   "wifi_faults": [{"disassociation": {"at_s": 1, "secs": 1}}]}]},"#,
+                "member 7 is out of range",
+            ),
+            (
+                r#""fleet": {"clients": 4, "fault_domains": [{"label": "r", "members": [1, 1],
+                   "wifi_faults": [{"disassociation": {"at_s": 1, "secs": 1}}]}]},"#,
+                "lists member 1 twice",
+            ),
+            (
+                r#""fleet": {"clients": 4, "fault_domains": [{"label": "r", "members": [0]}]},"#,
+                "has no fault scripts",
+            ),
+            (
+                r#""fleet": {"clients": 4, "overload": {"max_active": 0}},"#,
+                "'overload.max_active' must be > 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "overload": {"max_active": 2, "queue_threshold_bytes": 0}},"#,
+                "'overload.queue_threshold_bytes' must be > 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "watchdog": "on"},"#,
+                "'watchdog' must be a boolean",
             ),
             (
                 r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "paths": []}]},"#,
@@ -1386,6 +1706,19 @@ mod tests {
             let err = Scenario::from_json(&fleet_doc(patch)).unwrap_err();
             assert!(err.contains(expect), "{patch}: {err}");
         }
+    }
+
+    #[test]
+    fn shipped_churn_scenario_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/churn.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = Scenario::from_json(&text).unwrap();
+        let fleet = sc.fleet.as_ref().unwrap();
+        assert!(fleet.churn.is_some());
+        assert_eq!(fleet.fault_domains.len(), 1);
+        assert!(fleet.overload.is_some());
+        assert_eq!(fleet.watchdog, Some(true));
+        assert!(sc.fleet_configs().is_ok());
     }
 
     #[test]

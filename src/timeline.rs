@@ -157,7 +157,11 @@ fn mode_timeline(label: &str, fc: &FleetConfig) -> Json {
         .bitrate(fc.base.video.n_levels() - 1)
         .as_mbps_f64();
     let epoch_s = epoch.as_secs_f64();
-    let rows = all.cells().map(|(i, c)| {
+    // Running arrivals-minus-departures: the fleet loop's lifecycle
+    // counters integrate into the concurrency the capacity questions
+    // care about. Shed sessions never arrive, so they don't inflate it.
+    let mut active: i64 = 0;
+    let rows = all.cells().map(move |(i, c)| {
         let hits = c.counter("deadline_hits");
         let misses = c.counter("deadline_misses");
         let miss_rate = misses as f64 / (hits + misses).max(1) as f64;
@@ -168,6 +172,10 @@ fn mode_timeline(label: &str, fc: &FleetConfig) -> Json {
             .histogram("queue_depth_bytes")
             .map(|h| h.sum() as f64 / h.count().max(1) as f64)
             .unwrap_or(0.0);
+        let arrivals = c.counter("fleet_arrivals");
+        let departures = c.counter("fleet_departures");
+        let shed = c.counter("fleet_shed");
+        active += arrivals as i64 - departures as i64;
         let qoe = QoeScore::from_epoch(
             c.counter("chunks"),
             c.counter("chunk_bitrate_kbps"),
@@ -199,6 +207,10 @@ fn mode_timeline(label: &str, fc: &FleetConfig) -> Json {
             ("wasted_bytes", Json::from(c.counter("wasted_bytes"))),
             ("loop_steps", Json::from(c.counter("loop_steps"))),
             ("loop_departures", Json::from(c.counter("loop_departures"))),
+            ("fleet_arrivals", Json::from(arrivals)),
+            ("fleet_departures", Json::from(departures)),
+            ("fleet_shed", Json::from(shed)),
+            ("active_sessions", Json::from(active.max(0) as u64)),
             ("qoe_composite", Json::Float(qoe.composite)),
         ])
     });
@@ -301,6 +313,8 @@ fn render(scenario: &Scenario, opts: &TimelineOptions, modes: &[Json]) -> String
             ("queue depth", "queue_depth_mean", 1e-3, " KB"),
             ("QoE", "qoe_composite", 1.0, ""),
             ("loop steps", "loop_steps", 1.0, ""),
+            ("active sess", "active_sessions", 1.0, ""),
+            ("shed", "fleet_shed", 1.0, ""),
         ] {
             let vals = series(key);
             let peak = vals.iter().cloned().fold(0.0_f64, f64::max);
@@ -385,6 +399,55 @@ mod tests {
                 .sum();
             assert!(bytes > 0, "cellular traffic shows up in the series");
         }
+    }
+
+    #[test]
+    fn active_sessions_track_follows_churn_and_shedding() {
+        let doc = r#"{
+            "name": "churn-track",
+            "video": {"custom": {"levels_mbps": [0.6, 1.5], "chunk_secs": 4, "n_chunks": 10}},
+            "wifi": {"constant": 8.0},
+            "cell": {"constant": 4.0},
+            "abr": "festive",
+            "buffer_secs": 8,
+            "modes": ["mpdash_rate"],
+            "telemetry": {"epoch_s": 2.0},
+            "fleet": {
+                "clients": 8,
+                "seed": 23,
+                "watchdog": true,
+                "churn": {"mean_interarrival_s": 2.0, "mean_watch_s": 20.0},
+                "overload": {"max_active": 2},
+                "shared": [{"rate_mbps": 6.0, "paths": ["wifi"]}]
+            }
+        }"#;
+        let sc = Scenario::from_json(doc).unwrap();
+        let spec = sc.telemetry.unwrap();
+        let (label, fc) = sc.fleet_configs().unwrap().remove(0);
+        let mode = mode_timeline(&label, &fc.with_telemetry(spec));
+        let rows = rows(&mode);
+        let sum = |key: &str| -> u64 { rows.iter().map(|r| row_f64(r, key) as u64).sum() };
+        let arrivals = sum("fleet_arrivals");
+        let departures = sum("fleet_departures");
+        let shed = sum("fleet_shed");
+        assert!(arrivals > 0, "admitted sessions arrive");
+        assert_eq!(
+            arrivals, departures,
+            "every admitted session eventually departs"
+        );
+        assert!(shed > 0, "the cap sheds some of the 8 packed arrivals");
+        assert_eq!(arrivals + shed, 8, "every client is admitted or shed");
+        let active: Vec<f64> = rows.iter().map(|r| row_f64(r, "active_sessions")).collect();
+        let peak = active.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (1.0..=2.0).contains(&peak),
+            "active sessions stay within the admission cap, peak {peak}"
+        );
+        assert_eq!(
+            *active.last().unwrap(),
+            0.0,
+            "the fleet drains to zero active sessions"
+        );
     }
 
     #[test]
