@@ -10,13 +10,20 @@
 //!   (the heaviest realistic workload the scheduler sits inside);
 //! * sessions/sec of the 16-client *churning* fleet from `exp_churn`
 //!   (arrivals/departures, a regional outage, shedding), timed with the
-//!   runtime invariant watchdog disarmed and armed.
+//!   runtime invariant watchdog disarmed and armed;
+//! * sessions/sec of the 16-client MP-DASH fleet from `exp_aqm` with a
+//!   FIFO AP versus the identical fleet under a quiescent PIE (the
+//!   drop probability never leaves zero, so the packet schedule is
+//!   byte-identical and the delta is pure controller bookkeeping on
+//!   the hot enqueue/dequeue path), plus the active FQ-PIE fleet as an
+//!   ungated behavioral datapoint.
 //!
-//! `--check` additionally gates two acceptance criteria: trait dispatch
-//! must cost no more than 2% over the seed enum (plus half a nanosecond
-//! of timer-jitter floor), and the armed watchdog must cost no more
-//! than 3% of the churning fleet's wall time (plus a 2 ms jitter
-//! floor). The dispatch gate compares MinRtt, the one scheduler whose
+//! `--check` additionally gates three acceptance criteria: trait
+//! dispatch must cost no more than 2% over the seed enum (plus half a
+//! nanosecond of timer-jitter floor), the armed watchdog must cost no
+//! more than 3% of the churning fleet's wall time (plus a 2 ms jitter
+//! floor), and the quiescent-PIE fleet must stay within 5% of the FIFO
+//! fleet's wall time (plus a 20 ms floor). The dispatch gate compares MinRtt, the one scheduler whose
 //! algorithm is identical on both sides — the round-robin rows
 //! intentionally diverge (the keyed-rotation fix scans for the
 //! successor path where the seed cursor took a modulo), so their delta
@@ -95,32 +102,36 @@ fn trait_ns(spec: SchedulerSpec) -> f64 {
     })
 }
 
-/// Best-of-[`FLEET_TRIALS`] wall seconds for a pair of fleet configs,
-/// with the first config's session count (identical across trials —
-/// the run is deterministic). Trials interleave a/b so cache warmup
-/// and thermal drift hit both sides equally; a lone first-timed config
-/// would otherwise absorb all the cold-start cost.
+/// Best-of-`trials` wall seconds for a pair of fleet configs, with the
+/// first config's session count (identical across trials — the run is
+/// deterministic). Trials interleave a/b so cache warmup and thermal
+/// drift hit both sides equally; a lone first-timed config would
+/// otherwise absorb all the cold-start cost. Sub-100 ms fleets batch
+/// `runs_per_trial` back-to-back runs per timed trial; second-scale
+/// fleets pass 1.
 fn best_fleet_wall_pair(
     a: &mpdash_fleet::FleetConfig,
     b: &mpdash_fleet::FleetConfig,
+    trials: usize,
+    runs_per_trial: usize,
 ) -> (usize, f64, f64) {
     let mut best = (f64::INFINITY, f64::INFINITY);
     let mut sessions = 0;
-    for _ in 0..FLEET_TRIALS {
+    for _ in 0..trials {
         let start = Instant::now();
-        for _ in 0..FLEET_RUNS_PER_TRIAL {
+        for _ in 0..runs_per_trial {
             sessions = mpdash_fleet::run(a).sessions.len();
         }
         best.0 = best
             .0
-            .min(start.elapsed().as_secs_f64() / FLEET_RUNS_PER_TRIAL as f64);
+            .min(start.elapsed().as_secs_f64() / runs_per_trial as f64);
         let start = Instant::now();
-        for _ in 0..FLEET_RUNS_PER_TRIAL {
+        for _ in 0..runs_per_trial {
             mpdash_fleet::run(b);
         }
         best.1 = best
             .1
-            .min(start.elapsed().as_secs_f64() / FLEET_RUNS_PER_TRIAL as f64);
+            .min(start.elapsed().as_secs_f64() / runs_per_trial as f64);
     }
     (sessions, best.0, best.1)
 }
@@ -146,10 +157,31 @@ fn main() {
     let (churn_sessions, churn_off_s, churn_on_s) = best_fleet_wall_pair(
         &mpdash_bench::experiments::churn::bench_fleet_config(false),
         &mpdash_bench::experiments::churn::bench_fleet_config(true),
+        FLEET_TRIALS,
+        FLEET_RUNS_PER_TRIAL,
     );
     let churn_sps_off = churn_sessions as f64 / churn_off_s;
     let churn_sps_on = churn_sessions as f64 / churn_on_s;
     let watchdog_overhead_pct = (churn_on_s / churn_off_s - 1.0) * 100.0;
+
+    // The AQM-overhead datapoint: the identical 16-client MP-DASH fleet
+    // with a FIFO AP and under a quiescent PIE (byte-identical packet
+    // schedule — the delta is pure controller bookkeeping). Each run is
+    // second-scale, so best-of-3 single runs is plenty for a 5% gate.
+    let (aqm_pair_fifo, aqm_pair_quiescent) = mpdash_bench::experiments::aqm::bench_fleet_pair();
+    let (aqm_sessions, aqm_fifo_s, aqm_pie_s) =
+        best_fleet_wall_pair(&aqm_pair_fifo, &aqm_pair_quiescent, 3, 1);
+    let aqm_sps_fifo = aqm_sessions as f64 / aqm_fifo_s;
+    let aqm_sps_pie = aqm_sessions as f64 / aqm_pie_s;
+    let aqm_overhead_pct = (aqm_pie_s / aqm_fifo_s - 1.0) * 100.0;
+
+    // The active-AQM behavioral datapoint (ungated: marks change the
+    // event schedule itself, so this is workload, not overhead).
+    let aqm_active_cfg = mpdash_bench::experiments::aqm::bench_fleet_active();
+    let start = Instant::now();
+    let active_sessions = mpdash_fleet::run(&aqm_active_cfg).sessions.len();
+    let aqm_active_s = start.elapsed().as_secs_f64();
+    let aqm_sps_active = active_sessions as f64 / aqm_active_s;
 
     let mut res = ExperimentResult::new(
         "BENCH_sched",
@@ -162,7 +194,10 @@ fn main() {
          fleet:     {} sessions in {wall_s:.2}s ({sessions_per_sec:.1} sessions/sec)\n\
          churn:     {churn_sessions} sessions in {churn_off_s:.3}s \
          ({churn_sps_off:.1}/sec watchdog off, {churn_sps_on:.1}/sec on, \
-         +{watchdog_overhead_pct:.1}%)",
+         +{watchdog_overhead_pct:.1}%)\n\
+         aqm:       {aqm_sessions} sessions in {aqm_fifo_s:.3}s fifo \
+         ({aqm_sps_fifo:.1}/sec fifo, {aqm_sps_pie:.1}/sec quiescent pie, \
+         +{aqm_overhead_pct:.1}%; active fq_pie {aqm_sps_active:.1}/sec)",
         fleet.sessions.len(),
     ));
     res.scalars(
@@ -193,6 +228,15 @@ fn main() {
             .with("wall_s_watchdog_off", churn_off_s)
             .with("wall_s_watchdog_on", churn_on_s)
             .with("watchdog_overhead_pct", watchdog_overhead_pct),
+    );
+    res.scalars(
+        ScalarGroup::new("16-client MP-DASH fleet, FIFO vs quiescent-PIE AP (best of 3)")
+            .with("sessions_per_sec_fifo", aqm_sps_fifo)
+            .with("sessions_per_sec_quiescent_pie", aqm_sps_pie)
+            .with("sessions_per_sec_active_fq_pie", aqm_sps_active)
+            .with("wall_s_fifo", aqm_fifo_s)
+            .with("wall_s_quiescent_pie", aqm_pie_s)
+            .with("aqm_controller_overhead_pct", aqm_overhead_pct),
     );
     println!("{}", res.render());
     let path = write_artifact(&res).expect("artifact write");
@@ -226,5 +270,16 @@ fn main() {
              (off {churn_off_s:.4}s, on {churn_on_s:.4}s)"
         );
         println!("[check] watchdog overhead within 3% on the churning fleet");
+
+        // The AQM gate: per-packet controller bookkeeping (a catch-up
+        // check per admit, sojourn tracking per departure) must stay
+        // within 5% of the FIFO fleet's wall time, plus a 20 ms floor
+        // so scheduler jitter can't flake the CI job.
+        assert!(
+            aqm_pie_s <= aqm_fifo_s * 1.05 + 0.020,
+            "quiescent-PIE fleet overhead {aqm_overhead_pct:.2}% exceeds the 5% budget \
+             (fifo {aqm_fifo_s:.4}s, pie {aqm_pie_s:.4}s)"
+        );
+        println!("[check] AQM-enabled fleet within 5% of FIFO sessions/sec");
     }
 }

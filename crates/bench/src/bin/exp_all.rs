@@ -21,6 +21,7 @@ fn main() {
     e::field::run();
     e::fleet::run();
     e::sched::run();
+    e::aqm::run();
     e::origin::run();
     e::churn::run();
 }

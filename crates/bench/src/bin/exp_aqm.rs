@@ -1,0 +1,5 @@
+//! Runs the AQM grid (FIFO / PIE / FQ-PIE / CoDel on the shared WiFi
+//! AP, with controller sweeps). See `mpdash_bench::experiments::aqm`.
+fn main() {
+    mpdash_bench::experiments::aqm::run();
+}

@@ -18,6 +18,7 @@
 //! report byte-for-byte — the round-trip the test suite asserts.
 
 pub mod ablation;
+pub mod aqm;
 pub mod churn;
 pub mod faults;
 pub mod field;

@@ -585,15 +585,29 @@ impl FleetReport {
             ])
         });
         let bottlenecks = self.bottlenecks.iter().map(|b| {
-            Json::obj([
+            let mut row = vec![
                 ("discipline", Json::from(b.discipline)),
                 ("offered_bytes", Json::from(b.stats.offered_bytes)),
                 ("delivered_bytes", Json::from(b.stats.delivered_bytes)),
                 ("dropped_bytes", Json::from(b.stats.dropped_bytes)),
                 ("queued_bytes", Json::from(b.stats.queued_bytes)),
                 ("dropped_packets", Json::from(b.stats.dropped_packets)),
-                ("metrics", b.metrics.to_json()),
-            ])
+            ];
+            // DropReason breakdown, emitted only under an AQM discipline
+            // so no-AQM artifacts stay byte-identical to pre-AQM runs.
+            if matches!(b.discipline, "pie" | "fq_pie" | "codel") {
+                row.push((
+                    "dropped_overflow_packets",
+                    Json::from(b.stats.dropped_overflow_packets),
+                ));
+                row.push((
+                    "dropped_aqm_packets",
+                    Json::from(b.stats.dropped_aqm_packets),
+                ));
+                row.push(("marked_packets", Json::from(b.stats.marked_packets)));
+            }
+            row.push(("metrics", b.metrics.to_json()));
+            Json::obj(row)
         });
         let cache = match &self.cache {
             Some(c) => Json::obj([
@@ -826,7 +840,18 @@ pub fn run_checked(cfg: &FleetConfig) -> Result<FleetReport, InvariantViolation>
             Some((t, 0, i)) => {
                 let d = bottlenecks[i].pop_departure().expect("departure peeked");
                 let (k, path) = route[i][d.flow];
-                sessions[k].on_shared_departure(path, d.ticket, d.at);
+                sessions[k].on_shared_departure(path, d.ticket, d.at, d.marked);
+                // CoDel drops packets at dequeue time, while choosing this
+                // departure; route each casualty back to its owner so the
+                // per-flow ticket FIFO stays aligned. Empty (and
+                // allocation-free) unless a dequeue-time AQM is active.
+                for drop in bottlenecks[i].take_aqm_drops() {
+                    let (dk, dpath) = route[i][drop.flow];
+                    sessions[dk].on_shared_drop(dpath, drop.ticket, drop.at);
+                    if let Some(e) = profile.epochs.as_mut() {
+                        e.inc(t, "loop_aqm_drops");
+                    }
+                }
                 profile.departures_popped += 1;
                 if let Some(e) = profile.epochs.as_mut() {
                     e.inc(t, "loop_departures");

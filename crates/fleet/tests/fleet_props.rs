@@ -15,7 +15,9 @@
 //! * **monotonicity** — the global fleet clock never goes backwards.
 
 use mpdash_http::{HttpEvent, HttpLayer};
-use mpdash_link::{LinkConfig, PathId, QueueDiscipline, SharedBottleneck, SharedBottleneckConfig};
+use mpdash_link::{
+    AqmConfig, LinkConfig, PathId, QueueDiscipline, SharedBottleneck, SharedBottleneckConfig,
+};
 use mpdash_mptcp::{MptcpConfig, MptcpSim, StepOutcome};
 use mpdash_sim::{Prng, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -128,7 +130,12 @@ fn run_fleet(
             let dep = bn.pop_departure().expect("a departure is due");
             clients[dep.flow]
                 .sim
-                .on_shared_departure(PathId::WIFI, dep.ticket, dep.at);
+                .on_shared_departure(PathId::WIFI, dep.ticket, dep.at, dep.marked);
+            for drop in bn.take_aqm_drops() {
+                clients[drop.flow]
+                    .sim
+                    .on_shared_drop(PathId::WIFI, drop.ticket, drop.at);
+            }
             continue;
         }
         let c = &mut clients[k];
@@ -212,5 +219,49 @@ proptest! {
             })
             .collect();
         run_fleet(QueueDiscipline::FlowQueue { quantum }, 6.0, schedules)?;
+    }
+
+    /// DRR composed with per-flow PIE (FQ-PIE): byte conservation and
+    /// reassembly must survive the AQM's admission drops across the
+    /// whole quantum sweep. AQM drops land in `dropped_bytes`, so the
+    /// `conserved()` check in `run_fleet` covers them.
+    #[test]
+    fn fq_pie_quantum_sweep_conserves_and_never_corrupts(
+        seed in 0u64..1_000_000,
+        n_clients in 2usize..6,
+        quantum in 600u64..4000,
+        target_ms in 2u64..40,
+    ) {
+        let mut rng = Prng::new(seed);
+        let schedules = (0..n_clients)
+            .map(|_| {
+                (0..1 + rng.next_below(3))
+                    .map(|_| 5_000 + rng.next_below(200_000))
+                    .collect()
+            })
+            .collect();
+        let aqm = AqmConfig::pie().with_target_ms(target_ms as f64);
+        run_fleet(QueueDiscipline::FqPie { quantum, aqm }, 6.0, schedules)?;
+    }
+
+    /// CoDel's dequeue-time drops route back through `take_aqm_drops`;
+    /// the per-flow ticket FIFO must stay aligned and every byte must
+    /// still be accounted for.
+    #[test]
+    fn codel_dequeue_drops_conserve_and_never_corrupt(
+        seed in 0u64..1_000_000,
+        n_clients in 2usize..6,
+        target_ms in 1u64..20,
+    ) {
+        let mut rng = Prng::new(seed);
+        let schedules = (0..n_clients)
+            .map(|_| {
+                (0..1 + rng.next_below(3))
+                    .map(|_| 5_000 + rng.next_below(200_000))
+                    .collect()
+            })
+            .collect();
+        let aqm = AqmConfig::codel().with_target_ms(target_ms as f64);
+        run_fleet(QueueDiscipline::Codel(aqm), 6.0, schedules)?;
     }
 }

@@ -28,6 +28,7 @@
 //! }
 //! ```
 
+pub mod aqm;
 pub mod fault;
 pub mod link;
 pub mod path;
@@ -35,6 +36,7 @@ pub mod profile;
 pub mod shaper;
 pub mod shared;
 
+pub use aqm::{AqmConfig, AqmVerdict, Codel, Pie};
 pub use fault::{FaultEvent, FaultKind, FaultScript, GeChain, GilbertElliott};
 pub use link::{DropReason, Link, LinkConfig, SendOutcome};
 pub use path::PathId;
@@ -42,5 +44,5 @@ pub use profile::BandwidthProfile;
 pub use shaper::TokenBucket;
 pub use shared::{
     Departure, FlowId, FlowStats, QueueDiscipline, SharedBottleneck, SharedBottleneckConfig,
-    SharedOutcome, SharedStats, Ticket,
+    SharedDrop, SharedOutcome, SharedStats, Ticket,
 };

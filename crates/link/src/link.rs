@@ -44,6 +44,13 @@ pub enum DropReason {
     /// association is down (or still re-handshaking), so nothing crosses
     /// the link.
     Disassociated,
+    /// An AQM controller dropped the packet early — PIE at admission or
+    /// CoDel at dequeue — while the queue still had capacity.
+    AqmEarly,
+    /// An AQM controller in ECN mode marked the packet instead of
+    /// dropping it. Never returned as a drop outcome (the packet is
+    /// delivered); exists so attribution code can name the signal.
+    AqmMark,
 }
 
 /// Result of [`Link::send`].

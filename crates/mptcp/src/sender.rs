@@ -102,6 +102,13 @@ pub struct SubflowTx {
     /// `Some(end)` while in loss recovery; recovery exits when
     /// `snd_una >= end`.
     recovery_end: Option<u64>,
+    /// `Some(end)` while reacting to an ECN congestion echo: the window
+    /// was already halved once for this flight, and further echoes are
+    /// ignored until `snd_una >= end` (one backoff per window, RFC 3168
+    /// §6.1.2). Separate from `recovery_end` because an ECN backoff is
+    /// *not* loss recovery — nothing is missing at the receiver, so
+    /// NewReno partial-ACK retransmits must not fire.
+    ecn_hold_end: Option<u64>,
     /// Absolute instant the retransmission timer fires, if armed.
     rto_deadline: Option<SimTime>,
     /// RTO firings since the last forward progress; at
@@ -148,6 +155,7 @@ impl SubflowTx {
             min_rtt: None,
             dupacks: 0,
             recovery_end: None,
+            ecn_hold_end: None,
             rto_deadline: None,
             consecutive_rtos: 0,
             failed: false,
@@ -233,6 +241,7 @@ impl SubflowTx {
         self.min_rtt = None;
         self.dupacks = 0;
         self.recovery_end = None;
+        self.ecn_hold_end = None;
         // A revival is a *probe*: keep the timer tight so a still-dead
         // path reinjects (and re-fails) quickly rather than stalling the
         // stream a full initial RTO.
@@ -519,8 +528,9 @@ impl Sender {
 
             // Growth stays frozen for the whole recovery episode,
             // including the full ACK that exits it (the window was already
-            // set to ssthresh at the loss).
-            let was_in_recovery = sf.recovery_end.is_some();
+            // set to ssthresh at the loss). An ECN hold freezes growth the
+            // same way without the retransmit machinery.
+            let was_in_recovery = sf.recovery_end.is_some() || sf.ecn_hold_end.is_some();
             let still_in_recovery = match sf.recovery_end {
                 Some(end) if ack >= end => {
                     sf.recovery_end = None;
@@ -529,6 +539,9 @@ impl Sender {
                 Some(_) => true,
                 None => false,
             };
+            if matches!(sf.ecn_hold_end, Some(end) if ack >= end) {
+                sf.ecn_hold_end = None;
+            }
             sf.cc
                 .on_ack(now, acked, was_in_recovery, sf.srtt.unwrap_or(RTO_INITIAL));
             // NewReno: a partial ACK during recovery means the next
@@ -557,6 +570,23 @@ impl Sender {
             }
         }
         out
+    }
+
+    /// React to an ECN congestion echo on `path`: one multiplicative
+    /// window decrease per flight, with no retransmission (the marked
+    /// packet *was* delivered). AQM marks arrive on the ACK that covers
+    /// the marked segment, so the echo lands right after `on_ack` in the
+    /// event loop. While already in loss recovery or an earlier ECN hold,
+    /// further echoes are ignored — the window has already been cut for
+    /// this flight.
+    pub fn on_ecn_echo(&mut self, _now: SimTime, path: PathId) {
+        let sf = &mut self.subflows[path.index()];
+        if sf.failed || sf.recovery_end.is_some() || sf.ecn_hold_end.is_some() {
+            return;
+        }
+        let in_flight = sf.in_flight();
+        sf.cc.on_fast_retransmit(in_flight);
+        sf.ecn_hold_end = Some(sf.snd_nxt);
     }
 
     /// Handle the retransmission timer for `path` firing at `now`.

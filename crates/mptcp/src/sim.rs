@@ -130,11 +130,17 @@ enum Event {
         dss: u64,
         retx: bool,
         syn: bool,
+        /// AQM marked this packet (ECN CE) instead of dropping it; the
+        /// receiver echoes the mark on the covering ACK.
+        ecn: bool,
     },
     Ack {
         path: PathId,
         ack: u64,
         mask: PathMask,
+        /// ECN congestion echo: the segment this ACK covers arrived
+        /// marked.
+        ecn: bool,
     },
     Rto {
         path: PathId,
@@ -282,6 +288,7 @@ impl MptcpSim {
                     path: primary,
                     ack: self.rcv.current_ack(primary),
                     mask,
+                    ecn: false,
                 },
             );
         }
@@ -438,26 +445,39 @@ impl MptcpSim {
                 dss,
                 retx,
                 syn,
+                ecn,
             } => {
                 let res = self.rcv.on_data(now, path, seq, len, dss, retx, syn);
-                // Immediate ACK, carrying the current desired mask.
+                // Immediate ACK, carrying the current desired mask and
+                // echoing any ECN mark back to the sender.
                 self.queue.schedule(
                     now + self.ack_delay[path.index()],
                     Event::Ack {
                         path,
                         ack: res.ack,
                         mask: self.rcv.desired_mask(),
+                        ecn,
                     },
                 );
                 StepOutcome::Transport {
                     newly_delivered: res.newly_delivered,
                 }
             }
-            Event::Ack { path, ack, mask } => {
+            Event::Ack {
+                path,
+                ack,
+                mask,
+                ecn,
+            } => {
                 self.snd.apply_mask(mask);
                 let retx = self.snd.on_ack(now, path, ack);
                 for t in retx {
                     self.transmit(now, t);
+                }
+                if ecn {
+                    // The echo lands after the cumulative ACK so a fresh
+                    // hold spans exactly the still-outstanding flight.
+                    self.snd.on_ecn_echo(now, path);
                 }
                 self.pump(now);
                 self.ensure_rto(path);
@@ -570,6 +590,7 @@ impl MptcpSim {
                         dss: t.dss,
                         retx: t.retx,
                         syn: t.syn,
+                        ecn: false,
                     },
                 );
             }
@@ -602,8 +623,15 @@ impl MptcpSim {
     /// A shared bottleneck finished serving one of this connection's
     /// packets: schedule its arrival after `path`'s propagation delay.
     /// `ticket` must match the oldest deferred packet on `path`
-    /// (per-flow departures are FIFO under every discipline).
-    pub fn on_shared_departure(&mut self, path: PathId, ticket: Ticket, depart_at: SimTime) {
+    /// (per-flow departures are FIFO under every discipline). `marked`
+    /// carries an AQM ECN mark; the receiver will echo it on the ACK.
+    pub fn on_shared_departure(
+        &mut self,
+        path: PathId,
+        ticket: Ticket,
+        depart_at: SimTime,
+        marked: bool,
+    ) {
         let pkt = self.deferred[path.index()]
             .pop_front()
             .expect("departure for a path with no deferred packets");
@@ -631,7 +659,23 @@ impl MptcpSim {
                 dss: pkt.dss,
                 retx: pkt.retx,
                 syn: pkt.syn,
+                ecn: marked,
             },
+        );
+    }
+
+    /// A shared bottleneck's AQM dropped one of this connection's queued
+    /// packets at dequeue time (CoDel). The packet simply vanishes —
+    /// duplicate ACKs or the RTO recover the hole, same as an overflow
+    /// drop at offer time — but the deferred bookkeeping must advance
+    /// past it so later departures still line up ticket-for-ticket.
+    pub fn on_shared_drop(&mut self, path: PathId, ticket: Ticket, _at: SimTime) {
+        let pkt = self.deferred[path.index()]
+            .pop_front()
+            .expect("AQM drop for a path with no deferred packets");
+        assert_eq!(
+            pkt.ticket, ticket,
+            "shared bottleneck AQM drops out of order within a flow"
         );
     }
 
@@ -876,7 +920,7 @@ mod tests {
                 None => break,
                 Some((_, 0)) => {
                     let d = bn.pop_departure().unwrap();
-                    sims[route[d.flow]].on_shared_departure(PathId(0), d.ticket, d.at);
+                    sims[route[d.flow]].on_shared_departure(PathId(0), d.ticket, d.at, d.marked);
                 }
                 Some((_, k)) => {
                     sims[k - 1].step();
@@ -894,6 +938,122 @@ mod tests {
         // rate allows (2 * 400 kB at 8 Mbps = 800 ms floor).
         let end = sims.iter().map(|s| s.now()).max().unwrap();
         assert!(end >= SimTime::from_millis(800), "finished at {end:?}");
+    }
+
+    /// Drive one single-path connection through a shared bottleneck to
+    /// completion, feeding departures and AQM dequeue drops back in.
+    /// Returns the cumulative count of marked departures observed.
+    fn drain_shared(sim: &mut MptcpSim, bn: &SharedBottleneck, total: u64) -> u64 {
+        let mut marks = 0;
+        loop {
+            let mut best: Option<(SimTime, usize)> = None;
+            if let Some(t) = bn.next_departure() {
+                best = Some((t, 0));
+            }
+            if let Some(t) = sim.peek_time() {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, 1));
+                }
+            }
+            match best {
+                None => break,
+                Some((_, 0)) => {
+                    let d = bn.pop_departure().unwrap();
+                    marks += d.marked as u64;
+                    sim.on_shared_departure(PathId(0), d.ticket, d.at, d.marked);
+                    for drop in bn.take_aqm_drops() {
+                        sim.on_shared_drop(PathId(0), drop.ticket, drop.at);
+                    }
+                }
+                Some(_) => {
+                    sim.step();
+                }
+            }
+        }
+        assert_eq!(sim.delivered(), total, "stream must complete");
+        marks
+    }
+
+    fn one_path_shared_sim() -> MptcpSim {
+        // Propagation only: serialization happens in the shared queue.
+        let link = LinkConfig::constant(1000.0, SimDuration::from_millis(20));
+        MptcpSim::new(MptcpConfig {
+            paths: vec![PathConfig::symmetric(link)],
+            scheduler: SchedulerSpec::MinRtt,
+            cc: CcKind::Reno,
+        })
+    }
+
+    /// PIE with ECN marks instead of dropping; the sender must react to
+    /// the echo with a multiplicative backoff (no retransmissions needed
+    /// — nothing was lost) and keep the bottleneck's standing queue well
+    /// below the drop-tail bloat level.
+    #[test]
+    fn ecn_marks_back_the_sender_off_without_losses() {
+        use mpdash_link::{AqmConfig, QueueDiscipline, SharedBottleneckConfig};
+
+        let run = |aqm: bool| {
+            let cfg = SharedBottleneckConfig::fifo_mbps(6.0).with_capacity(256 * 1024);
+            let cfg = if aqm {
+                cfg.with_discipline(QueueDiscipline::Pie(AqmConfig::pie().with_ecn(true)))
+            } else {
+                cfg
+            };
+            let bn = SharedBottleneck::new(cfg);
+            let mut sim = one_path_shared_sim();
+            sim.attach_shared(PathId(0), &bn);
+            let total = 2_000_000;
+            sim.send_app(total);
+            let marks = drain_shared(&mut sim, &bn, total);
+            let mean_wait_ms = {
+                let snap = bn.metrics_snapshot();
+                let h = snap
+                    .histograms
+                    .iter()
+                    .find(|(k, _)| k == "queue_wait_ms")
+                    .map(|(_, h)| h.clone())
+                    .unwrap();
+                h.sum as f64 / h.count.max(1) as f64
+            };
+            (marks, bn.stats(), mean_wait_ms)
+        };
+
+        let (marks, pie, pie_wait) = run(true);
+        let (_, _, fifo_wait) = run(false);
+        assert!(marks > 0, "sustained overload must trigger ECN marks");
+        assert_eq!(pie.marked_packets, marks);
+        // ECN mode marks instead of dropping.
+        assert_eq!(pie.dropped_aqm_packets, 0);
+        // The responsive sender holds the queue far below drop-tail
+        // bloat: mean sojourn under PIE must beat FIFO's by a wide margin.
+        assert!(
+            pie_wait < fifo_wait / 2.0,
+            "pie mean wait {pie_wait:.1} ms vs fifo {fifo_wait:.1} ms"
+        );
+    }
+
+    /// CoDel drops at dequeue time; the transport recovers the holes via
+    /// dup-ACK / RTO and still completes, with every drop accounted for.
+    #[test]
+    fn codel_dequeue_drops_recover_and_conserve() {
+        use mpdash_link::{AqmConfig, QueueDiscipline, SharedBottleneckConfig};
+
+        let cfg = SharedBottleneckConfig::fifo_mbps(6.0)
+            .with_capacity(256 * 1024)
+            .with_discipline(QueueDiscipline::Codel(AqmConfig::codel()));
+        let bn = SharedBottleneck::new(cfg);
+        let mut sim = one_path_shared_sim();
+        sim.attach_shared(PathId(0), &bn);
+        let total = 2_000_000;
+        sim.send_app(total);
+        drain_shared(&mut sim, &bn, total);
+        let stats = bn.stats();
+        assert!(stats.conserved(), "conservation with AQM drops: {stats:?}");
+        assert!(
+            stats.dropped_aqm_packets > 0,
+            "sustained overload must trip CoDel's drop schedule"
+        );
+        assert_eq!(stats.queued_bytes, 0, "drained bottleneck holds nothing");
     }
 
     #[test]

@@ -25,12 +25,18 @@ struct Event {
     histogram: bool,
 }
 
-const NAMES: [&str; 5] = [
+const NAMES: [&str; 8] = [
     "chunks",
     "cell_bytes",
     "buffer_ms",
     "deadline_misses",
     "queue_depth_bytes",
+    // AQM epoch cells: per-departure sojourn, PIE's drop probability,
+    // and the dequeue-drop counter must shard-merge like everything
+    // else or `exp_aqm` artifacts would drift across MPDASH_WORKERS.
+    "queue_wait_ms",
+    "aqm_drop_prob_ppm",
+    "aqm_dropped_packets",
 ];
 
 /// Deterministically expand a seed into a random event stream.

@@ -1132,14 +1132,23 @@ impl StreamingSession {
     }
 
     /// Feed back a shared-bottleneck departure for one of this session's
-    /// packets (see [`MptcpSim::on_shared_departure`]).
+    /// packets (see [`MptcpSim::on_shared_departure`]). `marked` carries
+    /// an AQM ECN mark through to the transport.
     pub fn on_shared_departure(
         &mut self,
         path: PathId,
         ticket: mpdash_link::Ticket,
         depart_at: SimTime,
+        marked: bool,
     ) {
-        self.sim.on_shared_departure(path, ticket, depart_at);
+        self.sim
+            .on_shared_departure(path, ticket, depart_at, marked);
+    }
+
+    /// Feed back a shared-bottleneck AQM dequeue drop for one of this
+    /// session's packets (see [`MptcpSim::on_shared_drop`]).
+    pub fn on_shared_drop(&mut self, path: PathId, ticket: mpdash_link::Ticket, at: SimTime) {
+        self.sim.on_shared_drop(path, ticket, at);
     }
 
     /// Process one event from this session's queue; `false` when the

@@ -100,6 +100,24 @@ pub struct SchedulerPickSummary {
     pub mean_queue_bytes: Option<f64>,
 }
 
+/// Per-bottleneck drop attribution for a fleet replay: how many packets
+/// the shared queue refused (overflow drop-tail) versus how many the
+/// AQM controller dropped early, plus ECN marks delivered in place of
+/// drops. Empty for single-session replays (no shared bottleneck).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BottleneckDrops {
+    /// Discipline label (`fifo`, `fq`, `pie`, `fq_pie`, `codel`).
+    pub discipline: &'static str,
+    /// All drops, any reason.
+    pub dropped_packets: u64,
+    /// Capacity drop-tails (queue full on arrival).
+    pub dropped_overflow_packets: u64,
+    /// AQM early drops (PIE admission, CoDel dequeue).
+    pub dropped_aqm_packets: u64,
+    /// Packets delivered carrying an ECN-style mark instead of a drop.
+    pub marked_packets: u64,
+}
+
 /// One chunk's explained timeline — the structured form the renderer
 /// (and the test suite) consumes.
 #[derive(Clone, Debug)]
@@ -147,7 +165,15 @@ pub struct ChunkExplain {
 pub fn explain_run(
     scenario: &Scenario,
     opts: &ExplainOptions,
-) -> Result<(String, SessionReport, Vec<ChunkExplain>), String> {
+) -> Result<
+    (
+        String,
+        SessionReport,
+        Vec<ChunkExplain>,
+        Vec<BottleneckDrops>,
+    ),
+    String,
+> {
     if scenario.fleet.is_some() || opts.client.is_some() {
         return explain_fleet_run(scenario, opts);
     }
@@ -156,7 +182,7 @@ pub fn explain_run(
     let ring = Arc::new(RingSink::new(1 << 20));
     let report = StreamingSession::run(cfg.with_tracer(Tracer::new(ring.clone())));
     let chunks = explain_chunks(scenario, &report, &ring.events());
-    Ok((label, report, chunks))
+    Ok((label, report, chunks, Vec::new()))
 }
 
 /// Fleet replay: co-simulate the whole fleet with the trace ring
@@ -166,7 +192,15 @@ pub fn explain_run(
 fn explain_fleet_run(
     scenario: &Scenario,
     opts: &ExplainOptions,
-) -> Result<(String, SessionReport, Vec<ChunkExplain>), String> {
+) -> Result<
+    (
+        String,
+        SessionReport,
+        Vec<ChunkExplain>,
+        Vec<BottleneckDrops>,
+    ),
+    String,
+> {
     let Some(fleet) = &scenario.fleet else {
         return Err("--client requires a 'fleet' key in the scenario".into());
     };
@@ -184,19 +218,31 @@ fn explain_fleet_run(
         .fleet_config(cfg.with_tracer(Tracer::new(ring.clone())))?
         .with_trace_client(k);
     let mut fleet_report = mpdash_fleet::run(&fc);
+    let drops = fleet_report
+        .bottlenecks
+        .iter()
+        .map(|b| BottleneckDrops {
+            discipline: b.discipline,
+            dropped_packets: b.stats.dropped_packets,
+            dropped_overflow_packets: b.stats.dropped_overflow_packets,
+            dropped_aqm_packets: b.stats.dropped_aqm_packets,
+            marked_packets: b.stats.marked_packets,
+        })
+        .collect();
     let report = fleet_report.sessions.swap_remove(k);
     let chunks = explain_chunks(scenario, &report, &ring.events());
     Ok((
         format!("{label} (client {k}/{})", fleet.clients),
         report,
         chunks,
+        drops,
     ))
 }
 
 /// Replay and render the timeline as text — the `mpdash explain`
 /// subcommand body.
 pub fn explain_scenario(scenario: &Scenario, opts: &ExplainOptions) -> Result<String, String> {
-    let (label, report, chunks) = explain_run(scenario, opts)?;
+    let (label, report, chunks, drops) = explain_run(scenario, opts)?;
     if let Some(want) = opts.chunk {
         if !chunks.iter().any(|c| c.index == want) {
             return Err(format!(
@@ -205,7 +251,9 @@ pub fn explain_scenario(scenario: &Scenario, opts: &ExplainOptions) -> Result<St
             ));
         }
     }
-    Ok(render(scenario, &label, &report, &chunks, opts.chunk))
+    Ok(render(
+        scenario, &label, &report, &chunks, &drops, opts.chunk,
+    ))
 }
 
 fn pick_mode(
@@ -535,6 +583,7 @@ fn render(
     label: &str,
     report: &SessionReport,
     chunks: &[ChunkExplain],
+    drops: &[BottleneckDrops],
     only: Option<usize>,
 ) -> String {
     let mut out = String::new();
@@ -592,6 +641,19 @@ fn render(
             total_hedge_wasted as f64 / 1e3,
             per_chunk.join(", "),
         );
+    }
+    // Fleet replays: attribute each shared bottleneck's losses by
+    // reason — a drop-tail overflow and an AQM early drop call for
+    // opposite remedies (more buffer vs an earlier controller).
+    for (i, d) in drops.iter().enumerate() {
+        let mut line = format!(
+            "bottleneck {i} ({}): {} dropped ({} overflow, {} aqm-early)",
+            d.discipline, d.dropped_packets, d.dropped_overflow_packets, d.dropped_aqm_packets,
+        );
+        if d.marked_packets > 0 {
+            let _ = write!(line, ", {} ecn-marked", d.marked_packets);
+        }
+        let _ = writeln!(out, "{line}");
     }
     let n_faults = scenario.wifi_faults.events().len()
         + scenario.cell_faults.events().len()
@@ -719,7 +781,7 @@ mod tests {
     #[test]
     fn timeline_shows_timeout_abandon_resume_for_a_stalled_body() {
         let sc = Scenario::from_json(SERVER_FAULTED).unwrap();
-        let (_, report, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        let (_, report, _, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
         assert!(
             report.lifecycle.abandoned >= 1,
             "the frozen body must force an abandonment: {:?}",
@@ -758,7 +820,7 @@ mod tests {
     #[test]
     fn timeline_attributes_origin_routing_hedges_and_cache() {
         let sc = Scenario::from_json(MULTI_ORIGIN).unwrap();
-        let (_, report, chunks) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        let (_, report, chunks, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
         assert!(
             report.origin.breaker_opens >= 1,
             "the blackhole must trip the primary's breaker: {:?}",
@@ -820,7 +882,7 @@ mod tests {
     #[test]
     fn attributes_hedge_loser_waste_per_chunk() {
         let sc = Scenario::from_json(HEDGED).unwrap();
-        let (_, report, chunks) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        let (_, report, chunks, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
         assert!(report.origin.hedges >= 1, "{:?}", report.origin);
         let wasted: u64 = chunks.iter().map(|c| c.hedge_wasted).sum();
         assert!(
@@ -860,7 +922,7 @@ mod tests {
     #[test]
     fn attributes_a_forced_deadline_miss_to_the_fault_window() {
         let sc = Scenario::from_json(FAULTED).unwrap();
-        let (label, report, chunks) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        let (label, report, chunks, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
         assert_eq!(label, "Rate");
         assert!(
             report.scheduler_stats.missed_deadlines > 0,
@@ -941,7 +1003,7 @@ mod tests {
     #[test]
     fn fleet_replay_explains_one_client_with_shared_queue_waits() {
         let sc = Scenario::from_json(FLEET).unwrap();
-        let (label, report, chunks) = explain_run(
+        let (label, report, chunks, _) = explain_run(
             &sc,
             &ExplainOptions {
                 client: Some(2),
@@ -967,6 +1029,10 @@ mod tests {
         assert!(text.contains("client 2/4"), "{text}");
         assert!(text.contains("shared queue: "), "{text}");
         assert!(text.contains("packets waited"), "{text}");
+        // Each bottleneck's losses are attributed by reason.
+        assert!(text.contains("bottleneck 0 (fq):"), "{text}");
+        assert!(text.contains("overflow"), "{text}");
+        assert!(text.contains("aqm-early"), "{text}");
         // On a shared AP the pick attribution carries the queue-depth
         // input the scheduler saw.
         let picked = chunks.iter().flat_map(|c| c.picks.iter());
@@ -978,7 +1044,7 @@ mod tests {
         assert!(text.contains("sched pick: "), "{text}");
 
         // A fleet scenario with no --client defaults to client 0.
-        let (label, _, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
+        let (label, _, _, _) = explain_run(&sc, &ExplainOptions::default()).unwrap();
         assert_eq!(label, "Rate (client 0/4)");
 
         // Out-of-range clients and non-fleet documents are named errors.

@@ -12,7 +12,7 @@ use mpdash_dash::video::Video;
 use mpdash_fleet::{fleet_job, FleetCacheSpec, FleetConfig, SharedLinkSpec};
 use mpdash_http::{OriginPoolConfig, OriginSpec};
 use mpdash_link::{
-    BandwidthProfile, FaultScript, GilbertElliott, LinkConfig, PathId, QueueDiscipline,
+    AqmConfig, BandwidthProfile, FaultScript, GilbertElliott, LinkConfig, PathId, QueueDiscipline,
     SharedBottleneckConfig,
 };
 use mpdash_mptcp::SchedulerSpec;
@@ -201,21 +201,70 @@ pub struct SharedSpec {
     pub rate_mbps: f64,
     /// Queue bound in bytes (default: the bottleneck's 128 KiB).
     pub capacity_bytes: Option<u64>,
-    /// `fifo` (drop-tail) or `fq` (per-flow DRR).
+    /// `fifo` (drop-tail), `fq` (per-flow DRR), or an AQM: `pie`,
+    /// `fq_pie` (DRR + per-flow PIE), `codel`.
     pub discipline: String,
-    /// DRR quantum in bytes for `fq` (default 1540).
+    /// DRR quantum in bytes for `fq`/`fq_pie` (default 1540).
     pub quantum: Option<u64>,
+    /// AQM queue-delay target, ms (default: PIE 15, CoDel 5).
+    pub target_delay_ms: Option<f64>,
+    /// AQM update/sliding interval, ms (default: PIE 15, CoDel 100).
+    pub interval_ms: Option<f64>,
+    /// PIE proportional gain per second (default 0.125).
+    pub alpha: Option<f64>,
+    /// PIE derivative gain per second (default 1.25).
+    pub beta: Option<f64>,
+    /// Mark instead of dropping (ECN-style early signal to senders).
+    pub ecn: Option<bool>,
     /// Which of each client's paths subscribe: `wifi` and/or `cell`.
     pub paths: Vec<String>,
 }
 
 impl SharedSpec {
+    /// The [`AqmConfig`] these knobs describe, from the given defaults.
+    fn aqm_config(&self, base: AqmConfig) -> AqmConfig {
+        let mut a = base;
+        if let Some(t) = self.target_delay_ms {
+            a = a.with_target_ms(t);
+        }
+        if let Some(i) = self.interval_ms {
+            a = a.with_interval_ms(i);
+        }
+        if let Some(al) = self.alpha {
+            a = a.with_alpha(al);
+        }
+        if let Some(be) = self.beta {
+            a = a.with_beta(be);
+        }
+        if let Some(e) = self.ecn {
+            a = a.with_ecn(e);
+        }
+        a
+    }
+
     fn build(&self) -> SharedLinkSpec {
         let mut config = SharedBottleneckConfig::fifo_mbps(self.rate_mbps);
-        if self.discipline == "fq" {
-            config = config.with_discipline(QueueDiscipline::FlowQueue {
-                quantum: self.quantum.unwrap_or(1540),
-            });
+        match self.discipline.as_str() {
+            "fq" => {
+                config = config.with_discipline(QueueDiscipline::FlowQueue {
+                    quantum: self.quantum.unwrap_or(1540),
+                });
+            }
+            "pie" => {
+                config =
+                    config.with_discipline(QueueDiscipline::Pie(self.aqm_config(AqmConfig::pie())));
+            }
+            "fq_pie" => {
+                config = config.with_discipline(QueueDiscipline::FqPie {
+                    quantum: self.quantum.unwrap_or(1540),
+                    aqm: self.aqm_config(AqmConfig::pie()),
+                });
+            }
+            "codel" => {
+                config = config
+                    .with_discipline(QueueDiscipline::Codel(self.aqm_config(AqmConfig::codel())));
+            }
+            _ => {}
         }
         if let Some(cap) = self.capacity_bytes {
             config = config.with_capacity(cap);
@@ -491,6 +540,20 @@ fn parse_shared(v: &Json) -> Result<SharedSpec, String> {
             Some(j) => string(j, "discipline")?,
         },
         quantum: opt_uint("quantum")?,
+        target_delay_ms: v
+            .get("target_delay_ms")
+            .map(|j| num(j, "target_delay_ms"))
+            .transpose()?,
+        interval_ms: v
+            .get("interval_ms")
+            .map(|j| num(j, "interval_ms"))
+            .transpose()?,
+        alpha: v.get("alpha").map(|j| num(j, "alpha")).transpose()?,
+        beta: v.get("beta").map(|j| num(j, "beta")).transpose()?,
+        ecn: v
+            .get("ecn")
+            .map(|j| j.as_bool().ok_or("shared 'ecn' must be a boolean"))
+            .transpose()?,
         paths: field(v, "paths")?
             .as_arr()
             .ok_or("shared 'paths' must be an array of path names")?
@@ -1051,12 +1114,65 @@ impl Scenario {
                     return Err("shared 'quantum' must be > 0".into());
                 }
                 match shared.discipline.as_str() {
-                    "fifo" | "fq" => {}
+                    "fifo" | "fq" | "pie" | "fq_pie" | "codel" => {}
                     other => {
                         return Err(format!(
-                            "unknown discipline '{other}' (expected fifo or fq)"
+                            "unknown discipline '{other}' (expected fifo, fq, pie, \
+                             fq_pie, or codel)"
                         ))
                     }
+                }
+                let is_aqm = matches!(shared.discipline.as_str(), "pie" | "fq_pie" | "codel");
+                if !is_aqm {
+                    for (key, set) in [
+                        ("target_delay_ms", shared.target_delay_ms.is_some()),
+                        ("interval_ms", shared.interval_ms.is_some()),
+                        ("alpha", shared.alpha.is_some()),
+                        ("beta", shared.beta.is_some()),
+                        ("ecn", shared.ecn.is_some()),
+                    ] {
+                        if set {
+                            return Err(format!(
+                                "shared '{key}' only applies to an AQM discipline \
+                                 (pie, fq_pie, or codel), not '{}'",
+                                shared.discipline
+                            ));
+                        }
+                    }
+                }
+                for (key, val) in [
+                    ("target_delay_ms", shared.target_delay_ms),
+                    ("interval_ms", shared.interval_ms),
+                ] {
+                    if let Some(v) = val {
+                        if v.is_nan() || v <= 0.0 {
+                            return Err(format!("shared '{key}' must be > 0, got {v}"));
+                        }
+                    }
+                }
+                for (key, val) in [("alpha", shared.alpha), ("beta", shared.beta)] {
+                    if let Some(v) = val {
+                        if !(v.is_finite() && v >= 0.0) {
+                            return Err(format!("shared '{key}' must be >= 0, got {v}"));
+                        }
+                    }
+                }
+                if shared.discipline == "codel" && (shared.alpha.is_some() || shared.beta.is_some())
+                {
+                    return Err(
+                        "'alpha'/'beta' are PIE gains; codel only takes 'target_delay_ms', \
+                         'interval_ms', and 'ecn'"
+                            .into(),
+                    );
+                }
+                if shared.quantum.is_some()
+                    && !matches!(shared.discipline.as_str(), "fq" | "fq_pie")
+                {
+                    return Err(format!(
+                        "shared 'quantum' only applies to the per-flow disciplines \
+                         (fq or fq_pie), not '{}'",
+                        shared.discipline
+                    ));
                 }
                 if shared.paths.is_empty() {
                     return Err("a shared link needs at least one subscribing path \
@@ -1557,6 +1673,51 @@ mod tests {
     }
 
     #[test]
+    fn parses_aqm_disciplines_with_knobs() {
+        let patch = r#""fleet": {
+            "clients": 4,
+            "seed": 7,
+            "shared": [
+                {"rate_mbps": 10.0, "discipline": "pie", "target_delay_ms": 20.0,
+                 "interval_ms": 30.0, "alpha": 0.25, "beta": 2.5, "ecn": true,
+                 "paths": ["wifi"]},
+                {"rate_mbps": 8.0, "discipline": "fq_pie", "quantum": 3080, "paths": ["wifi"]},
+                {"rate_mbps": 3.0, "discipline": "codel", "target_delay_ms": 5.0,
+                 "interval_ms": 100.0, "paths": ["cell"]}
+            ]
+        },"#;
+        let sc = Scenario::from_json(&fleet_doc(patch)).unwrap();
+        let fc = &sc.fleet_configs().unwrap()[0].1;
+        match fc.shared[0].config.discipline {
+            QueueDiscipline::Pie(a) => {
+                assert_eq!(a.target_ns, 20_000_000);
+                assert_eq!(a.interval_ns, 30_000_000);
+                assert_eq!(
+                    a,
+                    AqmConfig::pie()
+                        .with_target_ms(20.0)
+                        .with_interval_ms(30.0)
+                        .with_alpha(0.25)
+                        .with_beta(2.5)
+                        .with_ecn(true)
+                );
+            }
+            ref d => panic!("expected pie, got {d:?}"),
+        }
+        match fc.shared[1].config.discipline {
+            QueueDiscipline::FqPie { quantum, aqm } => {
+                assert_eq!(quantum, 3080);
+                assert_eq!(aqm, AqmConfig::pie(), "fq_pie defaults to PIE's knobs");
+            }
+            ref d => panic!("expected fq_pie, got {d:?}"),
+        }
+        match fc.shared[2].config.discipline {
+            QueueDiscipline::Codel(a) => assert_eq!(a, AqmConfig::codel()),
+            ref d => panic!("expected codel, got {d:?}"),
+        }
+    }
+
+    #[test]
     fn parses_the_telemetry_key_into_every_config() {
         let doc = fleet_doc(&format!(
             r#""telemetry": {{"epoch_s": 2.0}}, {FLEET_PATCH}"#
@@ -1695,12 +1856,36 @@ mod tests {
                 "'capacity_bytes' must be > 0",
             ),
             (
-                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "codel", "paths": ["wifi"]}]},"#,
-                "unknown discipline 'codel'",
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "red", "paths": ["wifi"]}]},"#,
+                "unknown discipline 'red' (expected fifo, fq, pie, fq_pie, or codel)",
             ),
             (
                 r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "paths": ["starlink"]}]},"#,
                 "unknown path 'starlink'",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "fifo", "ecn": true, "paths": ["wifi"]}]},"#,
+                "'ecn' only applies to an AQM discipline",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "fq", "target_delay_ms": 15.0, "paths": ["wifi"]}]},"#,
+                "'target_delay_ms' only applies to an AQM discipline",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "pie", "target_delay_ms": 0.0, "paths": ["wifi"]}]},"#,
+                "'target_delay_ms' must be > 0",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "codel", "alpha": 0.125, "paths": ["wifi"]}]},"#,
+                "'alpha'/'beta' are PIE gains",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "pie", "quantum": 1540, "paths": ["wifi"]}]},"#,
+                "'quantum' only applies to the per-flow disciplines",
+            ),
+            (
+                r#""fleet": {"clients": 4, "shared": [{"rate_mbps": 10.0, "discipline": "pie", "beta": -1.0, "paths": ["wifi"]}]},"#,
+                "'beta' must be >= 0",
             ),
         ] {
             let err = Scenario::from_json(&fleet_doc(patch)).unwrap_err();
@@ -1729,6 +1914,23 @@ mod tests {
         let fleet = sc.fleet.as_ref().unwrap();
         assert_eq!(fleet.clients, 16);
         assert!(!fleet.shared.is_empty());
+        assert!(sc.fleet_configs().is_ok());
+    }
+
+    #[test]
+    fn shipped_aqm_scenario_parses_to_fq_pie() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/aqm.json");
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = Scenario::from_json(&text).unwrap();
+        let fleet = sc.fleet.as_ref().unwrap();
+        assert_eq!(fleet.clients, 8);
+        let ap = &fleet.shared[0];
+        assert_eq!(ap.discipline, "fq_pie");
+        assert!(matches!(
+            ap.build().config.discipline,
+            QueueDiscipline::FqPie { quantum: 1540, aqm }
+                if aqm.ecn && aqm.target_ns == 15_000_000
+        ));
         assert!(sc.fleet_configs().is_ok());
     }
 

@@ -172,6 +172,18 @@ fn mode_timeline(label: &str, fc: &FleetConfig) -> Json {
             .histogram("queue_depth_bytes")
             .map(|h| h.sum() as f64 / h.count().max(1) as f64)
             .unwrap_or(0.0);
+        // Mean sojourn of the epoch's departures — bufferbloat over
+        // time, and the signal an AQM holds near its target.
+        let queue_wait = c
+            .histogram("queue_wait_ms")
+            .map(|h| h.sum() as f64 / h.count().max(1) as f64)
+            .unwrap_or(0.0);
+        // PIE's drop probability (parts per million), sampled at each
+        // departure; zero on non-AQM fleets, whose series lack the cell.
+        let aqm_prob = c
+            .histogram("aqm_drop_prob_ppm")
+            .map(|h| h.sum() as f64 / h.count().max(1) as f64)
+            .unwrap_or(0.0);
         let arrivals = c.counter("fleet_arrivals");
         let departures = c.counter("fleet_departures");
         let shed = c.counter("fleet_shed");
@@ -200,6 +212,8 @@ fn mode_timeline(label: &str, fc: &FleetConfig) -> Json {
             ("cache_misses", Json::from(cache_misses)),
             ("cache_hit_ratio", Json::Float(cache_ratio)),
             ("queue_depth_mean", Json::Float(queue_depth)),
+            ("queue_wait_mean_ms", Json::Float(queue_wait)),
+            ("aqm_drop_prob_ppm_mean", Json::Float(aqm_prob)),
             (
                 "shared_dropped_bytes",
                 Json::from(c.counter("shared_dropped_bytes")),
@@ -311,6 +325,8 @@ fn render(scenario: &Scenario, opts: &TimelineOptions, modes: &[Json]) -> String
             ("LTE bytes", "cell_bytes", 1e-6, " MB"),
             ("cache hit%", "cache_hit_ratio", 100.0, "%"),
             ("queue depth", "queue_depth_mean", 1e-3, " KB"),
+            ("queue delay", "queue_wait_mean_ms", 1.0, " ms"),
+            ("aqm prob", "aqm_drop_prob_ppm_mean", 1e-4, "%"),
             ("QoE", "qoe_composite", 1.0, ""),
             ("loop steps", "loop_steps", 1.0, ""),
             ("active sess", "active_sessions", 1.0, ""),
@@ -448,6 +464,42 @@ mod tests {
             0.0,
             "the fleet drains to zero active sessions"
         );
+    }
+
+    #[test]
+    fn aqm_fleet_surfaces_queue_delay_and_drop_probability() {
+        let doc = r#"{
+            "name": "aqm-track",
+            "video": {"custom": {"levels_mbps": [0.6, 1.5, 3.0], "chunk_secs": 4, "n_chunks": 10}},
+            "wifi": {"constant": 8.0},
+            "cell": {"constant": 4.0},
+            "abr": "festive",
+            "buffer_secs": 8,
+            "modes": ["mpdash_rate"],
+            "telemetry": {"epoch_s": 2.0},
+            "fleet": {
+                "clients": 4,
+                "shared": [{"rate_mbps": 4.0, "discipline": "pie", "paths": ["wifi"]}]
+            }
+        }"#;
+        let sc = Scenario::from_json(doc).unwrap();
+        let spec = sc.telemetry.unwrap();
+        let (label, fc) = sc.fleet_configs().unwrap().remove(0);
+        let mode = mode_timeline(&label, &fc.with_telemetry(spec));
+        let rows = rows(&mode);
+        let peak =
+            |key: &str| -> f64 { rows.iter().map(|r| row_f64(r, key)).fold(0.0_f64, f64::max) };
+        assert!(
+            peak("queue_wait_mean_ms") > 0.0,
+            "a contended bottleneck shows queue delay"
+        );
+        assert!(
+            peak("aqm_drop_prob_ppm_mean") > 0.0,
+            "sustained contention raises PIE's drop probability"
+        );
+        let text = render(&sc, &TimelineOptions::default(), &[mode]);
+        assert!(text.contains("queue delay"), "{text}");
+        assert!(text.contains("aqm prob"), "{text}");
     }
 
     #[test]
